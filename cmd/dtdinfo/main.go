@@ -1,0 +1,20 @@
+// Command dtdinfo analyzes a DTD with the paper's machinery: recursion
+// classification (Definitions 6-8), reachability (Definition 5),
+// star-groups (Definition 4), normalized models (Corollary 3.1,
+// Proposition 1), per-element DAGs (Section 4.2, Figure 4), usability and
+// the XML 1.0 determinism lint.
+//
+// Usage:
+//
+//	dtdinfo -dtd schema.dtd [-root r] [-dag] [-reach] [-grammar]
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.DTDInfo(os.Args[1:], os.Stdout, os.Stderr))
+}

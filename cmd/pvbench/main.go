@@ -1,0 +1,73 @@
+// Command pvbench regenerates the experiment tables of EXPERIMENTS.md
+// (X1-X6): the empirical counterparts of the paper's analytical claims.
+//
+// Usage:
+//
+//	pvbench [-quick] [-only linear,earley,depth,dtdsize,updates,closure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sizes, shorter timing budgets")
+	only := flag.String("only", "", "comma-separated table names to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
+	budget := 50 * time.Millisecond
+	linSizes := []int{1000, 4000, 16000, 64000, 256000}
+	earSizes := []int{8, 16, 32, 64, 128}
+	depths := []int{2, 4, 8, 16, 24}
+	dtdSizes := []int{8, 16, 32, 64}
+	updSizes := []int{1000, 8000, 64000}
+	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	trials := 40
+	if *quick {
+		budget = 2 * time.Millisecond
+		linSizes = []int{500, 2000, 8000}
+		earSizes = []int{8, 16, 32}
+		depths = []int{2, 4, 8}
+		dtdSizes = []int{8, 16}
+		updSizes = []int{500, 4000}
+		trials = 5
+	}
+
+	experiments := []struct {
+		name string
+		run  func() *bench.Table
+	}{
+		{"linear", func() *bench.Table { return bench.LinearScaling(linSizes, budget) }},
+		{"earley", func() *bench.Table { return bench.EarleyComparison(earSizes, budget) }},
+		{"depth", func() *bench.Table { return bench.DepthSensitivity(depths, budget) }},
+		{"dtdsize", func() *bench.Table { return bench.DTDSize(dtdSizes, 4000, budget) }},
+		{"updates", func() *bench.Table { return bench.UpdateCosts(updSizes, budget) }},
+		{"closure", func() *bench.Table { return bench.StripClosure(fracs, trials, budget) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Println(e.run().String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "pvbench: no tables matched -only")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,21 @@
+// Command pvcheck checks XML documents against a DTD (or XML Schema
+// subset) for potential validity (the paper's Problem PV) and full
+// validity, optionally synthesizing valid completions.
+//
+// Usage:
+//
+//	pvcheck (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] doc.xml...
+//
+// Exit status: 0 when every document is potentially valid, 1 when some
+// document is not, 2 on usage or parse errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.PVCheck(os.Args[1:], os.Stdout, os.Stderr))
+}

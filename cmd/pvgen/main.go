@@ -1,0 +1,98 @@
+// Command pvgen generates workloads: random DTDs of a chosen recursion
+// class, random valid documents for a DTD, and tag-stripped (potentially
+// valid) variants — the corpora behind the benchmarks.
+//
+// Usage:
+//
+//	pvgen dtd   [-elements 10] [-class weak] [-seed 1]
+//	pvgen doc   -dtd schema.dtd [-root r] [-depth 8] [-seed 1] [-strip 0.3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dtd":
+		genDTD(os.Args[2:])
+	case "doc":
+		genDoc(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pvgen dtd [-elements N] [-class none|weak|strong] [-seed S]
+  pvgen doc -dtd schema.dtd [-root r] [-depth D] [-seed S] [-strip F]`)
+	os.Exit(2)
+}
+
+func genDTD(args []string) {
+	fs := flag.NewFlagSet("dtd", flag.ExitOnError)
+	elements := fs.Int("elements", 10, "number of element types")
+	class := fs.String("class", "none", "recursion class: none, weak, strong")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	var c gen.DTDClass
+	switch *class {
+	case "none":
+		c = gen.ClassNonRecursive
+	case "weak":
+		c = gen.ClassWeak
+	case "strong":
+		c = gen.ClassStrong
+	default:
+		usage()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	d := gen.RandDTD(rng, gen.DTDOptions{Elements: *elements, Class: c})
+	fmt.Print(d.String())
+	fmt.Fprintf(os.Stderr, "class: %s, k=%d, root: e0\n", gen.Classify(d), d.Size())
+}
+
+func genDoc(args []string) {
+	fs := flag.NewFlagSet("doc", flag.ExitOnError)
+	dtdPath := fs.String("dtd", "", "path to the DTD file (required)")
+	root := fs.String("root", "", "root element (default: first declared)")
+	depth := fs.Int("depth", 8, "maximum nesting depth")
+	seed := fs.Int64("seed", 1, "random seed")
+	strip := fs.Float64("strip", 0, "fraction of elements to strip (0 = emit the valid document)")
+	fs.Parse(args)
+
+	if *dtdPath == "" {
+		usage()
+	}
+	data, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvgen: %v\n", err)
+		os.Exit(2)
+	}
+	d, err := dtd.Parse(string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvgen: %v\n", err)
+		os.Exit(2)
+	}
+	if *root == "" {
+		*root = d.Order[0]
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	doc := gen.GenValid(rng, d, *root, gen.DocOptions{MaxDepth: *depth})
+	if *strip > 0 {
+		removed := gen.Strip(rng, doc, *strip)
+		fmt.Fprintf(os.Stderr, "stripped %d elements (result is potentially valid by Theorem 2)\n", removed)
+	}
+	fmt.Println(doc.String())
+}

@@ -1,0 +1,101 @@
+package pv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompletePublicAPI(t *testing.T) {
+	schema := MustCompileDTD(Figure1DTD, "r", Options{})
+	doc := MustParseDocument(exampleS)
+	ext, inserted, err := schema.Complete(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 2 {
+		t.Errorf("inserted = %d, Figure 3 needs 2", inserted)
+	}
+	if err := schema.Validate(ext); err != nil {
+		t.Errorf("completion must validate: %v", err)
+	}
+	if ext.Content() != doc.Content() {
+		t.Error("completion changed character data")
+	}
+	// The original document is untouched.
+	if doc.String() != exampleS {
+		t.Error("Complete mutated its input")
+	}
+	// Completing w must fail.
+	if _, _, err := schema.Complete(MustParseDocument(exampleW)); err == nil {
+		t.Error("completing a non-PV document must fail")
+	}
+}
+
+func TestCompleteXSDSchema(t *testing.T) {
+	// The XSD path supports the same operations end to end.
+	src := `
+<schema>
+  <element name="book">
+    <complexType>
+      <sequence>
+        <element name="title" type="string"/>
+        <element name="chapter" minOccurs="1" maxOccurs="unbounded">
+          <complexType mixed="true">
+            <sequence>
+              <element name="note" type="string" minOccurs="0" maxOccurs="unbounded"/>
+            </sequence>
+          </complexType>
+        </element>
+      </sequence>
+    </complexType>
+  </element>
+</schema>`
+	schema, err := CompileXSD(src, "book", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An incomplete encoding: raw chapter text, no <chapter> markup yet.
+	res, err := schema.CheckString(`<book><title>T</title>chapter one text</book>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PotentiallyValid || res.Valid {
+		t.Errorf("res = %+v", res)
+	}
+	ext, _, err := schema.Complete(MustParseDocument(`<book><title>T</title>chapter one text</book>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.Validate(ext); err != nil {
+		t.Errorf("completion must validate: %v\n%s", err, ext)
+	}
+	if !strings.Contains(ext.String(), "<chapter>chapter one text</chapter>") {
+		t.Errorf("completion = %s", ext)
+	}
+	// A hard violation: <title> after a <chapter>.
+	res, err = schema.CheckString(`<book><chapter>x</chapter><title>T</title></book>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PotentiallyValid {
+		t.Error("title after chapter must be a hard violation")
+	}
+}
+
+func TestParseXSDErrors(t *testing.T) {
+	if _, err := ParseXSD(`<oops/>`); err == nil {
+		t.Error("bad XSD accepted")
+	}
+	if _, err := CompileXSD(`<schema><element name="a" type="string"/></schema>`, "ghost", Options{}); err == nil {
+		t.Error("unknown root accepted")
+	}
+}
+
+func TestCompileDTDFileErrors(t *testing.T) {
+	if _, err := CompileDTDFile("/nonexistent/schema.dtd", "r", Options{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ParseDocumentFile("/nonexistent/doc.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Digitallibrary: encoding a play for a digital-library collection — the
+// document-centric scenario motivating the paper's introduction. A scene's
+// text exists first; markup is layered progressively. The example shows
+// (a) the intermediate states are never valid yet always potentially valid,
+// (b) the single-pass streaming checker on the growing document, and
+// (c) the finished encoding passing full validation.
+//
+// Run: go run ./examples/digitallibrary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The states of the encoding project, as they would be saved at the end of
+// each editing day: markup accumulates over the same underlying text.
+var days = []struct{ label, xml string }{
+	{"raw transcription", `<play>The Tragedie of Hamlet Barnardo Francisco Whos there? Nay answer me: Stand and vnfold your selfe. Long liue the King.</play>`},
+
+	{"title marked", `<play><title>The Tragedie of Hamlet</title> Barnardo Francisco Whos there? Nay answer me: Stand and vnfold your selfe. Long liue the King.</play>`},
+
+	{"personae marked", `<play><title>The Tragedie of Hamlet</title><personae><persona>Barnardo</persona><persona>Francisco</persona></personae> Whos there? Nay answer me: Stand and vnfold your selfe. Long liue the King.</play>`},
+
+	{"speeches marked", `<play><title>The Tragedie of Hamlet</title><personae><persona>Barnardo</persona><persona>Francisco</persona></personae><speech><speaker>Barnardo</speaker><line>Whos there?</line></speech><speech><speaker>Francisco</speaker><line>Nay answer me: Stand and vnfold your selfe.</line></speech><speech><speaker>Barnardo</speaker><line>Long liue the King.</line></speech></play>`},
+
+	{"acts and scenes added", `<play><title>The Tragedie of Hamlet</title><personae><persona>Barnardo</persona><persona>Francisco</persona></personae><act><title>Actus Primus.</title><scene><title>Scoena Prima.</title><speech><speaker>Barnardo</speaker><line>Whos there?</line></speech><speech><speaker>Francisco</speaker><line>Nay answer me: Stand and vnfold your selfe.</line></speech><speech><speaker>Barnardo</speaker><line>Long liue the King.</line></speech></scene></act></play>`},
+}
+
+func main() {
+	schema, err := pv.CompileDTD(pv.PlayDTD, "play", pv.Options{IgnoreWhitespaceText: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema:", schema.Info())
+	fmt.Println()
+
+	for i, day := range days {
+		res, err := schema.CheckString(day.xml)
+		if err != nil {
+			log.Fatalf("day %d: %v", i, err)
+		}
+		streamOK := schema.CheckStream(day.xml) == nil
+		fmt.Printf("day %d  %-22s potentially-valid=%-5v valid=%-5v stream=%v\n",
+			i, day.label, res.PotentiallyValid, res.Valid, streamOK)
+		if !res.PotentiallyValid {
+			fmt.Println("       ", res.Detail)
+		}
+	}
+
+	// A careless edit: marking a persona AFTER the act markup already
+	// exists, leaving it outside <personae>. Personae can only precede the
+	// acts, so no amount of further markup can ever fix this — the checker
+	// flags it as a hard violation, not mere incompleteness. (Contrast a
+	// stray <line> before the acts: that is still potentially valid,
+	// because it can hide inside an inserted act/scene/speech.)
+	bad := `<play><act><title>a</title><scene><title>s</title><speech><speaker>B</speaker><line>hi</line></speech></scene></act><persona>Bernardo</persona></play>`
+	res, err := schema.CheckString(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("<persona> after the acts: potentially-valid=%v\n", res.PotentiallyValid)
+	if !res.PotentiallyValid {
+		fmt.Println("  ", res.Detail)
+	}
+	stray := `<play><title>T</title><line>stray</line></play>`
+	res, err = schema.CheckString(stray)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stray <line> before the acts: potentially-valid=%v (hides in an inserted act/scene/speech)\n",
+		res.PotentiallyValid)
+
+	final := days[len(days)-1].xml
+	doc := pv.MustParseDocument(final)
+	if err := schema.Validate(doc); err != nil {
+		fmt.Println("\nfinal day document unexpectedly incomplete:", err)
+	} else {
+		fmt.Println("\nfinal day document passes full DTD validation — ready for the collection")
+	}
+}

@@ -1,0 +1,81 @@
+// Editing: the xTagger workflow the paper was built for. The text of the
+// phrase exists before any markup; an editor layers tags over it one
+// operation at a time. Every operation is guarded by the incremental
+// potential-validity checks — mistakes are refused at the moment they are
+// attempted, with the document still completable afterward.
+//
+// Run: go run ./examples/editing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func step(what string, err error) {
+	if err != nil {
+		fmt.Printf("  ✗ %-46s REFUSED: %v\n", what, err)
+		return
+	}
+	fmt.Printf("  ✓ %s\n", what)
+}
+
+func main() {
+	schema, err := pv.CompileDTD(pv.Figure1DTD, "r", pv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 0 of the encoding project: raw text inside the root element.
+	doc := pv.MustParseDocument(`<r>A quick brown fox jumps over a lazy dog</r>`)
+	sess, err := schema.NewSession(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("start:", doc)
+	fmt.Println()
+
+	r := doc.Root()
+	a, err := sess.InsertMarkup(r, 0, 1, "a")
+	step("wrap everything in <a>", err)
+
+	// Split the text into the three pieces to be marked up.
+	text := a.Child(0)
+	step(`shrink text to "A quick brown"`, sess.UpdateText(text, "A quick brown"))
+	_, err = sess.InsertText(a, 1, " fox jumps over a lazy")
+	step("insert middle text", err)
+	_, err = sess.InsertText(a, 2, " dog")
+	step("insert trailing text", err)
+
+	_, err = sess.InsertMarkup(a, 0, 1, "b")
+	step("wrap first piece in <b>", err)
+	_, err = sess.InsertMarkup(a, 1, 2, "c")
+	step("wrap second piece in <c>", err)
+
+	// The Example 1 mistake: an <e/> between <b> and <c>. The guard knows
+	// no completion exists and refuses — this is exactly the string w.
+	_, err = sess.InsertMarkup(a, 1, 1, "e")
+	step("insert <e/> between <b> and <c>  (the w mistake)", err)
+
+	// The correct placements.
+	b := a.Child(0)
+	_, err = sess.InsertMarkup(b, 0, 1, "d")
+	step("wrap b's text in <d>", err)
+	d2, err := sess.InsertMarkup(a, 2, 3, "d")
+	step("wrap trailing text in <d>", err)
+	_, err = sess.InsertMarkup(d2, 1, 1, "e")
+	step("append <e/> inside the trailing <d>", err)
+
+	fmt.Println()
+	fmt.Println("final:", doc)
+	applied, refused := sess.Stats()
+	fmt.Printf("operations applied: %d, refused by the guard: %d\n", applied, refused)
+
+	if err := schema.Validate(doc); err != nil {
+		fmt.Println("document is potentially valid but not yet complete:", err)
+	} else {
+		fmt.Println("document is now fully VALID — the encoding is complete")
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: the paper's Example 1 through the public API.
+//
+// Two encodings of the same phrase, both invalid w.r.t. the Figure 1 DTD —
+// but one is merely incomplete (potentially valid: more markup can fix it)
+// while the other hard-violates the schema (no insertion ever will).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	schema, err := pv.CompileDTD(pv.Figure1DTD, "r", pv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema:", schema.Info())
+	fmt.Println()
+
+	docs := []struct{ label, xml string }{
+		{"w (tags out of order)",
+			`<r><a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c> dog</a></r>`},
+		{"s (encoding incomplete)",
+			`<r><a><b>A quick brown</b><c> fox jumps over a lazy</c> dog<e></e></a></r>`},
+		{"s + two <d> insertions (Figure 3)",
+			`<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>`},
+	}
+	for _, d := range docs {
+		res, err := schema.CheckString(d.xml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-36s valid=%-5v potentially-valid=%-5v\n", d.label, res.Valid, res.PotentiallyValid)
+		if !res.PotentiallyValid {
+			fmt.Printf("%36s %s\n", "", res.Detail)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("O(1) update guards (Proposition 3):")
+	for _, elem := range []string{"d", "c", "e"} {
+		fmt.Printf("  can insert text under <%s>: %v\n", elem, schema.CanInsertText(elem))
+	}
+}

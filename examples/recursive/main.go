@@ -1,0 +1,70 @@
+// Recursive: the paper's three DTD classes and the depth bound that tames
+// PV-strong recursion (Section 4.3.1, Examples 5-6, Figure 7).
+//
+// Run: go run ./examples/recursive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func check(schema *pv.Schema, xml string) string {
+	res, err := schema.CheckString(xml)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case res.Valid:
+		return "valid"
+	case res.PotentiallyValid:
+		return "potentially valid"
+	default:
+		return "NOT potentially valid"
+	}
+}
+
+func main() {
+	// Non-recursive: the Figure 1 DTD.
+	fig1, err := pv.CompileDTD(pv.Figure1DTD, "r", pv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 1 DTD:", fig1.Info())
+
+	// PV-weak recursive: XHTML-style inline markup. <b> inside <i> inside
+	// <b> — recursion flows through star-groups only, and reachability
+	// resolves everything with no nested recognizers.
+	inline, err := pv.CompileDTD(pv.InlineDTD, "p", pv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nInline DTD:  ", inline.Info())
+	nested := `<p>plain <b>bold <i>both <b>bold again</b></i></b> tail</p>`
+	fmt.Printf("  %-58s -> %s\n", nested, check(inline, nested))
+
+	// PV-strong recursive: Example 6's T2. Under T2, n b's under <a> need
+	// n-2 nested <a> insertions; the recognizer explores them through
+	// nested recognizer objects bounded by the depth parameter. Figure 7
+	// shows what happens without the bound on T1: an infinite chain.
+	for _, maxDepth := range []int{4, 8} {
+		t2, err := pv.CompileDTD(pv.T2DTD, "a", pv.Options{MaxDepth: maxDepth})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nT2 DTD (MaxDepth=%d): %s\n", maxDepth, t2.Info())
+		for n := 2; n <= 10; n += 2 {
+			doc := "<a>"
+			for i := 0; i < n; i++ {
+				doc += "<b></b>"
+			}
+			doc += "</a>"
+			fmt.Printf("  %2d b's -> %s\n", n, check(t2, doc))
+		}
+	}
+	fmt.Println("\n(The depth bound is the completeness/termination trade-off of Section")
+	fmt.Println(" 4.3.1: documents needing extensions deeper than MaxDepth are rejected;")
+	fmt.Println(" real document-centric depths are single-digit, so a small bound is safe.)")
+}

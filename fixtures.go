@@ -1,0 +1,23 @@
+package pv
+
+import "repro/internal/dtd"
+
+// Fixture DTDs from the paper and for the examples, re-exported so that
+// downstream users and the runnable examples need only this package.
+const (
+	// Figure1DTD is the sample DTD of the paper's Figure 1 (root r).
+	Figure1DTD = dtd.Figure1
+	// T1DTD is the PV-strong recursive DTD of Example 5 (root a).
+	T1DTD = dtd.T1
+	// T2DTD is the PV-strong recursive DTD of Example 6 (root a).
+	T2DTD = dtd.T2
+	// InlineDTD is an XHTML-style PV-weak recursive inline-markup DTD
+	// (root p).
+	InlineDTD = dtd.WeakRecursive
+	// PlayDTD is a Shakespeare-play digital-library DTD (root play).
+	PlayDTD = dtd.Play
+	// TEILiteDTD is a TEI-Lite flavored scholarly-encoding DTD (root TEI).
+	TEILiteDTD = dtd.TEILite
+	// ArticleDTD is a TEI/DocBook-flavored article DTD (root article).
+	ArticleDTD = dtd.Article
+)

@@ -1,0 +1,611 @@
+// Package complete synthesizes valid extensions: given a potentially valid
+// document, it constructs a concrete valid document by inserting tag pairs
+// — the constructive counterpart of Definition 3 and of the paper's
+// Figure 3 (where two <d> insertions complete Example 1's s).
+//
+// Per element node the problem is local (as with checking): embed the
+// existing child sequence into the node's content model, allowing each
+// model position that carries an element symbol to be satisfied either by
+// a real child with that name or by a *inserted* element wrapping a
+// consecutive run of the remaining children (possibly empty). The search is
+// a memoized dynamic program over (Glushkov position, input index), with
+// inserted-wrapper feasibility decided recursively under the same depth
+// bound the checker uses.
+package complete
+
+import (
+	"fmt"
+
+	"repro/internal/contentmodel"
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+// Completer synthesizes valid extensions w.r.t. a compiled schema.
+type Completer struct {
+	schema *core.Schema
+	// automata on the ORIGINAL content models (with ? and +): the
+	// completion must satisfy real validity, not the normalized relaxation.
+	automata map[string]*contentmodel.Automaton
+	minimal  map[string]*dom.Node // memoized minimal valid instances
+}
+
+// New builds a Completer for the schema.
+func New(schema *core.Schema) *Completer {
+	c := &Completer{
+		schema:   schema,
+		automata: map[string]*contentmodel.Automaton{},
+		minimal:  map[string]*dom.Node{},
+	}
+	for _, name := range schema.DTD.Order {
+		decl := schema.DTD.Elements[name]
+		if decl.Category == dtd.Children || decl.Category == dtd.Mixed {
+			c.automata[name] = contentmodel.CompileAutomaton(decl.Model)
+		}
+	}
+	return c
+}
+
+// Complete returns a valid extension of root (a fresh tree; the input is
+// not modified) together with the number of elements inserted. It fails if
+// the document is not potentially valid within the schema's depth bound.
+func (c *Completer) Complete(root *dom.Node) (*dom.Node, int, error) {
+	if v := c.schema.CheckDocument(root); v != nil {
+		return nil, 0, fmt.Errorf("complete: document is not potentially valid: %v", v)
+	}
+	out := root.Clone()
+	inserted := 0
+	err := c.completeNode(out, c.schema.EffectiveDepth(), &inserted)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, inserted, nil
+}
+
+// completeNode rewrites n's children into a valid configuration (recursing
+// into original children first), inserting wrapper elements as needed.
+func (c *Completer) completeNode(n *dom.Node, depth int, inserted *int) error {
+	if n.Kind != dom.ElementNode {
+		return nil
+	}
+	// Complete original element children first: their subtrees are
+	// independent subproblems.
+	for _, child := range n.Children {
+		if child.Kind == dom.ElementNode {
+			if err := c.completeNode(child, depth, inserted); err != nil {
+				return err
+			}
+		}
+	}
+	decl := c.schema.DTD.Elements[n.Name]
+	if decl == nil {
+		return fmt.Errorf("complete: element <%s> not declared", n.Name)
+	}
+	switch decl.Category {
+	case dtd.Empty:
+		if len(realChildren(n)) > 0 {
+			return fmt.Errorf("complete: EMPTY <%s> has content", n.Name)
+		}
+		return nil
+	case dtd.Any:
+		// ANY content admits any declared elements and character data;
+		// the checker already verified declarations. Nothing to insert.
+		return nil
+	}
+	// Children and Mixed content both go through the embedding DP: mixed
+	// content may hold child elements outside its allowed set only by
+	// wrapping them into allowed hosts (e.g. an <item> inside <para>
+	// becomes <list><item/></list>).
+	newChildren, err := c.arrange(n.Name, n.Children, depth, inserted)
+	if err != nil {
+		return fmt.Errorf("complete: inside <%s>: %w", n.Name, err)
+	}
+	n.Children = nil
+	for _, ch := range newChildren {
+		n.Append(ch)
+	}
+	return nil
+}
+
+// realChildren filters to element/text children (comments and PIs carry no
+// validity weight but are preserved by arrange).
+func realChildren(n *dom.Node) []*dom.Node {
+	var out []*dom.Node
+	for _, ch := range n.Children {
+		if ch.Kind == dom.ElementNode || ch.Kind == dom.TextNode {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// arrange embeds the child list into elem's content model, returning the
+// new child list (with wrappers inserted). Whitespace-only text in element
+// content is permitted by XML and kept in place next to its neighbor.
+func (c *Completer) arrange(elem string, children []*dom.Node, depth int, inserted *int) ([]*dom.Node, error) {
+	// Split children into the "significant" items the model must account
+	// for, and a map of trailing decorations (comments/PIs/whitespace)
+	// re-attached after arrangement. In mixed content all text is
+	// significant (it matches PCDATA positions).
+	mixed := c.schema.DTD.Elements[elem].Category == dtd.Mixed
+	items, decorations := splitItems(children, mixed)
+	d := &dp{
+		c:     c,
+		elem:  elem,
+		items: items,
+		auto:  c.automata[elem],
+		memo:  map[dpKey]*dpVal{},
+		depth: depth,
+		off:   0,
+		ctx:   &arrangeCtx{hostMemo: map[hostKeyD]bool{}},
+	}
+	plan, ok := d.solveStart()
+	if !ok {
+		return nil, fmt.Errorf("no embedding of %d children into model of <%s>", len(items), elem)
+	}
+	out := d.render(plan, inserted)
+	// Re-attach decorations: items keep their original relative order;
+	// decorations that followed item i are appended after i's final
+	// position. Leading decorations go first.
+	return weave(out, items, decorations), nil
+}
+
+// splitItems separates model-relevant children (elements; non-whitespace
+// text is impossible here — the PV checker would have rejected it unless
+// the model reaches PCDATA, which Children content cannot) from
+// decorations keyed by the index of the item they follow (-1 = leading).
+func splitItems(children []*dom.Node, mixed bool) ([]*dom.Node, map[int][]*dom.Node) {
+	var items []*dom.Node
+	decorations := map[int][]*dom.Node{}
+	for _, ch := range children {
+		switch ch.Kind {
+		case dom.ElementNode:
+			items = append(items, ch)
+		case dom.TextNode:
+			if !mixed && isWhitespace(ch.Data) {
+				// Whitespace in element content is decoration (XML allows
+				// it anywhere there).
+				decorations[len(items)-1] = append(decorations[len(items)-1], ch)
+			} else {
+				// Text is significant: it matches a PCDATA position in
+				// mixed content, or must hide inside an inserted element
+				// in element content.
+				items = append(items, ch)
+			}
+		default:
+			decorations[len(items)-1] = append(decorations[len(items)-1], ch)
+		}
+	}
+	return items, decorations
+}
+
+func isWhitespace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// dp is the per-node dynamic program.
+type dp struct {
+	c     *Completer
+	elem  string
+	items []*dom.Node
+	auto  *contentmodel.Automaton
+	memo  map[dpKey]*dpVal
+	depth int
+	// off is the absolute offset of items[0] within the top-level
+	// arrangement's item list; host memoization is keyed on absolute
+	// ranges so equivalent sub-problems are shared across the recursion.
+	off int
+	ctx *arrangeCtx
+	// stack guards zero-progress recursion through canHost cycles.
+	stack map[hostKey]bool
+}
+
+// arrangeCtx is shared by one top-level arrange call and all its sub-DPs.
+type arrangeCtx struct {
+	// hostMemo caches canHost verdicts by (element, absolute range,
+	// depth budget); the depth is part of the key because a range
+	// hostable with a deep budget may be infeasible with a shallow one.
+	hostMemo map[hostKeyD]bool
+}
+
+// dpKey: position p of the Glushkov automaton (0 = virtual start) and
+// input index i.
+type dpKey struct{ p, i int }
+
+type hostKey struct {
+	elem string
+	i, j int
+}
+
+type hostKeyD struct {
+	elem  string
+	i, j  int
+	depth int
+}
+
+// dpVal records the decision at (p, i) for plan reconstruction.
+type dpVal struct {
+	ok bool
+	// kind: "accept" (end), "consume" (item i matched at position q),
+	// "host" (insert element of position q wrapping items [i, j)).
+	kind string
+	q    int // next position
+	j    int // end of hosted range (kind == "host")
+}
+
+// solveStart runs the DP from the virtual start position.
+func (d *dp) solveStart() (*dpVal, bool) {
+	if d.stack == nil {
+		d.stack = map[hostKey]bool{}
+	}
+	v := d.solve(0, 0)
+	return v, v.ok
+}
+
+// positionsAfter returns the successor positions of p (first set for the
+// virtual start 0, follow set otherwise).
+func (d *dp) positionsAfter(p int) []int {
+	if p == 0 {
+		return d.auto.First()
+	}
+	return d.auto.Follow(p)
+}
+
+// canEnd reports whether the model may stop after position p.
+func (d *dp) canEnd(p int) bool {
+	if p == 0 {
+		return d.auto.Nullable()
+	}
+	return d.auto.Last(p)
+}
+
+// solve decides whether input items[i:] can be embedded starting after
+// position p.
+func (d *dp) solve(p, i int) *dpVal {
+	key := dpKey{p, i}
+	if v, ok := d.memo[key]; ok {
+		return v
+	}
+	// Mark in-progress to break zero-consumption cycles conservatively.
+	d.memo[key] = &dpVal{ok: false, kind: "cycle"}
+	v := d.compute(p, i)
+	d.memo[key] = v
+	return v
+}
+
+func (d *dp) compute(p, i int) *dpVal {
+	if i == len(d.items) && d.canEnd(p) {
+		return &dpVal{ok: true, kind: "accept"}
+	}
+	succ := d.positionsAfter(p)
+	// Pass 1 — consume: the next real item matches a successor position
+	// directly (an element at its own symbol, text at a PCDATA position).
+	// Preferring consumption keeps completions minimal: real markup lands
+	// at its natural slot before any wrapper is considered.
+	if i < len(d.items) {
+		it := d.items[i]
+		for _, q := range succ {
+			sym := d.auto.Symbol(q)
+			matches := (it.Kind == dom.ElementNode && it.Name == sym) ||
+				(it.Kind == dom.TextNode && sym == contentmodel.PCDATASymbol)
+			if matches {
+				if v := d.solve(q, i+1); v.ok {
+					return &dpVal{ok: true, kind: "consume", q: q}
+				}
+			}
+		}
+	}
+	// Pass 2 — pass through an empty PCDATA slot (character data may be
+	// the empty string; PCDATA → ε in the paper's grammar).
+	for _, q := range succ {
+		if d.auto.Symbol(q) == contentmodel.PCDATASymbol {
+			if v := d.solve(q, i); v.ok {
+				return &dpVal{ok: true, kind: "skip", q: q}
+			}
+		}
+	}
+	// Pass 3 — host: insert a fresh element at an element position,
+	// wrapping items [i, j). Longest ranges first (Figure 3's style: one
+	// <d> absorbs both the text and the <e>).
+	for _, q := range succ {
+		sym := d.auto.Symbol(q)
+		if sym == contentmodel.PCDATASymbol {
+			continue
+		}
+		for j := len(d.items); j >= i; j-- {
+			if !d.canHost(sym, i, j) {
+				continue
+			}
+			if v := d.solve(q, j); v.ok {
+				return &dpVal{ok: true, kind: "host", q: q, j: j}
+			}
+		}
+	}
+	return &dpVal{ok: false, kind: "fail"}
+}
+
+// canHost reports whether a fresh <elem> can contain items [i, j) as its
+// (completed) content.
+func (d *dp) canHost(elem string, i, j int) bool {
+	if j == i {
+		// Empty host: any productive element (compilation guarantees all
+		// are) can be synthesized minimally.
+		return true
+	}
+	if d.depth <= 0 {
+		return false
+	}
+	memoKey := hostKeyD{elem, d.off + i, d.off + j, d.depth - 1}
+	if v, ok := d.ctx.hostMemo[memoKey]; ok {
+		return v
+	}
+	key := hostKey{elem, d.off + i, d.off + j}
+	if d.stack[key] {
+		return false // cycle with no progress; not cached (stack-relative)
+	}
+	decl := d.c.schema.DTD.Elements[elem]
+	if decl == nil {
+		return false
+	}
+	switch decl.Category {
+	case dtd.Empty:
+		d.ctx.hostMemo[memoKey] = false
+		return false
+	case dtd.Any:
+		// ANY hosts any declared elements and text.
+		ok := true
+		for _, it := range d.items[i:j] {
+			if it.Kind == dom.ElementNode && d.c.schema.DTD.Elements[it.Name] == nil {
+				ok = false
+				break
+			}
+		}
+		d.ctx.hostMemo[memoKey] = ok
+		return ok
+	}
+	// Children and Mixed content: recurse with a sub-DP (mixed content may
+	// need further wrappers for elements outside its allowed set).
+	d.stack[key] = true
+	sub := &dp{
+		c:     d.c,
+		elem:  elem,
+		items: d.items[i:j],
+		auto:  d.c.automata[elem],
+		memo:  map[dpKey]*dpVal{},
+		depth: d.depth - 1,
+		off:   d.off + i,
+		ctx:   d.ctx,
+		stack: d.stack,
+	}
+	_, ok := sub.solveStart()
+	delete(d.stack, key)
+	d.ctx.hostMemo[memoKey] = ok
+	return ok
+}
+
+// render reconstructs the completed child list from the DP decisions.
+func (d *dp) render(start *dpVal, inserted *int) []*dom.Node {
+	var out []*dom.Node
+	p, i := 0, 0
+	v := start
+	for {
+		switch v.kind {
+		case "accept":
+			return out
+		case "skip":
+			p = v.q
+		case "consume":
+			out = append(out, d.items[i])
+			i++
+			p = v.q
+		case "host":
+			elem := d.auto.Symbol(v.q)
+			host := d.buildHost(elem, i, v.j, inserted)
+			out = append(out, host)
+			i = v.j
+			p = v.q
+		default:
+			panic("complete: render on failed plan")
+		}
+		v = d.memo[dpKey{p, i}]
+		if v == nil {
+			panic("complete: broken plan chain")
+		}
+	}
+}
+
+// buildHost constructs the inserted <elem> wrapping items [i, j),
+// completing its interior recursively.
+func (d *dp) buildHost(elem string, i, j int, inserted *int) *dom.Node {
+	*inserted++
+	if j == i {
+		return d.c.synthesizeMinimal(elem, inserted)
+	}
+	decl := d.c.schema.DTD.Elements[elem]
+	host := dom.NewElement(elem)
+	if decl.Category == dtd.Any {
+		// ANY: the items go in as-is.
+		for _, it := range d.items[i:j] {
+			host.Append(it)
+		}
+		return host
+	}
+	sub := &dp{
+		c:     d.c,
+		elem:  elem,
+		items: d.items[i:j],
+		auto:  d.c.automata[elem],
+		memo:  map[dpKey]*dpVal{},
+		depth: d.depth - 1,
+		off:   d.off + i,
+		ctx:   d.ctx,
+		stack: d.stack,
+	}
+	plan, ok := sub.solveStart()
+	if !ok {
+		panic("complete: host became infeasible during render")
+	}
+	for _, ch := range sub.render(plan, inserted) {
+		host.Append(ch)
+	}
+	return host
+}
+
+// synthesizeMinimal builds a minimal valid instance of elem (memoized,
+// deterministic): EMPTY/Mixed/ANY are empty; Children content picks
+// minimal-height alternatives, zero repetitions, and empty optionals.
+func (c *Completer) synthesizeMinimal(elem string, inserted *int) *dom.Node {
+	if cached, ok := c.minimal[elem]; ok {
+		clone := cached.Clone()
+		*inserted += countElements(clone) - 1
+		return clone
+	}
+	n := dom.NewElement(elem)
+	decl := c.schema.DTD.Elements[elem]
+	if decl != nil && decl.Category == dtd.Children {
+		for _, child := range c.minimalSeq(decl.Model) {
+			n.Append(child)
+		}
+	}
+	c.minimal[elem] = n.Clone()
+	*inserted += countElements(n) - 1
+	return n
+}
+
+func countElements(n *dom.Node) int {
+	count := 0
+	n.Walk(func(x *dom.Node) bool {
+		if x.Kind == dom.ElementNode {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// minimalSeq returns a minimal child sequence satisfying e.
+func (c *Completer) minimalSeq(e *contentmodel.Expr) []*dom.Node {
+	switch e.Kind {
+	case contentmodel.KindPCDATA:
+		return nil // empty text
+	case contentmodel.KindName:
+		var throwaway int
+		return []*dom.Node{c.synthesizeMinimal(e.Name, &throwaway)}
+	case contentmodel.KindSeq:
+		var out []*dom.Node
+		for _, ch := range e.Children {
+			out = append(out, c.minimalSeq(ch)...)
+		}
+		return out
+	case contentmodel.KindChoice:
+		// Pick the alternative with the fewest mandatory elements; the
+		// productivity guarantee from compilation means some alternative
+		// terminates.
+		best := e.Children[0]
+		bestCost := c.minCost(best, map[string]bool{})
+		for _, ch := range e.Children[1:] {
+			if cost := c.minCost(ch, map[string]bool{}); cost < bestCost {
+				best, bestCost = ch, cost
+			}
+		}
+		return c.minimalSeq(best)
+	case contentmodel.KindStar, contentmodel.KindOpt:
+		return nil
+	case contentmodel.KindPlus:
+		return c.minimalSeq(e.Children[0])
+	}
+	return nil
+}
+
+// minCost estimates the number of elements a minimal satisfaction of e
+// needs; `busy` breaks recursive cycles (cycled elements cost a lot, so
+// productive alternatives win).
+func (c *Completer) minCost(e *contentmodel.Expr, busy map[string]bool) int {
+	const expensive = 1 << 20
+	switch e.Kind {
+	case contentmodel.KindPCDATA:
+		return 0
+	case contentmodel.KindName:
+		if busy[e.Name] {
+			return expensive
+		}
+		decl := c.schema.DTD.Elements[e.Name]
+		if decl == nil {
+			return expensive
+		}
+		if decl.Category != dtd.Children {
+			return 1
+		}
+		busy[e.Name] = true
+		cost := 1 + c.minCost(decl.Model, busy)
+		delete(busy, e.Name)
+		return cost
+	case contentmodel.KindSeq:
+		total := 0
+		for _, ch := range e.Children {
+			total += c.minCost(ch, busy)
+			if total >= expensive {
+				return expensive
+			}
+		}
+		return total
+	case contentmodel.KindChoice:
+		best := expensive
+		for _, ch := range e.Children {
+			if cost := c.minCost(ch, busy); cost < best {
+				best = cost
+			}
+		}
+		return best
+	case contentmodel.KindStar, contentmodel.KindOpt:
+		return 0
+	case contentmodel.KindPlus:
+		return c.minCost(e.Children[0], busy)
+	}
+	return expensive
+}
+
+// weave re-attaches decorations (comments, PIs, whitespace) around the
+// arranged items: a decoration that followed original item k is placed
+// immediately after item k's new position (possibly inside a wrapper —
+// decorations follow their item). Leading decorations go first.
+func weave(arranged []*dom.Node, items []*dom.Node, decorations map[int][]*dom.Node) []*dom.Node {
+	if len(decorations) == 0 {
+		return arranged
+	}
+	// Locate each item's hosting top-level child.
+	after := map[*dom.Node]int{} // item -> index of original item order
+	for k, it := range items {
+		after[it] = k
+	}
+	var out []*dom.Node
+	out = append(out, decorations[-1]...)
+	for _, ch := range arranged {
+		out = append(out, ch)
+		// The decorations for every item contained in ch (it may be a
+		// wrapper) are appended inside/after: simplest faithful placement
+		// is after the top-level child containing the item.
+		maxItem := -1
+		ch.Walk(func(x *dom.Node) bool {
+			if k, ok := after[x]; ok && k > maxItem {
+				maxItem = k
+			}
+			return true
+		})
+		if k, ok := after[ch]; ok && k > maxItem {
+			maxItem = k
+		}
+		if maxItem >= 0 {
+			out = append(out, decorations[maxItem]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package complete
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/validator"
+)
+
+func fig1Completer(t *testing.T) (*Completer, *validator.Validator) {
+	t.Helper()
+	d := dtd.MustParse(dtd.Figure1)
+	return New(core.MustCompile(d, "r", core.Options{})), validator.MustNew(d, "r")
+}
+
+func TestCompleteFigure3(t *testing.T) {
+	// The paper's Figure 3: completing Example 1's s requires exactly two
+	// <d> insertions.
+	c, v := fig1Completer(t)
+	doc := dom.MustParse(`<r><a><b>A quick brown</b><c> fox jumps over a lazy</c> dog<e></e></a></r>`)
+	ext, inserted, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatalf("completion not valid: %v\n%s", err, ext)
+	}
+	if ext.Content() != doc.Root.Content() {
+		t.Errorf("completion changed character data: %q", ext.Content())
+	}
+	if inserted != 2 {
+		t.Errorf("inserted %d elements, Figure 3 needs 2", inserted)
+	}
+	want := `<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>`
+	if got := ext.String(); got != want {
+		t.Errorf("completion = %s\nwant         %s", got, want)
+	}
+}
+
+func TestCompleteRejectsNonPV(t *testing.T) {
+	c, _ := fig1Completer(t)
+	doc := dom.MustParse(`<r><a><b>x</b><e></e><c>y</c> z</a></r>`) // Example 1's w
+	if _, _, err := c.Complete(doc.Root); err == nil {
+		t.Error("completing a non-PV document must fail")
+	}
+}
+
+func TestCompleteValidIsIdentity(t *testing.T) {
+	c, v := fig1Completer(t)
+	src := `<r><a><b><d>x</d></b><c>y</c><d>z<e></e></d></a></r>`
+	doc := dom.MustParse(src)
+	ext, inserted, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 0 {
+		t.Errorf("valid document needed %d insertions", inserted)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatal(err)
+	}
+	if ext.String() != src {
+		t.Errorf("identity completion changed the document: %s", ext)
+	}
+}
+
+func TestCompleteEmptyRoot(t *testing.T) {
+	// <r></r> with r -> (a+): completion must synthesize a minimal <a>
+	// subtree: a -> (b?, (c|f), d) minimal = <a><c></c><d></d></a>.
+	c, v := fig1Completer(t)
+	doc := dom.MustParse(`<r></r>`)
+	ext, inserted, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatalf("completion not valid: %v\n%s", err, ext)
+	}
+	if inserted < 3 {
+		t.Errorf("expected at least <a><c/><d/> synthesized, inserted=%d", inserted)
+	}
+	if got := ext.String(); got != `<r><a><c></c><d></d></a></r>` {
+		t.Errorf("minimal completion = %s", got)
+	}
+}
+
+func TestCompleteMandatorySibling(t *testing.T) {
+	// f -> (c, e): a lone <e> inside f needs a synthesized <c> BEFORE it.
+	c, v := fig1Completer(t)
+	doc := dom.MustParse(`<r><a><f><e></e></f><d></d></a></r>`)
+	ext, _, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatalf("completion not valid: %v\n%s", err, ext)
+	}
+	if got := ext.String(); got != `<r><a><f><c></c><e></e></f><d></d></a></r>` {
+		t.Errorf("completion = %s", got)
+	}
+}
+
+func TestCompleteDeepWrapping(t *testing.T) {
+	// A bare <e> under <a> must end up inside an inserted d (or b/f chain).
+	c, v := fig1Completer(t)
+	doc := dom.MustParse(`<r><a><e></e></a></r>`)
+	ext, _, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatalf("completion not valid: %v\n%s", err, ext)
+	}
+	if ext.Content() != "" {
+		t.Errorf("content changed: %q", ext.Content())
+	}
+}
+
+func TestCompleteTextInElementContent(t *testing.T) {
+	// Loose text under <r> (element content!) must be wrapped down to a
+	// PCDATA-capable element.
+	c, v := fig1Completer(t)
+	doc := dom.MustParse(`<r>loose text</r>`)
+	ext, _, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatalf("completion not valid: %v\n%s", err, ext)
+	}
+	if ext.Content() != "loose text" {
+		t.Errorf("content changed: %q", ext.Content())
+	}
+}
+
+func TestCompletePreservesComments(t *testing.T) {
+	c, v := fig1Completer(t)
+	doc := dom.MustParse(`<r><!-- head --><a><c>x</c><!-- mid --><d></d></a></r>`)
+	ext, _, err := c.Complete(doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(ext); err != nil {
+		t.Fatal(err)
+	}
+	s := ext.String()
+	for _, want := range []string{"<!-- head -->", "<!-- mid -->"} {
+		if !contains(s, want) {
+			t.Errorf("completion lost %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestCompleteStrippedCorpus is the system-level property: for every
+// stripped-valid document (which is PV by Theorem 2), Complete must produce
+// a document that (a) validates, (b) preserves character data, and (c) the
+// original markup survives as a subset (unwrapping the inserted elements is
+// not tracked here, so we check (a)+(b) plus PV of the result).
+func TestCompleteStrippedCorpus(t *testing.T) {
+	fixtures := []struct{ src, root string }{
+		{dtd.Figure1, "r"},
+		{dtd.Play, "play"},
+		{dtd.Article, "article"},
+	}
+	for _, fix := range fixtures {
+		d := dtd.MustParse(fix.src)
+		schema := core.MustCompile(d, fix.root, core.Options{})
+		comp := New(schema)
+		val := validator.MustNew(d, fix.root)
+		for seed := int64(0); seed < 25; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			doc := gen.GenValid(rng, d, fix.root, gen.DocOptions{MaxDepth: 8})
+			content := doc.Content()
+			gen.Strip(rng, doc, 0.5)
+			ext, inserted, err := comp.Complete(doc)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v\n%s", fix.root, seed, err, doc)
+			}
+			if err := val.Validate(ext); err != nil {
+				t.Errorf("%s seed %d: completion invalid: %v\noriginal: %s\ncompleted: %s",
+					fix.root, seed, err, doc, ext)
+			}
+			if ext.Content() != content {
+				t.Errorf("%s seed %d: content changed", fix.root, seed)
+			}
+			if err := ext.Validate(); err != nil {
+				t.Errorf("%s seed %d: tree invariants: %v", fix.root, seed, err)
+			}
+			_ = inserted
+		}
+	}
+}
+
+// TestCompleteRecursive exercises the depth-bounded host recursion on the
+// PV-strong T2: n b's complete into the nested-<a> tower.
+func TestCompleteRecursive(t *testing.T) {
+	d := dtd.MustParse(dtd.T2)
+	schema := core.MustCompile(d, "a", core.Options{MaxDepth: 10})
+	comp := New(schema)
+	val := validator.MustNew(d, "a")
+	for _, n := range []int{2, 3, 4, 5} {
+		doc := dom.NewElement("a")
+		for i := 0; i < n; i++ {
+			doc.Append(dom.NewElement("b"))
+		}
+		ext, _, err := comp.Complete(doc)
+		if err != nil {
+			t.Fatalf("%d b's: %v", n, err)
+		}
+		if err := val.Validate(ext); err != nil {
+			t.Errorf("%d b's: completion invalid: %v\n%s", n, err, ext)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package contentmodel implements the content-model expression algebra used
+// throughout the reproduction: the regular-expression AST that appears on
+// the right-hand side of DTD element type declarations, the normalization
+// steps of Corollary 3.1 ("?" removal, "+" to "*"), star-group discovery
+// (Definition 4) and flattening (Proposition 1), and a Glushkov automaton
+// construction used by the standard (full) validity checker.
+package contentmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the shape of a content-model expression node.
+type Kind int
+
+const (
+	// KindPCDATA is the #PCDATA leaf (character data).
+	KindPCDATA Kind = iota
+	// KindName is an element-name leaf.
+	KindName
+	// KindSeq is a comma sequence (e1, e2, ..., en).
+	KindSeq
+	// KindChoice is an alternation (e1 | e2 | ... | en).
+	KindChoice
+	// KindStar is zero-or-more repetition e*.
+	KindStar
+	// KindPlus is one-or-more repetition e+.
+	KindPlus
+	// KindOpt is the optional operator e?.
+	KindOpt
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPCDATA:
+		return "#PCDATA"
+	case KindName:
+		return "name"
+	case KindSeq:
+		return "seq"
+	case KindChoice:
+		return "choice"
+	case KindStar:
+		return "star"
+	case KindPlus:
+		return "plus"
+	case KindOpt:
+		return "opt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Expr is a node of a content-model expression tree. Seq and Choice nodes
+// carry two or more children; Star, Plus and Opt carry exactly one; Name
+// carries an element name; PCDATA carries nothing.
+type Expr struct {
+	Kind     Kind
+	Name     string  // element name, for KindName
+	Children []*Expr // operands, for Seq/Choice/Star/Plus/Opt
+}
+
+// NewName returns an element-name leaf.
+func NewName(name string) *Expr { return &Expr{Kind: KindName, Name: name} }
+
+// NewPCDATA returns a #PCDATA leaf.
+func NewPCDATA() *Expr { return &Expr{Kind: KindPCDATA} }
+
+// NewSeq returns a sequence node. Sequences of a single expression collapse
+// to that expression.
+func NewSeq(children ...*Expr) *Expr {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Expr{Kind: KindSeq, Children: children}
+}
+
+// NewChoice returns a choice node. Choices of a single expression collapse
+// to that expression.
+func NewChoice(children ...*Expr) *Expr {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Expr{Kind: KindChoice, Children: children}
+}
+
+// NewStar returns e*.
+func NewStar(e *Expr) *Expr { return &Expr{Kind: KindStar, Children: []*Expr{e}} }
+
+// NewPlus returns e+.
+func NewPlus(e *Expr) *Expr { return &Expr{Kind: KindPlus, Children: []*Expr{e}} }
+
+// NewOpt returns e?.
+func NewOpt(e *Expr) *Expr { return &Expr{Kind: KindOpt, Children: []*Expr{e}} }
+
+// Clone returns a deep copy of the expression.
+func (e *Expr) Clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	c := &Expr{Kind: e.Kind, Name: e.Name}
+	if len(e.Children) > 0 {
+		c.Children = make([]*Expr, len(e.Children))
+		for i, ch := range e.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports whether two expressions are structurally identical.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Kind != o.Kind || e.Name != o.Name || len(e.Children) != len(o.Children) {
+		return false
+	}
+	for i := range e.Children {
+		if !e.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression in DTD syntax. Leaves render bare; composite
+// expressions are parenthesized, matching the usual DTD conventions.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b, true)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder, top bool) {
+	switch e.Kind {
+	case KindPCDATA:
+		b.WriteString("#PCDATA")
+	case KindName:
+		b.WriteString(e.Name)
+	case KindSeq, KindChoice:
+		sep := ", "
+		if e.Kind == KindChoice {
+			sep = " | "
+		}
+		b.WriteByte('(')
+		for i, c := range e.Children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			c.write(b, false)
+		}
+		b.WriteByte(')')
+	case KindStar, KindPlus, KindOpt:
+		op := byte('*')
+		if e.Kind == KindPlus {
+			op = '+'
+		} else if e.Kind == KindOpt {
+			op = '?'
+		}
+		c := e.Children[0]
+		if c.Kind == KindName || c.Kind == KindPCDATA {
+			b.WriteByte('(')
+			c.write(b, false)
+			b.WriteByte(')')
+		} else {
+			c.write(b, false)
+		}
+		b.WriteByte(op)
+	}
+}
+
+// ElementNames returns the sorted set of element names occurring in the
+// expression.
+func (e *Expr) ElementNames() []string {
+	set := map[string]bool{}
+	e.collectNames(set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *Expr) collectNames(set map[string]bool) {
+	if e == nil {
+		return
+	}
+	if e.Kind == KindName {
+		set[e.Name] = true
+	}
+	for _, c := range e.Children {
+		c.collectNames(set)
+	}
+}
+
+// HasPCDATA reports whether #PCDATA occurs anywhere in the expression.
+func (e *Expr) HasPCDATA() bool {
+	if e == nil {
+		return false
+	}
+	if e.Kind == KindPCDATA {
+		return true
+	}
+	for _, c := range e.Children {
+		if c.HasPCDATA() {
+			return true
+		}
+	}
+	return false
+}
+
+// Nullable reports whether the expression matches the empty sequence under
+// ordinary regular-expression semantics (#PCDATA is nullable: character
+// data may be the empty string).
+func (e *Expr) Nullable() bool {
+	switch e.Kind {
+	case KindPCDATA:
+		return true
+	case KindName:
+		return false
+	case KindSeq:
+		for _, c := range e.Children {
+			if !c.Nullable() {
+				return false
+			}
+		}
+		return true
+	case KindChoice:
+		for _, c := range e.Children {
+			if c.Nullable() {
+				return true
+			}
+		}
+		return false
+	case KindStar, KindOpt:
+		return true
+	case KindPlus:
+		return e.Children[0].Nullable()
+	}
+	return false
+}
+
+// Size returns the number of nodes in the expression tree. It is the "k"
+// measure of Theorem 4 when summed over a DTD's declarations.
+func (e *Expr) Size() int {
+	if e == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range e.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Walk calls fn on e and every descendant in preorder. If fn returns false
+// the walk does not descend into that node's children.
+func (e *Expr) Walk(fn func(*Expr) bool) {
+	if e == nil {
+		return
+	}
+	if !fn(e) {
+		return
+	}
+	for _, c := range e.Children {
+		c.Walk(fn)
+	}
+}

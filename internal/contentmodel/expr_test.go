@@ -1,0 +1,309 @@
+package contentmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// exprFor builds (a, (b* | (c, d*, e)*)) — the star-group example following
+// Definition 4 in the paper.
+func def4Example() *Expr {
+	return NewSeq(
+		NewName("a"),
+		NewChoice(
+			NewStar(NewName("b")),
+			NewStar(NewSeq(NewName("c"), NewStar(NewName("d")), NewName("e"))),
+		),
+	)
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		expr *Expr
+		want string
+	}{
+		{NewName("a"), "a"},
+		{NewPCDATA(), "#PCDATA"},
+		{NewSeq(NewName("a"), NewName("b")), "(a, b)"},
+		{NewChoice(NewName("a"), NewName("b")), "(a | b)"},
+		{NewStar(NewName("a")), "(a)*"},
+		{NewPlus(NewSeq(NewName("a"), NewName("b"))), "(a, b)+"},
+		{NewOpt(NewName("b")), "(b)?"},
+		{def4Example(), "(a, ((b)* | (c, (d)*, e)*))"},
+	}
+	for _, tt := range tests {
+		if got := tt.expr.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSingletonCollapse(t *testing.T) {
+	if e := NewSeq(NewName("a")); e.Kind != KindName {
+		t.Errorf("NewSeq of one child should collapse, got kind %v", e.Kind)
+	}
+	if e := NewChoice(NewName("a")); e.Kind != KindName {
+		t.Errorf("NewChoice of one child should collapse, got kind %v", e.Kind)
+	}
+}
+
+func TestElementNames(t *testing.T) {
+	got := def4Example().ElementNames()
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("ElementNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ElementNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHasPCDATA(t *testing.T) {
+	if def4Example().HasPCDATA() {
+		t.Error("def4Example has no PCDATA")
+	}
+	mixed := NewStar(NewChoice(NewPCDATA(), NewName("e")))
+	if !mixed.HasPCDATA() {
+		t.Error("mixed model should report PCDATA")
+	}
+}
+
+func TestNullable(t *testing.T) {
+	tests := []struct {
+		expr *Expr
+		want bool
+	}{
+		{NewName("a"), false},
+		{NewPCDATA(), true},
+		{NewStar(NewName("a")), true},
+		{NewPlus(NewName("a")), false},
+		{NewOpt(NewName("a")), true},
+		{NewSeq(NewOpt(NewName("a")), NewStar(NewName("b"))), true},
+		{NewSeq(NewOpt(NewName("a")), NewName("b")), false},
+		{NewChoice(NewName("a"), NewStar(NewName("b"))), true},
+	}
+	for _, tt := range tests {
+		if got := tt.expr.Nullable(); got != tt.want {
+			t.Errorf("Nullable(%s) = %v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	e := def4Example()
+	c := e.Clone()
+	if !e.Equal(c) {
+		t.Fatal("clone is not Equal to original")
+	}
+	c.Children[0].Name = "z"
+	if e.Equal(c) {
+		t.Fatal("mutated clone still Equal — Clone must deep-copy")
+	}
+	if e.Children[0].Name != "a" {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestSizeCountsNodes(t *testing.T) {
+	// (a, ((b)* | (c, (d)*, e)*)): a, b, c, d, e leaves + seq + choice +
+	// 3 stars + inner seq = 11 nodes.
+	if got := def4Example().Size(); got != 11 {
+		t.Errorf("Size = %d, want 11", got)
+	}
+}
+
+func TestNormalizeCorollary31(t *testing.T) {
+	// Corollary 3.1: remove "?", replace "+" by "*".
+	e := NewSeq(NewOpt(NewName("b")), NewPlus(NewName("a")), NewStar(NewName("c")))
+	n := Normalize(e)
+	want := "(b, (a)*, (c)*)"
+	if got := n.String(); got != want {
+		t.Errorf("Normalize = %q, want %q", got, want)
+	}
+	// Normalization must not mutate its input.
+	if e.Children[0].Kind != KindOpt {
+		t.Error("Normalize mutated its input")
+	}
+	// Idempotence.
+	if !Normalize(n).Equal(n) {
+		t.Error("Normalize is not idempotent")
+	}
+}
+
+func TestNormalizeNested(t *testing.T) {
+	// ((a?, b)+)? -> ((a, b))*
+	e := NewOpt(NewPlus(NewSeq(NewOpt(NewName("a")), NewName("b"))))
+	n := Normalize(e)
+	if n.Kind != KindStar {
+		t.Fatalf("want outer star, got %v", n.Kind)
+	}
+	if got := n.String(); got != "(a, b)*" {
+		t.Errorf("Normalize = %q, want %q", got, "(a, b)*")
+	}
+}
+
+func TestStarGroupsDefinition4(t *testing.T) {
+	// In (a, (b* | (c, d*, e)*)): b* and (c,d*,e)* are star-groups; d* is
+	// not (it is a subexpression of a star-group) — the paper's example.
+	groups := StarGroups(def4Example())
+	if len(groups) != 2 {
+		t.Fatalf("want 2 star-groups, got %d", len(groups))
+	}
+	if got := groups[0].Expr.String(); got != "(b)*" {
+		t.Errorf("group 0 = %q, want (b)*", got)
+	}
+	if len(groups[0].Elements) != 1 || groups[0].Elements[0] != "b" {
+		t.Errorf("group 0 elements = %v", groups[0].Elements)
+	}
+	wantElems := []string{"c", "d", "e"}
+	if len(groups[1].Elements) != 3 {
+		t.Fatalf("group 1 elements = %v, want %v", groups[1].Elements, wantElems)
+	}
+	for i, w := range wantElems {
+		if groups[1].Elements[i] != w {
+			t.Fatalf("group 1 elements = %v, want %v", groups[1].Elements, wantElems)
+		}
+	}
+}
+
+func TestStarGroupsMixed(t *testing.T) {
+	mixed := NewStar(NewChoice(NewPCDATA(), NewName("e")))
+	groups := StarGroups(mixed)
+	if len(groups) != 1 {
+		t.Fatalf("want 1 star-group, got %d", len(groups))
+	}
+	if !groups[0].HasPCDATA {
+		t.Error("mixed star-group should report PCDATA")
+	}
+}
+
+func TestInStarGroup(t *testing.T) {
+	outside, inside := InStarGroup(Normalize(def4Example()))
+	if !outside["a"] {
+		t.Error("a occurs outside star-groups")
+	}
+	for _, n := range []string{"b", "c", "d", "e"} {
+		if !inside[n] {
+			t.Errorf("%s occurs inside a star-group", n)
+		}
+		if outside[n] {
+			t.Errorf("%s has no occurrence outside star-groups", n)
+		}
+	}
+}
+
+func TestFlattenStarGroupsProposition1(t *testing.T) {
+	// (a, (b* | (c, d*, e)*)) flattens the groups to canonical element-set
+	// sequences: (a, ((b)* | (c, d, e)*)).
+	n := FlattenStarGroups(Normalize(def4Example()))
+	want := "(a, ((b)* | (c, d, e)*))"
+	if got := n.String(); got != want {
+		t.Errorf("FlattenStarGroups = %q, want %q", got, want)
+	}
+}
+
+func TestFlattenPreservesPCDATA(t *testing.T) {
+	mixed := NewStar(NewChoice(NewName("e"), NewPCDATA())) // (e | #PCDATA)*
+	n := FlattenStarGroups(mixed)
+	if !n.HasPCDATA() {
+		t.Error("flattening dropped #PCDATA")
+	}
+	if got := n.String(); got != "(#PCDATA, e)*" {
+		t.Errorf("flattened = %q, want (#PCDATA, e)*", got)
+	}
+}
+
+func TestNormalizePropertyNoOptPlus(t *testing.T) {
+	// Property: Normalize output never contains Opt or Plus nodes.
+	f := func(seed int64) bool {
+		e := randomExpr(seed, 4)
+		n := Normalize(e)
+		ok := true
+		n.Walk(func(x *Expr) bool {
+			if x.Kind == KindOpt || x.Kind == KindPlus {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlattenPropertyCanonicalGroups(t *testing.T) {
+	// Property: after Normalize+Flatten, every star's body is #PCDATA, a
+	// name, or a flat sequence of names/#PCDATA (no nested structure).
+	f := func(seed int64) bool {
+		e := FlattenStarGroups(Normalize(randomExpr(seed, 4)))
+		ok := true
+		e.Walk(func(x *Expr) bool {
+			if x.Kind == KindStar {
+				body := x.Children[0]
+				switch body.Kind {
+				case KindName, KindPCDATA:
+				case KindSeq:
+					for _, c := range body.Children {
+						if c.Kind != KindName && c.Kind != KindPCDATA {
+							ok = false
+						}
+					}
+				default:
+					ok = false
+				}
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomExpr builds a small random expression from a seed, for property
+// tests. Deterministic in the seed.
+func randomExpr(seed int64, depth int) *Expr {
+	state := uint64(seed)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	names := []string{"a", "b", "c", "d", "e"}
+	var build func(d int) *Expr
+	build = func(d int) *Expr {
+		if d <= 0 || next(4) == 0 {
+			if next(6) == 0 {
+				return NewPCDATA()
+			}
+			return NewName(names[next(len(names))])
+		}
+		switch next(5) {
+		case 0:
+			k := 2 + next(3)
+			ch := make([]*Expr, k)
+			for i := range ch {
+				ch[i] = build(d - 1)
+			}
+			return &Expr{Kind: KindSeq, Children: ch}
+		case 1:
+			k := 2 + next(3)
+			ch := make([]*Expr, k)
+			for i := range ch {
+				ch[i] = build(d - 1)
+			}
+			return &Expr{Kind: KindChoice, Children: ch}
+		case 2:
+			return NewStar(build(d - 1))
+		case 3:
+			return NewPlus(build(d - 1))
+		default:
+			return NewOpt(build(d - 1))
+		}
+	}
+	return build(depth)
+}

@@ -1,0 +1,202 @@
+package contentmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func match(t *testing.T, e *Expr, symbols []string, want bool) {
+	t.Helper()
+	a := CompileAutomaton(e)
+	if got := a.Match(symbols); got != want {
+		t.Errorf("Match(%s, %v) = %v, want %v", e, symbols, got, want)
+	}
+}
+
+func TestAutomatonBasics(t *testing.T) {
+	abc := NewSeq(NewName("a"), NewName("b"), NewName("c"))
+	match(t, abc, []string{"a", "b", "c"}, true)
+	match(t, abc, []string{"a", "b"}, false)
+	match(t, abc, []string{"a", "b", "c", "c"}, false)
+	match(t, abc, nil, false)
+
+	choice := NewChoice(NewName("a"), NewName("b"))
+	match(t, choice, []string{"a"}, true)
+	match(t, choice, []string{"b"}, true)
+	match(t, choice, []string{"c"}, false)
+	match(t, choice, []string{"a", "b"}, false)
+}
+
+func TestAutomatonRepetition(t *testing.T) {
+	star := NewStar(NewName("a"))
+	match(t, star, nil, true)
+	match(t, star, []string{"a", "a", "a"}, true)
+	match(t, star, []string{"a", "b"}, false)
+
+	plus := NewPlus(NewName("a"))
+	match(t, plus, nil, false)
+	match(t, plus, []string{"a"}, true)
+	match(t, plus, []string{"a", "a"}, true)
+
+	opt := NewOpt(NewName("a"))
+	match(t, opt, nil, true)
+	match(t, opt, []string{"a"}, true)
+	match(t, opt, []string{"a", "a"}, false)
+}
+
+func TestAutomatonFigure1A(t *testing.T) {
+	// a's model: (b?, (c | f), d)
+	a := NewSeq(NewOpt(NewName("b")), NewChoice(NewName("c"), NewName("f")), NewName("d"))
+	match(t, a, []string{"b", "c", "d"}, true)
+	match(t, a, []string{"b", "f", "d"}, true)
+	match(t, a, []string{"c", "d"}, true)
+	match(t, a, []string{"f", "d"}, true)
+	match(t, a, []string{"b", "d"}, false)
+	match(t, a, []string{"b", "c", "f", "d"}, false)
+	match(t, a, []string{"b", "e", "c", "d"}, false) // Example 1's w order
+}
+
+func TestAutomatonMixed(t *testing.T) {
+	// d's model: (#PCDATA | e)*
+	d := NewStar(NewChoice(NewPCDATA(), NewName("e")))
+	match(t, d, nil, true)
+	match(t, d, []string{PCDATASymbol}, true)
+	match(t, d, []string{PCDATASymbol, "e", PCDATASymbol}, true)
+	match(t, d, []string{"f"}, false)
+}
+
+func TestAutomatonNestedStars(t *testing.T) {
+	// (a, (b* | (c, d*, e)*))
+	e := NewSeq(
+		NewName("a"),
+		NewChoice(
+			NewStar(NewName("b")),
+			NewStar(NewSeq(NewName("c"), NewStar(NewName("d")), NewName("e"))),
+		),
+	)
+	match(t, e, []string{"a"}, true)
+	match(t, e, []string{"a", "b", "b"}, true)
+	match(t, e, []string{"a", "c", "e"}, true)
+	match(t, e, []string{"a", "c", "d", "d", "e", "c", "e"}, true)
+	match(t, e, []string{"a", "c", "d"}, false)
+	match(t, e, []string{"a", "b", "c", "e"}, false)
+}
+
+func TestMatchPrefix(t *testing.T) {
+	abc := NewSeq(NewName("a"), NewName("b"), NewName("c"))
+	a := CompileAutomaton(abc)
+	if got := a.MatchPrefix([]string{"a", "b", "c"}); got != 3 {
+		t.Errorf("MatchPrefix = %d, want 3", got)
+	}
+	if got := a.MatchPrefix([]string{"a", "x", "c"}); got != 1 {
+		t.Errorf("MatchPrefix = %d, want 1", got)
+	}
+	if got := a.MatchPrefix([]string{"x"}); got != 0 {
+		t.Errorf("MatchPrefix = %d, want 0", got)
+	}
+}
+
+func TestEmptyAutomaton(t *testing.T) {
+	a := CompileAutomaton(nil)
+	if !a.Match(nil) {
+		t.Error("nil model must accept the empty sequence (EMPTY)")
+	}
+	if a.Match([]string{"a"}) {
+		t.Error("nil model must reject content")
+	}
+}
+
+func TestDeterminismCheck(t *testing.T) {
+	// ((a, b) | (a, c)) is the textbook non-deterministic model.
+	bad := NewChoice(NewSeq(NewName("a"), NewName("b")), NewSeq(NewName("a"), NewName("c")))
+	if v := CompileAutomaton(bad).CheckDeterminism(); len(v) == 0 {
+		t.Error("expected determinism violation for ((a,b)|(a,c))")
+	}
+	good := NewSeq(NewName("a"), NewChoice(NewName("b"), NewName("c")))
+	if v := CompileAutomaton(good).CheckDeterminism(); len(v) != 0 {
+		t.Errorf("unexpected violations for (a,(b|c)): %v", v)
+	}
+}
+
+func TestAutomatonAgainstBruteForce(t *testing.T) {
+	// Property: Glushkov Match agrees with a direct recursive matcher on
+	// random expressions and random short inputs.
+	f := func(seed int64) bool {
+		e := randomExpr(seed, 3)
+		a := CompileAutomaton(e)
+		state := uint64(seed) ^ 0x9e3779b97f4a7c15
+		next := func(n int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(n))
+		}
+		syms := []string{"a", "b", "c", "d", "e", PCDATASymbol}
+		for trial := 0; trial < 20; trial++ {
+			input := make([]string, next(5))
+			for i := range input {
+				input[i] = syms[next(len(syms))]
+			}
+			if a.Match(input) != bruteMatch(e, input) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteMatch decides membership by trying all splits — exponential, for
+// cross-checking only.
+func bruteMatch(e *Expr, input []string) bool {
+	switch e.Kind {
+	case KindName:
+		return len(input) == 1 && input[0] == e.Name
+	case KindPCDATA:
+		return len(input) == 0 || (len(input) == 1 && input[0] == PCDATASymbol)
+	case KindSeq:
+		return bruteSeq(e.Children, input)
+	case KindChoice:
+		for _, c := range e.Children {
+			if bruteMatch(c, input) {
+				return true
+			}
+		}
+		return false
+	case KindOpt:
+		return len(input) == 0 || bruteMatch(e.Children[0], input)
+	case KindStar:
+		if len(input) == 0 {
+			return true
+		}
+		// Try a non-empty first chunk then recurse; chunks of length 0
+		// would not consume input and are skipped to guarantee progress.
+		for i := 1; i <= len(input); i++ {
+			if bruteMatch(e.Children[0], input[:i]) && bruteMatch(e, input[i:]) {
+				return true
+			}
+		}
+		return false
+	case KindPlus:
+		star := NewStar(e.Children[0])
+		for i := 0; i <= len(input); i++ {
+			if bruteMatch(e.Children[0], input[:i]) && bruteMatch(star, input[i:]) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func bruteSeq(children []*Expr, input []string) bool {
+	if len(children) == 0 {
+		return len(input) == 0
+	}
+	for i := 0; i <= len(input); i++ {
+		if bruteMatch(children[0], input[:i]) && bruteSeq(children[1:], input[i:]) {
+			return true
+		}
+	}
+	return false
+}

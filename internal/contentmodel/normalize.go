@@ -1,0 +1,152 @@
+package contentmodel
+
+import "sort"
+
+// Normalize applies the simplifications licensed by Corollary 3.1 of the
+// paper: every "?" operator is removed (X? becomes X) and every "+" operator
+// is replaced by "*". The transformations do not change the language of the
+// potential-validity grammar G'(T,r) because every nonterminal of G' derives
+// the empty string (Theorem 3). The result is a fresh tree; the input is not
+// modified.
+func Normalize(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case KindPCDATA, KindName:
+		return e.Clone()
+	case KindOpt:
+		// X? -> X (Corollary 3.1).
+		return Normalize(e.Children[0])
+	case KindPlus:
+		// X+ -> X* (Corollary 3.1).
+		return NewStar(Normalize(e.Children[0]))
+	case KindStar:
+		return NewStar(Normalize(e.Children[0]))
+	case KindSeq, KindChoice:
+		children := make([]*Expr, len(e.Children))
+		for i, c := range e.Children {
+			children[i] = Normalize(c)
+		}
+		return &Expr{Kind: e.Kind, Children: children}
+	}
+	return e.Clone()
+}
+
+// StarGroup describes one star-group of a normalized content model
+// (Definition 4): a maximal starred subexpression — an expression of the
+// form a* or (...)* that is not itself nested inside another starred
+// subexpression. Only the *set* of elements appearing in the group matters
+// for potential validity (Proposition 1).
+type StarGroup struct {
+	// Expr is the starred subexpression as found in the model.
+	Expr *Expr
+	// Elements is the sorted set of element names occurring in the group.
+	Elements []string
+	// HasPCDATA reports whether #PCDATA occurs in the group (mixed content).
+	HasPCDATA bool
+}
+
+// StarGroups returns the star-groups of e per Definition 4: each starred
+// subexpression that is not contained in another starred subexpression.
+// The expression should already be normalized (no "?" or "+" operators);
+// for un-normalized input, Plus and Opt subtrees are treated like their
+// normalized forms (Plus counts as starred, Opt does not).
+func StarGroups(e *Expr) []StarGroup {
+	var groups []StarGroup
+	var visit func(x *Expr)
+	visit = func(x *Expr) {
+		if x == nil {
+			return
+		}
+		if x.Kind == KindStar || x.Kind == KindPlus {
+			groups = append(groups, StarGroup{
+				Expr:      x,
+				Elements:  x.ElementNames(),
+				HasPCDATA: x.HasPCDATA(),
+			})
+			return // maximality: do not descend into a star-group
+		}
+		for _, c := range x.Children {
+			visit(c)
+		}
+	}
+	visit(e)
+	return groups
+}
+
+// InStarGroup reports, for every element-name occurrence in e, whether that
+// occurrence lies inside a star-group. It returns two sets: names with at
+// least one occurrence outside any star-group, and names with at least one
+// occurrence inside a star-group. A name can appear in both. The expression
+// should be normalized first.
+func InStarGroup(e *Expr) (outside, inside map[string]bool) {
+	outside = map[string]bool{}
+	inside = map[string]bool{}
+	var visit func(x *Expr, in bool)
+	visit = func(x *Expr, in bool) {
+		if x == nil {
+			return
+		}
+		switch x.Kind {
+		case KindName:
+			if in {
+				inside[x.Name] = true
+			} else {
+				outside[x.Name] = true
+			}
+		case KindStar, KindPlus:
+			for _, c := range x.Children {
+				visit(c, true)
+			}
+		default:
+			for _, c := range x.Children {
+				visit(c, in)
+			}
+		}
+	}
+	visit(e, false)
+	return outside, inside
+}
+
+// FlattenStarGroups rewrites each star-group of a normalized expression into
+// the canonical form (a1, ..., an)* over the sorted element set of the
+// group, per Proposition 1: the language of G'(T,r) depends only on the
+// element set of each star-group, not on its internal structure. #PCDATA
+// membership is preserved by prepending it to the sequence. The result is a
+// fresh tree.
+func FlattenStarGroups(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case KindStar:
+		group := e.Children[0]
+		var items []*Expr
+		if group.HasPCDATA() {
+			items = append(items, NewPCDATA())
+		}
+		names := group.ElementNames()
+		sort.Strings(names)
+		for _, n := range names {
+			items = append(items, NewName(n))
+		}
+		if len(items) == 0 {
+			// ()* over nothing: equivalent to the empty sequence; keep a
+			// degenerate empty star for structural stability.
+			return NewStar(NewSeq(NewPCDATA()))
+		}
+		if len(items) == 1 {
+			return NewStar(items[0])
+		}
+		return NewStar(&Expr{Kind: KindSeq, Children: items})
+	case KindPCDATA, KindName:
+		return e.Clone()
+	default:
+		children := make([]*Expr, len(e.Children))
+		for i, c := range e.Children {
+			children[i] = FlattenStarGroups(c)
+		}
+		return &Expr{Kind: e.Kind, Children: children}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+// Example 1's two encodings.
+const (
+	exampleW = `<r><a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c> dog</a></r>`
+	exampleS = `<r><a><b>A quick brown</b><c> fox jumps over a lazy</c> dog<e></e></a></r>`
+	// Figure 3 / Example 2: the valid extension of s obtained by inserting
+	// two <d> tags.
+	exampleExt = `<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>`
+)
+
+func TestExample1Documents(t *testing.T) {
+	s := figure1Schema(t)
+	// w is not potentially valid: the b, e, c order contradicts the DTD.
+	v, err := s.CheckString(exampleW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Error("w must not be potentially valid")
+	} else {
+		if v.Element != "a" {
+			t.Errorf("violation at <%s>, want <a>", v.Element)
+		}
+		if v.SymbolIndex != 2 {
+			t.Errorf("violation at symbol %d, want 2 (the c)", v.SymbolIndex)
+		}
+	}
+	// s is potentially valid (Definition 3; Example 2 modulo its w/s label
+	// swap).
+	v, err = s.CheckString(exampleS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("s must be potentially valid, got %v", v)
+	}
+}
+
+func TestExtensionIsValidAndPV(t *testing.T) {
+	// The Figure 3 extension is fully valid, and valid ⊆ potentially valid.
+	s := figure1Schema(t)
+	v, err := s.CheckString(exampleExt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("the Figure 3 extension must be potentially valid: %v", v)
+	}
+}
+
+func TestWrongRoot(t *testing.T) {
+	s := figure1Schema(t)
+	v, err := s.CheckString(`<a><c>x</c><d></d></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || !strings.Contains(v.Reason, "root") {
+		t.Errorf("want root violation, got %v", v)
+	}
+	// With AllowAnyRoot the same document checks against <a> directly.
+	s2 := MustCompile(dtd.MustParse(dtd.Figure1), "r", Options{AllowAnyRoot: true})
+	v, err = s2.CheckString(`<a><c>x</c><d></d></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("AllowAnyRoot: %v", v)
+	}
+}
+
+func TestUndeclaredElementViolation(t *testing.T) {
+	s := figure1Schema(t)
+	v, err := s.CheckString(`<r><a><ghost></ghost></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Element != "a" {
+		// The ghost is caught while checking <a>'s content (not reachable).
+		t.Errorf("want content violation at <a>, got %v", v)
+	}
+}
+
+func TestDeepPVFailureLocated(t *testing.T) {
+	// The violation node is the deepest failing element, not the root.
+	s := figure1Schema(t)
+	// f requires (c, e); e before c is a hard order violation inside f.
+	v, err := s.CheckString(`<r><a><b><f><e></e><c>x</c></f></b><c>y</c><d></d></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("expected violation")
+	}
+	if v.Element != "f" {
+		t.Errorf("violation at <%s>, want <f>", v.Element)
+	}
+	if v.SymbolIndex != 1 {
+		t.Errorf("violation index %d, want 1", v.SymbolIndex)
+	}
+}
+
+func TestTextPlacementViolation(t *testing.T) {
+	s := figure1Schema(t)
+	// Text directly under <r> can never be enclosed: r's content is (a+)
+	// and a ⇝ PCDATA... careful: text under r CAN be wrapped into an
+	// inserted <a>! a ⇝ c ⇝ PCDATA. So this is potentially valid.
+	v, err := s.CheckString(`<r>loose text</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("text under <r> is wrappable into an inserted <a>: %v", v)
+	}
+	// Text under <e> (EMPTY) is a hard violation.
+	v, err = s.CheckString(`<r><a><c>x</c><d><e>boom</e></d></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Element != "e" {
+		t.Errorf("want violation at <e>, got %v", v)
+	}
+}
+
+func TestCommentsAndPIsInvisible(t *testing.T) {
+	s := figure1Schema(t)
+	v, err := s.CheckString(`<r><!-- note --><a><?pi?><c>x</c><d></d></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("comments/PIs must not affect PV: %v", v)
+	}
+}
+
+func TestWhitespaceOption(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (x)> <!ELEMENT x EMPTY>`)
+	src := "<r>\n  <x></x>\n</r>"
+	// Default: whitespace is σ, and r has no path to #PCDATA — reject.
+	strict := MustCompile(d, "r", Options{})
+	if v, _ := strict.CheckString(src); v == nil {
+		t.Error("strict mode: whitespace σ under <r> must be rejected")
+	}
+	// IgnoreWhitespaceText: pretty-printed documents pass.
+	loose := MustCompile(d, "r", Options{IgnoreWhitespaceText: true})
+	if v, _ := loose.CheckString(src); v != nil {
+		t.Errorf("loose mode: %v", v)
+	}
+}
+
+func TestCheckNodeContent(t *testing.T) {
+	s := figure1Schema(t)
+	doc := dom.MustParse(exampleS)
+	a := doc.Root.Children[0]
+	if !s.CheckNodeContent(a) {
+		t.Error("content of <a> in s is potentially valid")
+	}
+	if !s.CheckNodeContent(doc.Root) {
+		t.Error("content of <r> is potentially valid")
+	}
+}
+
+func TestChildSymbols(t *testing.T) {
+	doc := dom.MustParse(`<a><b>x</b>mid<!-- c -->dle<e></e>tail</a>`)
+	syms := ChildSymbols(doc.Root, false)
+	// b, σ (mid+dle collapse across the comment), e, σ.
+	want := "b, σ, e, σ"
+	if got := FormatSymbols(syms); got != want {
+		t.Errorf("ChildSymbols = %q, want %q", got, want)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	var v *Violation
+	if v.String() != "potentially valid" {
+		t.Error("nil violation should read as potentially valid")
+	}
+	s := figure1Schema(t)
+	v, _ = s.CheckString(exampleW)
+	if v == nil || !strings.Contains(v.String(), "not potentially valid") {
+		t.Errorf("violation text: %v", v)
+	}
+}

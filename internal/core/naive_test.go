@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// TestNaiveUnsoundLine29 pins down defect (1) of the literal Figure 5
+// pseudocode: it accepts content c, b under a → (b, c), b → (c), although
+// no insertion-only extension exists (the c precedes the real b in
+// document order). The corrected recognizer rejects.
+func TestNaiveUnsoundLine29(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b, c)> <!ELEMENT b (c)> <!ELEMENT c EMPTY>`)
+	s := MustCompile(d, "a", Options{})
+	input := Elems("c", "b")
+	if !s.NewNaiveRecognizer("a", 8).Recognize(input) {
+		t.Error("the paper-literal recognizer is expected to (wrongly) accept c, b")
+	}
+	if s.NewRecognizer("a").Recognize(input) {
+		t.Error("the corrected recognizer must reject c, b")
+	}
+}
+
+// TestNaiveLine29MasksShadowing documents the interplay of the two
+// pseudocode defects: on [b, σ, e, d] under Figure 1 the literal algorithm
+// reaches the right verdict (accept) through the WRONG path — the engaged
+// d entry matches the real <d> tag via the unsound line 29, re-interpreting
+// symbols already consumed inside the hypothesized d. Fixing the
+// unsoundness alone (blocking line 29 on engaged entries, with set-of-nodes
+// frontier semantics) would flip this input to a wrong reject; soundness
+// therefore requires the fresh-position frontier refinement the production
+// Recognizer implements (engaged entries do not shadow fresh positions).
+// Regression for the refinement itself: TestEngagedDoesNotShadowFreshPosition.
+func TestNaiveLine29MasksShadowing(t *testing.T) {
+	s := MustCompile(dtd.MustParse(dtd.Figure1), "r", Options{})
+	input := []Symbol{Elem("b"), Sigma, Elem("e"), Elem("d")}
+	if !s.NewNaiveRecognizer("a", 8).Recognize(input) {
+		t.Error("the paper-literal recognizer accepts [b, σ, e, d] (via unsound line 29)")
+	}
+	if !s.NewRecognizer("a").Recognize(input) {
+		t.Error("the corrected recognizer must accept [b, σ, e, d] (via the fresh d position)")
+	}
+}
+
+// TestNaiveAgreesOnPaperExamples: on the paper's own worked examples the
+// two recognizers coincide — the defects are off the paper's happy path,
+// which is presumably why they went unnoticed.
+func TestNaiveAgreesOnPaperExamples(t *testing.T) {
+	s := MustCompile(dtd.MustParse(dtd.Figure1), "r", Options{})
+	cases := [][]Symbol{
+		Elems("b", "e", "c"),                     // w's order: both reject
+		{Elem("b"), Elem("c"), Sigma, Elem("e")}, // s: both accept
+		{Elem("b"), Elem("c"), Sigma},            //
+		{Elem("c"), Elem("d")},                   //
+		{Sigma},                                  //
+		Elems("e", "e"),                          //
+	}
+	for _, input := range cases {
+		naive := s.NewNaiveRecognizer("a", 8).Recognize(input)
+		fixed := s.NewRecognizer("a").Recognize(input)
+		if naive != fixed {
+			t.Errorf("disagreement on [%s]: naive=%v fixed=%v", FormatSymbols(input), naive, fixed)
+		}
+	}
+}
+
+// TestNaiveDisagreementRate measures how often the defects matter on random
+// content sequences: disagreements must be exactly the two known patterns
+// (naive-accepts-fixed-rejects via line 29, naive-rejects-fixed-accepts via
+// set semantics) and rare overall.
+func TestNaiveDisagreementRate(t *testing.T) {
+	s := MustCompile(dtd.MustParse(dtd.Figure1), "r", Options{})
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	rng := rand.New(rand.NewSource(11))
+	total, disagree := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(5)
+		input := make([]Symbol, n)
+		for i := range input {
+			if rng.Intn(5) == 0 {
+				input[i] = Sigma
+			} else {
+				input[i] = Elem(names[rng.Intn(len(names))])
+			}
+		}
+		elem := names[rng.Intn(len(names))]
+		naive := s.NewNaiveRecognizer(elem, 8).Recognize(input)
+		fixed := s.NewRecognizer(elem).Recognize(input)
+		total++
+		if naive != fixed {
+			disagree++
+		}
+	}
+	t.Logf("naive vs fixed: %d/%d disagreements", disagree, total)
+	if disagree > total/5 {
+		t.Errorf("suspiciously many disagreements: %d/%d", disagree, total)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+// randContent builds a random content sequence over the DTD's names with no
+// adjacent σ (the Δ_T invariant).
+func randContent(rng *rand.Rand, names []string, maxLen int) []Symbol {
+	n := rng.Intn(maxLen + 1)
+	out := make([]Symbol, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 && (len(out) == 0 || !out[len(out)-1].Text) {
+			out = append(out, Sigma)
+		} else {
+			out = append(out, Elem(names[rng.Intn(len(names))]))
+		}
+	}
+	return out
+}
+
+// removeAt removes symbol i, merging σσ neighbours the removal may create.
+func removeAt(content []Symbol, i int) []Symbol {
+	out := append(append([]Symbol{}, content[:i]...), content[i+1:]...)
+	for j := 1; j < len(out); j++ {
+		if out[j].Text && out[j-1].Text {
+			out = append(out[:j], out[j+1:]...)
+			j--
+		}
+	}
+	return out
+}
+
+// TestPropertyDeletionClosure is Theorem 2 at the content level: if a
+// content sequence is accepted, deleting any single element symbol (the
+// markup deletion of a childless element) keeps it accepted.
+func TestPropertyDeletionClosure(t *testing.T) {
+	fixtures := []struct{ src, root string }{
+		{dtd.Figure1, "r"}, {dtd.Play, "play"}, {dtd.Article, "article"},
+		{dtd.WeakRecursive, "p"},
+	}
+	for _, fix := range fixtures {
+		d := dtd.MustParse(fix.src)
+		s := MustCompile(d, fix.root, Options{})
+		names := d.Names()
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			elem := names[rng.Intn(len(names))]
+			content := randContent(rng, names, 6)
+			if !s.CheckContent(elem, content) {
+				return true // vacuous
+			}
+			for i, sym := range content {
+				if sym.Text {
+					continue
+				}
+				if !s.CheckContent(elem, removeAt(content, i)) {
+					t.Logf("elem=%s content=[%s] minus #%d rejected",
+						elem, FormatSymbols(content), i)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", fix.root, err)
+		}
+	}
+}
+
+// TestPropertyPrefixClosure: the recognizer is online, so acceptance of a
+// sequence implies acceptance of every prefix (each prefix was accepted on
+// the way). This pins the online property explicitly.
+func TestPropertyPrefixClosure(t *testing.T) {
+	d := dtd.MustParse(dtd.Article)
+	s := MustCompile(d, "article", Options{})
+	names := d.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		elem := names[rng.Intn(len(names))]
+		content := randContent(rng, names, 8)
+		if !s.CheckContent(elem, content) {
+			return true
+		}
+		for i := 0; i <= len(content); i++ {
+			if !s.CheckContent(elem, content[:i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTextInsertionProp3: inserting a σ anywhere into accepted
+// content is accepted iff the element reaches #PCDATA (Proposition 3 lifted
+// to content sequences: some enclosing element of the new text — possibly
+// inserted — must allow character data; at the content level, σ insertion
+// into an accepted sequence of an element x that reaches PCDATA is always
+// completable... tested in the sound direction only: x not reaching PCDATA
+// must reject any σ).
+func TestPropertyTextInsertionProp3(t *testing.T) {
+	d := dtd.MustParse(`
+		<!ELEMENT r (x*, y*)>
+		<!ELEMENT x EMPTY>
+		<!ELEMENT y (x?)>
+	`)
+	s := MustCompile(d, "r", Options{})
+	// No element reaches PCDATA: any content with σ must be rejected.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		content := randContent(rng, d.Names(), 5)
+		hasSigma := false
+		for _, sym := range content {
+			if sym.Text {
+				hasSigma = true
+			}
+		}
+		got := s.CheckContent("r", content)
+		if hasSigma && got {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStripDocumentClosure: Theorem 2 at the document level on
+// random DTDs (quick-driven): stripping any subset of tags from a valid
+// document keeps it potentially valid.
+func TestPropertyStripDocumentClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		class := []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong}[rng.Intn(3)]
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 7, Class: class})
+		s := MustCompile(d, "e0", Options{})
+		doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 6})
+		gen.Strip(rng, doc, rng.Float64())
+		return s.CheckDocument(doc) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRecognizerDeterminism: Validate is deterministic — the same
+// sequence always yields the same verdict and trace.
+func TestPropertyRecognizerDeterminism(t *testing.T) {
+	d := dtd.MustParse(dtd.Figure1)
+	s := MustCompile(d, "r", Options{})
+	names := d.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		content := randContent(rng, names, 6)
+		r1 := s.NewRecognizer("a")
+		r2 := s.NewRecognizer("a")
+		for _, sym := range content {
+			a1 := r1.Validate(sym)
+			a2 := r2.Validate(sym)
+			if a1 != a2 || r1.TraceString() != r2.TraceString() {
+				return false
+			}
+			if !a1 {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Recognizer is the ECRecognizer of Figure 5: a greedy online recognizer
+// for one element's content. Symbols are fed one at a time via Validate (or
+// in bulk via Recognize); the recognizer maintains the paper's active node
+// set over the element's DAG, creating nested recognizers lazily when an
+// input symbol can only occur inside a missing (yet-to-be-inserted)
+// intermediate element, and bounding the nesting by the depth parameter so
+// that PV-strong recursive DTDs terminate (Section 4.3.1, Figure 7).
+//
+// One deliberate soundness correction relative to the Figure 5 pseudocode
+// (see DESIGN.md §2): a simple node whose nested recognizer has already
+// consumed input ("engaged") no longer matches its own element tag — those
+// consumed symbols precede the tag in document order and could not be moved
+// inside it. The node can still be ε-advanced past, closing the
+// hypothesized element (Theorem 3 lets the unmatched remainder derive ε).
+type Recognizer struct {
+	schema  *Schema
+	element string
+	depth   int
+	active  []*activeEntry
+	any     bool // ANY content: accept everything (Section 4, Problem ECPV remark)
+	// created counts recognizer objects rooted here (this one plus nested
+	// ones, recursively) — the measure Figure 7 is about.
+	created *int
+}
+
+// activeEntry is one element of the active node set: a DAG node plus the
+// lazily created nested recognizer of Figure 5 line 25.
+type activeEntry struct {
+	node    *dag.Node
+	sub     *Recognizer
+	engaged bool // sub has consumed at least one symbol
+}
+
+// NewRecognizer builds a recognizer for the content of element elem, with
+// the schema's effective depth bound.
+func (s *Schema) NewRecognizer(elem string) *Recognizer {
+	counter := 0
+	return s.newRecognizer(elem, s.depth, &counter)
+}
+
+// NewRecognizerDepth builds a recognizer with an explicit depth bound,
+// exposed for the depth-sensitivity experiments (X3) and the Figure 7
+// reproduction.
+func (s *Schema) NewRecognizerDepth(elem string, depth int) *Recognizer {
+	counter := 0
+	return s.newRecognizer(elem, depth, &counter)
+}
+
+func (s *Schema) newRecognizer(elem string, depth int, counter *int) *Recognizer {
+	*counter++
+	r := &Recognizer{schema: s, element: elem, depth: depth, created: counter}
+	ed := s.DAG.Element(elem)
+	if ed == nil {
+		// Undeclared element: empty active set; any symbol rejects.
+		return r
+	}
+	if ed.Any {
+		r.any = true
+		return r
+	}
+	// Figure 5 line 8: append children(root) to activeNodesSet.
+	for _, n := range ed.Entry {
+		r.active = append(r.active, &activeEntry{node: n})
+	}
+	return r
+}
+
+// Element returns the element whose content this recognizer checks.
+func (r *Recognizer) Element() string { return r.element }
+
+// Depth returns the recognizer's remaining depth budget.
+func (r *Recognizer) Depth() int { return r.depth }
+
+// Created returns the total number of recognizer objects constructed for
+// this check (this recognizer and all nested ones). Example 5 / Figure 7
+// show this growing without bound if the depth is not bounded.
+func (r *Recognizer) Created() int { return *r.created }
+
+// Recognize feeds all symbols (Figure 5 lines 38-43) and reports
+// acceptance.
+func (r *Recognizer) Recognize(symbols []Symbol) bool {
+	for _, x := range symbols {
+		if !r.Validate(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate feeds one symbol (Figure 5 lines 10-37) and reports whether the
+// content read so far remains potentially valid.
+func (r *Recognizer) Validate(x Symbol) bool {
+	if r.any {
+		// ANY content admits any declared element and any character data.
+		return x.Text || r.schema.LT.Has(x.Name)
+	}
+	result := false
+	queue := r.active
+	// seen guards the same-symbol ε-advance cascade: each DAG node is
+	// visited at most once per Validate call *as a fresh position*. Engaged
+	// entries are distinct configurations — symbols already consumed inside
+	// a hypothesized element — and must not shadow the fresh position: a
+	// sibling path may close its own hypothesis and reach this node with
+	// nothing consumed (e.g. [b, σ, e, d] under the Figure 1 DTD, where
+	// σ and e sit inside an inserted <f> and the real <d> then matches the
+	// fresh d position).
+	seen := make(map[int]bool, len(queue)*2)
+	for _, e := range queue {
+		if !e.engaged {
+			seen[e.node.ID] = true
+		}
+	}
+	var next []*activeEntry      // survivors, in order; exact-match children are prepended
+	var prepended []*activeEntry // collected fronts, kept in match order
+
+	epsilonAdvance := func(n *dag.Node) {
+		for _, s := range n.Succ {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				queue = append(queue, &activeEntry{node: s})
+			}
+		}
+	}
+
+	for i := 0; i < len(queue); i++ {
+		e := queue[i]
+		n := e.node
+		if n.Type == dag.Group {
+			// Figure 5 lines 13-21, justified by Proposition 2(2): a
+			// star-group matches any symbol reachable from one of its
+			// members; the node stays active (stars repeat).
+			if r.groupMatches(n, x) {
+				result = true
+				next = append(next, e)
+				continue
+			}
+			epsilonAdvance(n)
+			continue
+		}
+		y := n.Element
+		// Figure 5 lines 23-28: if x can occur strictly inside y, search
+		// within a hypothesized (missing) y via a nested recognizer,
+		// decrementing the depth budget (Section 4.3.1).
+		if r.symbolReachableFrom(y, x) {
+			if e.sub == nil {
+				e.sub = r.schema.newRecognizer(y, r.depth-1, r.created)
+			}
+			if e.sub.depth > 0 && e.sub.Validate(x) {
+				e.engaged = true
+				result = true
+				next = append(next, e)
+				continue
+			}
+		}
+		// Figure 5 lines 29-33, with the engagement correction: the element
+		// tag itself matches and the frontier advances for the *next*
+		// symbol (children are prepended, not reprocessed for x).
+		if !x.Text && x.Name == y && !e.engaged {
+			result = true
+			for _, s := range n.Succ {
+				prepended = append(prepended, &activeEntry{node: s})
+			}
+			continue
+		}
+		// Figure 5 lines 34-35: ε-advance — the node derives ε (Theorem 3)
+		// and its successors are searched for the same symbol.
+		epsilonAdvance(n)
+	}
+
+	if result {
+		r.active = dedupEntries(append(prepended, next...))
+	}
+	// On reject the active set is left unchanged; recognize() stops anyway,
+	// and nested speculative recognizers are discarded by their parent.
+	return result
+}
+
+// dedupEntries drops duplicate non-engaged entries for the same DAG node,
+// which can arise when one predecessor exact-matches (prepending a child)
+// while another ε-advances to the same node.
+func dedupEntries(entries []*activeEntry) []*activeEntry {
+	if len(entries) < 2 {
+		return entries
+	}
+	seen := map[int]bool{}
+	out := entries[:0]
+	for _, e := range entries {
+		if !e.engaged {
+			if seen[e.node.ID] {
+				continue
+			}
+			seen[e.node.ID] = true
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func (r *Recognizer) groupMatches(n *dag.Node, x Symbol) bool {
+	lt := r.schema.LT
+	if x.Text {
+		if n.HasPCDATA {
+			return true
+		}
+		for _, y := range n.Elements {
+			if lt.ReachesPCDATA(y) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, y := range n.Elements {
+		if y == x.Name || lt.Reachable(y, x.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// symbolReachableFrom reports whether x may occur strictly inside element y
+// (the LT lookup of Figure 5 line 23). Strictness matters: "b is not found
+// in the lookup table of b" (Example 4) unless b is recursive.
+func (r *Recognizer) symbolReachableFrom(y string, x Symbol) bool {
+	if x.Text {
+		return r.schema.LT.ReachesPCDATA(y)
+	}
+	return r.schema.LT.Reachable(y, x.Name)
+}
+
+// ActiveLabels renders the current active node set for tracing (the solid
+// nodes of Figure 6), sorted for stability. Engaged nodes are marked with
+// "+rec" and show their nested recognizer's active labels in brackets.
+func (r *Recognizer) ActiveLabels() []string {
+	if r.any {
+		return []string{"ANY"}
+	}
+	out := make([]string, 0, len(r.active))
+	for _, e := range r.active {
+		label := e.node.Label()
+		if e.node.Type == dag.Group {
+			label = "[" + label + "]"
+		}
+		if e.engaged {
+			label += "+rec(" + strings.Join(e.sub.ActiveLabels(), "; ") + ")"
+		}
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TraceString renders the active set on one line for test assertions.
+func (r *Recognizer) TraceString() string {
+	return fmt.Sprintf("{%s}", strings.Join(r.ActiveLabels(), " "))
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's primary contribution: the
+// ECRecognizer algorithm (Figure 5) for Element Content Potential Validity
+// (Problem ECPV), the whole-document potential-validity check (Problem PV),
+// a single-pass streaming variant, and the constant-time incremental update
+// checks of Theorem 2 and Proposition 3.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/dtd"
+	"repro/internal/reach"
+)
+
+// DefaultMaxDepth is the default bound on the depth of hypothetical
+// (extension) documents considered for PV-strong recursive DTDs. The paper
+// motivates a small bound: in practice most XML documents' depths are of
+// one-digit magnitude (Section 4.3.1, citing [12]).
+const DefaultMaxDepth = 16
+
+// Options configures schema compilation.
+type Options struct {
+	// MaxDepth bounds the depth of extension documents considered when the
+	// DTD is PV-strong recursive (Section 4.3.1). Zero means
+	// DefaultMaxDepth. For non-PV-strong DTDs the recognizer is complete
+	// regardless: the effective bound is raised to cover the longest
+	// possible chain of missing intermediate elements.
+	MaxDepth int
+	// IgnoreWhitespaceText makes whitespace-only text nodes invisible to
+	// the checker (they produce no σ symbol). Document-centric editing
+	// usually wants false: all text is content.
+	IgnoreWhitespaceText bool
+	// AllowAnyRoot accepts documents whose root is any declared element,
+	// not just the schema root.
+	AllowAnyRoot bool
+}
+
+// Schema is a DTD compiled for potential-validity checking: the parsed
+// declarations Γ, the designated root r, the reachability lookup table LT
+// (Definition 5), and the DAG model DAG_T (Section 4.2).
+type Schema struct {
+	DTD  *dtd.DTD
+	Root string
+	LT   *reach.Table
+	DAG  *dag.DAG
+
+	opts  Options
+	depth int // effective top-level recognizer depth
+}
+
+// Compile builds a Schema for checking potential validity w.r.t. d and
+// root. It fails if the root is undeclared, if any content model references
+// an undeclared element (reachability would be unsound), or if some element
+// is unproductive (the paper's usability assumption, Section 3.3: an
+// unproductive element can never occur in a finite valid document, and
+// Theorem 3 — every nonterminal derives ε — relies on its absence).
+func Compile(d *dtd.DTD, root string, opts Options) (*Schema, error) {
+	if _, ok := d.Elements[root]; !ok {
+		return nil, fmt.Errorf("core: root element %q is not declared", root)
+	}
+	if missing := d.UndeclaredReferences(); len(missing) > 0 {
+		return nil, fmt.Errorf("core: content models reference undeclared elements: %s", strings.Join(missing, ", "))
+	}
+	lt := reach.Build(d)
+	if unprod := unproductive(d, lt); len(unprod) > 0 {
+		return nil, fmt.Errorf("core: unproductive elements (can never appear in a finite valid document): %s", strings.Join(unprod, ", "))
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	s := &Schema{
+		DTD:  d,
+		Root: root,
+		LT:   lt,
+		DAG:  dag.Build(d),
+		opts: opts,
+	}
+	// For non-PV-strong DTDs nested recognizers implement missing
+	// intermediate elements along acyclic chains only, so a bound of
+	// longest-chain+2 makes the algorithm complete (DESIGN.md §2). For
+	// PV-strong DTDs the user bound is the semantics; we still never go
+	// below the acyclic-chain requirement.
+	minComplete := lt.LongestStrongChain() + 2
+	s.depth = opts.MaxDepth
+	if s.depth < minComplete {
+		s.depth = minComplete
+	}
+	if lt.Class() != reach.PVStrongRecursive {
+		s.depth = minComplete
+	}
+	return s, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and fixtures.
+func MustCompile(d *dtd.DTD, root string, opts Options) *Schema {
+	s, err := Compile(d, root, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func unproductive(d *dtd.DTD, lt *reach.Table) []string {
+	var out []string
+	for _, name := range d.Order {
+		// Usable(name) marks name itself usable iff productive (an element
+		// trivially reaches itself as root).
+		if !lt.Usable(name)[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Class returns the DTD's recursion classification (Definitions 6-8).
+func (s *Schema) Class() reach.Class { return s.LT.Class() }
+
+// Options returns the options the schema was compiled with.
+func (s *Schema) Options() Options { return s.opts }
+
+// EffectiveDepth returns the depth bound actually used by top-level
+// recognizers (the user bound adjusted for completeness on acyclic chains).
+func (s *Schema) EffectiveDepth() int { return s.depth }
+
+// CheckContent solves Problem ECPV: given an element name and the Δ_T
+// symbol sequence of a node's children, it reports whether the content is
+// potentially valid. Elements with ANY content accept trivially.
+func (s *Schema) CheckContent(elem string, symbols []Symbol) bool {
+	r := s.NewRecognizer(elem)
+	return r.Recognize(symbols)
+}
+
+// CheckContentPrefix returns the number of symbols accepted before the
+// first rejection; len(symbols) means the whole sequence is accepted.
+func (s *Schema) CheckContentPrefix(elem string, symbols []Symbol) int {
+	r := s.NewRecognizer(elem)
+	for i, x := range symbols {
+		if !r.Validate(x) {
+			return i
+		}
+	}
+	return len(symbols)
+}

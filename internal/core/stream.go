@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xmltext"
+)
+
+// StreamChecker checks whole-document potential validity in one pass over a
+// token stream, maintaining one ECRecognizer per open element — the
+// incremental formulation the paper recommends ("we can solve the potential
+// validity problem incrementally, for each document node, by considering
+// only node's children", Section 4). It is equivalent to CheckDocument and
+// is what the editor layer and the large-document benchmarks use.
+type StreamChecker struct {
+	schema *Schema
+	stack  []*Recognizer
+	names  []string
+	depth  int
+	err    error
+	seen   bool // a root element has been seen and closed
+	// lastWasText collapses adjacent text events into a single σ per δ_T.
+	lastWasText []bool
+}
+
+// NewStreamChecker returns a fresh streaming checker.
+func (s *Schema) NewStreamChecker() *StreamChecker {
+	return &StreamChecker{schema: s}
+}
+
+// Err returns the first violation encountered, or nil.
+func (c *StreamChecker) Err() error { return c.err }
+
+// Depth returns the current open-element depth.
+func (c *StreamChecker) Depth() int { return c.depth }
+
+func (c *StreamChecker) fail(format string, args ...any) error {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+	return c.err
+}
+
+// StartElement processes a start tag.
+func (c *StreamChecker) StartElement(name string) error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.stack) == 0 {
+		if c.seen {
+			return c.fail("second root element <%s>", name)
+		}
+		if !c.schema.opts.AllowAnyRoot && name != c.schema.Root {
+			return c.fail("root element is <%s>, schema requires <%s>", name, c.schema.Root)
+		}
+	}
+	if !c.schema.LT.Has(name) {
+		return c.fail("element <%s> is not declared in the DTD", name)
+	}
+	if len(c.stack) > 0 {
+		top := c.stack[len(c.stack)-1]
+		if !top.Validate(Elem(name)) {
+			return c.fail("content of <%s> is not potentially valid at <%s>", c.names[len(c.names)-1], name)
+		}
+		c.lastWasText[len(c.lastWasText)-1] = false
+	}
+	c.stack = append(c.stack, c.schema.NewRecognizer(name))
+	c.names = append(c.names, name)
+	c.lastWasText = append(c.lastWasText, false)
+	c.depth++
+	return nil
+}
+
+// Text processes a character-data event. Empty and (optionally) whitespace
+// text is invisible; adjacent text events collapse into one σ.
+func (c *StreamChecker) Text(data string) error {
+	if c.err != nil {
+		return c.err
+	}
+	if data == "" || (c.schema.opts.IgnoreWhitespaceText && isWhitespace(data)) {
+		return nil
+	}
+	if len(c.stack) == 0 {
+		if isWhitespace(data) {
+			return nil
+		}
+		return c.fail("character data outside the root element")
+	}
+	i := len(c.stack) - 1
+	if c.lastWasText[i] {
+		return nil // same σ as the previous text event
+	}
+	if !c.stack[i].Validate(Sigma) {
+		return c.fail("content of <%s> is not potentially valid at character data", c.names[i])
+	}
+	c.lastWasText[i] = true
+	return nil
+}
+
+// EndElement processes an end tag.
+func (c *StreamChecker) EndElement(name string) error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.stack) == 0 {
+		return c.fail("unexpected end tag </%s>", name)
+	}
+	i := len(c.stack) - 1
+	if c.names[i] != name {
+		return c.fail("end tag </%s> does not match open <%s>", name, c.names[i])
+	}
+	c.stack = c.stack[:i]
+	c.names = c.names[:i]
+	c.lastWasText = c.lastWasText[:i]
+	c.depth--
+	if len(c.stack) == 0 {
+		c.seen = true
+	}
+	return nil
+}
+
+// Close verifies that the document ended properly (all elements closed,
+// exactly one root seen) and returns the final verdict.
+func (c *StreamChecker) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.stack) > 0 {
+		return c.fail("unclosed element <%s>", c.names[len(c.names)-1])
+	}
+	if !c.seen {
+		return c.fail("no root element")
+	}
+	return nil
+}
+
+// CheckStream tokenizes src and runs the streaming check over it — a
+// single-pass Problem PV solver for strings.
+func (s *Schema) CheckStream(src string) error {
+	lx := xmltext.NewLexer(src)
+	c := s.NewStreamChecker()
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return err
+		}
+		if tok == nil {
+			return c.Close()
+		}
+		switch tok.Kind {
+		case xmltext.StartTag:
+			if err := c.StartElement(tok.Name); err != nil {
+				return err
+			}
+		case xmltext.EndTag:
+			if err := c.EndElement(tok.Name); err != nil {
+				return err
+			}
+		case xmltext.Text:
+			if err := c.Text(tok.Data); err != nil {
+				return err
+			}
+		}
+	}
+}

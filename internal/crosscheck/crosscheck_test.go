@@ -1,0 +1,247 @@
+// Package crosscheck contains the system-level agreement tests: the fast
+// ECRecognizer-based checker (internal/core), the Earley recognizer on the
+// grammar G' (Theorem 1 ground truth), the brute-force extension search
+// (Definitions 2-3 executed literally), and the full validator must tell a
+// consistent story on generated and mutated documents.
+package crosscheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/earley"
+	"repro/internal/gen"
+	"repro/internal/grammar"
+	"repro/internal/oracle"
+	"repro/internal/reach"
+	"repro/internal/validator"
+)
+
+// fixture bundles all checkers for one DTD+root.
+type fixture struct {
+	d      *dtd.DTD
+	root   string
+	schema *core.Schema
+	gprime *earley.Recognizer
+	valid  *validator.Validator
+}
+
+func newFixture(t *testing.T, d *dtd.DTD, root string) *fixture {
+	t.Helper()
+	s, err := core.Compile(d, root, core.Options{MaxDepth: 24})
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, d)
+	}
+	g, err := grammar.BuildECFG(d, root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		d:      d,
+		root:   root,
+		schema: s,
+		gprime: earley.New(g.ToCFG()),
+		valid:  validator.MustNew(d, root),
+	}
+}
+
+// pvFast is the paper's algorithm; pvOracle is Theorem 1's characterization.
+func (f *fixture) pvFast(doc *dom.Node) bool   { return f.schema.CheckDocument(doc) == nil }
+func (f *fixture) pvOracle(doc *dom.Node) bool { return f.gprime.Recognize(grammar.DeltaT(doc)) }
+
+// checkAgreement asserts the fast checker and the Earley oracle agree on
+// doc, with a caveat for PV-strong DTDs where the fast algorithm is only
+// complete up to the depth bound: fast=false/oracle=true is tolerated there
+// (and counted), every other disagreement is fatal.
+func (f *fixture) checkAgreement(t *testing.T, doc *dom.Node, context string) (agreed bool) {
+	t.Helper()
+	fast, slow := f.pvFast(doc), f.pvOracle(doc)
+	if fast == slow {
+		return true
+	}
+	if !fast && slow && f.schema.Class() == reach.PVStrongRecursive {
+		return false // depth-bound incompleteness; tolerated
+	}
+	t.Fatalf("%s: fast=%v oracle=%v\nDTD:\n%s\ndoc: %s", context, fast, slow, f.d, doc)
+	return false
+}
+
+func TestAgreementOnPaperExamples(t *testing.T) {
+	f := newFixture(t, dtd.MustParse(dtd.Figure1), "r")
+	for _, src := range []string{
+		`<r><a><b>x</b><e></e><c>y</c> z</a></r>`,
+		`<r><a><b>x</b><c>y</c> z<e></e></a></r>`,
+		`<r><a><b><d>x</d></b><c>y</c><d>z<e></e></d></a></r>`,
+		`<r></r>`,
+		`<r><a><e></e><e></e></a></r>`,
+		`<r><a><f><c>x</c><e></e></f><d></d></a></r>`,
+		`<r><a><f><e></e><c>x</c></f><d></d></a></r>`,
+	} {
+		doc := dom.MustParse(src)
+		f.checkAgreement(t, doc.Root, src)
+	}
+}
+
+// TestTheorem1OracleAgreement: on random DTDs of every class, the fast
+// checker agrees with the Earley characterization on (a) generated valid
+// documents, (b) tag-stripped documents, (c) corrupted documents.
+func TestTheorem1OracleAgreement(t *testing.T) {
+	classes := []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong}
+	depthMisses := 0
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 6 // Earley on G' is cubic; keep -short runs quick
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, class := range classes {
+			d := gen.RandDTD(rng, gen.DTDOptions{Elements: 7, Class: class})
+			f := newFixture(t, d, "e0")
+			doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 6})
+
+			// (a) valid documents are PV under both.
+			if !f.pvFast(doc) {
+				t.Fatalf("seed %d: valid document rejected by fast checker\n%s\n%s", seed, d, doc)
+			}
+			if !f.checkAgreement(t, doc, "valid doc") {
+				depthMisses++
+			}
+
+			// (b) stripped documents remain PV (Theorem 2) under both.
+			stripped := doc.Clone()
+			gen.Strip(rng, stripped, 0.5)
+			if !f.pvFast(stripped) {
+				t.Fatalf("seed %d: stripped document rejected (Theorem 2 violated)\n%s\n%s",
+					seed, d, stripped)
+			}
+			if !f.checkAgreement(t, stripped, "stripped doc") {
+				depthMisses++
+			}
+
+			// (c) corrupted documents: verdicts may be yes or no, but the
+			// two checkers must agree.
+			for k := 0; k < 3; k++ {
+				mutant := doc.Clone()
+				if !gen.Corrupt(rng, d, mutant) {
+					continue
+				}
+				if !f.checkAgreement(t, mutant, "corrupted doc") {
+					depthMisses++
+				}
+			}
+		}
+	}
+	// The tolerated misses must stay rare; a flood signals a real bug.
+	if depthMisses > 5 {
+		t.Errorf("depth-bound misses = %d; suspiciously many", depthMisses)
+	}
+}
+
+// TestDefinitionSearchAgreement validates Theorem 1 itself on tiny
+// instances: the Earley verdict must match the literal extension search.
+func TestDefinitionSearchAgreement(t *testing.T) {
+	d := dtd.MustParse(dtd.Figure1)
+	f := newFixture(t, d, "r")
+	cases := []struct {
+		src    string
+		budget int
+	}{
+		{`<r></r>`, 2},
+		{`<r><a></a></r>`, 3},
+		{`<r><c>x</c></r>`, 3},               // c alone under r: needs a wrapper a... and d sibling? search decides
+		{`<r><a><e></e></a></r>`, 3},         // e needs d or f context
+		{`<r><a><b>x</b></a></r>`, 4},        // b's text needs d inside b
+		{`<r><e></e></r>`, 4},                // e deep under inserted a,d
+		{`<r><a><e></e><c>x</c></a></r>`, 4}, // hard order problem? (e in inserted b)
+	}
+	for _, c := range cases {
+		doc := dom.MustParse(c.src)
+		res, witness := oracle.Search(d, "r", doc.Root, c.budget)
+		want := f.pvOracle(doc.Root)
+		got := res == oracle.Yes
+		if got != want && want {
+			// The budget may have been too small to find the witness; that
+			// is the only allowed direction of disagreement.
+			t.Logf("budget %d too small for %s (oracle says PV)", c.budget, c.src)
+			continue
+		}
+		if got != want {
+			t.Errorf("search found an extension of non-PV %s: %v", c.src, witness)
+		}
+		if got {
+			// The witness must be valid and have the same character data.
+			if err := f.valid.Validate(witness); err != nil {
+				t.Errorf("witness for %s is not valid: %v\n%s", c.src, err, witness)
+			}
+			if witness.Content() != doc.Root.Content() {
+				t.Errorf("witness changed character data: %q vs %q",
+					witness.Content(), doc.Root.Content())
+			}
+			// And the fast checker must accept the original.
+			if !f.pvFast(doc.Root) {
+				t.Errorf("fast checker rejects %s though a witness exists", c.src)
+			}
+		}
+	}
+}
+
+// TestSearchFindsFigure3Extension: the witness for Example 1's s must exist
+// and, like Figure 3, uses two <d> insertions.
+func TestSearchFindsFigure3Extension(t *testing.T) {
+	d := dtd.MustParse(dtd.Figure1)
+	doc := dom.MustParse(`<r><a><b>A quick brown</b><c> fox</c> dog<e></e></a></r>`)
+	res, witness := oracle.Search(d, "r", doc.Root, 2)
+	if res != oracle.Yes {
+		t.Fatal("no extension found for s with 2 insertions")
+	}
+	v := validator.MustNew(d, "r")
+	if err := v.Validate(witness); err != nil {
+		t.Fatalf("witness invalid: %v\n%s", err, witness)
+	}
+}
+
+// TestValidImpliesPV: on every fixture DTD, generated valid documents are
+// potentially valid under the fast checker (D ⊆ D*).
+func TestValidImpliesPV(t *testing.T) {
+	fixtures := []struct{ src, root string }{
+		{dtd.Figure1, "r"}, {dtd.Play, "play"}, {dtd.Article, "article"},
+		{dtd.WeakRecursive, "p"}, {dtd.T1, "a"}, {dtd.T2, "a"},
+	}
+	for _, fix := range fixtures {
+		d := dtd.MustParse(fix.src)
+		f := newFixture(t, d, fix.root)
+		for seed := int64(0); seed < 15; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			doc := gen.GenValid(rng, d, fix.root, gen.DocOptions{MaxDepth: 7})
+			if err := f.valid.Validate(doc); err != nil {
+				t.Fatalf("%s seed %d: generator produced invalid doc: %v", fix.root, seed, err)
+			}
+			if !f.pvFast(doc) {
+				t.Errorf("%s seed %d: valid document rejected by PV checker\n%s",
+					fix.root, seed, doc)
+			}
+		}
+	}
+}
+
+// TestStreamAgreesWithTree on random documents.
+func TestStreamAgreesWithTree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 8, Class: gen.ClassWeak})
+		f := newFixture(t, d, "e0")
+		doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 6})
+		gen.Strip(rng, doc, 0.3)
+		if rng.Intn(2) == 0 {
+			gen.Corrupt(rng, d, doc)
+		}
+		tree := f.pvFast(doc)
+		stream := f.schema.CheckStream(doc.String()) == nil
+		if tree != stream {
+			t.Errorf("seed %d: tree=%v stream=%v\n%s\n%s", seed, tree, stream, d, doc)
+		}
+	}
+}

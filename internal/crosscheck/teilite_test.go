@@ -1,0 +1,83 @@
+package crosscheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/complete"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/reach"
+)
+
+// TestTEILiteEndToEnd exercises the realistic digital-library workload at
+// scale: generate, strip, check (tree + stream), complete, validate.
+func TestTEILiteEndToEnd(t *testing.T) {
+	d := dtd.MustParse(dtd.TEILite)
+	if missing := d.UndeclaredReferences(); len(missing) > 0 {
+		t.Fatalf("TEILite has undeclared references: %v", missing)
+	}
+	lt := reach.Build(d)
+	if lt.Class() != reach.PVWeakRecursive {
+		t.Errorf("TEILite class = %v, want PV-weak (div and inline recursion through star-groups)", lt.Class())
+	}
+	f := newFixture(t, d, "TEI")
+	comp := complete.New(f.schema)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := gen.GenValid(rng, d, "TEI", gen.DocOptions{MaxDepth: 9, MaxRepeat: 3})
+		if err := f.valid.Validate(doc); err != nil {
+			t.Fatalf("seed %d: generated doc invalid: %v", seed, err)
+		}
+		content := doc.Content()
+		gen.Strip(rng, doc, 0.5)
+		if !f.pvFast(doc) {
+			t.Fatalf("seed %d: stripped TEI doc rejected (Theorem 2)", seed)
+		}
+		if err := f.schema.CheckStream(doc.String()); err != nil {
+			t.Fatalf("seed %d: stream check disagrees: %v", seed, err)
+		}
+		ext, _, err := comp.Complete(doc)
+		if err != nil {
+			t.Fatalf("seed %d: completion failed: %v", seed, err)
+		}
+		if err := f.valid.Validate(ext); err != nil {
+			t.Fatalf("seed %d: completion invalid: %v", seed, err)
+		}
+		if ext.Content() != content {
+			t.Fatalf("seed %d: completion changed character data", seed)
+		}
+	}
+}
+
+// TestTEILiteHardViolation: a head after body content inside a div can
+// never be fixed by insertions.
+func TestTEILiteHardViolation(t *testing.T) {
+	d := dtd.MustParse(dtd.TEILite)
+	s := core.MustCompile(d, "TEI", core.Options{})
+	// div -> (head?, (p | lg | ...)*): a real <head> after a real <p> is a
+	// hard order violation...
+	v, err := s.CheckString(`<TEI><teiHeader><fileDesc><titleStmt><title>T</title></titleStmt></fileDesc></teiHeader>` +
+		`<text><body><div><p>para</p><head>late heading</head></div></body></text></TEI>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		// ... unless head can hide inside something in the star-group:
+		// head is not reachable from p/lg/quote/list/note/div? div -> head!
+		// head hides inside a nested inserted <div>. So this IS potentially
+		// valid. Use an unfixable case instead below.
+		t.Log("head-after-p is PV via a nested div — as the reachability predicts")
+	}
+	// teiHeader after text is unfixable: TEI -> (teiHeader, text), neither
+	// reaches teiHeader.
+	v, err = s.CheckString(`<TEI><text><body><div><p>x</p></div></body></text>` +
+		`<teiHeader><fileDesc><titleStmt><title>T</title></titleStmt></fileDesc></teiHeader></TEI>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Error("teiHeader after text must be a hard violation")
+	}
+}

@@ -1,0 +1,221 @@
+// Package dag implements the Directed Acyclic Graph model of a DTD from
+// Section 4.2 of the paper (Figure 4). For each element x a DAG_x is built
+// from the normalized content model (Corollary 3.1 applied, star-groups
+// flattened per Proposition 1): its nodes are simple element nodes and
+// star-group nodes, and edges connect adjacent content particles, with "|"
+// introducing branching. Every root-to-leaf path spells one production
+// alternative of X̂.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// NodeType distinguishes the two node shapes of the paper's DAG model.
+type NodeType int
+
+const (
+	// Simple is a node for a single element occurrence outside any
+	// star-group (drawn as a circle in Figure 4).
+	Simple NodeType = iota
+	// Group is a star-group node labeled with the element set of the group
+	// (drawn as a box in Figure 4).
+	Group
+)
+
+// Node is a DAG node. Exactly one of the Simple/Group payloads is
+// meaningful, per Type.
+type Node struct {
+	Type NodeType
+	// Element is the element name of a Simple node.
+	Element string
+	// Elements is the sorted element set of a Group node.
+	Elements []string
+	// HasPCDATA marks a Group node whose star-group contains #PCDATA.
+	HasPCDATA bool
+	// Succ are the nodes adjacent after this one (the paper's
+	// children(n)).
+	Succ []*Node
+	// ID is unique within one ElementDAG, assigned in construction order;
+	// the recognizer uses it for frontier deduplication.
+	ID int
+}
+
+// Label renders the node label as in Figure 4: the element name for simple
+// nodes, the comma-separated element list (with PCDATA) for group nodes.
+func (n *Node) Label() string {
+	if n.Type == Simple {
+		return n.Element
+	}
+	parts := []string{}
+	if n.HasPCDATA {
+		parts = append(parts, "PCDATA")
+	}
+	parts = append(parts, n.Elements...)
+	return strings.Join(parts, ", ")
+}
+
+// ElementDAG is the DAG of a single element's content model: a virtual root
+// labeled with the element whose successors are the first content
+// particles. EMPTY elements have a root with no successors; ANY elements
+// have Any set and no graph.
+type ElementDAG struct {
+	Element string
+	// Entry lists the first nodes of the content model (the paper's
+	// children(root)).
+	Entry []*Node
+	// Any marks an ANY content model, for which ECPV is trivially "yes"
+	// (Section 4, last paragraph before 4.1).
+	Any bool
+	// nodes in construction order (topological: successors come later).
+	nodes []*Node
+}
+
+// Nodes returns all nodes of the DAG in a topological order.
+func (d *ElementDAG) Nodes() []*Node { return d.nodes }
+
+// DAG is the collection DAG_T = ∪ DAG_x for all x ∈ T.
+type DAG struct {
+	ByElement map[string]*ElementDAG
+}
+
+// Element returns DAG_x, or nil if x is undeclared.
+func (g *DAG) Element(x string) *ElementDAG { return g.ByElement[x] }
+
+// Build constructs DAG_T from the DTD. Content models are normalized and
+// star-group-flattened first, so the builder sees only names, sequences,
+// choices and star-groups.
+func Build(d *dtd.DTD) *DAG {
+	g := &DAG{ByElement: make(map[string]*ElementDAG, len(d.Order))}
+	for _, name := range d.Order {
+		g.ByElement[name] = buildElement(d.Elements[name])
+	}
+	return g
+}
+
+func buildElement(decl *dtd.ElementDecl) *ElementDAG {
+	ed := &ElementDAG{Element: decl.Name}
+	switch decl.Category {
+	case dtd.Empty:
+		return ed
+	case dtd.Any:
+		ed.Any = true
+		return ed
+	}
+	model := contentmodel.FlattenStarGroups(contentmodel.Normalize(decl.Model))
+	b := &builder{dag: ed}
+	entry, _ := b.build(model)
+	ed.Entry = entry
+	return ed
+}
+
+type builder struct {
+	dag *ElementDAG
+}
+
+func (b *builder) newNode(n *Node) *Node {
+	n.ID = len(b.dag.nodes)
+	b.dag.nodes = append(b.dag.nodes, n)
+	return n
+}
+
+// build returns the entry and exit node sets for expr. Edges from an
+// expression's exits to the following expression's entries are added by the
+// sequence case.
+func (b *builder) build(e *contentmodel.Expr) (entry, exit []*Node) {
+	switch e.Kind {
+	case contentmodel.KindName:
+		n := b.newNode(&Node{Type: Simple, Element: e.Name})
+		return []*Node{n}, []*Node{n}
+	case contentmodel.KindPCDATA:
+		// A bare #PCDATA outside a star (the "(#PCDATA)" mixed model, as in
+		// element c of Figure 1) becomes a PCDATA-only group node: on the
+		// inputs produced by δ_T (no two adjacent σ) the languages σ|ε and
+		// σ* coincide.
+		n := b.newNode(&Node{Type: Group, HasPCDATA: true})
+		return []*Node{n}, []*Node{n}
+	case contentmodel.KindStar:
+		// After FlattenStarGroups every star is a star-group in canonical
+		// (a1,...,an)* form: one group node.
+		group := e.Children[0]
+		names := group.ElementNames()
+		sort.Strings(names)
+		n := b.newNode(&Node{Type: Group, Elements: names, HasPCDATA: group.HasPCDATA()})
+		return []*Node{n}, []*Node{n}
+	case contentmodel.KindSeq:
+		entry, exit = b.build(e.Children[0])
+		for _, c := range e.Children[1:] {
+			centry, cexit := b.build(c)
+			for _, x := range exit {
+				x.Succ = append(x.Succ, centry...)
+			}
+			exit = cexit
+		}
+		return entry, exit
+	case contentmodel.KindChoice:
+		for _, c := range e.Children {
+			centry, cexit := b.build(c)
+			entry = append(entry, centry...)
+			exit = append(exit, cexit...)
+		}
+		return entry, exit
+	}
+	panic(fmt.Sprintf("dag: unexpected expression kind %v after normalization", e.Kind))
+}
+
+// Paths enumerates all root-to-leaf label sequences of the DAG — each is
+// one production alternative of X̂ (the Figure 4 property). Intended for
+// tests and the dtdinfo tool; exponential in the worst case.
+func (d *ElementDAG) Paths() [][]string {
+	if len(d.Entry) == 0 {
+		return nil
+	}
+	var out [][]string
+	var walk func(n *Node, prefix []string)
+	walk = func(n *Node, prefix []string) {
+		prefix = append(prefix[:len(prefix):len(prefix)], n.Label())
+		if len(n.Succ) == 0 {
+			out = append(out, prefix)
+			return
+		}
+		for _, s := range n.Succ {
+			walk(s, prefix)
+		}
+	}
+	for _, e := range d.Entry {
+		walk(e, nil)
+	}
+	return out
+}
+
+// Dump renders the DAG in a stable text form for tests and tooling: one
+// line per node, "id(label) -> succIDs".
+func (d *ElementDAG) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DAG(%s)", d.Element)
+	if d.Any {
+		b.WriteString(" ANY\n")
+		return b.String()
+	}
+	b.WriteString(" entry=[")
+	for i, e := range d.Entry {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", e.ID)
+	}
+	b.WriteString("]\n")
+	for _, n := range d.nodes {
+		fmt.Fprintf(&b, "  %d(%s) ->", n.ID, n.Label())
+		for _, s := range n.Succ {
+			fmt.Fprintf(&b, " %d", s.ID)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

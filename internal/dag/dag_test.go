@@ -1,0 +1,183 @@
+package dag
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+func buildFigure1(t *testing.T) *DAG {
+	t.Helper()
+	return Build(dtd.MustParse(dtd.Figure1))
+}
+
+func TestFigure4DAGForA(t *testing.T) {
+	// Figure 4 shows DAG_a for a -> (b?, (c|f), d): after normalization
+	// b -> {c, f} -> d, with entry {b}.
+	g := buildFigure1(t)
+	da := g.Element("a")
+	if da == nil {
+		t.Fatal("no DAG for a")
+	}
+	if len(da.Entry) != 1 || da.Entry[0].Label() != "b" {
+		t.Fatalf("entry = %v", labels(da.Entry))
+	}
+	b := da.Entry[0]
+	if got := labels(b.Succ); !reflect.DeepEqual(got, []string{"c", "f"}) {
+		t.Fatalf("succ(b) = %v, want [c f]", got)
+	}
+	for _, n := range b.Succ {
+		if got := labels(n.Succ); !reflect.DeepEqual(got, []string{"d"}) {
+			t.Fatalf("succ(%s) = %v, want [d]", n.Label(), got)
+		}
+		if n.Type != Simple {
+			t.Errorf("%s should be a simple node", n.Label())
+		}
+	}
+	// The paths of DAG_a correspond to the production alternatives
+	// A -> BCD and A -> BFD (Figure 4's observation).
+	paths := da.Paths()
+	want := [][]string{{"b", "c", "d"}, {"b", "f", "d"}}
+	sortPaths(paths)
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("paths = %v, want %v", paths, want)
+	}
+}
+
+func TestFigure4DAGForD(t *testing.T) {
+	// Figure 4: DAG_d is a single star-group node labeled "PCDATA, e".
+	g := buildFigure1(t)
+	dd := g.Element("d")
+	if len(dd.Entry) != 1 {
+		t.Fatalf("entry = %v", labels(dd.Entry))
+	}
+	n := dd.Entry[0]
+	if n.Type != Group {
+		t.Fatal("d's node must be a star-group")
+	}
+	if !n.HasPCDATA {
+		t.Error("d's star-group must contain PCDATA")
+	}
+	if !reflect.DeepEqual(n.Elements, []string{"e"}) {
+		t.Errorf("elements = %v, want [e]", n.Elements)
+	}
+	if got := n.Label(); got != "PCDATA, e" {
+		t.Errorf("label = %q, want %q (as drawn in Figure 4)", got, "PCDATA, e")
+	}
+	if len(n.Succ) != 0 {
+		t.Error("star-group node has no successors here")
+	}
+}
+
+func TestDAGForRPlusBecomesStarGroup(t *testing.T) {
+	// r -> (a+) normalizes to (a)*: a star-group node with element set {a}.
+	g := buildFigure1(t)
+	dr := g.Element("r")
+	if len(dr.Entry) != 1 || dr.Entry[0].Type != Group {
+		t.Fatalf("r's DAG should be one star-group node, got %v", dr.Dump())
+	}
+	if !reflect.DeepEqual(dr.Entry[0].Elements, []string{"a"}) {
+		t.Errorf("elements = %v", dr.Entry[0].Elements)
+	}
+}
+
+func TestDAGEmptyAndAny(t *testing.T) {
+	g := Build(dtd.MustParse(`<!ELEMENT x EMPTY> <!ELEMENT y ANY>`))
+	if len(g.Element("x").Entry) != 0 {
+		t.Error("EMPTY element must have an empty DAG")
+	}
+	if !g.Element("y").Any {
+		t.Error("ANY element must be marked Any")
+	}
+}
+
+func TestDAGPCDATAOnly(t *testing.T) {
+	// c -> #PCDATA becomes a PCDATA-only group node.
+	g := buildFigure1(t)
+	dc := g.Element("c")
+	if len(dc.Entry) != 1 || dc.Entry[0].Type != Group || !dc.Entry[0].HasPCDATA {
+		t.Fatalf("c's DAG: %s", dc.Dump())
+	}
+	if len(dc.Entry[0].Elements) != 0 {
+		t.Errorf("c's group should have no elements, got %v", dc.Entry[0].Elements)
+	}
+}
+
+func TestBranchRejoin(t *testing.T) {
+	// ((a | b), c): both alternatives feed the same c node — a DAG, not a
+	// tree (storage argument of Section 4.2).
+	g := Build(dtd.MustParse(`<!ELEMENT x ((a | b), c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`))
+	dx := g.Element("x")
+	if len(dx.Entry) != 2 {
+		t.Fatalf("entry = %v", labels(dx.Entry))
+	}
+	c0 := dx.Entry[0].Succ
+	c1 := dx.Entry[1].Succ
+	if len(c0) != 1 || len(c1) != 1 || c0[0] != c1[0] {
+		t.Error("both branches must share the same successor node")
+	}
+}
+
+func TestT2DAG(t *testing.T) {
+	// T2: a -> ((a | b), b): entry {a, b}, both to a second b node.
+	g := Build(dtd.MustParse(dtd.T2))
+	da := g.Element("a")
+	if got := labels(da.Entry); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("entry = %v", got)
+	}
+	if da.Entry[0].Succ[0] != da.Entry[1].Succ[0] {
+		t.Error("branches must rejoin at the second b")
+	}
+	paths := da.Paths()
+	sortPaths(paths)
+	want := [][]string{{"a", "b"}, {"b", "b"}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("paths = %v, want %v", paths, want)
+	}
+}
+
+func TestNodeIDsTopological(t *testing.T) {
+	g := buildFigure1(t)
+	for _, name := range []string{"r", "a", "b", "c", "d", "f"} {
+		ed := g.Element(name)
+		for _, n := range ed.Nodes() {
+			for _, s := range n.Succ {
+				if s.ID <= n.ID {
+					t.Errorf("DAG_%s: edge %d -> %d not topological", name, n.ID, s.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestDumpStable(t *testing.T) {
+	g := buildFigure1(t)
+	d1 := g.Element("a").Dump()
+	d2 := Build(dtd.MustParse(dtd.Figure1)).Element("a").Dump()
+	if d1 != d2 {
+		t.Errorf("Dump not deterministic:\n%s\n%s", d1, d2)
+	}
+}
+
+func labels(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortPaths(paths [][]string) {
+	sort.Slice(paths, func(i, j int) bool {
+		a, b := paths[i], paths[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

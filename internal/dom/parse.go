@@ -1,0 +1,160 @@
+package dom
+
+import (
+	"fmt"
+
+	"repro/internal/xmltext"
+)
+
+// Document is a parsed XML document: a root element plus any comments and
+// processing instructions found outside it.
+type Document struct {
+	Root *Node
+	// Prolog holds comment/PI nodes appearing before the root element.
+	Prolog []*Node
+	// Epilog holds comment/PI nodes appearing after the root element.
+	Epilog []*Node
+}
+
+// Parse parses an XML string into a document tree, enforcing
+// well-formedness: properly nested matching tags, a single root element,
+// and nothing but whitespace, comments and PIs outside the root.
+func Parse(src string) (*Document, error) {
+	tokens, err := xmltext.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{}
+	var stack []*Node
+	push := func(n *Node) error {
+		if len(stack) > 0 {
+			stack[len(stack)-1].Append(n)
+			return nil
+		}
+		switch n.Kind {
+		case ElementNode:
+			if doc.Root != nil {
+				return fmt.Errorf("xml: multiple root elements (<%s> after <%s>)", n.Name, doc.Root.Name)
+			}
+			doc.Root = n
+		case TextNode:
+			if !isWhitespace(n.Data) {
+				return fmt.Errorf("xml: character data outside the root element: %.20q", n.Data)
+			}
+			// whitespace between top-level constructs is dropped
+		default:
+			if doc.Root == nil {
+				doc.Prolog = append(doc.Prolog, n)
+			} else {
+				doc.Epilog = append(doc.Epilog, n)
+			}
+		}
+		return nil
+	}
+	for i := range tokens {
+		tok := &tokens[i]
+		switch tok.Kind {
+		case xmltext.StartTag:
+			n := &Node{Kind: ElementNode, Name: tok.Name, Attrs: tok.Attrs}
+			if err := push(n); err != nil {
+				return nil, err
+			}
+			stack = append(stack, n)
+		case xmltext.EndTag:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xml: %s: unexpected end tag </%s>", tok.Pos, tok.Name)
+			}
+			top := stack[len(stack)-1]
+			if top.Name != tok.Name {
+				return nil, fmt.Errorf("xml: %s: end tag </%s> does not match open <%s>", tok.Pos, tok.Name, top.Name)
+			}
+			stack = stack[:len(stack)-1]
+		case xmltext.Text:
+			if tok.Data == "" {
+				continue
+			}
+			if err := push(&Node{Kind: TextNode, Data: tok.Data}); err != nil {
+				return nil, err
+			}
+		case xmltext.Comment:
+			if err := push(&Node{Kind: CommentNode, Data: tok.Data}); err != nil {
+				return nil, err
+			}
+		case xmltext.ProcInst:
+			if err := push(&Node{Kind: ProcInstNode, Name: tok.Name, Data: tok.Data}); err != nil {
+				return nil, err
+			}
+		case xmltext.Doctype:
+			// A DOCTYPE declaration in the instance is tolerated and ignored;
+			// the DTD is supplied separately in this system.
+		}
+	}
+	if len(stack) > 0 {
+		return nil, fmt.Errorf("xml: unclosed element <%s>", stack[len(stack)-1].Name)
+	}
+	if doc.Root == nil {
+		return nil, fmt.Errorf("xml: no root element")
+	}
+	// Merge adjacent text nodes produced by entity/CDATA boundaries so that
+	// the tree matches the paper's model, where consecutive character data
+	// is a single text node (and δ_T maps it to a single σ).
+	mergeText(doc.Root)
+	return doc, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and fixtures.
+func MustParse(src string) *Document {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseRoot parses src and returns just the root element.
+func ParseRoot(src string) (*Node, error) {
+	d, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.Root, nil
+}
+
+func mergeText(n *Node) {
+	out := n.Children[:0]
+	for _, c := range n.Children {
+		if c.Kind == TextNode && len(out) > 0 && out[len(out)-1].Kind == TextNode {
+			out[len(out)-1].Data += c.Data
+			continue
+		}
+		out = append(out, c)
+		if c.Kind == ElementNode {
+			mergeText(c)
+		}
+	}
+	n.Children = out
+}
+
+func isWhitespace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String serializes the document: prolog nodes, root, epilog nodes.
+func (d *Document) String() string {
+	out := ""
+	for _, n := range d.Prolog {
+		out += n.String()
+	}
+	out += d.Root.String()
+	for _, n := range d.Epilog {
+		out += n.String()
+	}
+	return out
+}

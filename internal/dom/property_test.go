@@ -1,0 +1,112 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTreeOps drives a random sequence of tree mutations and checks the
+// structural invariants after every step.
+func TestPropertyRandomMutationsKeepInvariants(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := NewElement("root", NewText("seed text"))
+		for op := 0; op < 40; op++ {
+			elems := root.Elements()
+			target := elems[rng.Intn(len(elems))]
+			switch rng.Intn(4) {
+			case 0: // wrap a random range
+				nc := len(target.Children)
+				i := rng.Intn(nc + 1)
+				j := i + rng.Intn(nc-i+1)
+				target.WrapChildren(i, j, names[rng.Intn(len(names))])
+			case 1: // unwrap a non-root element
+				if target.Parent != nil {
+					target.Unwrap()
+				}
+			case 2: // insert a text child
+				target.InsertChild(rng.Intn(len(target.Children)+1), NewText("x"))
+			case 3: // remove a child
+				if len(target.Children) > 0 {
+					target.RemoveChildAt(rng.Intn(len(target.Children)))
+				}
+			}
+			if err := root.Validate(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		// Serialization round-trips.
+		re, err := Parse(root.String())
+		if err != nil {
+			t.Logf("seed %d: re-parse: %v", seed, err)
+			return false
+		}
+		// Equality modulo text merging: re-serialize both.
+		return re.Root.String() == root.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWrapUnwrapInverse: unwrap(wrap(range)) is the identity on the
+// serialized tree.
+func TestPropertyWrapUnwrapInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := NewElement("root")
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			if rng.Intn(2) == 0 {
+				root.Append(NewText("t"))
+			} else {
+				root.Append(NewElement("x", NewText("y")))
+			}
+		}
+		before := root.String()
+		nc := len(root.Children)
+		i := rng.Intn(nc + 1)
+		j := i + rng.Intn(nc-i+1)
+		w := root.WrapChildren(i, j, "wrap")
+		if root.String() == before && j > i {
+			return false // wrapping a non-empty range must change the string
+		}
+		w.Unwrap()
+		return root.String() == before && root.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyContentInvariantUnderMarkupOps: wrapping and unwrapping never
+// change content(w) — the textual core the paper's editing model protects.
+func TestPropertyContentInvariantUnderMarkupOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := NewElement("root",
+			NewText("alpha "), NewElement("x", NewText("beta")), NewText(" gamma"))
+		want := root.Content()
+		for op := 0; op < 20; op++ {
+			elems := root.Elements()
+			target := elems[rng.Intn(len(elems))]
+			if rng.Intn(2) == 0 {
+				nc := len(target.Children)
+				i := rng.Intn(nc + 1)
+				j := i + rng.Intn(nc-i+1)
+				target.WrapChildren(i, j, "w")
+			} else if target.Parent != nil {
+				target.Unwrap()
+			}
+			if root.Content() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package dtd parses Document Type Definitions (the internal/external
+// subset syntax of XML 1.0) into content-model expressions.
+//
+// Only <!ELEMENT ...> declarations affect potential validity (the paper,
+// Section 2, footnote 3: attribute declarations play no role), so
+// <!ATTLIST ...>, <!ENTITY ...> and <!NOTATION ...> declarations are parsed
+// for well-formedness and then discarded. Parameter entities are not
+// expanded; DTDs that rely on them must be pre-expanded.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/contentmodel"
+)
+
+// Category classifies an element type declaration's content specification.
+type Category int
+
+const (
+	// Empty is the EMPTY content model: no content of any kind.
+	Empty Category = iota
+	// Any is the ANY content model: any declared elements and character
+	// data, in any order.
+	Any
+	// Mixed is mixed content: (#PCDATA | a | b)* or (#PCDATA).
+	Mixed
+	// Children is element content: a deterministic regular expression over
+	// element names.
+	Children
+)
+
+// String returns the DTD keyword or a descriptive name for the category.
+func (c Category) String() string {
+	switch c {
+	case Empty:
+		return "EMPTY"
+	case Any:
+		return "ANY"
+	case Mixed:
+		return "mixed"
+	case Children:
+		return "children"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// ElementDecl is one <!ELEMENT name contentspec> declaration.
+type ElementDecl struct {
+	Name     string
+	Category Category
+	// Model is the content-model expression for Mixed and Children
+	// categories; nil for EMPTY and ANY.
+	Model *contentmodel.Expr
+}
+
+// String renders the declaration back in DTD syntax.
+func (d *ElementDecl) String() string {
+	switch d.Category {
+	case Empty:
+		return fmt.Sprintf("<!ELEMENT %s EMPTY>", d.Name)
+	case Any:
+		return fmt.Sprintf("<!ELEMENT %s ANY>", d.Name)
+	default:
+		m := d.Model.String()
+		if !strings.HasPrefix(m, "(") {
+			// Bare leaves (a name, or #PCDATA) need the parentheses the
+			// XML grammar requires around a content spec.
+			m = "(" + m + ")"
+		}
+		return fmt.Sprintf("<!ELEMENT %s %s>", d.Name, m)
+	}
+}
+
+// DTD is a parsed set of element type declarations Γ together with the set
+// of declared element types T (the paper's T = ⟨Γ, T⟩).
+type DTD struct {
+	// Elements maps element names to their declarations.
+	Elements map[string]*ElementDecl
+	// Order lists element names in declaration order.
+	Order []string
+}
+
+// Element returns the declaration for name, or nil if name is undeclared.
+func (d *DTD) Element(name string) *ElementDecl { return d.Elements[name] }
+
+// Names returns all declared element names in declaration order.
+func (d *DTD) Names() []string {
+	out := make([]string, len(d.Order))
+	copy(out, d.Order)
+	return out
+}
+
+// SortedNames returns all declared element names sorted lexicographically.
+func (d *DTD) SortedNames() []string {
+	out := d.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the paper's k measure: the total number of element and
+// #PCDATA occurrences over all content-model expressions, plus one per
+// declaration (so that k ≥ m and reading the DTD is O(k)).
+func (d *DTD) Size() int {
+	k := 0
+	for _, name := range d.Order {
+		decl := d.Elements[name]
+		k++
+		if decl.Model != nil {
+			decl.Model.Walk(func(e *contentmodel.Expr) bool {
+				if e.Kind == contentmodel.KindName || e.Kind == contentmodel.KindPCDATA {
+					k++
+				}
+				return true
+			})
+		}
+	}
+	return k
+}
+
+// String renders the whole DTD, one declaration per line, in declaration
+// order.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.Order {
+		b.WriteString(d.Elements[name].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// UndeclaredReferences returns the sorted set of element names that occur in
+// some content model but have no declaration of their own. Valid XML
+// requires every referenced type to be declared; the potential-validity
+// machinery also requires it (reachability is computed over declarations).
+func (d *DTD) UndeclaredReferences() []string {
+	missing := map[string]bool{}
+	for _, name := range d.Order {
+		decl := d.Elements[name]
+		if decl.Model == nil {
+			continue
+		}
+		for _, ref := range decl.Model.ElementNames() {
+			if _, ok := d.Elements[ref]; !ok {
+				missing[ref] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(missing))
+	for n := range missing {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate performs structural sanity checks on the DTD: every referenced
+// element is declared, and every content model of category Children
+// satisfies the XML 1.0 determinism constraint. It returns a nil slice when
+// the DTD is clean. Determinism violations are advisory for potential
+// validity (the recognizer does not need determinism) but real DTDs must
+// satisfy them.
+func (d *DTD) Validate() []string {
+	var problems []string
+	for _, ref := range d.UndeclaredReferences() {
+		problems = append(problems, fmt.Sprintf("element %q is referenced but not declared", ref))
+	}
+	for _, name := range d.Order {
+		decl := d.Elements[name]
+		if decl.Category != Children {
+			continue
+		}
+		auto := contentmodel.CompileAutomaton(decl.Model)
+		for _, v := range auto.CheckDeterminism() {
+			problems = append(problems, fmt.Sprintf("element %q: %s", name, v.String()))
+		}
+	}
+	return problems
+}

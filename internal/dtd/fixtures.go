@@ -1,0 +1,125 @@
+package dtd
+
+// Fixture DTD sources used across tests, examples and benchmarks. They are
+// the paper's running examples plus a few realistic document-centric
+// schemas.
+
+// Figure1 is the sample DTD of Figure 1 in the paper. Note the paper spells
+// element c's declaration as "#PCDATA" without parentheses; the parser
+// accepts it (see parseElementDecl).
+const Figure1 = `
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b ( d | f)>
+<!ELEMENT c #PCDATA>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+`
+
+// T1 is the PV-strong recursive DTD of Example 5: without a depth bound the
+// greedy recognizer would loop on <a><b></b><b></b></a> (Figure 7).
+const T1 = `
+<!ELEMENT a (a | b*)>
+<!ELEMENT b EMPTY>
+`
+
+// T2 is the PV-strong recursive DTD of Example 6: recognizing
+// <a><b></b><b></b></a> requires taking one recursive step (one nested
+// recognizer), so recursion cannot simply be cut off.
+const T2 = `
+<!ELEMENT a ((a | b), b)>
+<!ELEMENT b EMPTY>
+`
+
+// WeakRecursive is a PV-weak recursive DTD in the style of XHTML inline
+// markup: b and i nest through star-groups only (mixed content), so
+// Proposition 2 resolves recursion through reachability with no nested
+// recognizers.
+const WeakRecursive = `
+<!ELEMENT p (#PCDATA | b | i | tt)*>
+<!ELEMENT b (#PCDATA | b | i | tt)*>
+<!ELEMENT i (#PCDATA | b | i | tt)*>
+<!ELEMENT tt (#PCDATA)>
+`
+
+// Play is a Shakespeare-play style document-centric DTD (after Jon Bosak's
+// play.dtd, simplified): the classic digital-library encoding workload the
+// paper's introduction motivates.
+const Play = `
+<!ELEMENT play     (title, personae, act+)>
+<!ELEMENT title    (#PCDATA)>
+<!ELEMENT personae (persona+)>
+<!ELEMENT persona  (#PCDATA)>
+<!ELEMENT act      (title, scene+)>
+<!ELEMENT scene    (title, (speech | stagedir)+)>
+<!ELEMENT speech   (speaker, (line | stagedir)+)>
+<!ELEMENT speaker  (#PCDATA)>
+<!ELEMENT line     (#PCDATA | stagedir)*>
+<!ELEMENT stagedir (#PCDATA)>
+`
+
+// TEILite is a TEI-Lite flavored DTD for scholarly text encoding — the
+// digital-library workload of the paper's introduction at a more realistic
+// scale: front/body/back structure, nested divisions (PV-weak recursion
+// through the div star-group), paragraph-level mixed content with inline
+// markup (hi/emph/name/date nest freely, also PV-weak), notes, line groups
+// and bibliographic citations.
+const TEILite = `
+<!ELEMENT TEI        (teiHeader, text)>
+<!ELEMENT teiHeader  (fileDesc)>
+<!ELEMENT fileDesc   (titleStmt, publicationStmt?, sourceDesc?)>
+<!ELEMENT titleStmt  (title+, author*, editor*)>
+<!ELEMENT title      (#PCDATA | hi | emph)*>
+<!ELEMENT author     (#PCDATA | name | date)*>
+<!ELEMENT editor     (#PCDATA | name)*>
+<!ELEMENT publicationStmt (publisher?, pubPlace?, date?)>
+<!ELEMENT publisher  (#PCDATA)>
+<!ELEMENT pubPlace   (#PCDATA)>
+<!ELEMENT sourceDesc (bibl*)>
+<!ELEMENT bibl       (#PCDATA | title | author | date | note)*>
+<!ELEMENT text       (front?, body, back?)>
+<!ELEMENT front      (titlePage?, div*)>
+<!ELEMENT titlePage  (docTitle, docAuthor*, docDate?)>
+<!ELEMENT docTitle   (#PCDATA | hi)*>
+<!ELEMENT docAuthor  (#PCDATA)>
+<!ELEMENT docDate    (#PCDATA)>
+<!ELEMENT body       (div+)>
+<!ELEMENT back       (div*, bibl*)>
+<!ELEMENT div        (head?, (p | lg | quote | list | note | div)*)>
+<!ELEMENT head       (#PCDATA | hi | emph | note)*>
+<!ELEMENT p          (#PCDATA | hi | emph | name | date | ref | note | quote | list)*>
+<!ELEMENT hi         (#PCDATA | hi | emph | name)*>
+<!ELEMENT emph       (#PCDATA | hi | emph)*>
+<!ELEMENT name       (#PCDATA)>
+<!ELEMENT date       (#PCDATA)>
+<!ELEMENT ref        (#PCDATA | hi)*>
+<!ELEMENT note       (#PCDATA | hi | emph | ref | bibl)*>
+<!ELEMENT quote      (#PCDATA | hi | emph | lg | p)*>
+<!ELEMENT list       (item+)>
+<!ELEMENT item       (#PCDATA | hi | emph | list | p)*>
+<!ELEMENT lg         (l+)>
+<!ELEMENT l          (#PCDATA | hi | emph | name | note)*>
+`
+
+// Article is a small TEI/DocBook flavored article DTD with moderate nesting
+// and both element and mixed content; sect is recursive through element
+// content that sits inside a star-group (PV-weak).
+const Article = `
+<!ELEMENT article  (front, body, back?)>
+<!ELEMENT front    (title, author+, abstract?)>
+<!ELEMENT title    (#PCDATA | emph)*>
+<!ELEMENT author   (name, affil?)>
+<!ELEMENT name     (#PCDATA)>
+<!ELEMENT affil    (#PCDATA)>
+<!ELEMENT abstract (para+)>
+<!ELEMENT body     (sect+)>
+<!ELEMENT sect     (title, (para | list | sect)*)>
+<!ELEMENT para     (#PCDATA | emph | cite | list)*>
+<!ELEMENT emph     (#PCDATA | emph)*>
+<!ELEMENT cite     (#PCDATA)>
+<!ELEMENT list     (item+)>
+<!ELEMENT item     (para+)>
+<!ELEMENT back     (biblio)>
+<!ELEMENT biblio   (cite+)>
+`

@@ -1,0 +1,226 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/contentmodel"
+)
+
+func TestParseFigure1(t *testing.T) {
+	d, err := Parse(Figure1)
+	if err != nil {
+		t.Fatalf("Parse(Figure1): %v", err)
+	}
+	wantOrder := []string{"r", "a", "b", "c", "d", "e", "f"}
+	if len(d.Order) != len(wantOrder) {
+		t.Fatalf("Order = %v, want %v", d.Order, wantOrder)
+	}
+	for i, w := range wantOrder {
+		if d.Order[i] != w {
+			t.Fatalf("Order = %v, want %v", d.Order, wantOrder)
+		}
+	}
+	tests := []struct {
+		name     string
+		category Category
+		model    string
+	}{
+		{"r", Children, "(a)+"},
+		{"a", Children, "((b)?, (c | f), d)"},
+		{"b", Children, "(d | f)"},
+		{"c", Mixed, "#PCDATA"},
+		{"d", Mixed, "(#PCDATA | e)*"},
+		{"e", Empty, ""},
+		{"f", Children, "(c, e)"},
+	}
+	for _, tt := range tests {
+		decl := d.Element(tt.name)
+		if decl == nil {
+			t.Fatalf("element %q missing", tt.name)
+		}
+		if decl.Category != tt.category {
+			t.Errorf("element %q category = %v, want %v", tt.name, decl.Category, tt.category)
+		}
+		if tt.model != "" {
+			if got := decl.Model.String(); got != tt.model {
+				t.Errorf("element %q model = %q, want %q", tt.name, got, tt.model)
+			}
+		} else if decl.Model != nil {
+			t.Errorf("element %q should have nil model", tt.name)
+		}
+	}
+}
+
+func TestParseMixedForms(t *testing.T) {
+	d := MustParse(`
+		<!ELEMENT a (#PCDATA)>
+		<!ELEMENT b (#PCDATA)*>
+		<!ELEMENT c (#PCDATA | x | y)*>
+		<!ELEMENT x EMPTY>
+		<!ELEMENT y ANY>
+	`)
+	if d.Element("a").Category != Mixed {
+		t.Error("(#PCDATA) should be Mixed")
+	}
+	if d.Element("b").Category != Mixed {
+		t.Error("(#PCDATA)* should be Mixed")
+	}
+	c := d.Element("c")
+	if c.Category != Mixed {
+		t.Error("(#PCDATA|x|y)* should be Mixed")
+	}
+	if got := c.Model.String(); got != "(#PCDATA | x | y)*" {
+		t.Errorf("c model = %q", got)
+	}
+	if d.Element("y").Category != Any {
+		t.Error("ANY category lost")
+	}
+}
+
+func TestParseRejectsBadMixed(t *testing.T) {
+	// Mixed content with elements must end in ")*".
+	if _, err := Parse(`<!ELEMENT a (#PCDATA | b)>`); err == nil {
+		t.Error("expected error for (#PCDATA | b) without star")
+	}
+}
+
+func TestParseRejectsMixedSeparators(t *testing.T) {
+	if _, err := Parse(`<!ELEMENT a (b, c | d)>`); err == nil {
+		t.Error("expected error for mixing ',' and '|' at one level")
+	}
+}
+
+func TestParseRejectsDuplicateDecl(t *testing.T) {
+	if _, err := Parse("<!ELEMENT a EMPTY>\n<!ELEMENT a ANY>"); err == nil {
+		t.Error("expected error for duplicate declaration")
+	}
+}
+
+func TestParseNestedGroups(t *testing.T) {
+	d := MustParse(`<!ELEMENT a ((b | c)+, (d, e)?, f*)> <!ELEMENT b EMPTY>
+		<!ELEMENT c EMPTY> <!ELEMENT d EMPTY> <!ELEMENT e EMPTY> <!ELEMENT f EMPTY>`)
+	want := "((b | c)+, (d, e)?, (f)*)"
+	if got := d.Element("a").Model.String(); got != want {
+		t.Errorf("model = %q, want %q", got, want)
+	}
+}
+
+func TestParseSkipsIrrelevantDeclarations(t *testing.T) {
+	d := MustParse(`
+		<!-- a comment with <!ELEMENT fake EMPTY> inside -->
+		<!ELEMENT a (b)>
+		<!ATTLIST a id ID #REQUIRED note CDATA "with > inside">
+		<!ENTITY copy "&#169;">
+		<!NOTATION gif SYSTEM "image/gif">
+		<?xml-stylesheet href="x.css"?>
+		<!ELEMENT b EMPTY>
+	`)
+	if len(d.Order) != 2 {
+		t.Fatalf("want 2 elements, got %v", d.Order)
+	}
+	if d.Element("fake") != nil {
+		t.Error("commented-out declaration was parsed")
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("<!ELEMENT a (b,)>\n<!ELEMENT b EMPTY>")
+	if err == nil {
+		t.Fatal("expected syntax error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error %T is not a *ParseError", err)
+	}
+	if pe.Line != 1 {
+		t.Errorf("error line = %d, want 1", pe.Line)
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error text %q lacks position", err)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestSizeMeasure(t *testing.T) {
+	d := MustParse(Figure1)
+	// Occurrences: r:a=1; a:b,c,f,d=4; b:d,f=2; c:PCDATA=1; d:PCDATA,e=2;
+	// e:0; f:c,e=2. Total 12 + 7 declarations = 19.
+	if got := d.Size(); got != 19 {
+		t.Errorf("Size = %d, want 19", got)
+	}
+	if got := d.Size(); got < len(d.Order) {
+		t.Errorf("k=%d must be >= m=%d", got, len(d.Order))
+	}
+}
+
+func TestUndeclaredReferences(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b, ghost)> <!ELEMENT b (#PCDATA | phantom)*>`)
+	got := d.UndeclaredReferences()
+	if len(got) != 2 || got[0] != "ghost" || got[1] != "phantom" {
+		t.Errorf("UndeclaredReferences = %v, want [ghost phantom]", got)
+	}
+}
+
+func TestValidateCatchesNondeterminism(t *testing.T) {
+	d := MustParse(`<!ELEMENT a ((b, c) | (b, d))> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>`)
+	problems := d.Validate()
+	if len(problems) == 0 {
+		t.Error("expected a determinism problem for ((b,c)|(b,d))")
+	}
+	clean := MustParse(Figure1)
+	if problems := clean.Validate(); len(problems) != 0 {
+		t.Errorf("Figure 1 DTD should be clean, got %v", problems)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	for _, src := range []string{Figure1, T1, T2, WeakRecursive, Play, Article} {
+		d1 := MustParse(src)
+		d2, err := Parse(d1.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, d1.String())
+		}
+		if len(d1.Order) != len(d2.Order) {
+			t.Fatalf("round-trip changed element count")
+		}
+		for _, name := range d1.Order {
+			a, b := d1.Element(name), d2.Element(name)
+			if a.Category != b.Category {
+				t.Errorf("element %q category changed: %v vs %v", name, a.Category, b.Category)
+			}
+			if a.Model != nil && !normEq(a.Model, b.Model) {
+				t.Errorf("element %q model changed: %v vs %v", name, a.Model, b.Model)
+			}
+		}
+	}
+}
+
+// normEq compares models modulo the redundant parentheses String() emits.
+func normEq(a, b *contentmodel.Expr) bool {
+	return a.String() == b.String()
+}
+
+func TestFixturesParse(t *testing.T) {
+	fixtures := map[string]string{
+		"Figure1": Figure1, "T1": T1, "T2": T2,
+		"WeakRecursive": WeakRecursive, "Play": Play, "Article": Article,
+	}
+	for name, src := range fixtures {
+		d, err := Parse(src)
+		if err != nil {
+			t.Errorf("fixture %s: %v", name, err)
+			continue
+		}
+		if missing := d.UndeclaredReferences(); len(missing) > 0 {
+			t.Errorf("fixture %s has undeclared references %v", name, missing)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package earley implements an Earley recognizer for plain context-free
+// grammars, with the Aycock–Horspool treatment of nullable nonterminals
+// (when predicting a nullable B, the predicting item is also advanced over
+// B). It is the generic-CFG baseline of Section 3.3: the paper's grammars
+// G'(T,r) are highly ambiguous and almost every nonterminal is nullable
+// (Theorem 3), which is exactly the regime where Earley parsing degrades —
+// the point experiment X2 demonstrates. It also serves as the ground-truth
+// oracle for potential validity via Theorem 1.
+package earley
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+)
+
+// item is a dotted production with an origin position:
+// lhs → rhs[0..dot) • rhs[dot..], started at chart column origin.
+type item struct {
+	lhs    string
+	alt    int // index into prods[lhs]
+	dot    int
+	origin int
+}
+
+// Recognizer holds the preprocessed grammar.
+type Recognizer struct {
+	g        *grammar.CFG
+	nullable map[string]bool
+	// prods is a stable snapshot: lhs -> alternatives.
+	prods map[string][][]string
+}
+
+// New preprocesses the grammar (nullable computation) for recognition.
+func New(g *grammar.CFG) *Recognizer {
+	r := &Recognizer{g: g, prods: g.Prods}
+	r.nullable = computeNullable(g)
+	return r
+}
+
+func computeNullable(g *grammar.CFG) map[string]bool {
+	nullable := map[string]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for lhs, alts := range g.Prods {
+			if nullable[lhs] {
+				continue
+			}
+			for _, rhs := range alts {
+				all := true
+				for _, sym := range rhs {
+					if g.IsTerminal(sym) || !nullable[sym] {
+						all = false
+						break
+					}
+				}
+				if all {
+					nullable[lhs] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return nullable
+}
+
+// Nullable reports whether nonterminal nt derives ε — used by the
+// Theorem 3 test.
+func (r *Recognizer) Nullable(nt string) bool { return r.nullable[nt] }
+
+// Stats holds work counters from a recognition run, used by the X2
+// benchmark tables to report Earley effort alongside wall time.
+type Stats struct {
+	Items   int // total chart items created
+	Columns int
+}
+
+// Recognize reports whether tokens ∈ L(g).
+func (r *Recognizer) Recognize(tokens []string) bool {
+	ok, _ := r.RecognizeStats(tokens)
+	return ok
+}
+
+// RecognizeStats is Recognize with work counters.
+func (r *Recognizer) RecognizeStats(tokens []string) (bool, Stats) {
+	n := len(tokens)
+	chart := make([][]item, n+1)
+	// seen[k] dedupes items in column k.
+	seen := make([]map[item]bool, n+1)
+	for k := range seen {
+		seen[k] = map[item]bool{}
+	}
+	var stats Stats
+	stats.Columns = n + 1
+
+	push := func(k int, it item) {
+		if seen[k][it] {
+			return
+		}
+		seen[k][it] = true
+		chart[k] = append(chart[k], it)
+		stats.Items++
+	}
+
+	for _, alt := range indices(r.prods[r.g.Start]) {
+		push(0, item{lhs: r.g.Start, alt: alt, dot: 0, origin: 0})
+	}
+
+	for k := 0; k <= n; k++ {
+		// Process column k to fixpoint (chart[k] grows during the loop).
+		for i := 0; i < len(chart[k]); i++ {
+			it := chart[k][i]
+			rhs := r.prods[it.lhs][it.alt]
+			if it.dot < len(rhs) {
+				sym := rhs[it.dot]
+				if r.g.IsTerminal(sym) {
+					// Scanner.
+					if k < n && tokens[k] == sym {
+						push(k+1, item{lhs: it.lhs, alt: it.alt, dot: it.dot + 1, origin: it.origin})
+					}
+				} else {
+					// Predictor.
+					for _, alt := range indices(r.prods[sym]) {
+						push(k, item{lhs: sym, alt: alt, dot: 0, origin: k})
+					}
+					// Aycock–Horspool nullable shortcut: if sym is
+					// nullable, also advance over it immediately.
+					if r.nullable[sym] {
+						push(k, item{lhs: it.lhs, alt: it.alt, dot: it.dot + 1, origin: it.origin})
+					}
+				}
+			} else {
+				// Completer.
+				for _, parent := range chart[it.origin] {
+					prhs := r.prods[parent.lhs][parent.alt]
+					if parent.dot < len(prhs) && prhs[parent.dot] == it.lhs {
+						push(k, item{lhs: parent.lhs, alt: parent.alt, dot: parent.dot + 1, origin: parent.origin})
+					}
+				}
+			}
+		}
+	}
+
+	for _, it := range chart[n] {
+		if it.lhs == r.g.Start && it.origin == 0 && it.dot == len(r.prods[r.g.Start][it.alt]) {
+			return true, stats
+		}
+	}
+	return false, stats
+}
+
+func indices(alts [][]string) []int {
+	out := make([]int, len(alts))
+	for i := range alts {
+		out[i] = i
+	}
+	return out
+}
+
+// String renders an item for debugging.
+func (r *Recognizer) itemString(it item) string {
+	rhs := r.prods[it.lhs][it.alt]
+	s := it.lhs + " ->"
+	for i, sym := range rhs {
+		if i == it.dot {
+			s += " •"
+		}
+		s += " " + sym
+	}
+	if it.dot == len(rhs) {
+		s += " •"
+	}
+	return fmt.Sprintf("[%s, %d]", s, it.origin)
+}

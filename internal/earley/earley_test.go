@@ -1,0 +1,132 @@
+package earley
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/grammar"
+)
+
+func figure1CFG(t *testing.T, relaxed bool) *Recognizer {
+	t.Helper()
+	g, err := grammar.BuildECFG(dtd.MustParse(dtd.Figure1), "r", relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g.ToCFG())
+}
+
+func tokensOf(t *testing.T, src string) []string {
+	t.Helper()
+	root, err := dom.ParseRoot(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grammar.DeltaT(root)
+}
+
+func TestValidityGrammarG(t *testing.T) {
+	r := figure1CFG(t, false)
+	// The Figure 3 extension is valid, so δ_T(ext) ∈ L(G).
+	ext := `<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>`
+	if !r.Recognize(tokensOf(t, ext)) {
+		t.Error("valid extension must be in L(G)")
+	}
+	// Both Example 1 encodings are invalid, so outside L(G).
+	for _, src := range []string{
+		`<r><a><b>x</b><e></e><c>y</c> dog</a></r>`,
+		`<r><a><b>x</b><c>y</c> dog<e></e></a></r>`,
+	} {
+		if r.Recognize(tokensOf(t, src)) {
+			t.Errorf("invalid document in L(G): %s", src)
+		}
+	}
+}
+
+func TestPotentialValidityGrammarGPrime(t *testing.T) {
+	// Theorem 1: w ∈ D*(T,r) ⇔ δ_T(w) ∈ L(G').
+	r := figure1CFG(t, true)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`<r><a><b>x</b><c>y</c> dog<e></e></a></r>`, true},  // s: PV
+		{`<r><a><b>x</b><e></e><c>y</c> dog</a></r>`, false}, // w: not PV
+		{`<r></r>`, true},
+		{`<r><a></a></r>`, true},
+		{`<r><a><e></e><e></e></a></r>`, true},
+		{`<r><a><b><d></d></b><e></e><c>x</c></a></r>`, false},
+	}
+	for _, c := range cases {
+		if got := r.Recognize(tokensOf(t, c.src)); got != c.want {
+			t.Errorf("G' on %s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTheorem3AllNullable(t *testing.T) {
+	// Theorem 3: in G', every nonterminal derives ε.
+	for _, src := range []string{dtd.Figure1, dtd.T1, dtd.T2, dtd.WeakRecursive, dtd.Play, dtd.Article} {
+		d := dtd.MustParse(src)
+		g, err := grammar.BuildECFG(d, d.Order[0], true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(g.ToCFG())
+		for _, x := range d.Order {
+			for _, nt := range []string{"nt_" + x, "hat_" + x} {
+				if !r.Nullable(nt) {
+					t.Errorf("DTD %q: nonterminal %s is not nullable, violating Theorem 3", d.Order[0], nt)
+				}
+			}
+		}
+		if !r.Nullable("S") {
+			t.Error("S must be nullable in G'")
+		}
+	}
+}
+
+func TestGNotAllNullable(t *testing.T) {
+	// Sanity: in the strict grammar G the element nonterminals are NOT
+	// nullable (tags are mandatory).
+	g, _ := grammar.BuildECFG(dtd.MustParse(dtd.Figure1), "r", false)
+	r := New(g.ToCFG())
+	if r.Nullable("nt_r") {
+		t.Error("nt_r must not be nullable in G")
+	}
+	if !r.Nullable("hat_e") {
+		t.Error("hat_e (EMPTY content) is nullable even in G")
+	}
+}
+
+func TestEmptyInputRelaxed(t *testing.T) {
+	// ε ∈ L(G') (everything omitted) but ε ∉ L(G).
+	if !figure1CFG(t, true).Recognize(nil) {
+		t.Error("ε must be in L(G')")
+	}
+	if figure1CFG(t, false).Recognize(nil) {
+		t.Error("ε must not be in L(G)")
+	}
+}
+
+func TestStatsGrowth(t *testing.T) {
+	r := figure1CFG(t, true)
+	small := tokensOf(t, `<r><a><c>x</c><d></d></a></r>`)
+	big := tokensOf(t, `<r><a><c>x</c><d></d></a><a><c>x</c><d></d></a><a><c>x</c><d></d></a></r>`)
+	_, s1 := r.RecognizeStats(small)
+	_, s2 := r.RecognizeStats(big)
+	if s2.Items <= s1.Items {
+		t.Errorf("chart items should grow with input: %d vs %d", s1.Items, s2.Items)
+	}
+	if s1.Columns != len(small)+1 {
+		t.Errorf("columns = %d, want %d", s1.Columns, len(small)+1)
+	}
+}
+
+func TestRejectsForeignTerminal(t *testing.T) {
+	r := figure1CFG(t, true)
+	if r.Recognize([]string{"<r>", "<zzz>", "</zzz>", "</r>"}) {
+		t.Error("unknown terminals must reject")
+	}
+}

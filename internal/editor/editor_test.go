@@ -1,0 +1,261 @@
+package editor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/validator"
+)
+
+func newFigure1Session(t *testing.T, src string) *Session {
+	t.Helper()
+	s := core.MustCompile(dtd.MustParse(dtd.Figure1), "r", core.Options{})
+	doc := dom.MustParse(src)
+	sess, err := NewSession(s, doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestEncodeExample1FromScratch(t *testing.T) {
+	// The introduction's workflow: the phrase exists first, markup is
+	// layered over it, ending at the valid Figure 3 document.
+	sess := newFigure1Session(t, `<r>A quick brown fox jumps over a lazy dog</r>`)
+	r := sess.Root()
+
+	// Wrap everything in <a>.
+	a, err := sess.InsertMarkup(r, 0, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the text into the pieces to mark up. (The editor layer works on
+	// whole nodes; a text split is update+insert.)
+	text := a.Children[0]
+	if err := sess.UpdateText(text, "A quick brown"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.InsertText(a, 1, " fox jumps over a lazy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.InsertText(a, 2, " dog"); err != nil {
+		t.Fatal(err)
+	}
+	// Mark up the pieces: b around the first, c around the second.
+	if _, err := sess.InsertMarkup(a, 0, 1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.InsertMarkup(a, 1, 2, "c"); err != nil {
+		t.Fatal(err)
+	}
+	// d inside b, and d around the trailing text.
+	b := a.Children[0]
+	if _, err := sess.InsertMarkup(b, 0, 1, "d"); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sess.InsertMarkup(a, 2, 3, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <e/> at the end of the trailing d.
+	if _, err := sess.InsertMarkup(d2, 1, 1, "e"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sess.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The final document is fully valid — the encoding is complete.
+	v := validator.MustNew(dtd.MustParse(dtd.Figure1), "r")
+	if err := v.Validate(sess.Root()); err != nil {
+		t.Errorf("final document not valid: %v\n%s", err, sess.Root())
+	}
+	want := `<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>`
+	if got := sess.Root().String(); got != want {
+		t.Errorf("final document = %s\nwant             %s", got, want)
+	}
+	stats := sess.Stats()
+	if stats.Refused != 0 {
+		t.Errorf("refused %d ops in a clean workflow", stats.Refused)
+	}
+	if stats.ByKind[OpInsertMarkup] != 6 {
+		t.Errorf("insert-markup count = %d, want 6", stats.ByKind[OpInsertMarkup])
+	}
+}
+
+func TestGuardRefusesBadMarkup(t *testing.T) {
+	// Example 1's w: inserting <e/> between b and c is exactly the edit
+	// that makes the document impossible to complete — the guard refuses.
+	sess := newFigure1Session(t, `<r><a><b>A quick brown</b><c> fox</c> dog</a></r>`)
+	a := sess.Root().Children[0]
+	if _, err := sess.InsertMarkup(a, 1, 1, "e"); err == nil {
+		t.Fatal("inserting <e/> before <c> must be refused (would create Example 1's w)")
+	}
+	// The same <e/> at the end is fine (Example 1's s).
+	if _, err := sess.InsertMarkup(a, 3, 3, "e"); err != nil {
+		t.Fatalf("inserting <e/> at the end must be allowed: %v", err)
+	}
+	if err := sess.Check(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sess.Stats()
+	if stats.Refused != 1 || stats.Applied != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestGuardRefusesTextWhereImpossible(t *testing.T) {
+	sess := newFigure1Session(t, `<r><a><c>x</c><d><e></e></d></a></r>`)
+	d := sess.Root().Children[0].Children[1]
+	e := d.Children[0]
+	// Text inside <e> (EMPTY) is impossible.
+	if _, err := sess.InsertText(e, 0, "boom"); err == nil {
+		t.Error("text under <e> must be refused")
+	}
+	// Text inside <d> is fine (mixed content).
+	if _, err := sess.InsertText(d, 1, "fine"); err != nil {
+		t.Errorf("text under <d>: %v", err)
+	}
+}
+
+func TestDeleteMarkupAlwaysAllowed(t *testing.T) {
+	sess := newFigure1Session(t, `<r><a><b><d>x</d></b><c>y</c><d>z<e></e></d></a></r>`)
+	a := sess.Root().Children[0]
+	b := a.Children[0]
+	if err := sess.DeleteMarkup(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.DeleteMarkup(sess.Root()); err == nil {
+		t.Error("root deletion must be refused")
+	}
+}
+
+func TestUndo(t *testing.T) {
+	src := `<r><a><c>x</c><d></d></a></r>`
+	sess := newFigure1Session(t, src)
+	a := sess.Root().Children[0]
+	// Wrap c in b (allowed: c completes inside b via an inserted f), then
+	// undo it.
+	if _, err := sess.InsertMarkup(a, 0, 1, "b"); err != nil {
+		t.Fatalf("wrapping c in b is PV-preserving (b ⇝ f ⇝ c): %v", err)
+	}
+	if !sess.Undo() {
+		t.Fatal("undo failed")
+	}
+	if got := sess.Root().String(); got != src {
+		t.Errorf("undo did not restore: %s", got)
+	}
+	// A text op then undo it.
+	if _, err := sess.InsertText(a.Children[1], 0, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Undo() {
+		t.Fatal("undo failed")
+	}
+	if got := sess.Root().String(); got != src {
+		t.Errorf("undo did not restore: %s", got)
+	}
+	if sess.Undo() {
+		t.Error("empty undo stack must return false")
+	}
+}
+
+func TestUndoDeleteMarkup(t *testing.T) {
+	src := `<r><a><b><d>x</d></b><c>y</c><d></d></a></r>`
+	sess := newFigure1Session(t, src)
+	b := sess.Root().Children[0].Children[0]
+	if err := sess.DeleteMarkup(b); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Undo() {
+		t.Fatal("undo failed")
+	}
+	if got := sess.Root().String(); got != src {
+		t.Errorf("undo did not restore: %s", got)
+	}
+}
+
+func TestSessionRequiresPVStart(t *testing.T) {
+	s := core.MustCompile(dtd.MustParse(dtd.Figure1), "r", core.Options{})
+	doc := dom.MustParse(`<r><a><b>x</b><e></e><c>y</c></a></r>`) // Example 1's w
+	if _, err := NewSession(s, doc.Root); err == nil {
+		t.Error("session on a non-PV document must be refused")
+	}
+}
+
+// TestRandomGuardedSessionInvariant: a random mix of guarded operations
+// never breaks the session invariant (the document stays potentially
+// valid), and refused operations leave the document untouched.
+func TestRandomGuardedSessionInvariant(t *testing.T) {
+	d := dtd.MustParse(dtd.Play)
+	schema := core.MustCompile(d, "play", core.Options{})
+	names := d.Names()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8})
+		gen.Strip(rng, doc, 0.6)
+		sess, err := NewSession(schema, doc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for op := 0; op < 60; op++ {
+			elems := doc.Elements()
+			target := elems[rng.Intn(len(elems))]
+			before := ""
+			switch rng.Intn(5) {
+			case 0:
+				nc := len(target.Children)
+				i := rng.Intn(nc + 1)
+				j := i + rng.Intn(nc-i+1)
+				before = doc.String()
+				if _, err := sess.InsertMarkup(target, i, j, names[rng.Intn(len(names))]); err != nil {
+					if doc.String() != before {
+						t.Fatalf("seed %d: refused insert mutated the document", seed)
+					}
+				}
+			case 1:
+				if target.Parent != nil {
+					_ = sess.DeleteMarkup(target)
+				}
+			case 2:
+				before = doc.String()
+				if _, err := sess.InsertText(target, rng.Intn(len(target.Children)+1), gen.RandText(rng)); err != nil {
+					if doc.String() != before {
+						t.Fatalf("seed %d: refused text insert mutated the document", seed)
+					}
+				}
+			case 3:
+				for _, c := range target.Children {
+					if c.Kind == dom.TextNode {
+						_ = sess.UpdateText(c, gen.RandText(rng))
+						break
+					}
+				}
+			default:
+				if len(sess.undo) > 0 && rng.Intn(4) == 0 {
+					sess.Undo()
+				}
+			}
+			if err := doc.Validate(); err != nil {
+				t.Fatalf("seed %d op %d: tree invariants: %v", seed, op, err)
+			}
+		}
+		if err := sess.Check(); err != nil {
+			t.Fatalf("seed %d: session invariant broken: %v", seed, err)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if !strings.Contains(OpInsertMarkup.String(), "insert-markup") {
+		t.Error("OpKind.String")
+	}
+}

@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/reach"
+	"repro/internal/validator"
+)
+
+func TestRandDTDClasses(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cases := []struct {
+			class DTDClass
+			want  reach.Class
+		}{
+			{ClassNonRecursive, reach.NonRecursive},
+			{ClassWeak, reach.PVWeakRecursive},
+			{ClassStrong, reach.PVStrongRecursive},
+		}
+		for _, c := range cases {
+			d := RandDTD(rng, DTDOptions{Elements: 8, Class: c.class})
+			if got := Classify(d); got != c.want {
+				t.Errorf("seed %d class %v: got %v\n%s", seed, c.class, got, d)
+			}
+			if missing := d.UndeclaredReferences(); len(missing) > 0 {
+				t.Errorf("seed %d: undeclared %v", seed, missing)
+			}
+			// Generated DTDs must always compile (productivity guaranteed).
+			if _, err := core.Compile(d, "e0", core.Options{}); err != nil {
+				t.Errorf("seed %d: %v\n%s", seed, err, d)
+			}
+		}
+	}
+}
+
+func TestGenValidIsValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, class := range []DTDClass{ClassNonRecursive, ClassWeak, ClassStrong} {
+			d := RandDTD(rng, DTDOptions{Elements: 10, Class: class})
+			doc := GenValid(rng, d, "e0", DocOptions{MaxDepth: 8})
+			v := validator.MustNew(d, "e0")
+			if err := v.Validate(doc); err != nil {
+				t.Errorf("seed %d class %v: generated document invalid: %v\n%s\n%s",
+					seed, class, err, d, doc)
+			}
+			if err := doc.Validate(); err != nil {
+				t.Errorf("seed %d: tree invariants: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestGenValidFixtures(t *testing.T) {
+	// The realistic fixtures generate valid documents too.
+	for _, fix := range []struct{ src, root string }{
+		{dtd.Figure1, "r"},
+		{dtd.Play, "play"},
+		{dtd.Article, "article"},
+		{dtd.WeakRecursive, "p"},
+	} {
+		d := dtd.MustParse(fix.src)
+		for seed := int64(0); seed < 10; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			doc := GenValid(rng, d, fix.root, DocOptions{MaxDepth: 10})
+			if err := validator.MustNew(d, fix.root).Validate(doc); err != nil {
+				t.Errorf("%s seed %d: %v\n%s", fix.root, seed, err, doc)
+			}
+		}
+	}
+}
+
+func TestStripPreservesContentAndPV(t *testing.T) {
+	// Theorem 2 in action: stripping tags from a valid document keeps
+	// character data intact and potential validity true.
+	d := dtd.MustParse(dtd.Play)
+	s := core.MustCompile(d, "play", core.Options{})
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := GenValid(rng, d, "play", DocOptions{MaxDepth: 10})
+		content := doc.Content()
+		removed := Strip(rng, doc, 0.4)
+		if doc.Content() != content {
+			t.Fatalf("seed %d: Strip changed character data", seed)
+		}
+		if v := s.CheckDocument(doc); v != nil {
+			t.Errorf("seed %d (removed %d): stripped document not PV: %v\n%s",
+				seed, removed, v, doc)
+		}
+		if err := doc.Validate(); err != nil {
+			t.Errorf("seed %d: tree invariants: %v", seed, err)
+		}
+	}
+}
+
+func TestStripAll(t *testing.T) {
+	doc := dom.MustParse(`<r><a><b>one</b><c>two</c></a><a><c>three</c></a></r>`)
+	names := StripAll(doc.Root)
+	if len(names) != 5 {
+		t.Errorf("removed %v, want 5 elements", names)
+	}
+	if got := doc.Root.String(); got != `<r>onetwothree</r>` {
+		t.Errorf("after StripAll: %q", got)
+	}
+}
+
+func TestCorruptMutates(t *testing.T) {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(7))
+	doc := GenValid(rng, d, "play", DocOptions{MaxDepth: 8})
+	before := doc.String()
+	changed := false
+	for i := 0; i < 10; i++ {
+		clone := doc.Clone()
+		if Corrupt(rng, d, clone) && clone.String() != before {
+			changed = true
+		}
+		if err := clone.Validate(); err != nil {
+			t.Fatalf("corrupt broke invariants: %v", err)
+		}
+	}
+	if !changed {
+		t.Error("Corrupt never changed the document in 10 tries")
+	}
+}
+
+func TestGenValidDeterministic(t *testing.T) {
+	d := dtd.MustParse(dtd.Article)
+	a := GenValid(rand.New(rand.NewSource(42)), d, "article", DocOptions{})
+	b := GenValid(rand.New(rand.NewSource(42)), d, "article", DocOptions{})
+	if !a.Equal(b) {
+		t.Error("GenValid is not deterministic in the seed")
+	}
+}
+
+func TestGenValidRespectsDepth(t *testing.T) {
+	d := dtd.MustParse(dtd.WeakRecursive) // unbounded nesting possible
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := GenValid(rng, d, "p", DocOptions{MaxDepth: 4})
+		if got := doc.Depth(); got > 4 {
+			t.Errorf("seed %d: depth %d exceeds budget 4", seed, got)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package grammar
+
+import (
+	"fmt"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// CFG is a plain context-free grammar over string symbols, produced by
+// decomposing the ECFG's regular right-hand sides with fresh nonterminals.
+// It is the input format of the Earley baseline (internal/earley).
+type CFG struct {
+	Start string
+	// Prods maps a nonterminal to its alternative right-hand sides; an
+	// empty RHS slice element means ε.
+	Prods map[string][][]string
+	// terminal marks which symbols are terminals.
+	terminal map[string]bool
+}
+
+// IsTerminal reports whether sym is a terminal of the grammar.
+func (g *CFG) IsTerminal(sym string) bool { return g.terminal[sym] }
+
+// ProductionCount returns the total number of productions.
+func (g *CFG) ProductionCount() int {
+	n := 0
+	for _, alts := range g.Prods {
+		n += len(alts)
+	}
+	return n
+}
+
+// cfgBuilder decomposes regular expressions into CFG productions.
+type cfgBuilder struct {
+	g     *CFG
+	fresh int
+}
+
+func (b *cfgBuilder) add(lhs string, rhs ...string) {
+	b.g.Prods[lhs] = append(b.g.Prods[lhs], rhs)
+}
+
+func (b *cfgBuilder) freshNT(hint string) string {
+	b.fresh++
+	return fmt.Sprintf("%s#%d", hint, b.fresh)
+}
+
+// expr compiles a content-model expression to a single grammar symbol that
+// derives exactly the expression's language (over element nonterminals and
+// PCDATA).
+func (b *cfgBuilder) expr(e *contentmodel.Expr, hint string) string {
+	switch e.Kind {
+	case contentmodel.KindPCDATA:
+		return "PCDATA"
+	case contentmodel.KindName:
+		return ntName(e.Name)
+	case contentmodel.KindSeq:
+		nt := b.freshNT(hint)
+		rhs := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			rhs[i] = b.expr(c, hint)
+		}
+		b.add(nt, rhs...)
+		return nt
+	case contentmodel.KindChoice:
+		nt := b.freshNT(hint)
+		for _, c := range e.Children {
+			b.add(nt, b.expr(c, hint))
+		}
+		return nt
+	case contentmodel.KindStar:
+		nt := b.freshNT(hint)
+		inner := b.expr(e.Children[0], hint)
+		b.add(nt)            // ε
+		b.add(nt, inner, nt) // right recursion
+		return nt
+	case contentmodel.KindPlus:
+		nt := b.freshNT(hint)
+		inner := b.expr(e.Children[0], hint)
+		star := b.freshNT(hint)
+		b.add(star)
+		b.add(star, inner, star)
+		b.add(nt, inner, star)
+		return nt
+	case contentmodel.KindOpt:
+		nt := b.freshNT(hint)
+		b.add(nt)
+		b.add(nt, b.expr(e.Children[0], hint))
+		return nt
+	}
+	panic(fmt.Sprintf("grammar: unknown kind %v", e.Kind))
+}
+
+// ToCFG lowers the ECFG to a plain CFG by introducing fresh nonterminals
+// for sequence, choice and repetition structure. The CFG recognizes exactly
+// δ_T images: L(CFG) = L(G) (or L(G') when the ECFG is relaxed).
+func (g *ECFG) ToCFG() *CFG {
+	cfg := &CFG{
+		Start:    "S",
+		Prods:    map[string][][]string{},
+		terminal: map[string]bool{SigmaTerminal: true},
+	}
+	b := &cfgBuilder{g: cfg}
+	d := g.DTD
+	for _, x := range d.Order {
+		cfg.terminal[StartTagTerminal(x)] = true
+		cfg.terminal[EndTagTerminal(x)] = true
+	}
+	b.add("S", ntName(g.Root))
+	b.add("PCDATA", SigmaTerminal)
+	b.add("PCDATA") // ε
+	for _, x := range d.Order {
+		decl := d.Elements[x]
+		hat := hatName(x)
+		b.add(ntName(x), StartTagTerminal(x), hat, EndTagTerminal(x))
+		if g.Relaxed {
+			b.add(ntName(x), hat)
+		}
+		switch decl.Category {
+		case dtd.Empty:
+			b.add(hat) // ε
+		case dtd.Any:
+			// hat -> ε | item hat ; item -> any element | PCDATA
+			item := b.freshNT(hat)
+			for _, z := range d.Order {
+				b.add(item, ntName(z))
+			}
+			b.add(item, "PCDATA")
+			b.add(hat)
+			b.add(hat, item, hat)
+		default:
+			b.add(hat, b.expr(decl.Model, hat))
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,145 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+func TestDeltaTSectionExample(t *testing.T) {
+	// The δ_T example at the end of Section 3.1.
+	src := `<a><b>A quick brown</b><c> fox jumps over a lazy</c><d> dog<e></e></d></a>`
+	root, err := dom.ParseRoot(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<a><b>σ</b><c>σ</c><d>σ<e></e></d></a>"
+	if got := DeltaTString(root); got != want {
+		t.Errorf("δ_T = %q, want %q", got, want)
+	}
+}
+
+func TestBigDeltaTSectionExample(t *testing.T) {
+	// The Δ_T example in Section 4: children-only flattening of w's <a>.
+	src := `<a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c> dog</a>`
+	root, err := dom.ParseRoot(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<a><b></b><e></e><c></c>σ</a>"
+	if got := BigDeltaTString(root); got != want {
+		t.Errorf("Δ_T = %q, want %q", got, want)
+	}
+}
+
+func TestDeltaTCollapsesAdjacentText(t *testing.T) {
+	root, err := dom.ParseRoot(`<a>one<!-- x -->two<b></b>three</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DeltaTString(root); got != "<a>σ<b></b>σ</a>" {
+		t.Errorf("δ_T = %q", got)
+	}
+}
+
+func TestBuildECFGExample3(t *testing.T) {
+	// Example 3 lists G(T,r) for the Figure 1 DTD. We verify the rule set
+	// structurally (modulo nonterminal spelling and the paper's F̂ erratum —
+	// Figure 1 declares f as (c, e), so F̂ → C, E).
+	g, err := BuildECFG(dtd.MustParse(dtd.Figure1), "r", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := g.String()
+	for _, want := range []string{
+		"S -> nt_r",
+		"PCDATA -> σ",
+		"PCDATA -> ε",
+		"nt_r -> <r> hat_r </r>",
+		"hat_r -> nt_a+",
+		"hat_a -> (nt_b?, (nt_c | nt_f), nt_d)",
+		"hat_b -> (nt_d | nt_f)",
+		"hat_c -> PCDATA",
+		"hat_d -> (PCDATA | nt_e)*",
+		"hat_e -> ε",
+		"hat_f -> (nt_c, nt_e)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("G(T,r) missing rule %q:\n%s", want, text)
+		}
+	}
+	// G is not relaxed: no tag-omission rules.
+	if strings.Contains(text, "nt_a -> hat_a") {
+		t.Error("G(T,r) must not contain X -> X̂ rules")
+	}
+}
+
+func TestBuildRelaxedECFG(t *testing.T) {
+	// Section 3.2: G' = G ∪ {X → X̂}.
+	g, err := BuildECFG(dtd.MustParse(dtd.Figure1), "r", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := g.String()
+	for _, x := range []string{"r", "a", "b", "c", "d", "e", "f"} {
+		want := "nt_" + x + " -> hat_" + x
+		if !strings.Contains(text, want) {
+			t.Errorf("G'(T,r) missing relaxation rule %q", want)
+		}
+	}
+	// |Rules(G')| = |Rules(G)| + m.
+	plain, _ := BuildECFG(dtd.MustParse(dtd.Figure1), "r", false)
+	if len(g.Rules) != len(plain.Rules)+7 {
+		t.Errorf("rule counts: G'=%d, G=%d", len(g.Rules), len(plain.Rules))
+	}
+}
+
+func TestECFGSets(t *testing.T) {
+	g, _ := BuildECFG(dtd.MustParse(dtd.Figure1), "r", true)
+	// N = {S, PCDATA} ∪ {X, X̂ | x ∈ T}: 2 + 2·7 = 16.
+	if got := len(g.Nonterminals()); got != 16 {
+		t.Errorf("|N| = %d, want 16", got)
+	}
+	// Σ = {σ} ∪ {<x>, </x> | x ∈ T}: 1 + 2·7 = 15.
+	if got := len(g.Terminals()); got != 15 {
+		t.Errorf("|Σ| = %d, want 15", got)
+	}
+}
+
+func TestBuildECFGBadRoot(t *testing.T) {
+	if _, err := BuildECFG(dtd.MustParse(dtd.Figure1), "nope", true); err == nil {
+		t.Error("expected error for undeclared root")
+	}
+}
+
+func TestANYExpansion(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a ANY> <!ELEMENT b EMPTY>`)
+	g, err := BuildECFG(d, "a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.String(), "hat_a -> (nt_a | nt_b | PCDATA)*") {
+		t.Errorf("ANY transcription wrong:\n%s", g)
+	}
+}
+
+func TestToCFGTerminalsAndStart(t *testing.T) {
+	g, _ := BuildECFG(dtd.MustParse(dtd.Figure1), "r", true)
+	cfg := g.ToCFG()
+	if cfg.Start != "S" {
+		t.Errorf("start = %q", cfg.Start)
+	}
+	for _, term := range []string{"σ", "<r>", "</r>", "<f>", "</f>"} {
+		if !cfg.IsTerminal(term) {
+			t.Errorf("%q should be terminal", term)
+		}
+	}
+	if cfg.IsTerminal("nt_r") || cfg.IsTerminal("hat_a") {
+		t.Error("nonterminals marked terminal")
+	}
+	if cfg.ProductionCount() == 0 {
+		t.Error("no productions")
+	}
+}

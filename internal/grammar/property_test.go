@@ -1,0 +1,131 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+// TestPropertyDeltaTWellFormed: δ_T output is balanced (tags nest) and
+// never contains two adjacent σ.
+func TestPropertyDeltaTWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 6, Class: gen.ClassWeak})
+		doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 6})
+		tokens := DeltaT(doc)
+		var stack []string
+		prevSigma := false
+		for _, tok := range tokens {
+			switch {
+			case tok == SigmaTerminal:
+				if prevSigma {
+					return false
+				}
+				prevSigma = true
+			case len(tok) > 2 && tok[1] == '/':
+				name := tok[2 : len(tok)-1]
+				if len(stack) == 0 || stack[len(stack)-1] != name {
+					return false
+				}
+				stack = stack[:len(stack)-1]
+				prevSigma = false
+			default:
+				stack = append(stack, tok[1:len(tok)-1])
+				prevSigma = false
+			}
+		}
+		return len(stack) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBigDeltaTPrefix: Δ_T(w) is δ_T of the depth-1 projection —
+// its interior tags come in immediately-closed pairs.
+func TestPropertyBigDeltaTPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 6, Class: gen.ClassWeak})
+		doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 6})
+		tokens := BigDeltaT(doc)
+		if len(tokens) < 2 {
+			return false
+		}
+		if tokens[0] != StartTagTerminal(doc.Name) || tokens[len(tokens)-1] != EndTagTerminal(doc.Name) {
+			return false
+		}
+		interior := tokens[1 : len(tokens)-1]
+		for i := 0; i < len(interior); i++ {
+			tok := interior[i]
+			if tok == SigmaTerminal {
+				continue
+			}
+			if tok[1] == '/' {
+				return false // end tag without its start immediately before
+			}
+			name := tok[1 : len(tok)-1]
+			if i+1 >= len(interior) || interior[i+1] != EndTagTerminal(name) {
+				return false
+			}
+			i++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGrammarSizes: |rules(G')| = |rules(G)| + m for every DTD.
+func TestPropertyGrammarSizes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 3 + rng.Intn(10)})
+		g, err := BuildECFG(d, "e0", false)
+		if err != nil {
+			return false
+		}
+		gp, err := BuildECFG(d, "e0", true)
+		if err != nil {
+			return false
+		}
+		return len(gp.Rules) == len(g.Rules)+len(d.Order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCFGLowering: the CFG lowering marks exactly the tag terminals
+// and σ as terminals, and every production's symbols are either terminals
+// or have productions of their own (no dangling nonterminals).
+func TestPropertyCFGLowering(t *testing.T) {
+	for _, src := range []string{dtd.Figure1, dtd.Play, dtd.Article, dtd.T1, dtd.T2, dtd.WeakRecursive} {
+		d := dtd.MustParse(src)
+		g, err := BuildECFG(d, d.Order[0], true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := g.ToCFG()
+		for lhs, alts := range cfg.Prods {
+			if cfg.IsTerminal(lhs) {
+				t.Fatalf("terminal %q has productions", lhs)
+			}
+			for _, rhs := range alts {
+				for _, sym := range rhs {
+					if cfg.IsTerminal(sym) {
+						continue
+					}
+					if _, ok := cfg.Prods[sym]; !ok {
+						t.Fatalf("dangling nonterminal %q in %q", sym, lhs)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package oracle implements Definitions 2 and 3 of the paper literally: a
+// brute-force search over extension strings Ext(w, T) — all documents
+// obtainable from w by inserting matching tag pairs — looking for a valid
+// one. It is exponential and usable only on small instances; its purpose is
+// to validate Theorem 1 (the grammar characterization) and the fast
+// recognizer against the definition itself.
+package oracle
+
+import (
+	"sort"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/validator"
+)
+
+// Result of a bounded search.
+type Result int
+
+const (
+	// No: no valid extension exists within the insertion budget.
+	No Result = iota
+	// Yes: a valid extension was found.
+	Yes
+)
+
+// Search looks for a valid extension of root using at most maxInsertions
+// tag-pair insertions. If found, it returns Yes and one witness (a valid
+// extension document). The search explores extension documents in BFS order
+// over the number of insertions, deduplicating by serialized form.
+//
+// Completeness caveat: potential validity per Definition 3 quantifies over
+// unboundedly many insertions; Search is therefore a semi-decision bounded
+// by the budget. For the small fixtures in the test suite the Earley oracle
+// (Theorem 1) provides the unbounded ground truth, and Search cross-checks
+// it within the budget.
+func Search(d *dtd.DTD, rootElem string, root *dom.Node, maxInsertions int) (Result, *dom.Node) {
+	v, err := validator.New(d, rootElem)
+	if err != nil {
+		return No, nil
+	}
+	type state struct {
+		doc  *dom.Node
+		used int
+	}
+	start := root.Clone()
+	if v.IsValid(start) {
+		return Yes, start
+	}
+	seen := map[string]bool{start.String(): true}
+	queue := []state{{doc: start, used: 0}}
+	names := d.Names()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.used >= maxInsertions {
+			continue
+		}
+		for _, next := range expand(cur.doc, names) {
+			key := next.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if v.IsValid(next) {
+				return Yes, next
+			}
+			queue = append(queue, state{doc: next, used: cur.used + 1})
+		}
+	}
+	return No, nil
+}
+
+// expand returns every document obtainable from doc by one insertion: for
+// every element node p, every consecutive child range [i, j) (including
+// empty ranges), and every declared element name δ, wrap the range in a new
+// <δ> element (Definition 2's w1<δ>w2</δ>w3 with the well-formedness
+// constraint that w2 is a balanced child range).
+func expand(doc *dom.Node, names []string) []*dom.Node {
+	var out []*dom.Node
+	var targets []*dom.Node
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Kind == dom.ElementNode {
+			targets = append(targets, n)
+		}
+		return true
+	})
+	// Work on clones: identify nodes by their preorder element index.
+	for t := range targets {
+		nc := len(targets[t].Children)
+		for i := 0; i <= nc; i++ {
+			for j := i; j <= nc; j++ {
+				for _, name := range names {
+					c := doc.Clone()
+					target := nthElement(c, t)
+					target.WrapChildren(i, j, name)
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func nthElement(root *dom.Node, idx int) *dom.Node {
+	var found *dom.Node
+	i := 0
+	root.Walk(func(n *dom.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n.Kind == dom.ElementNode {
+			if i == idx {
+				found = n
+				return false
+			}
+			i++
+		}
+		return true
+	})
+	return found
+}
+
+// Extensions enumerates the distinct serialized members of Ext(w, T)
+// reachable with at most k insertions, in sorted order — a direct,
+// finite-slice rendering of Definition 2 for tests.
+func Extensions(d *dtd.DTD, root *dom.Node, k int) []string {
+	names := d.Names()
+	seen := map[string]bool{root.String(): true}
+	frontier := []*dom.Node{root.Clone()}
+	for step := 0; step < k; step++ {
+		var next []*dom.Node
+		for _, doc := range frontier {
+			for _, e := range expand(doc, names) {
+				key := e.String()
+				if !seen[key] {
+					seen[key] = true
+					next = append(next, e)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

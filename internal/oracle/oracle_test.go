@@ -1,0 +1,103 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+func TestSearchFindsExample2Extension(t *testing.T) {
+	// Example 2: s extends to a valid document by inserting two <d>s.
+	d := dtd.MustParse(dtd.Figure1)
+	doc := dom.MustParse(`<r><a><b>A quick brown</b><c> fox</c> dog<e></e></a></r>`)
+	res, witness := Search(d, "r", doc.Root, 2)
+	if res != Yes {
+		t.Fatal("expected an extension within 2 insertions")
+	}
+	// The witness preserves content and only adds markup.
+	if witness.Content() != doc.Root.Content() {
+		t.Errorf("content changed: %q", witness.Content())
+	}
+	if got := witness.String(); !strings.Contains(got, "<d>") {
+		t.Errorf("expected <d> insertions, got %s", got)
+	}
+}
+
+func TestSearchRejectsExample1W(t *testing.T) {
+	// w has no extension at all; within any budget the search finds none.
+	// (The budget is kept small — the BFS is exponential by design.)
+	d := dtd.MustParse(dtd.Figure1)
+	doc := dom.MustParse(`<r><a><b>x</b><e></e><c>y</c> z</a></r>`)
+	res, _ := Search(d, "r", doc.Root, 2)
+	if res != No {
+		t.Error("w must have no valid extension")
+	}
+}
+
+func TestSearchValidInputImmediate(t *testing.T) {
+	d := dtd.MustParse(dtd.Figure1)
+	doc := dom.MustParse(`<r><a><c>x</c><d></d></a></r>`)
+	res, witness := Search(d, "r", doc.Root, 0)
+	if res != Yes {
+		t.Fatal("valid document needs zero insertions")
+	}
+	if !witness.Equal(doc.Root) {
+		t.Error("witness should be the document itself")
+	}
+}
+
+func TestSearchDoesNotMutateInput(t *testing.T) {
+	d := dtd.MustParse(dtd.Figure1)
+	doc := dom.MustParse(`<r><a><b>x</b></a></r>`)
+	before := doc.Root.String()
+	Search(d, "r", doc.Root, 2)
+	if doc.Root.String() != before {
+		t.Error("Search mutated its input")
+	}
+}
+
+func TestExtensionsDefinition2(t *testing.T) {
+	// Definition 2 base case: w ∈ Ext(w, T).
+	d := dtd.MustParse(`<!ELEMENT a (b?)> <!ELEMENT b EMPTY>`)
+	doc := dom.MustParse(`<a></a>`)
+	ext0 := Extensions(d, doc.Root, 0)
+	if len(ext0) != 1 || ext0[0] != `<a></a>` {
+		t.Fatalf("Ext with 0 insertions = %v", ext0)
+	}
+	// One insertion: wrap the empty range in a or b, inside either element.
+	ext1 := Extensions(d, doc.Root, 1)
+	want := map[string]bool{
+		`<a></a>`:        true,
+		`<a><a></a></a>`: true,
+		`<a><b></b></a>`: true,
+	}
+	if len(ext1) != len(want) {
+		t.Fatalf("Ext1 = %v", ext1)
+	}
+	for _, e := range ext1 {
+		if !want[e] {
+			t.Errorf("unexpected extension %q", e)
+		}
+	}
+	// Monotone growth.
+	ext2 := Extensions(d, doc.Root, 2)
+	if len(ext2) <= len(ext1) {
+		t.Errorf("Ext2 (%d) should be larger than Ext1 (%d)", len(ext2), len(ext1))
+	}
+}
+
+func TestExtensionsPreserveOrderAndContent(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (b?)> <!ELEMENT b (#PCDATA)>`)
+	doc := dom.MustParse(`<a>xy</a>`)
+	for _, e := range Extensions(d, doc.Root, 2) {
+		re, err := dom.Parse(e)
+		if err != nil {
+			t.Fatalf("extension %q does not parse: %v", e, err)
+		}
+		if got := re.Root.Content(); got != "xy" {
+			t.Errorf("extension %q changed content to %q", e, got)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package reach_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/reach"
+)
+
+// TestPropertyTransitivity: the lookup table is transitively closed.
+func TestPropertyTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		class := []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong}[rng.Intn(3)]
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 9, Class: class})
+		lt := reach.Build(d)
+		names := d.Names()
+		for _, a := range names {
+			for _, b := range names {
+				if !lt.Reachable(a, b) {
+					continue
+				}
+				for _, c := range names {
+					if lt.Reachable(b, c) && !lt.Reachable(a, c) {
+						return false
+					}
+				}
+				if lt.ReachesPCDATA(b) && !lt.ReachesPCDATA(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStrongSubsetOfReach: strong reachability implies reachability.
+func TestPropertyStrongSubsetOfReach(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 9, Class: gen.ClassStrong})
+		lt := reach.Build(d)
+		for _, a := range d.Names() {
+			for _, b := range d.Names() {
+				if lt.StrongReachable(a, b) && !lt.Reachable(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyClassConsistency: the DTD class is the max over element
+// classes, and PV-strong elements are exactly the strong self-reachers.
+func TestPropertyClassConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		class := []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong}[rng.Intn(3)]
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 8, Class: class})
+		lt := reach.Build(d)
+		max := reach.NonRecursive
+		for _, name := range d.Names() {
+			ec := lt.ElementClass(name)
+			if ec > max {
+				max = ec
+			}
+			if (ec == reach.PVStrongRecursive) != lt.StrongReachable(name, name) {
+				return false
+			}
+			if ec == reach.PVWeakRecursive && !lt.Reachable(name, name) {
+				return false
+			}
+		}
+		return lt.Class() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReachabilityMatchesDerivation: a ⇝ b implies b occurs in some
+// generated document under a (sampled), and conversely, every observed
+// ancestor/descendant pair in generated documents is in the table.
+func TestPropertyReachabilityMatchesDerivation(t *testing.T) {
+	d := dtd.MustParse(dtd.Article)
+	lt := reach.Build(d)
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := gen.GenValid(rng, d, "article", gen.DocOptions{MaxDepth: 10})
+		// Every strict ancestor/descendant element pair must be Reachable.
+		elems := doc.Elements()
+		for _, anc := range elems {
+			for _, desc := range anc.Elements()[1:] {
+				if !lt.Reachable(anc.Name, desc.Name) {
+					t.Fatalf("observed <%s> inside <%s> but table says unreachable",
+						desc.Name, anc.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package reach implements the reachability graph R_T of Definition 5, the
+// precomputed lookup table LT, the usability analysis of Section 3.3, and
+// the recursion classification of Definitions 6-8 (non-recursive, PV-weak
+// recursive, PV-strong recursive).
+package reach
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// Class is the paper's three-way DTD classification.
+type Class int
+
+const (
+	// NonRecursive: no element derives itself.
+	NonRecursive Class = iota
+	// PVWeakRecursive: recursion exists but only through star-group
+	// occurrences (Definition 8); reachability alone resolves it.
+	PVWeakRecursive
+	// PVStrongRecursive: some element derives itself through non-star-group
+	// occurrences (Definition 7); the recognizer needs the depth bound.
+	PVStrongRecursive
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case NonRecursive:
+		return "non-recursive"
+	case PVWeakRecursive:
+		return "PV-weak recursive"
+	case PVStrongRecursive:
+		return "PV-strong recursive"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Table is the precomputed reachability structure for a DTD: the transitive
+// closure of R_T (Definition 5) over element types and #PCDATA, the
+// restricted "strong" graph used for the recursion classification, and the
+// longest acyclic chain length used to bound nested recognizers.
+type Table struct {
+	dtd     *dtd.DTD
+	index   map[string]int // element name -> row
+	names   []string       // row -> element name
+	m       int            // number of elements
+	pcdata  []bool         // element reaches #PCDATA
+	reach   [][]bool       // strict transitive closure of R_T
+	strong  [][]bool       // closure of the non-star-group occurrence graph
+	classes []Class        // per-element classification
+	class   Class          // whole-DTD classification
+	// longestStrongChain is the length (edge count) of the longest acyclic
+	// path in the strong occurrence graph; for non-PV-strong DTDs it bounds
+	// the depth of nested recognizers needed for completeness.
+	longestStrongChain int
+}
+
+// Build computes the reachability table for d. Content models are
+// normalized internally (Corollary 3.1) before star-group occurrence
+// analysis; reachability itself is identical on normalized and original
+// models.
+func Build(d *dtd.DTD) *Table {
+	m := len(d.Order)
+	t := &Table{
+		dtd:    d,
+		index:  make(map[string]int, m),
+		names:  append([]string(nil), d.Order...),
+		m:      m,
+		pcdata: make([]bool, m),
+	}
+	for i, name := range d.Order {
+		t.index[name] = i
+	}
+
+	direct := makeMatrix(m)
+	strongDirect := makeMatrix(m)
+	directPCDATA := make([]bool, m)
+
+	for i, name := range d.Order {
+		decl := d.Elements[name]
+		switch decl.Category {
+		case dtd.Empty:
+			// no edges
+		case dtd.Any:
+			// ANY content admits every declared element and character data;
+			// these edges are star-group-like (unordered, repeatable), so
+			// they contribute to reach but not to the strong graph.
+			for j := range d.Order {
+				direct[i][j] = true
+			}
+			directPCDATA[i] = true
+		default:
+			norm := contentmodel.Normalize(decl.Model)
+			for _, ref := range norm.ElementNames() {
+				if j, ok := t.index[ref]; ok {
+					direct[i][j] = true
+				}
+			}
+			if norm.HasPCDATA() {
+				directPCDATA[i] = true
+			}
+			outside, _ := contentmodel.InStarGroup(norm)
+			for ref := range outside {
+				if j, ok := t.index[ref]; ok {
+					strongDirect[i][j] = true
+				}
+			}
+		}
+	}
+
+	t.reach = closure(direct)
+	t.strong = closure(strongDirect)
+
+	// x reaches #PCDATA if some reachable element (or x itself) has a
+	// direct #PCDATA occurrence.
+	for i := 0; i < m; i++ {
+		if directPCDATA[i] {
+			t.pcdata[i] = true
+			continue
+		}
+		for j := 0; j < m; j++ {
+			if t.reach[i][j] && directPCDATA[j] {
+				t.pcdata[i] = true
+				break
+			}
+		}
+	}
+
+	// Classification (Definitions 6-8). An element is recursive iff it
+	// reaches itself in R_T; PV-strong recursive iff it reaches itself in
+	// the strong graph.
+	t.classes = make([]Class, m)
+	t.class = NonRecursive
+	for i := 0; i < m; i++ {
+		switch {
+		case t.strong[i][i]:
+			t.classes[i] = PVStrongRecursive
+			t.class = PVStrongRecursive
+		case t.reach[i][i]:
+			t.classes[i] = PVWeakRecursive
+			if t.class == NonRecursive {
+				t.class = PVWeakRecursive
+			}
+		default:
+			t.classes[i] = NonRecursive
+		}
+	}
+
+	t.longestStrongChain = longestPath(strongDirect, t.strong)
+	return t
+}
+
+func makeMatrix(m int) [][]bool {
+	rows := make([][]bool, m)
+	cells := make([]bool, m*m)
+	for i := range rows {
+		rows[i] = cells[i*m : (i+1)*m : (i+1)*m]
+	}
+	return rows
+}
+
+// closure returns the strict transitive closure (Floyd-Warshall) of the
+// direct-edge matrix. The result is strict: r[i][i] is true only if i lies
+// on a cycle.
+func closure(direct [][]bool) [][]bool {
+	m := len(direct)
+	r := makeMatrix(m)
+	for i := 0; i < m; i++ {
+		copy(r[i], direct[i])
+	}
+	for k := 0; k < m; k++ {
+		for i := 0; i < m; i++ {
+			if !r[i][k] {
+				continue
+			}
+			rk := r[k]
+			ri := r[i]
+			for j := 0; j < m; j++ {
+				if rk[j] {
+					ri[j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// longestPath returns the number of edges on the longest simple path of the
+// direct graph restricted to vertices not on cycles (per the strong
+// closure); vertices on cycles make the longest path unbounded, and the
+// caller falls back to the user depth bound there.
+func longestPath(direct, closed [][]bool) int {
+	m := len(direct)
+	memo := make([]int, m)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var dfs func(i int) int
+	dfs = func(i int) int {
+		if closed[i][i] {
+			return 0 // on a cycle; contribution handled by the depth bound
+		}
+		if memo[i] >= 0 {
+			return memo[i]
+		}
+		memo[i] = 0 // mark to cut re-entry; acyclic here so safe
+		best := 0
+		for j := 0; j < m; j++ {
+			if direct[i][j] && !closed[j][j] {
+				if d := dfs(j) + 1; d > best {
+					best = d
+				}
+			}
+		}
+		memo[i] = best
+		return best
+	}
+	best := 0
+	for i := 0; i < m; i++ {
+		if d := dfs(i); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Has reports whether name is a declared element.
+func (t *Table) Has(name string) bool {
+	_, ok := t.index[name]
+	return ok
+}
+
+// Reachable reports the strict reachability from ⇝ to in R_T: whether the
+// markup of element `to` may occur in the content of element `from` at any
+// depth. Reachable(x, x) is true only for recursive x.
+func (t *Table) Reachable(from, to string) bool {
+	i, ok := t.index[from]
+	if !ok {
+		return false
+	}
+	j, ok := t.index[to]
+	if !ok {
+		return false
+	}
+	return t.reach[i][j]
+}
+
+// ReachesPCDATA reports whether character data may occur (at any depth)
+// inside element from — the Proposition 3 lookup.
+func (t *Table) ReachesPCDATA(from string) bool {
+	i, ok := t.index[from]
+	if !ok {
+		return false
+	}
+	return t.pcdata[i]
+}
+
+// StrongReachable reports reachability restricted to non-star-group
+// occurrences — the relation behind Definition 7.
+func (t *Table) StrongReachable(from, to string) bool {
+	i, ok := t.index[from]
+	if !ok {
+		return false
+	}
+	j, ok := t.index[to]
+	if !ok {
+		return false
+	}
+	return t.strong[i][j]
+}
+
+// Class returns the whole-DTD classification.
+func (t *Table) Class() Class { return t.class }
+
+// ElementClass returns the classification of a single element.
+func (t *Table) ElementClass(name string) Class {
+	i, ok := t.index[name]
+	if !ok {
+		return NonRecursive
+	}
+	return t.classes[i]
+}
+
+// RecursiveElements returns the sorted names of recursive elements.
+func (t *Table) RecursiveElements() []string {
+	var out []string
+	for i, name := range t.names {
+		if t.reach[i][i] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PVStrongElements returns the sorted names of PV-strong recursive elements.
+func (t *Table) PVStrongElements() []string {
+	var out []string
+	for i, name := range t.names {
+		if t.strong[i][i] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LongestStrongChain returns the length (in edges) of the longest acyclic
+// chain of non-star-group occurrences. For non-PV-strong DTDs, nested
+// recognizers never stack deeper than this, so depth bound
+// LongestStrongChain+1 makes the recognizer complete.
+func (t *Table) LongestStrongChain() int { return t.longestStrongChain }
+
+// Usable computes the set of usable elements relative to root (Section
+// 3.3): elements that occur in some derivation of a finite valid document.
+// An element is usable iff it is productive (its content model can be
+// satisfied using productive elements) and reachable from the root (or is
+// the root). The result maps every declared element to its usability.
+func (t *Table) Usable(root string) map[string]bool {
+	productive := t.productiveSet()
+	out := make(map[string]bool, t.m)
+	ri, rootDeclared := t.index[root]
+	for i, name := range t.names {
+		reachableFromRoot := rootDeclared && (i == ri || t.reach[ri][i])
+		out[name] = productive[i] && reachableFromRoot
+	}
+	return out
+}
+
+// productiveSet computes, by fixpoint, which elements can derive a finite
+// valid subtree under the *original* content models.
+func (t *Table) productiveSet() []bool {
+	productive := make([]bool, t.m)
+	changed := true
+	for changed {
+		changed = false
+		for i, name := range t.names {
+			if productive[i] {
+				continue
+			}
+			decl := t.dtd.Elements[name]
+			ok := false
+			switch decl.Category {
+			case dtd.Empty, dtd.Any:
+				// ANY is productive with empty content.
+				ok = true
+			default:
+				ok = t.satisfiable(decl.Model, productive)
+			}
+			if ok {
+				productive[i] = true
+				changed = true
+			}
+		}
+	}
+	return productive
+}
+
+// satisfiable reports whether model can match some finite sequence using
+// only elements currently known productive.
+func (t *Table) satisfiable(e *contentmodel.Expr, productive []bool) bool {
+	switch e.Kind {
+	case contentmodel.KindPCDATA:
+		return true
+	case contentmodel.KindName:
+		i, ok := t.index[e.Name]
+		return ok && productive[i]
+	case contentmodel.KindSeq:
+		for _, c := range e.Children {
+			if !t.satisfiable(c, productive) {
+				return false
+			}
+		}
+		return true
+	case contentmodel.KindChoice:
+		for _, c := range e.Children {
+			if t.satisfiable(c, productive) {
+				return true
+			}
+		}
+		return false
+	case contentmodel.KindStar, contentmodel.KindOpt:
+		return true // zero repetitions
+	case contentmodel.KindPlus:
+		return t.satisfiable(e.Children[0], productive)
+	}
+	return false
+}

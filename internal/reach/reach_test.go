@@ -1,0 +1,222 @@
+package reach
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+func buildFigure1(t *testing.T) *Table {
+	t.Helper()
+	return Build(dtd.MustParse(dtd.Figure1))
+}
+
+func TestReachabilityFigure1(t *testing.T) {
+	lt := buildFigure1(t)
+	// Direct edges (Definition 5): r->a; a->b,c,f,d; b->d,f; d->e; f->c,e.
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"r", "a", true},
+		{"r", "e", true}, // transitively via a->d->e
+		{"a", "c", true},
+		{"a", "e", true},
+		{"b", "c", true}, // b->f->c
+		{"b", "e", true}, // b->d->e and b->f->e
+		{"c", "e", false},
+		{"e", "e", false}, // EMPTY reaches nothing
+		{"e", "d", false},
+		{"d", "e", true},
+		{"d", "c", false}, // d's content is (#PCDATA|e)*: no c below d
+		{"f", "c", true},
+		{"c", "a", false},
+		{"b", "b", false}, // strictness: "b is not found in the lookup table of b" (Example 4)
+		{"a", "a", false},
+	}
+	for _, c := range cases {
+		if got := lt.Reachable(c.from, c.to); got != c.want {
+			t.Errorf("Reachable(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestReachesPCDATAFigure1(t *testing.T) {
+	lt := buildFigure1(t)
+	want := map[string]bool{
+		"r": true, "a": true, "b": true, "c": true, "d": true, "f": true,
+		"e": false,
+	}
+	for name, w := range want {
+		if got := lt.ReachesPCDATA(name); got != w {
+			t.Errorf("ReachesPCDATA(%s) = %v, want %v", name, got, w)
+		}
+	}
+}
+
+func TestUndeclaredNamesAreUnreachable(t *testing.T) {
+	lt := buildFigure1(t)
+	if lt.Reachable("r", "ghost") || lt.Reachable("ghost", "r") {
+		t.Error("undeclared names must be unreachable")
+	}
+	if lt.Has("ghost") {
+		t.Error("Has(ghost) must be false")
+	}
+}
+
+func TestClassificationFigure1(t *testing.T) {
+	lt := buildFigure1(t)
+	if got := lt.Class(); got != NonRecursive {
+		t.Errorf("Figure 1 DTD class = %v, want non-recursive", got)
+	}
+	if rec := lt.RecursiveElements(); len(rec) != 0 {
+		t.Errorf("recursive elements = %v, want none", rec)
+	}
+}
+
+func TestClassificationT1T2Strong(t *testing.T) {
+	// Examples 5 and 6: both T1 and T2 are PV-strong recursive via element a.
+	for _, src := range []string{dtd.T1, dtd.T2} {
+		lt := Build(dtd.MustParse(src))
+		if got := lt.Class(); got != PVStrongRecursive {
+			t.Errorf("class(%q) = %v, want PV-strong recursive", src, got)
+		}
+		if got := lt.PVStrongElements(); !reflect.DeepEqual(got, []string{"a"}) {
+			t.Errorf("PV-strong elements = %v, want [a]", got)
+		}
+		if got := lt.ElementClass("a"); got != PVStrongRecursive {
+			t.Errorf("ElementClass(a) = %v", got)
+		}
+		if got := lt.ElementClass("b"); got != NonRecursive {
+			t.Errorf("ElementClass(b) = %v", got)
+		}
+	}
+}
+
+func TestClassificationWeak(t *testing.T) {
+	// XHTML-style inline nesting recurses only through star-groups
+	// (Definition 8): PV-weak.
+	lt := Build(dtd.MustParse(dtd.WeakRecursive))
+	if got := lt.Class(); got != PVWeakRecursive {
+		t.Errorf("class = %v, want PV-weak recursive", got)
+	}
+	if got := lt.PVStrongElements(); len(got) != 0 {
+		t.Errorf("PV-strong elements = %v, want none", got)
+	}
+	for _, name := range []string{"b", "i"} {
+		if got := lt.ElementClass(name); got != PVWeakRecursive {
+			t.Errorf("ElementClass(%s) = %v, want PV-weak", name, got)
+		}
+	}
+	if !lt.Reachable("b", "b") {
+		t.Error("b must reach itself through the star-group")
+	}
+	if lt.StrongReachable("b", "b") {
+		t.Error("b must not strongly reach itself")
+	}
+}
+
+func TestMixedStrongAndWeak(t *testing.T) {
+	// Recursion via (a, c)* is weak; recursion via (x, y) chain is strong.
+	d := dtd.MustParse(`
+		<!ELEMENT a (b, (a, c)*)>
+		<!ELEMENT b (#PCDATA)>
+		<!ELEMENT c EMPTY>
+		<!ELEMENT x (y?)>
+		<!ELEMENT y (x | b)>
+	`)
+	lt := Build(d)
+	if got := lt.ElementClass("a"); got != PVWeakRecursive {
+		t.Errorf("ElementClass(a) = %v, want PV-weak", got)
+	}
+	if got := lt.ElementClass("x"); got != PVStrongRecursive {
+		t.Errorf("ElementClass(x) = %v, want PV-strong", got)
+	}
+	if got := lt.Class(); got != PVStrongRecursive {
+		t.Errorf("DTD class = %v, want PV-strong (one strong element suffices)", got)
+	}
+}
+
+func TestDefinition7PaperExample(t *testing.T) {
+	// "<!ELEMENT a ((a | c), b*)>" — the paper's trivial strong-recursion
+	// example after Definition 7.
+	d := dtd.MustParse(`<!ELEMENT a ((a | c), b*)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`)
+	lt := Build(d)
+	if got := lt.ElementClass("a"); got != PVStrongRecursive {
+		t.Errorf("ElementClass(a) = %v, want PV-strong", got)
+	}
+}
+
+func TestAnyContentReachesEverything(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a ANY> <!ELEMENT b EMPTY>`)
+	lt := Build(d)
+	if !lt.Reachable("a", "b") || !lt.Reachable("a", "a") {
+		t.Error("ANY must reach every declared element")
+	}
+	if !lt.ReachesPCDATA("a") {
+		t.Error("ANY must reach #PCDATA")
+	}
+	// ANY recursion counts as weak: no ordering constraint can be violated.
+	if got := lt.ElementClass("a"); got != PVWeakRecursive {
+		t.Errorf("ElementClass(a) = %v, want PV-weak", got)
+	}
+}
+
+func TestLongestStrongChain(t *testing.T) {
+	lt := buildFigure1(t)
+	// Strong edges in Figure 1 (occurrences outside star-groups): r has
+	// none (a+ normalizes to the star-group (a)*); a->b,c,f,d; b->d,f;
+	// f->c,e. Longest chain: a->b->f->c (3 edges).
+	if got := lt.LongestStrongChain(); got != 3 {
+		t.Errorf("LongestStrongChain = %d, want 3", got)
+	}
+}
+
+func TestUsable(t *testing.T) {
+	// x is unproductive (needs itself forever); z is unreachable from r.
+	d := dtd.MustParse(`
+		<!ELEMENT r (a)>
+		<!ELEMENT a (#PCDATA)>
+		<!ELEMENT x (x)>
+		<!ELEMENT z EMPTY>
+	`)
+	lt := Build(d)
+	usable := lt.Usable("r")
+	want := map[string]bool{"r": true, "a": true, "x": false, "z": false}
+	if !reflect.DeepEqual(usable, want) {
+		t.Errorf("Usable = %v, want %v", usable, want)
+	}
+}
+
+func TestUsableMutualRecursionProductive(t *testing.T) {
+	// Mutually recursive but productive thanks to the EMPTY escape.
+	d := dtd.MustParse(`
+		<!ELEMENT r (p)>
+		<!ELEMENT p (q | stop)>
+		<!ELEMENT q (p)>
+		<!ELEMENT stop EMPTY>
+	`)
+	usable := Build(d).Usable("r")
+	for name, u := range usable {
+		if !u {
+			t.Errorf("element %s should be usable", name)
+		}
+	}
+}
+
+func TestUsableUnproductivePair(t *testing.T) {
+	// p and q need each other with no escape: both unproductive.
+	d := dtd.MustParse(`
+		<!ELEMENT r (p?)>
+		<!ELEMENT p (q)>
+		<!ELEMENT q (p)>
+	`)
+	usable := Build(d).Usable("r")
+	if usable["p"] || usable["q"] {
+		t.Errorf("p, q should be unusable: %v", usable)
+	}
+	if !usable["r"] {
+		t.Error("r is usable with zero p's")
+	}
+}

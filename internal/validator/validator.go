@@ -1,0 +1,161 @@
+// Package validator implements standard (full) DTD validation of document
+// trees — the "markup process is finished" check of Section 3.1, built on
+// Glushkov automata per content model. It is both a baseline for the
+// benchmarks (validation vs potential-validation cost) and the ground truth
+// inside the brute-force extension-search oracle (a document is potentially
+// valid iff some extension passes this checker).
+package validator
+
+import (
+	"fmt"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+// Validator validates documents against a DTD and designated root element.
+type Validator struct {
+	DTD  *dtd.DTD
+	Root string
+	// automata per element with Children content.
+	automata map[string]*contentmodel.Automaton
+	// mixedAllowed per element with Mixed content: permitted child elements.
+	mixedAllowed map[string]map[string]bool
+}
+
+// New compiles the DTD's content models.
+func New(d *dtd.DTD, root string) (*Validator, error) {
+	if _, ok := d.Elements[root]; !ok {
+		return nil, fmt.Errorf("validator: root element %q is not declared", root)
+	}
+	v := &Validator{
+		DTD:          d,
+		Root:         root,
+		automata:     map[string]*contentmodel.Automaton{},
+		mixedAllowed: map[string]map[string]bool{},
+	}
+	for _, name := range d.Order {
+		decl := d.Elements[name]
+		switch decl.Category {
+		case dtd.Children:
+			v.automata[name] = contentmodel.CompileAutomaton(decl.Model)
+		case dtd.Mixed:
+			allowed := map[string]bool{}
+			for _, ref := range decl.Model.ElementNames() {
+				allowed[ref] = true
+			}
+			v.mixedAllowed[name] = allowed
+		}
+	}
+	return v, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(d *dtd.DTD, root string) *Validator {
+	v, err := New(d, root)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Validate checks the whole document for validity w.r.t. the DTD and root.
+// It returns nil for valid documents and a descriptive error for the first
+// violation found in document order.
+func (v *Validator) Validate(root *dom.Node) error {
+	if root.Kind != dom.ElementNode {
+		return fmt.Errorf("validator: root is not an element")
+	}
+	if root.Name != v.Root {
+		return fmt.Errorf("validator: root element is <%s>, expected <%s>", root.Name, v.Root)
+	}
+	var firstErr error
+	root.Walk(func(n *dom.Node) bool {
+		if firstErr != nil || n.Kind != dom.ElementNode {
+			return false
+		}
+		if err := v.validateNode(n); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// ValidateString parses and validates an XML string.
+func (v *Validator) ValidateString(xml string) error {
+	doc, err := dom.Parse(xml)
+	if err != nil {
+		return err
+	}
+	return v.Validate(doc.Root)
+}
+
+// IsValid is Validate as a boolean.
+func (v *Validator) IsValid(root *dom.Node) bool { return v.Validate(root) == nil }
+
+func (v *Validator) validateNode(n *dom.Node) error {
+	decl := v.DTD.Elements[n.Name]
+	if decl == nil {
+		return fmt.Errorf("validator: element <%s> is not declared", n.Name)
+	}
+	switch decl.Category {
+	case dtd.Empty:
+		// EMPTY means no content of any kind, not even whitespace.
+		for _, c := range n.Children {
+			if c.Kind == dom.ElementNode || c.Kind == dom.TextNode {
+				return fmt.Errorf("validator: <%s> is declared EMPTY but has content", n.Name)
+			}
+		}
+		return nil
+	case dtd.Any:
+		for _, c := range n.Children {
+			if c.Kind == dom.ElementNode {
+				if v.DTD.Elements[c.Name] == nil {
+					return fmt.Errorf("validator: <%s> (inside ANY <%s>) is not declared", c.Name, n.Name)
+				}
+			}
+		}
+		return nil
+	case dtd.Mixed:
+		allowed := v.mixedAllowed[n.Name]
+		for _, c := range n.Children {
+			if c.Kind == dom.ElementNode && !allowed[c.Name] {
+				return fmt.Errorf("validator: element <%s> not permitted in mixed content of <%s>", c.Name, n.Name)
+			}
+		}
+		return nil
+	default: // Children
+		var symbols []string
+		for _, c := range n.Children {
+			switch c.Kind {
+			case dom.ElementNode:
+				symbols = append(symbols, c.Name)
+			case dom.TextNode:
+				// XML 1.0: whitespace may appear in element content; any
+				// other character data is a validity violation.
+				if !isWhitespace(c.Data) {
+					return fmt.Errorf("validator: character data %.20q not permitted in element content of <%s>", c.Data, n.Name)
+				}
+			}
+		}
+		if !v.automata[n.Name].Match(symbols) {
+			return fmt.Errorf("validator: children of <%s> do not match its content model %s: %v",
+				n.Name, decl.Model, symbols)
+		}
+		return nil
+	}
+}
+
+func isWhitespace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package validator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+func fig1(t *testing.T) *Validator {
+	t.Helper()
+	return MustNew(dtd.MustParse(dtd.Figure1), "r")
+}
+
+func TestValidExtension(t *testing.T) {
+	// Figure 3's extension is valid.
+	v := fig1(t)
+	err := v.ValidateString(`<r><a><b><d>A quick brown</d></b><c> fox jumps over a lazy</c><d> dog<e></e></d></a></r>`)
+	if err != nil {
+		t.Errorf("extension must be valid: %v", err)
+	}
+}
+
+func TestExample1BothInvalid(t *testing.T) {
+	// Both Example 1 encodings are invalid (that is the paper's starting
+	// point); only their PV verdicts differ.
+	v := fig1(t)
+	for _, src := range []string{
+		`<r><a><b>A quick brown</b><e></e><c>x</c> dog</a></r>`,
+		`<r><a><b>A quick brown</b><c>x</c> dog<e></e></a></r>`,
+	} {
+		if err := v.ValidateString(src); err == nil {
+			t.Errorf("%s must be invalid", src)
+		}
+	}
+}
+
+func TestEmptyContent(t *testing.T) {
+	v := fig1(t)
+	if err := v.ValidateString(`<r><a><c>x</c><d><e></e></d></a></r>`); err != nil {
+		t.Errorf("want valid: %v", err)
+	}
+	// EMPTY element with text.
+	if err := v.ValidateString(`<r><a><c>x</c><d><e>boom</e></d></a></r>`); err == nil {
+		t.Error("text inside EMPTY <e> must be invalid")
+	}
+}
+
+func TestElementContentWhitespace(t *testing.T) {
+	// XML 1.0: whitespace is permitted in element content, other text not.
+	d := dtd.MustParse(`<!ELEMENT r (x)> <!ELEMENT x EMPTY>`)
+	v := MustNew(d, "r")
+	if err := v.ValidateString("<r>\n  <x></x>\n</r>"); err != nil {
+		t.Errorf("whitespace in element content must be allowed: %v", err)
+	}
+	if err := v.ValidateString("<r>boom<x></x></r>"); err == nil {
+		t.Error("character data in element content must be invalid")
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	v := fig1(t)
+	// d: (#PCDATA | e)* — text and e's in any order.
+	if err := v.ValidateString(`<r><a><c>x</c><d>one<e></e>two<e></e></d></a></r>`); err != nil {
+		t.Errorf("mixed content: %v", err)
+	}
+	// c holds only #PCDATA: element child invalid.
+	if err := v.ValidateString(`<r><a><c><e></e></c><d></d></a></r>`); err == nil {
+		t.Error("element in PCDATA-only content must be invalid")
+	}
+}
+
+func TestAnyContent(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r ANY> <!ELEMENT x (#PCDATA)>`)
+	v := MustNew(d, "r")
+	if err := v.ValidateString(`<r>text<x>y</x><r></r></r>`); err != nil {
+		t.Errorf("ANY content: %v", err)
+	}
+	if err := v.ValidateString(`<r><ghost></ghost></r>`); err == nil {
+		t.Error("undeclared element under ANY must be invalid")
+	}
+}
+
+func TestWrongRoot(t *testing.T) {
+	v := fig1(t)
+	if err := v.ValidateString(`<a><c>x</c><d></d></a>`); err == nil ||
+		!strings.Contains(err.Error(), "root") {
+		t.Errorf("want root error, got %v", err)
+	}
+}
+
+func TestUndeclaredElement(t *testing.T) {
+	v := fig1(t)
+	if err := v.ValidateString(`<r><ghost></ghost></r>`); err == nil {
+		t.Error("undeclared element must be invalid")
+	}
+}
+
+func TestRepetitionBounds(t *testing.T) {
+	// r -> (a+): zero a's invalid, many valid.
+	v := fig1(t)
+	if err := v.ValidateString(`<r></r>`); err == nil {
+		t.Error("r with no a must be invalid (a+)")
+	}
+	ok := `<r>` + strings.Repeat(`<a><c>x</c><d></d></a>`, 5) + `</r>`
+	if err := v.ValidateString(ok); err != nil {
+		t.Errorf("five a's: %v", err)
+	}
+}
+
+func TestValidateTree(t *testing.T) {
+	v := fig1(t)
+	doc := dom.MustParse(`<r><a><f><c>x</c><e></e></f><d></d></a></r>`)
+	if err := v.Validate(doc.Root); err != nil {
+		t.Errorf("f with (c,e): %v", err)
+	}
+	// Swap children of f: invalid order.
+	f := doc.Root.Children[0].Children[0]
+	f.Children[0], f.Children[1] = f.Children[1], f.Children[0]
+	if err := v.Validate(doc.Root); err == nil {
+		t.Error("(e,c) inside f must be invalid")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(dtd.MustParse(dtd.Figure1), "ghost"); err == nil {
+		t.Error("unknown root must fail")
+	}
+}

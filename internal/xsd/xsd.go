@@ -1,0 +1,271 @@
+// Package xsd imports a practical subset of W3C XML Schema into the DTD
+// content-model representation, exercising the paper's remark (Section 2)
+// that potential validity "can be straightforward generalized to any other
+// XML schema language": only the structural content model matters, so any
+// schema formalism that compiles to regular expressions over element names
+// plugs into the same reachability/DAG/recognizer machinery.
+//
+// Supported subset (namespace prefixes are accepted and ignored):
+//
+//	<schema>
+//	  <element name="..."> (top level: global element declarations)
+//	    <complexType mixed="true|false">
+//	      <sequence|choice minOccurs=".." maxOccurs="..|unbounded">
+//	        <element ref=".."|name=".." minOccurs=".." maxOccurs=".."/>
+//	        nested <sequence>/<choice>
+//	      </sequence|choice>
+//	    </complexType>
+//	  </element>
+//	  <element name="..." type="xs:string|..."/>  (simple content -> #PCDATA)
+//	</schema>
+//
+// Local (anonymous) element declarations are hoisted to global scope by
+// name; attributes and simple-type facets are ignored (the paper's
+// footnote 3: attribute declarations play no role in potential validity).
+package xsd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+// Parse converts XSD source text into the DTD representation.
+func Parse(src string) (*dtd.DTD, error) {
+	doc, err := dom.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	root := doc.Root
+	if local(root.Name) != "schema" {
+		return nil, fmt.Errorf("xsd: root element is <%s>, expected <schema>", root.Name)
+	}
+	c := &converter{out: &dtd.DTD{Elements: map[string]*dtd.ElementDecl{}}}
+	for _, child := range root.Children {
+		if child.Kind == dom.ElementNode && local(child.Name) == "element" {
+			if err := c.globalElement(child); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(c.out.Order) == 0 {
+		return nil, fmt.Errorf("xsd: no global element declarations")
+	}
+	if missing := c.out.UndeclaredReferences(); len(missing) > 0 {
+		return nil, fmt.Errorf("xsd: unresolved element references: %s", strings.Join(missing, ", "))
+	}
+	return c.out, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string) *dtd.DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type converter struct {
+	out *dtd.DTD
+}
+
+func local(name string) string {
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func attr(n *dom.Node, name string) string {
+	for _, a := range n.Attrs {
+		if local(a.Name) == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func childElement(n *dom.Node, localName string) *dom.Node {
+	for _, c := range n.Children {
+		if c.Kind == dom.ElementNode && local(c.Name) == localName {
+			return c
+		}
+	}
+	return nil
+}
+
+// globalElement handles a top-level <element name="...">.
+func (c *converter) globalElement(n *dom.Node) error {
+	name := attr(n, "name")
+	if name == "" {
+		return fmt.Errorf("xsd: global element without a name")
+	}
+	return c.declare(name, n)
+}
+
+// declare registers element name with the content derived from its
+// declaration node (shared by global and hoisted local declarations).
+func (c *converter) declare(name string, n *dom.Node) error {
+	if _, dup := c.out.Elements[name]; dup {
+		return fmt.Errorf("xsd: duplicate declaration of element %q", name)
+	}
+	decl := &dtd.ElementDecl{Name: name}
+	// Reserve the slot before descending so recursive references resolve.
+	c.out.Elements[name] = decl
+	c.out.Order = append(c.out.Order, name)
+
+	ct := childElement(n, "complexType")
+	if ct == nil {
+		// type="xs:string" etc., or no type: simple character content.
+		decl.Category = dtd.Mixed
+		decl.Model = contentmodel.NewPCDATA()
+		return nil
+	}
+	group := firstGroup(ct)
+	mixed := attr(ct, "mixed") == "true"
+	if group == nil {
+		if mixed {
+			decl.Category = dtd.Mixed
+			decl.Model = contentmodel.NewPCDATA()
+		} else {
+			decl.Category = dtd.Empty
+		}
+		return nil
+	}
+	expr, err := c.group(group)
+	if err != nil {
+		return fmt.Errorf("xsd: element %q: %w", name, err)
+	}
+	if mixed {
+		// XSD mixed content allows text anywhere; the closest DTD shape is
+		// the mixed star over the group's element set (Proposition 1 makes
+		// the inner structure irrelevant for potential validity, and
+		// full-validity checks for mixed DTD content are set-based too).
+		parts := []*contentmodel.Expr{contentmodel.NewPCDATA()}
+		for _, ref := range expr.ElementNames() {
+			parts = append(parts, contentmodel.NewName(ref))
+		}
+		decl.Category = dtd.Mixed
+		decl.Model = contentmodel.NewStar(contentmodel.NewChoice(parts...))
+		return nil
+	}
+	decl.Category = dtd.Children
+	decl.Model = expr
+	return nil
+}
+
+func firstGroup(ct *dom.Node) *dom.Node {
+	for _, c := range ct.Children {
+		if c.Kind != dom.ElementNode {
+			continue
+		}
+		switch local(c.Name) {
+		case "sequence", "choice", "all":
+			return c
+		}
+	}
+	return nil
+}
+
+// group converts <sequence>/<choice>/<all> into a content-model expression,
+// applying minOccurs/maxOccurs.
+func (c *converter) group(n *dom.Node) (*contentmodel.Expr, error) {
+	var parts []*contentmodel.Expr
+	for _, ch := range n.Children {
+		if ch.Kind != dom.ElementNode {
+			continue
+		}
+		switch local(ch.Name) {
+		case "element":
+			expr, err := c.particleElement(ch)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, expr)
+		case "sequence", "choice", "all":
+			inner, err := c.group(ch)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, inner)
+		case "annotation", "attribute", "attributeGroup", "anyAttribute":
+			// ignored (footnote 3)
+		default:
+			return nil, fmt.Errorf("unsupported particle <%s>", ch.Name)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty <%s> group", local(n.Name))
+	}
+	var expr *contentmodel.Expr
+	switch local(n.Name) {
+	case "sequence":
+		expr = contentmodel.NewSeq(parts...)
+	case "choice":
+		expr = contentmodel.NewChoice(parts...)
+	case "all":
+		// xs:all permits any order; DTDs cannot express it exactly. The
+		// standard over-approximation for potential validity is the starred
+		// choice (order-free, repeatable); exact once-each semantics would
+		// need a factorial expansion. Documented as part of the subset.
+		expr = contentmodel.NewStar(contentmodel.NewChoice(parts...))
+	}
+	return occurs(expr, attr(n, "minOccurs"), attr(n, "maxOccurs"))
+}
+
+// particleElement converts an <element ref=...> or local <element name=...>
+// particle.
+func (c *converter) particleElement(n *dom.Node) (*contentmodel.Expr, error) {
+	name := attr(n, "ref")
+	if name == "" {
+		name = attr(n, "name")
+		if name == "" {
+			return nil, fmt.Errorf("element particle without ref or name")
+		}
+		// Hoist the local declaration to global scope (once).
+		if _, ok := c.out.Elements[local(name)]; !ok {
+			if err := c.declare(local(name), n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return occurs(contentmodel.NewName(local(name)), attr(n, "minOccurs"), attr(n, "maxOccurs"))
+}
+
+// occurs wraps expr per minOccurs/maxOccurs. Supported combinations:
+// (0|1) x (1|unbounded) exactly; other numeric bounds degrade to the
+// nearest DTD operator (documented subset behavior).
+func occurs(expr *contentmodel.Expr, minS, maxS string) (*contentmodel.Expr, error) {
+	min, max := 1, 1
+	unbounded := false
+	if minS != "" {
+		if _, err := fmt.Sscanf(minS, "%d", &min); err != nil {
+			return nil, fmt.Errorf("bad minOccurs %q", minS)
+		}
+	}
+	switch maxS {
+	case "":
+	case "unbounded":
+		unbounded = true
+	default:
+		if _, err := fmt.Sscanf(maxS, "%d", &max); err != nil {
+			return nil, fmt.Errorf("bad maxOccurs %q", maxS)
+		}
+	}
+	switch {
+	case min == 0 && unbounded:
+		return contentmodel.NewStar(expr), nil
+	case min >= 1 && unbounded:
+		// minOccurs>1 degrades to 1 (DTD has no counters).
+		return contentmodel.NewPlus(expr), nil
+	case min == 0:
+		// maxOccurs>1 degrades to 1.
+		return contentmodel.NewOpt(expr), nil
+	default:
+		return expr, nil
+	}
+}

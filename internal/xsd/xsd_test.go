@@ -1,0 +1,227 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/reach"
+)
+
+// figure1XSD is the Figure 1 DTD transliterated to the XSD subset.
+const figure1XSD = `
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="a" minOccurs="1" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="a">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="b" minOccurs="0"/>
+        <xs:choice>
+          <xs:element ref="c"/>
+          <xs:element ref="f"/>
+        </xs:choice>
+        <xs:element ref="d"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="b">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element ref="d"/>
+        <xs:element ref="f"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="c" type="xs:string"/>
+  <xs:element name="d">
+    <xs:complexType mixed="true">
+      <xs:sequence>
+        <xs:element ref="e" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="e">
+    <xs:complexType/>
+  </xs:element>
+  <xs:element name="f">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="c"/>
+        <xs:element ref="e"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func TestParseFigure1XSD(t *testing.T) {
+	d := MustParse(figure1XSD)
+	if len(d.Order) != 7 {
+		t.Fatalf("elements = %v", d.Order)
+	}
+	cases := []struct {
+		name     string
+		category dtd.Category
+		model    string
+	}{
+		{"r", dtd.Children, "(a)+"},
+		{"a", dtd.Children, "((b)?, (c | f), d)"},
+		{"b", dtd.Children, "(d | f)"},
+		{"c", dtd.Mixed, "#PCDATA"},
+		{"d", dtd.Mixed, "(#PCDATA | e)*"},
+		{"e", dtd.Empty, ""},
+		{"f", dtd.Children, "(c, e)"},
+	}
+	for _, c := range cases {
+		decl := d.Element(c.name)
+		if decl == nil {
+			t.Fatalf("missing element %q", c.name)
+		}
+		if decl.Category != c.category {
+			t.Errorf("%s category = %v, want %v", c.name, decl.Category, c.category)
+		}
+		if c.model != "" && decl.Model.String() != c.model {
+			t.Errorf("%s model = %q, want %q", c.name, decl.Model.String(), c.model)
+		}
+	}
+}
+
+// TestXSDSemanticEquivalence: the XSD import must behave exactly like the
+// DTD on the paper's Example 1.
+func TestXSDSemanticEquivalence(t *testing.T) {
+	fromXSD := core.MustCompile(MustParse(figure1XSD), "r", core.Options{})
+	fromDTD := core.MustCompile(dtd.MustParse(dtd.Figure1), "r", core.Options{})
+	cases := []string{
+		`<r><a><b>A quick brown</b><e></e><c>x</c> dog</a></r>`,
+		`<r><a><b>A quick brown</b><c>x</c> dog<e></e></a></r>`,
+		`<r><a><c>x</c><d></d></a></r>`,
+		`<r>loose</r>`,
+	}
+	for _, src := range cases {
+		a, err := fromXSD.CheckString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fromDTD.CheckString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (a == nil) != (b == nil) {
+			t.Errorf("XSD/DTD disagree on %s: xsd=%v dtd=%v", src, a, b)
+		}
+	}
+	if fromXSD.Class() != reach.NonRecursive {
+		t.Errorf("class = %v", fromXSD.Class())
+	}
+}
+
+func TestLocalElementHoisting(t *testing.T) {
+	d := MustParse(`
+<schema>
+  <element name="doc">
+    <complexType>
+      <sequence>
+        <element name="title" type="string"/>
+        <element name="section" minOccurs="0" maxOccurs="unbounded">
+          <complexType>
+            <sequence>
+              <element ref="title"/>
+            </sequence>
+          </complexType>
+        </element>
+      </sequence>
+    </complexType>
+  </element>
+</schema>`)
+	for _, name := range []string{"doc", "title", "section"} {
+		if d.Element(name) == nil {
+			t.Errorf("element %q not hoisted", name)
+		}
+	}
+	if got := d.Element("doc").Model.String(); got != "(title, (section)*)" {
+		t.Errorf("doc model = %q", got)
+	}
+}
+
+func TestRecursiveXSD(t *testing.T) {
+	// T2 in XSD form: PV-strong recursion must classify identically.
+	d := MustParse(`
+<schema>
+  <element name="a">
+    <complexType>
+      <sequence>
+        <choice>
+          <element ref="a"/>
+          <element ref="b"/>
+        </choice>
+        <element ref="b"/>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="b"><complexType/></element>
+</schema>`)
+	lt := reach.Build(d)
+	if lt.Class() != reach.PVStrongRecursive {
+		t.Errorf("class = %v, want PV-strong", lt.Class())
+	}
+}
+
+func TestXSDAll(t *testing.T) {
+	// xs:all over-approximates to a starred choice (documented).
+	d := MustParse(`
+<schema>
+  <element name="r">
+    <complexType>
+      <all>
+        <element name="x" type="string"/>
+        <element name="y" type="string"/>
+      </all>
+    </complexType>
+  </element>
+</schema>`)
+	if got := d.Element("r").Model.String(); got != "(x | y)*" {
+		t.Errorf("all model = %q", got)
+	}
+}
+
+func TestXSDMixedWithElements(t *testing.T) {
+	d := MustParse(`
+<schema>
+  <element name="p">
+    <complexType mixed="true">
+      <sequence>
+        <element name="b" type="string" minOccurs="0" maxOccurs="unbounded"/>
+      </sequence>
+    </complexType>
+  </element>
+</schema>`)
+	decl := d.Element("p")
+	if decl.Category != dtd.Mixed {
+		t.Fatalf("category = %v", decl.Category)
+	}
+	if got := decl.Model.String(); got != "(#PCDATA | b)*" {
+		t.Errorf("model = %q", got)
+	}
+}
+
+func TestXSDErrors(t *testing.T) {
+	cases := []string{
+		`<notaschema/>`,
+		`<schema></schema>`, // no global elements
+		`<schema><element/></schema>`,
+		`<schema><element name="a"><complexType><sequence><element ref="ghost"/></sequence></complexType></element></schema>`,
+		`<schema><element name="a" type="string"/><element name="a" type="string"/></schema>`,
+		`<schema><element name="a"><complexType><sequence><element name="b" type="string" minOccurs="bogus"/></sequence></complexType></element></schema>`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %s", strings.TrimSpace(src)[:30])
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package pv is a potential-validity toolkit for document-centric XML — a
+// from-scratch Go reproduction of:
+//
+//	Ionut E. Iacob, Alex Dekhtyar, Michael I. Dekhtyar.
+//	"On Potential Validity of Document-Centric XML Documents." ICDE 2006.
+//
+// An XML document w is *potentially valid* with respect to a DTD T and root
+// element r if some extension of w — obtained by inserting matching tag
+// pairs only, never deleting, renaming or reordering anything — is valid.
+// Potential validity is what a document-centric XML editor needs to check
+// while markup is being layered over pre-existing text: intermediate states
+// are almost never valid, but they must stay completable.
+//
+// The package compiles a DTD into a Schema and offers:
+//
+//   - whole-document checking (the paper's Problem PV), in tree and
+//     streaming form, in time linear in document size (Theorem 4);
+//   - per-element content checking (Problem ECPV) via the paper's
+//     ECRecognizer over a DAG model of the DTD, with the depth bound that
+//     tames PV-strong recursive DTDs;
+//   - O(1) incremental guards for editing operations (Theorem 2,
+//     Proposition 3) and a guarded editing Session;
+//   - full (standard) DTD validation, for when the encoding is finished;
+//   - DTD analysis: recursion classification (non-recursive / PV-weak /
+//     PV-strong), reachability, usability and determinism lint.
+//
+// Quick start:
+//
+//	schema, err := pv.CompileDTD(dtdSource, "r", pv.Options{})
+//	...
+//	res, err := schema.CheckString("<r><a><b>A quick brown</b>...</r>")
+//	if res.PotentiallyValid { ... }
+package pv
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/complete"
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/reach"
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+// Options configures schema compilation.
+type Options struct {
+	// MaxDepth bounds the depth of hypothetical extension documents
+	// considered when the DTD is PV-strong recursive (Section 4.3.1 of the
+	// paper). Zero selects the default (16). Irrelevant for non-PV-strong
+	// DTDs, where the checker is complete.
+	MaxDepth int
+	// IgnoreWhitespaceText makes whitespace-only text nodes invisible to
+	// the potential-validity checker — convenient for pretty-printed
+	// documents. Document-centric editing normally wants false.
+	IgnoreWhitespaceText bool
+	// AllowAnyRoot accepts any declared element as document root.
+	AllowAnyRoot bool
+}
+
+// Class is the paper's DTD classification (Definitions 6-8).
+type Class = reach.Class
+
+// Re-exported classification constants.
+const (
+	NonRecursive      = reach.NonRecursive
+	PVWeakRecursive   = reach.PVWeakRecursive
+	PVStrongRecursive = reach.PVStrongRecursive
+)
+
+// Schema is a DTD compiled for potential-validity checking and validation.
+type Schema struct {
+	dtd   *dtd.DTD
+	root  string
+	core  *core.Schema
+	valid *validator.Validator
+}
+
+// ParseDTD parses DTD source text (internal/external subset syntax).
+func ParseDTD(src string) (*DTD, error) {
+	d, err := dtd.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// DTD is a parsed Document Type Definition.
+type DTD struct{ d *dtd.DTD }
+
+// Names returns the declared element names in declaration order.
+func (d *DTD) Names() []string { return d.d.Names() }
+
+// String renders the DTD back in declaration syntax.
+func (d *DTD) String() string { return d.d.String() }
+
+// Size returns the paper's k measure: total element occurrences across
+// content models plus one per declaration.
+func (d *DTD) Size() int { return d.d.Size() }
+
+// Lint reports structural problems: undeclared references and XML 1.0
+// determinism violations. An empty slice means the DTD is clean.
+func (d *DTD) Lint() []string { return d.d.Validate() }
+
+// Compile prepares the DTD for checking against the given root element.
+func (d *DTD) Compile(root string, opts Options) (*Schema, error) {
+	c, err := core.Compile(d.d, root, core.Options{
+		MaxDepth:             opts.MaxDepth,
+		IgnoreWhitespaceText: opts.IgnoreWhitespaceText,
+		AllowAnyRoot:         opts.AllowAnyRoot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, err := validator.New(d.d, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{dtd: d.d, root: root, core: c, valid: v}, nil
+}
+
+// ParseXSD imports a W3C XML Schema (XSD) document, supported subset per
+// internal/xsd, into the same representation as ParseDTD — the paper's
+// Section 2 observation that potential validity only depends on the
+// structural content model, whatever the schema language.
+func ParseXSD(src string) (*DTD, error) {
+	d, err := xsd.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// CompileXSD parses an XSD document and compiles it in one step.
+func CompileXSD(src, root string, opts Options) (*Schema, error) {
+	d, err := ParseXSD(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.Compile(root, opts)
+}
+
+// CompileDTD parses and compiles in one step.
+func CompileDTD(src, root string, opts Options) (*Schema, error) {
+	d, err := ParseDTD(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.Compile(root, opts)
+}
+
+// CompileDTDFile reads, parses and compiles a DTD file.
+func CompileDTDFile(path, root string, opts Options) (*Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return CompileDTD(string(data), root, opts)
+}
+
+// MustCompileDTD is CompileDTD that panics on error; for tests and
+// examples.
+func MustCompileDTD(src, root string, opts Options) *Schema {
+	s, err := CompileDTD(src, root, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Root returns the designated root element.
+func (s *Schema) Root() string { return s.root }
+
+// Class returns the DTD's recursion classification.
+func (s *Schema) Class() Class { return s.core.Class() }
+
+// Result is the outcome of a potential-validity check.
+type Result struct {
+	// PotentiallyValid is the Problem PV verdict.
+	PotentiallyValid bool
+	// Valid is the standard validity verdict (Valid implies
+	// PotentiallyValid).
+	Valid bool
+	// Detail explains the first potential-validity violation; empty when
+	// PotentiallyValid.
+	Detail string
+}
+
+// CheckString parses an XML string and checks it. The returned error covers
+// lexical/well-formedness problems only; schema verdicts are in the Result.
+func (s *Schema) CheckString(xml string) (Result, error) {
+	doc, err := dom.Parse(xml)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.checkRoot(doc.Root), nil
+}
+
+// CheckDocument checks a parsed document.
+func (s *Schema) CheckDocument(doc *Document) Result { return s.checkRoot(doc.root) }
+
+func (s *Schema) checkRoot(root *dom.Node) Result {
+	res := Result{}
+	if v := s.core.CheckDocument(root); v == nil {
+		res.PotentiallyValid = true
+	} else {
+		res.Detail = v.Reason
+	}
+	if res.PotentiallyValid && s.valid.Validate(root) == nil {
+		res.Valid = true
+	}
+	return res
+}
+
+// CheckStream checks an XML string in a single streaming pass without
+// building a tree — the recommended mode for large documents. It returns
+// nil when the document is potentially valid.
+func (s *Schema) CheckStream(xml string) error { return s.core.CheckStream(xml) }
+
+// Validate runs standard (full) DTD validation: the check for finished
+// encodings. It returns nil when the document is valid.
+func (s *Schema) Validate(doc *Document) error { return s.valid.Validate(doc.root) }
+
+// ValidateString parses and fully validates an XML string.
+func (s *Schema) ValidateString(xml string) error { return s.valid.ValidateString(xml) }
+
+// CanInsertText reports whether a new text node may be created under the
+// named element in a potentially valid document — the O(1) check of
+// Proposition 3.
+func (s *Schema) CanInsertText(element string) bool {
+	return s.core.LT.Has(element) && s.core.LT.ReachesPCDATA(element)
+}
+
+// Reachable reports whether element "to" may occur (at any depth) inside
+// element "from" — the reachability lookup of Definition 5.
+func (s *Schema) Reachable(from, to string) bool { return s.core.LT.Reachable(from, to) }
+
+// ElementClass returns the recursion classification of one element.
+func (s *Schema) ElementClass(name string) Class { return s.core.LT.ElementClass(name) }
+
+// Complete synthesizes a valid extension of a potentially valid document —
+// the constructive counterpart of Definition 3 (and of the paper's
+// Figure 3, where two <d> insertions complete Example 1's s). It returns a
+// fresh document (the input is untouched) and the number of elements
+// inserted. It fails if the document is not potentially valid within the
+// schema's depth bound.
+func (s *Schema) Complete(doc *Document) (*Document, int, error) {
+	ext, inserted, err := complete.New(s.core).Complete(doc.root)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Document{root: ext}, inserted, nil
+}
+
+// Info summarizes the compiled schema for display.
+func (s *Schema) Info() string {
+	return fmt.Sprintf("root <%s>, %d elements, k=%d, class %s, depth bound %d",
+		s.root, len(s.dtd.Order), s.dtd.Size(), s.Class(), s.core.EffectiveDepth())
+}
