@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pvbench [-quick] [-only linear,earley,depth,dtdsize,updates,closure]
+//	pvbench [-quick] [-only linear,earley,depth,dtdsize,updates,closure,throughput]
 package main
 
 import (
@@ -36,6 +36,9 @@ func main() {
 	updSizes := []int{1000, 8000, 64000}
 	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	trials := 40
+	workerCounts := []int{1, 2, 4, 8}
+	corpus := 256
+	tputBudget := 1 * time.Second
 	if *quick {
 		budget = 2 * time.Millisecond
 		linSizes = []int{500, 2000, 8000}
@@ -44,6 +47,8 @@ func main() {
 		dtdSizes = []int{8, 16}
 		updSizes = []int{500, 4000}
 		trials = 5
+		corpus = 48
+		tputBudget = 25 * time.Millisecond
 	}
 
 	experiments := []struct {
@@ -56,6 +61,7 @@ func main() {
 		{"dtdsize", func() *bench.Table { return bench.DTDSize(dtdSizes, 4000, budget) }},
 		{"updates", func() *bench.Table { return bench.UpdateCosts(updSizes, budget) }},
 		{"closure", func() *bench.Table { return bench.StripClosure(fracs, trials, budget) }},
+		{"throughput", func() *bench.Table { return bench.Throughput(workerCounts, corpus, tputBudget) }},
 	}
 
 	ran := 0

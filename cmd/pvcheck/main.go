@@ -5,6 +5,10 @@
 // Usage:
 //
 //	pvcheck (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] doc.xml...
+//	pvcheck batch (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] dir...
+//
+// The batch form fans a directory of documents out over the concurrent
+// checking engine (see -workers).
 //
 // Exit status: 0 when every document is potentially valid, 1 when some
 // document is not, 2 on usage or parse errors.
@@ -17,5 +21,9 @@ import (
 )
 
 func main() {
-	os.Exit(cli.PVCheck(os.Args[1:], os.Stdout, os.Stderr))
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "batch" {
+		os.Exit(cli.Batch(args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(cli.PVCheck(args, os.Stdout, os.Stderr))
 }

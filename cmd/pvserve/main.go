@@ -1,0 +1,46 @@
+// Command pvserve is the HTTP front end of the concurrent checking engine:
+// compile once, check a firehose of documents.
+//
+// Usage:
+//
+//	pvserve [-addr :8080] [-workers N] [-cache N] [-pvonly]
+//
+// Routes (all JSON):
+//
+//	POST /check    {"schema","kind","root","options","document"}  -> verdict
+//	POST /batch    {"schema","kind","root","options","documents"} -> verdicts + stats
+//	GET  /schemas  cached compiled schemas, most recently used first
+//	GET  /stats    registry and engine lifetime counters
+//
+// The schema travels inline with each request; the registry dedupes by
+// content hash, so resending it costs a hash, not a compilation.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "compiled-schema LRU capacity (0 = default 64)")
+	pvOnly := flag.Bool("pvonly", false, "skip the full-validity bit (fastest)")
+	flag.Parse()
+
+	e := engine.New(engine.Config{Workers: *workers, CacheSize: *cache, PVOnly: *pvOnly})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           engine.NewServer(e),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute, // bodies are capped at engine.MaxRequestBytes
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("pvserve listening on %s (workers=%d, cache=%d, pvonly=%v)",
+		*addr, e.Workers(), e.Registry().Stats().Capacity, *pvOnly)
+	log.Fatal(srv.ListenAndServe())
+}

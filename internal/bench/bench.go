@@ -18,6 +18,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/dtd"
 	"repro/internal/earley"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/grammar"
 	"repro/internal/validator"
@@ -395,6 +396,64 @@ func StripClosure(fractions []float64, trials int, budget time.Duration) *Table 
 	return t
 }
 
+// Throughput is experiment X7 (the concurrent engine): batch-checking
+// documents/sec and MB/sec as the worker count grows, over a mixed corpus
+// (valid, tag-stripped and corrupted play documents) — the scale-out story
+// the engine exists for. Speedup is relative to the first worker count.
+// On a single-CPU host the column stays flat; the experiment still reports
+// the scaling honestly.
+func Throughput(workerCounts []int, corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(4))
+	docs := make([]engine.Doc, corpusSize)
+	var corpusBytes int64
+	for i := range docs {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+		switch i % 3 {
+		case 1:
+			gen.Strip(rng, doc, 0.3)
+		case 2:
+			gen.Corrupt(rng, d, doc)
+		}
+		docs[i] = engine.Doc{ID: fmt.Sprint(i), Content: doc.String()}
+		corpusBytes += int64(len(docs[i].Content))
+	}
+	t := &Table{
+		Name:    "throughput",
+		Caption: "X7 / engine — batch checking throughput vs worker count (mixed play corpus)",
+		Header:  []string{"workers", "corpus_docs", "batches", "docs_per_sec", "mb_per_sec", "speedup"},
+	}
+	var base float64
+	for _, w := range workerCounts {
+		e := engine.New(engine.Config{Workers: w})
+		s, err := e.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+		if err != nil {
+			panic(err)
+		}
+		e.CheckBatch(s, docs) // warm up (pools, page cache)
+		batches := 0
+		start := time.Now()
+		for time.Since(start) < budget {
+			if _, stats := e.CheckBatch(s, docs); stats.Malformed != 0 {
+				panic("play corpus contains malformed documents")
+			}
+			batches++
+		}
+		elapsed := time.Since(start)
+		dps := float64(batches*len(docs)) / elapsed.Seconds()
+		mbps := float64(batches) * float64(corpusBytes) / (1 << 20) / elapsed.Seconds()
+		if base == 0 {
+			base = dps
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w), fmt.Sprint(len(docs)), fmt.Sprint(batches),
+			fmt.Sprintf("%.0f", dps), fmt.Sprintf("%.2f", mbps),
+			fmt.Sprintf("%.2fx", dps/base),
+		})
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -406,6 +465,9 @@ func All(quick bool) []*Table {
 	updSizes := []int{1000, 8000, 64000}
 	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	trials := 40
+	workerCounts := []int{1, 2, 4, 8}
+	corpus := 256
+	tputBudget := 250 * time.Millisecond
 	if quick {
 		budget = 2 * time.Millisecond
 		linSizes = []int{500, 2000, 8000}
@@ -414,6 +476,8 @@ func All(quick bool) []*Table {
 		dtdSizes = []int{8, 16}
 		updSizes = []int{500, 4000}
 		trials = 5
+		corpus = 48
+		tputBudget = 10 * time.Millisecond
 	}
 	return []*Table{
 		LinearScaling(linSizes, budget),
@@ -422,5 +486,6 @@ func All(quick bool) []*Table {
 		DTDSize(dtdSizes, 4000, budget),
 		UpdateCosts(updSizes, budget),
 		StripClosure(fracs, trials, budget),
+		Throughput(workerCounts, corpus, tputBudget),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 6 {
-		t.Fatalf("want 6 tables, got %d", len(tables))
+	if len(tables) != 7 {
+		t.Fatalf("want 7 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -54,6 +54,17 @@ func TestAllQuick(t *testing.T) {
 			t.Errorf("recognizer count not increasing: %v", byName["depth"].Rows)
 		}
 		prev = nRec
+	}
+	// X7: every worker count must move documents; speedup is hardware
+	// dependent (single-CPU CI shows ~1x), so only positivity is asserted.
+	if len(byName["throughput"].Rows) != 4 {
+		t.Errorf("throughput rows: %v", byName["throughput"].Rows)
+	}
+	for _, row := range byName["throughput"].Rows {
+		dps, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || dps <= 0 {
+			t.Errorf("throughput row has no progress: %v", row)
+		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.
 	last := byName["earley"].Rows[len(byName["earley"].Rows)-1]

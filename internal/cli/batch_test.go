@@ -1,0 +1,92 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// writeBatchDir creates a corpus directory: two valid docs, one potentially
+// valid, one not-PV, one malformed, plus a non-XML file that must be
+// skipped, and a nested subdirectory.
+func writeBatchDir(t *testing.T) (dtdPath, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	dtdPath = filepath.Join(dir, "schema", "fig1.dtd")
+	if err := os.MkdirAll(filepath.Dir(dtdPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "docs", "nested")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		dtdPath:                                  dtd.Figure1,
+		filepath.Join(dir, "docs", "valid1.xml"): `<r><a><c>x</c><d></d></a></r>`,
+		filepath.Join(sub, "valid2.xml"):         `<r><a><c>x</c><d></d></a></r>`,
+		filepath.Join(dir, "docs", "pv.xml"):     `<r><a><b>A quick brown</b><c> fox</c> dog<e></e></a></r>`,
+		filepath.Join(dir, "docs", "notpv.xml"):  `<r><a><b>x</b><e></e><c>y</c></a></r>`,
+		filepath.Join(dir, "docs", "broken.xml"): `<r><a>`,
+		filepath.Join(dir, "docs", "readme.txt"): `not xml`,
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dtdPath, filepath.Join(dir, "docs")
+}
+
+func TestBatchDirectory(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var out, errOut strings.Builder
+	code := Batch([]string{"-dtd", dtdPath, "-root", "r", "-workers", "4", docsDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"valid1.xml: valid",
+		"valid2.xml: valid",
+		"pv.xml: potentially valid (encoding incomplete)",
+		"notpv.xml: NOT potentially valid",
+		"broken.xml: malformed",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stdout missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "readme.txt") {
+		t.Errorf("non-XML file was checked:\n%s", text)
+	}
+	summary := errOut.String()
+	if !strings.Contains(summary, "checked 5 documents (4 workers): 3 potentially valid, 2 valid, 1 malformed") {
+		t.Errorf("summary:\n%s", summary)
+	}
+}
+
+func TestBatchQuietAllPV(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var out, errOut strings.Builder
+	code := Batch([]string{"-dtd", dtdPath, "-root", "r", "-q",
+		filepath.Join(docsDir, "valid1.xml"), filepath.Join(docsDir, "pv.xml")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("quiet mode printed verdicts:\n%s", out.String())
+	}
+}
+
+func TestBatchUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Batch(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := Batch([]string{"-dtd", "x.dtd", "-root", "r", "/nonexistent-dir-xyz"}, &out, &errOut); code != 2 {
+		t.Errorf("missing input: exit = %d, want 2", code)
+	}
+}

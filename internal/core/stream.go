@@ -1,10 +1,30 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/xmltext"
 )
+
+// ViolationError is a potential-validity violation reported by the stream
+// checker: the input is well-formed XML so far, but its content cannot be
+// extended to a valid document. Lexical and well-formedness problems
+// (mismatched or unclosed tags, multiple roots, character data outside the
+// root) are reported as plain errors instead, mirroring the tree path where
+// dom.Parse rejects them before CheckDocument ever runs. Callers that need
+// to tell the two apart (the concurrent engine, differential tests) use
+// IsViolation.
+type ViolationError struct{ Reason string }
+
+func (e *ViolationError) Error() string { return e.Reason }
+
+// IsViolation reports whether err is a potential-validity violation, as
+// opposed to a lexical or well-formedness error.
+func IsViolation(err error) bool {
+	var v *ViolationError
+	return errors.As(err, &v)
+}
 
 // StreamChecker checks whole-document potential validity in one pass over a
 // token stream, maintaining one ECRecognizer per open element — the
@@ -34,9 +54,35 @@ func (c *StreamChecker) Err() error { return c.err }
 // Depth returns the current open-element depth.
 func (c *StreamChecker) Depth() int { return c.depth }
 
+// Reset returns the checker to its initial state for a fresh document,
+// retaining allocated stack capacity — the hook that lets worker pools
+// (engine.CheckBatch) reuse checkers across many documents.
+func (c *StreamChecker) Reset() {
+	// Clear through capacity, not length: EndElement pops truncate without
+	// clearing, so after a completed document the Recognizers (and name
+	// strings, which alias the document's backing array) linger beyond len.
+	clear(c.stack[:cap(c.stack)])
+	clear(c.names[:cap(c.names)])
+	c.stack = c.stack[:0]
+	c.names = c.names[:0]
+	c.lastWasText = c.lastWasText[:0]
+	c.depth = 0
+	c.err = nil
+	c.seen = false
+}
+
+// fail records a well-formedness failure.
 func (c *StreamChecker) fail(format string, args ...any) error {
 	if c.err == nil {
 		c.err = fmt.Errorf(format, args...)
+	}
+	return c.err
+}
+
+// violate records a potential-validity violation.
+func (c *StreamChecker) violate(format string, args ...any) error {
+	if c.err == nil {
+		c.err = &ViolationError{Reason: fmt.Sprintf(format, args...)}
 	}
 	return c.err
 }
@@ -51,16 +97,16 @@ func (c *StreamChecker) StartElement(name string) error {
 			return c.fail("second root element <%s>", name)
 		}
 		if !c.schema.opts.AllowAnyRoot && name != c.schema.Root {
-			return c.fail("root element is <%s>, schema requires <%s>", name, c.schema.Root)
+			return c.violate("root element is <%s>, schema requires <%s>", name, c.schema.Root)
 		}
 	}
 	if !c.schema.LT.Has(name) {
-		return c.fail("element <%s> is not declared in the DTD", name)
+		return c.violate("element <%s> is not declared in the DTD", name)
 	}
 	if len(c.stack) > 0 {
 		top := c.stack[len(c.stack)-1]
 		if !top.Validate(Elem(name)) {
-			return c.fail("content of <%s> is not potentially valid at <%s>", c.names[len(c.names)-1], name)
+			return c.violate("content of <%s> is not potentially valid at <%s>", c.names[len(c.names)-1], name)
 		}
 		c.lastWasText[len(c.lastWasText)-1] = false
 	}
@@ -91,7 +137,7 @@ func (c *StreamChecker) Text(data string) error {
 		return nil // same σ as the previous text event
 	}
 	if !c.stack[i].Validate(Sigma) {
-		return c.fail("content of <%s> is not potentially valid at character data", c.names[i])
+		return c.violate("content of <%s> is not potentially valid at character data", c.names[i])
 	}
 	c.lastWasText[i] = true
 	return nil
@@ -136,9 +182,15 @@ func (c *StreamChecker) Close() error {
 
 // CheckStream tokenizes src and runs the streaming check over it — a
 // single-pass Problem PV solver for strings.
-func (s *Schema) CheckStream(src string) error {
+func (s *Schema) CheckStream(src string) error { return s.NewStreamChecker().Run(src) }
+
+// Run resets the checker and drives it over src in one pass. It returns nil
+// when the document is potentially valid, a *ViolationError when it is
+// well-formed but not potentially valid, and a plain error for lexical or
+// well-formedness problems.
+func (c *StreamChecker) Run(src string) error {
+	c.Reset()
 	lx := xmltext.NewLexer(src)
-	c := s.NewStreamChecker()
 	for {
 		tok, err := lx.Next()
 		if err != nil {

@@ -1,0 +1,49 @@
+package dtd
+
+import (
+	"testing"
+)
+
+// FuzzParseDTD asserts the DTD parser never panics, and that accepted
+// input survives a render/re-parse round trip with the same size measure —
+// the invariant the registry's hash-keyed caching and the generator's
+// String() round trips rely on.
+func FuzzParseDTD(f *testing.F) {
+	for _, seed := range []string{
+		Figure1, T1, T2, WeakRecursive, Play, TEILite, Article,
+		"<!ELEMENT a EMPTY>",
+		"<!ELEMENT a (#PCDATA)>",
+		"<!ELEMENT a (b, (c | d)*, e+)><!ELEMENT b ANY>",
+		"<!ELEMENT a (#PCDATA | b)*>",
+		"<!ELEMENT",
+		"<!ELEMENT a (b>",
+		"<!ATTLIST a b CDATA #IMPLIED>",
+		"<!-- comment only -->",
+		"",
+		"garbage",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted DTDs must render and re-parse losslessly enough that the
+		// size measure, declaration order and lint verdicts are stable.
+		rendered := d.String()
+		d2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered DTD failed: %v\noriginal: %q\nrendered: %q", err, src, rendered)
+		}
+		if d.Size() != d2.Size() {
+			t.Fatalf("size changed across round trip: %d -> %d\noriginal: %q\nrendered: %q",
+				d.Size(), d2.Size(), src, rendered)
+		}
+		if len(d.Names()) != len(d2.Names()) {
+			t.Fatalf("declaration count changed across round trip: %v -> %v", d.Names(), d2.Names())
+		}
+		_ = d.Validate()
+		_ = d.UndeclaredReferences()
+	})
+}

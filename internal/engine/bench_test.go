@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+// benchCorpus builds a mixed Play-DTD corpus: valid, stripped and corrupted
+// documents, the firehose shape the engine is for.
+func benchCorpus(n int) []Doc {
+	rng := rand.New(rand.NewSource(7))
+	d := dtd.MustParse(dtd.Play)
+	docs := make([]Doc, 0, n)
+	for i := 0; i < n; i++ {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+		switch i % 3 {
+		case 1:
+			gen.Strip(rng, doc, 0.3)
+		case 2:
+			gen.Corrupt(rng, d, doc)
+		}
+		docs = append(docs, Doc{ID: fmt.Sprint(i), Content: doc.String()})
+	}
+	return docs
+}
+
+// BenchmarkEngineBatch measures batch throughput across worker counts; CI
+// runs it once (-benchtime=1x) as a compile-and-run guard.
+func BenchmarkEngineBatch(b *testing.B) {
+	docs := benchCorpus(256)
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d.Content))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(Config{Workers: workers})
+			s, err := e.Compile(DTDSource, dtd.Play, "play", CompileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, _ := e.CheckBatch(s, docs)
+				if len(results) != len(docs) {
+					b.Fatal("missing results")
+				}
+			}
+		})
+	}
+}

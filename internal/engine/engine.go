@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/validator"
+)
+
+// Schema is one compiled checking artifact: the potential-validity core, the
+// full validator, and a pool of reusable streaming checkers. A Schema is
+// safe for concurrent use; the pool keeps per-worker checker state off the
+// allocator on the hot path.
+type Schema struct {
+	Core  *core.Schema
+	Valid *validator.Validator
+
+	checkers sync.Pool
+}
+
+// NewSchema wraps an already compiled core schema and validator for use
+// with the engine. The root-package API builds these for every pv.Schema.
+func NewSchema(c *core.Schema, v *validator.Validator) *Schema {
+	s := &Schema{Core: c, Valid: v}
+	s.checkers.New = func() any { return c.NewStreamChecker() }
+	return s
+}
+
+// Doc is one batch input: an identifier (a path, a queue key — anything)
+// and the XML content.
+type Doc struct {
+	ID      string `json:"id"`
+	Content string `json:"content"`
+}
+
+// Result is the verdict for one document. It mirrors the sequential
+// CheckString contract: Err is set for lexical/well-formedness problems (the
+// document has no verdict); otherwise PotentiallyValid and Valid carry the
+// verdict and Detail explains the first potential-validity violation.
+type Result struct {
+	ID               string
+	Index            int
+	PotentiallyValid bool
+	Valid            bool
+	Detail           string
+	Err              error
+	Bytes            int
+}
+
+// BatchStats aggregates one CheckBatch call.
+type BatchStats struct {
+	Docs             int           `json:"docs"`
+	PotentiallyValid int           `json:"potentiallyValid"`
+	Valid            int           `json:"valid"`
+	Malformed        int           `json:"malformed"`
+	Bytes            int64         `json:"bytes"`
+	Workers          int           `json:"workers"`
+	Elapsed          time.Duration `json:"elapsedNs"`
+	DocsPerSec       float64       `json:"docsPerSec"`
+	MBPerSec         float64       `json:"mbPerSec"`
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds batch concurrency; <=0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the schema registry; <=0 selects DefaultCapacity.
+	CacheSize int
+	// PVOnly skips the full-validity bit (which needs a tree parse of every
+	// potentially valid document) — the fastest mode for firehose filtering.
+	PVOnly bool
+}
+
+// Engine is the concurrent checking front end: a registry plus a worker
+// pool configuration and lifetime counters.
+type Engine struct {
+	reg     *Registry
+	workers int
+	pvOnly  bool
+	// sem bounds checking concurrency engine-wide, not per batch: N
+	// concurrent CheckBatch calls (pvserve requests) share the same
+	// `workers` slots instead of multiplying them.
+	sem chan struct{}
+
+	docs      atomic.Int64
+	pv        atomic.Int64
+	valid     atomic.Int64
+	malformed atomic.Int64
+	bytes     atomic.Int64
+	busyNanos atomic.Int64 // wall-clock spent inside CheckBatch calls
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		reg:     NewRegistry(cfg.CacheSize),
+		workers: w,
+		pvOnly:  cfg.PVOnly,
+		sem:     make(chan struct{}, w),
+	}
+}
+
+// Registry returns the engine's schema registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Workers returns the configured worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Compile resolves a schema through the registry (compile-once, LRU).
+func (e *Engine) Compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, error) {
+	return e.reg.Compile(kind, src, root, opts)
+}
+
+// check runs the verdict for one document on a (reusable) stream checker.
+// The streaming pass settles well-formedness and potential validity in one
+// linear scan; only documents that pass it pay for the tree parse that the
+// full-validity bit needs.
+func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
+	res := Result{ID: d.ID, Bytes: len(d.Content)}
+	if err := c.Run(d.Content); err != nil {
+		if core.IsViolation(err) {
+			res.Detail = err.Error()
+		} else {
+			res.Err = err
+		}
+		return res
+	}
+	res.PotentiallyValid = true
+	if !e.pvOnly {
+		doc, err := dom.Parse(d.Content)
+		if err != nil {
+			// The stream lexer and the tree parser should agree on
+			// well-formedness (the fuzz targets enforce it); if they ever
+			// diverge, surface the parse error rather than inventing a
+			// PV-but-not-valid verdict CheckString would not produce.
+			res.PotentiallyValid = false
+			res.Err = err
+			return res
+		}
+		res.Valid = s.Valid.Validate(doc.Root) == nil
+	}
+	return res
+}
+
+// Check runs one document synchronously on the caller's goroutine (it
+// still counts against the engine-wide worker bound).
+func (e *Engine) Check(s *Schema, d Doc) Result {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	c := s.checkers.Get().(*core.StreamChecker)
+	res := e.check(s, c, d)
+	s.checkers.Put(c)
+	e.account(1, &res)
+	return res
+}
+
+// CheckBatch fans docs out over the engine's worker pool and returns one
+// Result per input, in input order, plus aggregate stats. Workers claim
+// documents through an atomic cursor (cheap work stealing: large documents
+// do not stall a fixed partition) and write results into disjoint slots, so
+// the only synchronization on the hot path is the cursor increment.
+func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
+	start := time.Now()
+	results := make([]Result, len(docs))
+	workers := e.workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.sem <- struct{}{} // engine-wide bound across concurrent batches
+			defer func() { <-e.sem }()
+			c := s.checkers.Get().(*core.StreamChecker)
+			defer s.checkers.Put(c)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				results[i] = e.check(s, c, docs[i])
+				results[i].Index = i
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := BatchStats{Docs: len(docs), Workers: workers, Elapsed: time.Since(start)}
+	for i := range results {
+		r := &results[i]
+		stats.Bytes += int64(r.Bytes)
+		switch {
+		case r.Err != nil:
+			stats.Malformed++
+		case r.Valid:
+			stats.Valid++
+			stats.PotentiallyValid++
+		case r.PotentiallyValid:
+			stats.PotentiallyValid++
+		}
+	}
+	if secs := stats.Elapsed.Seconds(); secs > 0 {
+		stats.DocsPerSec = float64(stats.Docs) / secs
+		stats.MBPerSec = float64(stats.Bytes) / (1 << 20) / secs
+	}
+	e.accountBatch(stats)
+	return results, stats
+}
+
+// CheckAll is CheckBatch over bare XML strings; IDs are the input indices.
+func (e *Engine) CheckAll(s *Schema, xmls []string) ([]Result, BatchStats) {
+	docs := make([]Doc, len(xmls))
+	for i, x := range xmls {
+		docs[i] = Doc{ID: strconv.Itoa(i), Content: x}
+	}
+	return e.CheckBatch(s, docs)
+}
+
+func (e *Engine) account(n int64, r *Result) {
+	e.docs.Add(n)
+	e.bytes.Add(int64(r.Bytes))
+	switch {
+	case r.Err != nil:
+		e.malformed.Add(1)
+	case r.Valid:
+		e.valid.Add(1)
+		e.pv.Add(1)
+	case r.PotentiallyValid:
+		e.pv.Add(1)
+	}
+}
+
+func (e *Engine) accountBatch(s BatchStats) {
+	e.docs.Add(int64(s.Docs))
+	e.pv.Add(int64(s.PotentiallyValid))
+	e.valid.Add(int64(s.Valid))
+	e.malformed.Add(int64(s.Malformed))
+	e.bytes.Add(s.Bytes)
+	e.busyNanos.Add(s.Elapsed.Nanoseconds())
+}
+
+// Stats is a lifetime snapshot of engine counters.
+type Stats struct {
+	Workers          int   `json:"workers"`
+	Docs             int64 `json:"docs"`
+	PotentiallyValid int64 `json:"potentiallyValid"`
+	Valid            int64 `json:"valid"`
+	Malformed        int64 `json:"malformed"`
+	Bytes            int64 `json:"bytes"`
+	BusyNanos        int64 `json:"busyNanos"`
+}
+
+// Stats returns the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:          e.workers,
+		Docs:             e.docs.Load(),
+		PotentiallyValid: e.pv.Load(),
+		Valid:            e.valid.Load(),
+		Malformed:        e.malformed.Load(),
+		Bytes:            e.bytes.Load(),
+		BusyNanos:        e.busyNanos.Load(),
+	}
+}

@@ -1,0 +1,252 @@
+// Package engine is the concurrent checking subsystem: a schema registry
+// that compiles DTD/XSD sources once and caches the compiled artifacts
+// under an LRU bound, and a worker-pool batch checker that fans documents
+// out over a bounded number of goroutines, reusing per-worker streaming
+// checker state. It is the service-shaped layer the ROADMAP's production
+// north star asks for: compile once, check a firehose of documents —
+// Theorem 4's linear-time check only pays off at scale when the k-dependent
+// compilation cost is amortized across many documents.
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+// SourceKind identifies the schema language of a registry source.
+type SourceKind int
+
+const (
+	// DTDSource is classic DTD declaration syntax.
+	DTDSource SourceKind = iota
+	// XSDSource is the supported W3C XML Schema subset (internal/xsd).
+	XSDSource
+)
+
+// String names the source kind ("dtd" / "xsd").
+func (k SourceKind) String() string {
+	if k == XSDSource {
+		return "xsd"
+	}
+	return "dtd"
+}
+
+// ParseSourceKind converts a kind string ("dtd", "xsd", "" = dtd).
+func ParseSourceKind(s string) (SourceKind, error) {
+	switch s {
+	case "", "dtd":
+		return DTDSource, nil
+	case "xsd":
+		return XSDSource, nil
+	}
+	return 0, fmt.Errorf("engine: unknown schema kind %q (want \"dtd\" or \"xsd\")", s)
+}
+
+// CompileOptions mirrors core.Options; it is part of the cache key, so two
+// compilations of the same source with different options are distinct
+// artifacts.
+type CompileOptions struct {
+	MaxDepth             int
+	IgnoreWhitespaceText bool
+	AllowAnyRoot         bool
+}
+
+// key identifies one compiled artifact: source hash + root + options +
+// schema language. Hashing (rather than keying on the full source) keeps
+// the map cheap when clients resend multi-kilobyte schemas per request.
+type key struct {
+	hash [sha256.Size]byte
+	kind SourceKind
+	root string
+	opts CompileOptions
+}
+
+// entry is one registry slot. The sync.Once gives compile-once semantics
+// under concurrent misses for the same key: the slot is published under the
+// registry lock, but compilation runs outside it, so N racing clients cost
+// one compilation, not N.
+type entry struct {
+	key    key
+	srcLen int
+	once   sync.Once
+	done   atomic.Bool // set after once.Do completes; guards schema/err reads
+	schema *Schema
+	err    error
+	hits   int64 // guarded by the registry mutex
+	elem   *list.Element
+}
+
+// DefaultCapacity is the registry's default LRU bound.
+const DefaultCapacity = 64
+
+// Registry caches compiled schemas keyed by (source hash, root, options),
+// evicting least-recently-used entries beyond its capacity. Failed
+// compilations are cached too (negative caching), so a hot loop of bad
+// requests does not recompile per request.
+type Registry struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[key]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	hits      int64
+	misses    int64
+	evictions int64
+	compiles  atomic.Int64
+}
+
+// RegistryStats is a snapshot of registry counters.
+type RegistryStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Compiles  int64 `json:"compiles"`
+}
+
+// NewRegistry builds a registry bounded to capacity entries (<=0 selects
+// DefaultCapacity).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Registry{
+		cap:     capacity,
+		entries: make(map[key]*entry, capacity),
+		lru:     list.New(),
+	}
+}
+
+// Compile returns the compiled schema for (kind, src, root, opts),
+// compiling at most once per key and touching the entry's LRU position.
+func (r *Registry) Compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, error) {
+	k := key{hash: sha256.Sum256([]byte(src)), kind: kind, root: root, opts: opts}
+
+	r.mu.Lock()
+	e, ok := r.entries[k]
+	if ok {
+		r.hits++
+		e.hits++
+		r.lru.MoveToFront(e.elem)
+	} else {
+		r.misses++
+		e = &entry{key: k, srcLen: len(src)}
+		e.elem = r.lru.PushFront(e)
+		r.entries[k] = e
+		for r.lru.Len() > r.cap {
+			oldest := r.lru.Back()
+			victim := oldest.Value.(*entry)
+			r.lru.Remove(oldest)
+			delete(r.entries, victim.key)
+			r.evictions++
+		}
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		r.compiles.Add(1)
+		e.schema, e.err = compile(kind, src, root, opts)
+		e.done.Store(true)
+	})
+	return e.schema, e.err
+}
+
+// compile builds the artifact: parse the schema source, compile the
+// potential-validity core, and build the full validator.
+func compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, error) {
+	var d *dtd.DTD
+	var err error
+	switch kind {
+	case XSDSource:
+		d, err = xsd.Parse(src)
+	default:
+		d, err = dtd.Parse(src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Compile(d, root, core.Options{
+		MaxDepth:             opts.MaxDepth,
+		IgnoreWhitespaceText: opts.IgnoreWhitespaceText,
+		AllowAnyRoot:         opts.AllowAnyRoot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, err := validator.New(d, root)
+	if err != nil {
+		return nil, err
+	}
+	return NewSchema(c, v), nil
+}
+
+// Stats returns a snapshot of the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Size:      r.lru.Len(),
+		Capacity:  r.cap,
+		Hits:      r.hits,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+		Compiles:  r.compiles.Load(),
+	}
+}
+
+// Len returns the number of cached entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// SchemaInfo describes one cached artifact for listings (GET /schemas).
+type SchemaInfo struct {
+	Hash        string `json:"hash"` // short hex prefix of the source hash
+	Kind        string `json:"kind"`
+	Root        string `json:"root"`
+	SourceBytes int    `json:"sourceBytes"`
+	Elements    int    `json:"elements,omitempty"`
+	Class       string `json:"class,omitempty"`
+	Hits        int64  `json:"hits"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Schemas lists the cached entries, most recently used first. Entries still
+// compiling are listed with zero detail fields.
+func (r *Registry) Schemas() []SchemaInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SchemaInfo, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		info := SchemaInfo{
+			Hash:        hex.EncodeToString(e.key.hash[:8]),
+			Kind:        e.key.kind.String(),
+			Root:        e.key.root,
+			SourceBytes: e.srcLen,
+			Hits:        e.hits,
+		}
+		if e.done.Load() { // schema/err are immutable once done is set
+			if e.err != nil {
+				info.Error = e.err.Error()
+			} else if e.schema != nil {
+				info.Elements = len(e.schema.Core.DTD.Order)
+				info.Class = e.schema.Core.Class().String()
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}

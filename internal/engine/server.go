@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The HTTP front end (cmd/pvserve) speaks JSON over four routes:
+//
+//	POST /check    one document           -> one verdict
+//	POST /batch    many documents         -> verdicts + batch stats
+//	GET  /schemas  cached compiled schemas (MRU first)
+//	GET  /stats    registry + engine lifetime counters
+//
+// Both POST routes carry the schema source inline; the registry dedupes by
+// content hash, so resending the same schema with every request costs one
+// hash, not one compilation.
+
+// schemaRequest is the shared schema half of /check and /batch bodies.
+type schemaRequest struct {
+	Schema  string         `json:"schema"`         // DTD or XSD source text
+	Kind    string         `json:"kind,omitempty"` // "dtd" (default) or "xsd"
+	Root    string         `json:"root"`
+	Options CompileOptions `json:"options,omitempty"`
+}
+
+type checkRequest struct {
+	schemaRequest
+	Document string `json:"document"`
+}
+
+type batchRequest struct {
+	schemaRequest
+	Documents []Doc `json:"documents"`
+}
+
+// resultJSON is the wire form of Result.
+type resultJSON struct {
+	ID               string `json:"id,omitempty"`
+	Index            int    `json:"index"`
+	PotentiallyValid bool   `json:"potentiallyValid"`
+	Valid            bool   `json:"valid"`
+	Detail           string `json:"detail,omitempty"`
+	Error            string `json:"error,omitempty"`
+}
+
+func toJSON(r Result) resultJSON {
+	out := resultJSON{
+		ID:               r.ID,
+		Index:            r.Index,
+		PotentiallyValid: r.PotentiallyValid,
+		Valid:            r.Valid,
+		Detail:           r.Detail,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return out
+}
+
+type batchResponse struct {
+	Results []resultJSON `json:"results"`
+	Stats   BatchStats   `json:"stats"`
+}
+
+type statsResponse struct {
+	Registry RegistryStats `json:"registry"`
+	Engine   Stats         `json:"engine"`
+}
+
+// NewServer returns the HTTP handler over e.
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /check", func(w http.ResponseWriter, r *http.Request) {
+		var req checkRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		s, ok := resolve(w, e, req.schemaRequest)
+		if !ok {
+			return
+		}
+		reply(w, toJSON(e.Check(s, Doc{Content: req.Document})))
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		s, ok := resolve(w, e, req.schemaRequest)
+		if !ok {
+			return
+		}
+		results, stats := e.CheckBatch(s, req.Documents)
+		out := batchResponse{Results: make([]resultJSON, len(results)), Stats: stats}
+		for i, res := range results {
+			out.Results[i] = toJSON(res)
+		}
+		reply(w, out)
+	})
+	mux.HandleFunc("GET /schemas", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, map[string]any{"schemas": e.Registry().Schemas()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, statsResponse{Registry: e.Registry().Stats(), Engine: e.Stats()})
+	})
+	return mux
+}
+
+// MaxRequestBytes bounds /check and /batch request bodies; a batch larger
+// than this should be split client-side (or streamed — see ROADMAP).
+const MaxRequestBytes = 64 << 20
+
+// decode parses the JSON body into dst, writing a 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// resolve compiles the request's schema through the registry, writing a 422
+// for schemas that do not compile.
+func resolve(w http.ResponseWriter, e *Engine, req schemaRequest) (*Schema, bool) {
+	kind, err := ParseSourceKind(req.Kind)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	if req.Root == "" {
+		httpError(w, http.StatusBadRequest, "missing root element")
+		return nil, false
+	}
+	s, err := e.Compile(kind, req.Schema, req.Root, req.Options)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("schema does not compile: %v", err))
+		return nil, false
+	}
+	return s, true
+}
+
+func reply(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func checkBody(t *testing.T, schema, root, document string) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{"schema": schema, "root": root, "document": document})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestServerCheck(t *testing.T) {
+	h := NewServer(New(Config{Workers: 2}))
+
+	rec := post(t, h, "/check", checkBody(t, dtd.Figure1, "r", `<r><a><c>x</c><d></d></a></r>`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res resultJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.PotentiallyValid || !res.Valid || res.Error != "" {
+		t.Errorf("verdict: %+v", res)
+	}
+
+	rec = post(t, h, "/check", checkBody(t, dtd.Figure1, "r", `<r><a><b>x</b><e></e><c>y</c></a></r>`))
+	json.Unmarshal(rec.Body.Bytes(), &res)
+	if res.PotentiallyValid || res.Detail == "" {
+		t.Errorf("not-PV verdict: %+v", res)
+	}
+
+	rec = post(t, h, "/check", checkBody(t, dtd.Figure1, "r", `<r><a>`))
+	json.Unmarshal(rec.Body.Bytes(), &res)
+	if res.PotentiallyValid || res.Error == "" {
+		t.Errorf("malformed verdict: %+v", res)
+	}
+}
+
+func TestServerBatchAndStats(t *testing.T) {
+	e := New(Config{Workers: 4})
+	h := NewServer(e)
+	body, _ := json.Marshal(map[string]any{
+		"schema": dtd.Figure1,
+		"root":   "r",
+		"documents": []Doc{
+			{ID: "good", Content: `<r><a><c>x</c><d></d></a></r>`},
+			{ID: "bad", Content: `<r><zzz></zzz></r>`},
+			{ID: "broken", Content: `<r`},
+		},
+	})
+	rec := post(t, h, "/batch", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 || res.Stats.Docs != 3 || res.Stats.Valid != 1 || res.Stats.Malformed != 1 {
+		t.Errorf("batch response: %+v", res)
+	}
+	if res.Results[0].ID != "good" || !res.Results[0].Valid {
+		t.Errorf("result 0: %+v", res.Results[0])
+	}
+
+	rec = get(t, h, "/stats")
+	var stats statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.Docs != 3 || stats.Registry.Compiles != 1 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	rec = get(t, h, "/schemas")
+	var schemas struct {
+		Schemas []SchemaInfo `json:"schemas"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &schemas); err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas.Schemas) != 1 || schemas.Schemas[0].Root != "r" {
+		t.Errorf("schemas: %+v", schemas)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	h := NewServer(New(Config{}))
+	if rec := post(t, h, "/check", `{not json`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json: status %d", rec.Code)
+	}
+	if rec := post(t, h, "/check", `{"schema":"<!ELEMENT a EMPTY>","document":"<a/>"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing root: status %d", rec.Code)
+	}
+	if rec := post(t, h, "/check", checkBody(t, "<!ELEMENT a (b)>", "a", "<a/>")); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("uncompilable schema: status %d", rec.Code)
+	}
+	body, _ := json.Marshal(map[string]any{"schema": "<!ELEMENT a EMPTY>", "kind": "relaxng", "root": "a", "document": "<a/>"})
+	if rec := post(t, h, "/check", string(body)); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/check"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /check: status %d", rec.Code)
+	}
+	huge := `{"schema":"<!ELEMENT a EMPTY>","root":"a","document":"` + strings.Repeat("x", MaxRequestBytes+1) + `"}`
+	if rec := post(t, h, "/check", huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", rec.Code)
+	}
+}

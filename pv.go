@@ -34,12 +34,14 @@ package pv
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 
 	"repro/internal/complete"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/dtd"
+	"repro/internal/engine"
 	"repro/internal/reach"
 	"repro/internal/validator"
 	"repro/internal/xsd"
@@ -76,6 +78,7 @@ type Schema struct {
 	root  string
 	core  *core.Schema
 	valid *validator.Validator
+	eng   *engine.Schema
 }
 
 // ParseDTD parses DTD source text (internal/external subset syntax).
@@ -118,7 +121,7 @@ func (d *DTD) Compile(root string, opts Options) (*Schema, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Schema{dtd: d.d, root: root, core: c, valid: v}, nil
+	return &Schema{dtd: d.d, root: root, core: c, valid: v, eng: engine.NewSchema(c, v)}, nil
 }
 
 // ParseXSD imports a W3C XML Schema (XSD) document, supported subset per
@@ -259,3 +262,112 @@ func (s *Schema) Info() string {
 	return fmt.Sprintf("root <%s>, %d elements, k=%d, class %s, depth bound %d",
 		s.root, len(s.dtd.Order), s.dtd.Size(), s.Class(), s.core.EffectiveDepth())
 }
+
+// Engine is the concurrent checking front end: a schema registry that
+// compiles sources once (keyed by content hash, root and options, under an
+// LRU bound) plus a worker pool that fans batches of documents out over
+// GOMAXPROCS-bounded workers, reusing per-worker streaming-checker state.
+// It is the programmatic face of cmd/pvserve and the `pvcheck batch`
+// subcommand. An Engine is safe for concurrent use.
+type Engine struct{ e *engine.Engine }
+
+// EngineConfig parameterizes NewEngine. The zero value is a good default:
+// GOMAXPROCS workers, a 64-schema cache, both verdict bits computed.
+type EngineConfig struct {
+	// Workers bounds batch concurrency; <=0 selects GOMAXPROCS.
+	Workers int
+	// SchemaCacheSize bounds the compiled-schema LRU; <=0 selects 64.
+	SchemaCacheSize int
+	// PVOnly skips the full-validity bit, which needs a tree parse of each
+	// potentially valid document — the fastest mode for firehose filtering.
+	PVOnly bool
+}
+
+// Doc is one batch input: an identifier (path, queue key, anything) plus
+// the XML content.
+type Doc = engine.Doc
+
+// BatchResult is the verdict for one batch document. Err is set for
+// lexical/well-formedness problems (no verdict); otherwise
+// PotentiallyValid/Valid carry the verdict and Detail explains the first
+// potential-validity violation.
+type BatchResult = engine.Result
+
+// BatchStats aggregates one CheckBatch call (counts, bytes, wall-clock,
+// throughput).
+type BatchStats = engine.BatchStats
+
+// EngineStats is an engine's lifetime counter snapshot.
+type EngineStats = engine.Stats
+
+// RegistryStats is a schema-registry counter snapshot.
+type RegistryStats = engine.RegistryStats
+
+// NewEngine builds a concurrent checking engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{e: engine.New(engine.Config{
+		Workers:   cfg.Workers,
+		CacheSize: cfg.SchemaCacheSize,
+		PVOnly:    cfg.PVOnly,
+	})}
+}
+
+// engineOptions converts public Options to the registry's key options.
+func engineOptions(opts Options) engine.CompileOptions {
+	return engine.CompileOptions{
+		MaxDepth:             opts.MaxDepth,
+		IgnoreWhitespaceText: opts.IgnoreWhitespaceText,
+		AllowAnyRoot:         opts.AllowAnyRoot,
+	}
+}
+
+// wrapEngineSchema rebuilds the thin public wrapper around a cached
+// artifact; the heavy state (core, validator, checker pool) is shared.
+func wrapEngineSchema(es *engine.Schema) *Schema {
+	return &Schema{dtd: es.Core.DTD, root: es.Core.Root, core: es.Core, valid: es.Valid, eng: es}
+}
+
+// CompileDTD resolves a DTD through the engine's registry: the first call
+// for a given (source, root, options) compiles, subsequent calls hit the
+// cache.
+func (e *Engine) CompileDTD(src, root string, opts Options) (*Schema, error) {
+	es, err := e.e.Compile(engine.DTDSource, src, root, engineOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return wrapEngineSchema(es), nil
+}
+
+// CompileXSD is CompileDTD for the supported XML Schema subset.
+func (e *Engine) CompileXSD(src, root string, opts Options) (*Schema, error) {
+	es, err := e.e.Compile(engine.XSDSource, src, root, engineOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return wrapEngineSchema(es), nil
+}
+
+// CheckBatch fans docs out over the engine's worker pool and returns one
+// result per input, in input order, plus aggregate stats. Verdicts are
+// identical to calling Schema.CheckString per document sequentially.
+func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]BatchResult, BatchStats) {
+	return e.e.CheckBatch(s.eng, docs)
+}
+
+// CheckAll is CheckBatch over bare XML strings.
+func (e *Engine) CheckAll(s *Schema, xmls []string) ([]BatchResult, BatchStats) {
+	return e.e.CheckAll(s.eng, xmls)
+}
+
+// Check runs one document synchronously on the caller's goroutine.
+func (e *Engine) Check(s *Schema, d Doc) BatchResult { return e.e.Check(s.eng, d) }
+
+// Stats returns the engine's lifetime counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// CacheStats returns the schema registry's counters.
+func (e *Engine) CacheStats() RegistryStats { return e.e.Registry().Stats() }
+
+// Handler returns the engine's HTTP API (the pvserve surface: POST /check,
+// POST /batch, GET /schemas, GET /stats), for embedding in a larger server.
+func (e *Engine) Handler() http.Handler { return engine.NewServer(e.e) }

@@ -1,0 +1,115 @@
+package pv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestEngineCompileCache exercises the public registry path: the second
+// compile of the same (source, root, options) must be a cache hit, and
+// different options must compile separately.
+func TestEngineCompileCache(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2})
+	s1, err := e.CompileDTD(Figure1DTD, "r", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.CompileDTD(Figure1DTD, "r", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.CacheStats(); st.Hits != 1 || st.Misses != 1 || st.Compiles != 1 {
+		t.Errorf("cache stats after two identical compiles: %+v", st)
+	}
+	if _, err := e.CompileDTD(Figure1DTD, "r", Options{AllowAnyRoot: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.CacheStats(); st.Compiles != 2 {
+		t.Errorf("distinct options should compile separately: %+v", st)
+	}
+	// Both wrappers share the compiled artifact and behave identically.
+	r1, _ := s1.CheckString(exampleS)
+	r2, _ := s2.CheckString(exampleS)
+	if r1 != r2 || !r1.PotentiallyValid {
+		t.Errorf("cached schema verdicts differ: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestEngineBatchMatchesCheckString is the public-API half of the
+// differential acceptance criterion: CheckBatch with 8 workers against
+// sequential Schema.CheckString over a generated corpus (all three DTD
+// recursion classes; valid, tag-stripped, corrupted and truncated
+// documents). CI runs it under -race.
+func TestEngineBatchMatchesCheckString(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 8})
+	total := 0
+	for ci, class := range []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong} {
+		rng := rand.New(rand.NewSource(int64(77 + ci)))
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 9, Class: class})
+		schema, err := e.CompileDTD(d.String(), "e0", Options{})
+		if err != nil {
+			t.Fatalf("class %d: %v", class, err)
+		}
+		var docs []Doc
+		for i := 0; i < 70; i++ {
+			doc := gen.GenValid(rng, d, "e0", gen.DocOptions{MaxDepth: 7})
+			switch i % 4 {
+			case 1:
+				gen.Strip(rng, doc, 0.5)
+			case 2:
+				gen.Corrupt(rng, d, doc)
+			case 3:
+				src := doc.String()
+				docs = append(docs, Doc{ID: fmt.Sprintf("c%d-%03d", ci, i), Content: src[:rng.Intn(len(src))]})
+				continue
+			}
+			docs = append(docs, Doc{ID: fmt.Sprintf("c%d-%03d", ci, i), Content: doc.String()})
+		}
+		total += len(docs)
+
+		results, stats := e.CheckBatch(schema, docs)
+		if stats.Docs != len(docs) {
+			t.Fatalf("stats: %+v", stats)
+		}
+		for i, r := range results {
+			seq, err := schema.CheckString(docs[i].Content)
+			got := fmt.Sprintf("pv=%t valid=%t malformed=%t", r.PotentiallyValid, r.Valid, r.Err != nil)
+			want := fmt.Sprintf("pv=%t valid=%t malformed=%t", seq.PotentiallyValid, seq.Valid, err != nil)
+			if got != want {
+				t.Errorf("%s: batch %s, sequential %s\ndoc: %.200q", r.ID, got, want, docs[i].Content)
+			}
+		}
+	}
+	if total < 200 {
+		t.Fatalf("corpus too small: %d documents", total)
+	}
+}
+
+// TestEngineCheckAllAndStats smoke-tests the convenience path and lifetime
+// counters through the public API.
+func TestEngineCheckAllAndStats(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 4})
+	schema, err := e.CompileDTD(Figure1DTD, "r", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats := e.CheckAll(schema, []string{exampleS, exampleW, "<r"})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if !results[0].PotentiallyValid || results[1].PotentiallyValid || results[2].Err == nil {
+		t.Errorf("verdicts: %+v", results)
+	}
+	if stats.PotentiallyValid != 1 || stats.Malformed != 1 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if agg := e.Stats(); agg.Docs != 3 || agg.Workers != 4 {
+		t.Errorf("lifetime: %+v", agg)
+	}
+	if e.Handler() == nil {
+		t.Error("Handler() returned nil")
+	}
+}
