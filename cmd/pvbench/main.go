@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pvbench [-quick] [-only linear,earley,depth,dtdsize,updates,closure,throughput]
+//	pvbench [-quick] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath]
 package main
 
 import (
@@ -38,6 +38,7 @@ func main() {
 	trials := 40
 	workerCounts := []int{1, 2, 4, 8}
 	corpus := 256
+	bytePathCorpus := 1000 // X8's acceptance corpus size
 	tputBudget := 1 * time.Second
 	if *quick {
 		budget = 2 * time.Millisecond
@@ -48,6 +49,7 @@ func main() {
 		updSizes = []int{500, 4000}
 		trials = 5
 		corpus = 48
+		bytePathCorpus = 128
 		tputBudget = 25 * time.Millisecond
 	}
 
@@ -62,6 +64,7 @@ func main() {
 		{"updates", func() *bench.Table { return bench.UpdateCosts(updSizes, budget) }},
 		{"closure", func() *bench.Table { return bench.StripClosure(fracs, trials, budget) }},
 		{"throughput", func() *bench.Table { return bench.Throughput(workerCounts, corpus, tputBudget) }},
+		{"bytepath", func() *bench.Table { return bench.BytePath(bytePathCorpus, tputBudget) }},
 	}
 
 	ran := 0

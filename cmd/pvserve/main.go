@@ -7,13 +7,18 @@
 //
 // Routes (all JSON):
 //
-//	POST /check    {"schema","kind","root","options","document"}  -> verdict
-//	POST /batch    {"schema","kind","root","options","documents"} -> verdicts + stats
-//	GET  /schemas  cached compiled schemas, most recently used first
-//	GET  /stats    registry and engine lifetime counters
+//	POST /check         {"schema","kind","root","options","document"}  -> verdict
+//	POST /batch         {"schema","kind","root","options","documents"} -> verdicts + stats
+//	POST /check/stream  NDJSON in (schema headers + documents), NDJSON out
+//	GET  /schemas       cached compiled schemas, most recently used first
+//	GET  /stats         registry and engine lifetime counters
 //
 // The schema travels inline with each request; the registry dedupes by
-// content hash, so resending it costs a hash, not a compilation.
+// content hash, so resending it costs a hash, not a compilation. Documents
+// may instead carry "schemaRef" (see GET /schemas) to route a mixed
+// multi-schema batch. /check/stream reads documents incrementally, keeps a
+// bounded number in flight, and flushes one verdict line per document —
+// bodies of any size, with a 64MB cap per document, not per body.
 package main
 
 import (
@@ -37,8 +42,11 @@ func main() {
 		Addr:              *addr,
 		Handler:           engine.NewServer(e),
 		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       2 * time.Minute, // bodies are capped at engine.MaxRequestBytes
-		IdleTimeout:       2 * time.Minute,
+		// Bodies on the non-streaming routes are capped at
+		// engine.MaxRequestBytes; /check/stream lifts this deadline per
+		// request via a ResponseController to read unbounded bodies.
+		ReadTimeout: 2 * time.Minute,
+		IdleTimeout: 2 * time.Minute,
 	}
 	log.Printf("pvserve listening on %s (workers=%d, cache=%d, pvonly=%v)",
 		*addr, e.Workers(), e.Registry().Stats().Capacity, *pvOnly)

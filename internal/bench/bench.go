@@ -11,6 +11,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -454,6 +455,83 @@ func Throughput(workerCounts []int, corpusSize int, budget time.Duration) *Table
 	return t
 }
 
+// BytePath is experiment X8 (the zero-copy ingest refactor): CheckBatch
+// over the same mixed corpus submitted on the string path versus the
+// []byte path, in both verdict modes, measuring throughput and
+// allocations per document. The acceptance bar for the refactor is >=30%
+// fewer allocs/op on the byte path; the pvonly mode shows the pure
+// streaming-checker delta (no tree parse on either side).
+func BytePath(corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(8))
+	strDocs := make([]engine.Doc, corpusSize)
+	byteDocs := make([]engine.Doc, corpusSize)
+	var corpusBytes int64
+	for i := range strDocs {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+		switch i % 3 {
+		case 1:
+			gen.Strip(rng, doc, 0.3)
+		case 2:
+			gen.Corrupt(rng, d, doc)
+		}
+		src := doc.String()
+		strDocs[i] = engine.Doc{ID: fmt.Sprint(i), Content: src}
+		byteDocs[i] = engine.Doc{ID: fmt.Sprint(i), Bytes: []byte(src)}
+		corpusBytes += int64(len(src))
+	}
+	t := &Table{
+		Name:    "bytepath",
+		Caption: "X8 / zero-copy ingest — string vs []byte CheckBatch (mixed play corpus)",
+		Header:  []string{"mode", "path", "corpus_docs", "docs_per_sec", "mb_per_sec", "allocs_per_doc", "alloc_reduction"},
+	}
+	for _, mode := range []struct {
+		name   string
+		pvOnly bool
+	}{{"full", false}, {"pvonly", true}} {
+		var base float64
+		for _, path := range []struct {
+			name string
+			docs []engine.Doc
+		}{{"string", strDocs}, {"bytes", byteDocs}} {
+			e := engine.New(engine.Config{Workers: 4, PVOnly: mode.pvOnly})
+			s, err := e.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+			if err != nil {
+				panic(err)
+			}
+			e.CheckBatch(s, path.docs) // warm pools
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			batches := 0
+			start := time.Now()
+			for time.Since(start) < budget || batches == 0 {
+				if _, stats := e.CheckBatch(s, path.docs); stats.Docs != corpusSize {
+					panic("missing results")
+				}
+				batches++
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			allocsPerDoc := float64(ms1.Mallocs-ms0.Mallocs) / float64(batches*corpusSize)
+			reduction := "baseline"
+			if base == 0 {
+				base = allocsPerDoc
+			} else {
+				reduction = fmt.Sprintf("-%.0f%%", 100*(1-allocsPerDoc/base))
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.name, path.name, fmt.Sprint(corpusSize),
+				fmt.Sprintf("%.0f", float64(batches*corpusSize)/elapsed.Seconds()),
+				fmt.Sprintf("%.2f", float64(batches)*float64(corpusBytes)/(1<<20)/elapsed.Seconds()),
+				fmt.Sprintf("%.0f", allocsPerDoc),
+				reduction,
+			})
+		}
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -487,5 +565,6 @@ func All(quick bool) []*Table {
 		UpdateCosts(updSizes, budget),
 		StripClosure(fracs, trials, budget),
 		Throughput(workerCounts, corpus, tputBudget),
+		BytePath(corpus, tputBudget),
 	}
 }

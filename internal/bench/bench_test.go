@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 7 {
-		t.Fatalf("want 7 tables, got %d", len(tables))
+	if len(tables) != 8 {
+		t.Fatalf("want 8 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -64,6 +64,21 @@ func TestAllQuick(t *testing.T) {
 		dps, err := strconv.ParseFloat(row[3], 64)
 		if err != nil || dps <= 0 {
 			t.Errorf("throughput row has no progress: %v", row)
+		}
+	}
+	// X8: four rows (full/pvonly × string/bytes), all making progress; the
+	// byte rows must not allocate more than their string baselines (the
+	// >=30% bar is enforced at full scale by TestBytePathAllocReduction in
+	// internal/engine — quick-mode corpora are too small to assert it here).
+	if rows := byName["bytepath"].Rows; len(rows) != 4 {
+		t.Errorf("bytepath rows: %v", rows)
+	} else {
+		for i := 0; i < len(rows); i += 2 {
+			strAllocs, err1 := strconv.ParseFloat(rows[i][5], 64)
+			byteAllocs, err2 := strconv.ParseFloat(rows[i+1][5], 64)
+			if err1 != nil || err2 != nil || byteAllocs > strAllocs {
+				t.Errorf("bytepath %s: bytes allocate more than string: %v vs %v", rows[i][0], rows[i+1], rows[i])
+			}
 		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.

@@ -66,6 +66,10 @@ func TestBatchDirectory(t *testing.T) {
 	if !strings.Contains(summary, "checked 5 documents (4 workers): 3 potentially valid, 2 valid, 1 malformed") {
 		t.Errorf("summary:\n%s", summary)
 	}
+	// The byte-path batch reports per-file throughput.
+	if !strings.Contains(summary, "bytes/sec") || !strings.Contains(summary, "bytes/file avg") {
+		t.Errorf("summary missing per-file throughput:\n%s", summary)
+	}
 }
 
 func TestBatchQuietAllPV(t *testing.T) {

@@ -31,7 +31,37 @@ type Recognizer struct {
 	// created counts recognizer objects rooted here (this one plus nested
 	// ones, recursively) — the measure Figure 7 is about.
 	created *int
+	// ownCount backs created for root recognizers, avoiding a separate
+	// counter allocation per element on the checking hot path.
+	ownCount int
+	// seen is an epoch-stamped per-DAG-node scratch replacing a per-Validate
+	// map: seen[id] == epoch means node id was visited in the current sweep.
+	// Indexed by dag.Node.ID, which is dense within one element's DAG.
+	seen  []uint32
+	epoch uint32
+	// arena batch-allocates active entries; shared across the recognizer
+	// tree rooted here.
+	arena *entryArena
+	// spareA/spareB are persistent scratch for Validate's prepended/next
+	// sets; their backing arrays are kept disjoint from active's so one
+	// sweep can read the old frontier while writing the new one.
+	spareA, spareB []*activeEntry
 }
+
+// beginSeen starts a fresh visited generation without clearing the slice.
+func (r *Recognizer) beginSeen() {
+	r.epoch++
+	if r.epoch == 0 {
+		// Wrapped: clear stale stamps and restart. Clear through capacity —
+		// init may later regrow the slice within cap, and pre-wrap stamps
+		// beyond the current length would otherwise resurface.
+		clear(r.seen[:cap(r.seen)])
+		r.epoch = 1
+	}
+}
+
+func (r *Recognizer) markSeen(id int)    { r.seen[id] = r.epoch }
+func (r *Recognizer) isSeen(id int) bool { return r.seen[id] == r.epoch }
 
 // activeEntry is one element of the active node set: a DAG node plus the
 // lazily created nested recognizer of Figure 5 line 25.
@@ -41,38 +71,95 @@ type activeEntry struct {
 	engaged bool // sub has consumed at least one symbol
 }
 
+// entryArena batch-allocates activeEntry values for one recognizer tree
+// (the root and its nested recognizers share one arena via newRecognizer).
+// When a block fills, a fresh block is started and the full one is simply
+// abandoned — handed-out pointers keep it alive, so entries never move.
+type entryArena struct {
+	buf []activeEntry
+}
+
+func (a *entryArena) new(node *dag.Node) *activeEntry {
+	if len(a.buf) == cap(a.buf) {
+		a.buf = make([]activeEntry, 0, max(16, 2*cap(a.buf)))
+	}
+	a.buf = append(a.buf, activeEntry{node: node})
+	return &a.buf[len(a.buf)-1]
+}
+
+// reset recycles the current block. Only legal once nothing references the
+// arena's entries any more (the recognizer's active set has been dropped).
+func (a *entryArena) reset() { a.buf = a.buf[:0] }
+
 // NewRecognizer builds a recognizer for the content of element elem, with
 // the schema's effective depth bound.
 func (s *Schema) NewRecognizer(elem string) *Recognizer {
-	counter := 0
-	return s.newRecognizer(elem, s.depth, &counter)
+	return s.newRecognizer(elem, s.depth, nil, nil)
 }
 
 // NewRecognizerDepth builds a recognizer with an explicit depth bound,
 // exposed for the depth-sensitivity experiments (X3) and the Figure 7
 // reproduction.
 func (s *Schema) NewRecognizerDepth(elem string, depth int) *Recognizer {
-	counter := 0
-	return s.newRecognizer(elem, depth, &counter)
+	return s.newRecognizer(elem, depth, nil, nil)
 }
 
-func (s *Schema) newRecognizer(elem string, depth int, counter *int) *Recognizer {
-	*counter++
-	r := &Recognizer{schema: s, element: elem, depth: depth, created: counter}
-	ed := s.DAG.Element(elem)
+// newRecognizer constructs one recognizer; a nil counter makes this a root
+// (its creation count lives inline in ownCount and it owns a fresh arena).
+func (s *Schema) newRecognizer(elem string, depth int, counter *int, arena *entryArena) *Recognizer {
+	r := &Recognizer{schema: s, element: elem, depth: depth, created: counter, arena: arena}
+	if counter == nil {
+		r.created = &r.ownCount
+	}
+	if arena == nil {
+		r.arena = &entryArena{}
+	}
+	*r.created++
+	r.init()
+	return r
+}
+
+// init (re)derives the element-dependent state: the active entry set, the
+// ANY flag and the visited scratch. The arena, counter and depth are set by
+// the caller.
+func (r *Recognizer) init() {
+	ed := r.schema.DAG.Element(r.element)
 	if ed == nil {
 		// Undeclared element: empty active set; any symbol rejects.
-		return r
+		return
 	}
 	if ed.Any {
 		r.any = true
-		return r
+		return
+	}
+	if n := len(ed.Nodes()); n > 0 {
+		if cap(r.seen) >= n {
+			// Stale stamps are from older epochs and can never equal a
+			// post-beginSeen epoch, so no clearing is needed.
+			r.seen = r.seen[:n]
+		} else {
+			r.seen = make([]uint32, n)
+		}
 	}
 	// Figure 5 line 8: append children(root) to activeNodesSet.
 	for _, n := range ed.Entry {
-		r.active = append(r.active, &activeEntry{node: n})
+		r.active = append(r.active, r.arena.new(n))
 	}
-	return r
+}
+
+// reinit readies a recycled recognizer for a fresh element — the
+// StreamChecker's pooling hook. The previous element's entries must be
+// unreachable (its active set popped) before the arena is recycled.
+func (r *Recognizer) reinit(s *Schema, elem string, depth int) {
+	r.schema = s
+	r.element = elem
+	r.depth = depth
+	r.ownCount = 1
+	r.created = &r.ownCount
+	r.any = false
+	r.active = r.active[:0]
+	r.arena.reset()
+	r.init()
 }
 
 // Element returns the element whose content this recognizer checks.
@@ -114,20 +201,20 @@ func (r *Recognizer) Validate(x Symbol) bool {
 	// nothing consumed (e.g. [b, σ, e, d] under the Figure 1 DTD, where
 	// σ and e sit inside an inserted <f> and the real <d> then matches the
 	// fresh d position).
-	seen := make(map[int]bool, len(queue)*2)
+	r.beginSeen()
 	for _, e := range queue {
 		if !e.engaged {
-			seen[e.node.ID] = true
+			r.markSeen(e.node.ID)
 		}
 	}
-	var next []*activeEntry      // survivors, in order; exact-match children are prepended
-	var prepended []*activeEntry // collected fronts, kept in match order
+	next := r.spareB[:0]      // survivors, in order; exact-match children are prepended
+	prepended := r.spareA[:0] // collected fronts, kept in match order
 
 	epsilonAdvance := func(n *dag.Node) {
 		for _, s := range n.Succ {
-			if !seen[s.ID] {
-				seen[s.ID] = true
-				queue = append(queue, &activeEntry{node: s})
+			if !r.isSeen(s.ID) {
+				r.markSeen(s.ID)
+				queue = append(queue, r.arena.new(s))
 			}
 		}
 	}
@@ -153,7 +240,7 @@ func (r *Recognizer) Validate(x Symbol) bool {
 		// decrementing the depth budget (Section 4.3.1).
 		if r.symbolReachableFrom(y, x) {
 			if e.sub == nil {
-				e.sub = r.schema.newRecognizer(y, r.depth-1, r.created)
+				e.sub = r.schema.newRecognizer(y, r.depth-1, r.created, r.arena)
 			}
 			if e.sub.depth > 0 && e.sub.Validate(x) {
 				e.engaged = true
@@ -168,7 +255,7 @@ func (r *Recognizer) Validate(x Symbol) bool {
 		if !x.Text && x.Name == y && !e.engaged {
 			result = true
 			for _, s := range n.Succ {
-				prepended = append(prepended, &activeEntry{node: s})
+				prepended = append(prepended, r.arena.new(s))
 			}
 			continue
 		}
@@ -178,7 +265,12 @@ func (r *Recognizer) Validate(x Symbol) bool {
 	}
 
 	if result {
-		r.active = dedupEntries(append(prepended, next...))
+		old := r.active
+		r.active = r.dedupEntries(append(prepended, next...))
+		// Rotate buffers: the old frontier's array becomes scratch for the
+		// next sweep, and the arrays stay pairwise disjoint.
+		r.spareA = old[:0]
+		r.spareB = next[:0]
 	}
 	// On reject the active set is left unchanged; recognize() stops anyway,
 	// and nested speculative recognizers are discarded by their parent.
@@ -187,19 +279,20 @@ func (r *Recognizer) Validate(x Symbol) bool {
 
 // dedupEntries drops duplicate non-engaged entries for the same DAG node,
 // which can arise when one predecessor exact-matches (prepending a child)
-// while another ε-advances to the same node.
-func dedupEntries(entries []*activeEntry) []*activeEntry {
+// while another ε-advances to the same node. It opens a fresh seen
+// generation, so it must not run concurrently with a sweep.
+func (r *Recognizer) dedupEntries(entries []*activeEntry) []*activeEntry {
 	if len(entries) < 2 {
 		return entries
 	}
-	seen := map[int]bool{}
+	r.beginSeen()
 	out := entries[:0]
 	for _, e := range entries {
 		if !e.engaged {
-			if seen[e.node.ID] {
+			if r.isSeen(e.node.ID) {
 				continue
 			}
-			seen[e.node.ID] = true
+			r.markSeen(e.node.ID)
 		}
 		out = append(out, e)
 	}

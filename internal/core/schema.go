@@ -49,6 +49,12 @@ type Schema struct {
 
 	opts  Options
 	depth int // effective top-level recognizer depth
+	// interned maps each declared element name to itself. The byte-path
+	// checker looks names up with a []byte key (map[string]T indexing with
+	// string(b) compiles to an allocation-free lookup), so start/end tags
+	// never materialize a string on the hot path, and the names the checker
+	// retains are the schema's own — they never alias a document buffer.
+	interned map[string]string
 }
 
 // Compile builds a Schema for checking potential validity w.r.t. d and
@@ -72,11 +78,15 @@ func Compile(d *dtd.DTD, root string, opts Options) (*Schema, error) {
 		opts.MaxDepth = DefaultMaxDepth
 	}
 	s := &Schema{
-		DTD:  d,
-		Root: root,
-		LT:   lt,
-		DAG:  dag.Build(d),
-		opts: opts,
+		DTD:      d,
+		Root:     root,
+		LT:       lt,
+		DAG:      dag.Build(d),
+		opts:     opts,
+		interned: make(map[string]string, len(d.Order)),
+	}
+	for _, name := range d.Order {
+		s.interned[name] = name
 	}
 	// For non-PV-strong DTDs nested recognizers implement missing
 	// intermediate elements along acyclic chains only, so a bound of

@@ -41,6 +41,10 @@ type StreamChecker struct {
 	seen   bool // a root element has been seen and closed
 	// lastWasText collapses adjacent text events into a single σ per δ_T.
 	lastWasText []bool
+	// free recycles per-element recognizers (with their arenas and visited
+	// scratch) popped by EndElement, so a pooled checker's steady state
+	// creates no recognizer state at all for repeated element kinds.
+	free []*Recognizer
 }
 
 // NewStreamChecker returns a fresh streaming checker.
@@ -87,8 +91,23 @@ func (c *StreamChecker) violate(format string, args ...any) error {
 	return c.err
 }
 
+// streamText constrains the two document representations the checker
+// accepts: the string compatibility path and the zero-copy byte path. The
+// generic handlers below are the single source of truth for both; the
+// exported methods are thin instantiations, so the paths cannot diverge.
+type streamText interface{ ~string | ~[]byte }
+
 // StartElement processes a start tag.
-func (c *StreamChecker) StartElement(name string) error {
+func (c *StreamChecker) StartElement(name string) error { return startElement(c, name) }
+
+// StartElementBytes is StartElement on the zero-copy byte path: the name
+// is resolved through the schema's interned-name table without
+// materializing a string (undeclared names only surface inside the
+// violation message). Verdicts and messages are identical to
+// StartElement(string(name)).
+func (c *StreamChecker) StartElementBytes(name []byte) error { return startElement(c, name) }
+
+func startElement[S streamText](c *StreamChecker, name S) error {
 	if c.err != nil {
 		return c.err
 	}
@@ -96,38 +115,62 @@ func (c *StreamChecker) StartElement(name string) error {
 		if c.seen {
 			return c.fail("second root element <%s>", name)
 		}
-		if !c.schema.opts.AllowAnyRoot && name != c.schema.Root {
+		if !c.schema.opts.AllowAnyRoot && string(name) != c.schema.Root {
 			return c.violate("root element is <%s>, schema requires <%s>", name, c.schema.Root)
 		}
 	}
-	if !c.schema.LT.Has(name) {
+	interned, declared := c.schema.interned[string(name)]
+	if !declared {
 		return c.violate("element <%s> is not declared in the DTD", name)
 	}
+	// Use the schema's own copy of the name from here on: the lexed name
+	// aliases the document, and anything the checker retains (open-element
+	// names, recognizer elements — including freelisted recognizers that
+	// outlive Reset) must not pin the document buffer.
 	if len(c.stack) > 0 {
 		top := c.stack[len(c.stack)-1]
-		if !top.Validate(Elem(name)) {
-			return c.violate("content of <%s> is not potentially valid at <%s>", c.names[len(c.names)-1], name)
+		if !top.Validate(Elem(interned)) {
+			return c.violate("content of <%s> is not potentially valid at <%s>", c.names[len(c.names)-1], interned)
 		}
 		c.lastWasText[len(c.lastWasText)-1] = false
 	}
-	c.stack = append(c.stack, c.schema.NewRecognizer(name))
-	c.names = append(c.names, name)
+	c.stack = append(c.stack, c.newRecognizer(interned))
+	c.names = append(c.names, interned)
 	c.lastWasText = append(c.lastWasText, false)
 	c.depth++
 	return nil
 }
 
+// newRecognizer takes a recognizer from the checker's freelist, falling
+// back to a fresh one.
+func (c *StreamChecker) newRecognizer(name string) *Recognizer {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		r.reinit(c.schema, name, c.schema.depth)
+		return r
+	}
+	return c.schema.NewRecognizer(name)
+}
+
 // Text processes a character-data event. Empty and (optionally) whitespace
 // text is invisible; adjacent text events collapse into one σ.
-func (c *StreamChecker) Text(data string) error {
+func (c *StreamChecker) Text(data string) error { return text(c, data) }
+
+// TextBytes is Text on the byte path; the data is only inspected, never
+// retained or converted.
+func (c *StreamChecker) TextBytes(data []byte) error { return text(c, data) }
+
+func text[S streamText](c *StreamChecker, data S) error {
 	if c.err != nil {
 		return c.err
 	}
-	if data == "" || (c.schema.opts.IgnoreWhitespaceText && isWhitespace(data)) {
+	if len(data) == 0 || (c.schema.opts.IgnoreWhitespaceText && isSpace(data)) {
 		return nil
 	}
 	if len(c.stack) == 0 {
-		if isWhitespace(data) {
+		if isSpace(data) {
 			return nil
 		}
 		return c.fail("character data outside the root element")
@@ -144,7 +187,13 @@ func (c *StreamChecker) Text(data string) error {
 }
 
 // EndElement processes an end tag.
-func (c *StreamChecker) EndElement(name string) error {
+func (c *StreamChecker) EndElement(name string) error { return endElement(c, name) }
+
+// EndElementBytes is EndElement on the byte path; the open-tag comparison
+// is an allocation-free string/byte equality check.
+func (c *StreamChecker) EndElementBytes(name []byte) error { return endElement(c, name) }
+
+func endElement[S streamText](c *StreamChecker, name S) error {
 	if c.err != nil {
 		return c.err
 	}
@@ -152,9 +201,11 @@ func (c *StreamChecker) EndElement(name string) error {
 		return c.fail("unexpected end tag </%s>", name)
 	}
 	i := len(c.stack) - 1
-	if c.names[i] != name {
+	if c.names[i] != string(name) {
 		return c.fail("end tag </%s> does not match open <%s>", name, c.names[i])
 	}
+	c.free = append(c.free, c.stack[i])
+	c.stack[i] = nil
 	c.stack = c.stack[:i]
 	c.names = c.names[:i]
 	c.lastWasText = c.lastWasText[:i]
@@ -183,6 +234,12 @@ func (c *StreamChecker) Close() error {
 // CheckStream tokenizes src and runs the streaming check over it — a
 // single-pass Problem PV solver for strings.
 func (s *Schema) CheckStream(src string) error { return s.NewStreamChecker().Run(src) }
+
+// CheckStreamBytes is CheckStream on the zero-copy byte path: the document
+// is never copied into a string, token names and data are subslices, and
+// element names resolve through the interned-name table. Verdicts are
+// identical to CheckStream(string(src)).
+func (s *Schema) CheckStreamBytes(src []byte) error { return s.NewStreamChecker().RunBytes(src) }
 
 // Run resets the checker and drives it over src in one pass. It returns nil
 // when the document is potentially valid, a *ViolationError when it is
@@ -214,4 +271,48 @@ func (c *StreamChecker) Run(src string) error {
 			}
 		}
 	}
+}
+
+// RunBytes is Run on the zero-copy byte path. The lexer state lives on the
+// checker's stack frame and tokens are consumed in place, so a potentially
+// valid entity-free document is checked with no per-token allocation.
+func (c *StreamChecker) RunBytes(src []byte) error {
+	c.Reset()
+	lx := xmltext.NewByteLexer(src)
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return err
+		}
+		if tok == nil {
+			return c.Close()
+		}
+		switch tok.Kind {
+		case xmltext.StartTag:
+			if err := c.StartElementBytes(tok.Name); err != nil {
+				return err
+			}
+		case xmltext.EndTag:
+			if err := c.EndElementBytes(tok.Name); err != nil {
+				return err
+			}
+		case xmltext.Text:
+			if err := c.TextBytes(tok.Data); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// isSpace reports whether the text is entirely XML whitespace; shared by
+// the string and byte event paths (and by Δ_T via isWhitespace).
+func isSpace[S streamText](s S) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
 }

@@ -80,13 +80,4 @@ func ChildSymbols(n *dom.Node, ignoreWS bool) []Symbol {
 	return out
 }
 
-func isWhitespace(s string) bool {
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case ' ', '\t', '\r', '\n':
-		default:
-			return false
-		}
-	}
-	return true
-}
+func isWhitespace(s string) bool { return isSpace(s) }

@@ -16,90 +16,131 @@ type Document struct {
 	Epilog []*Node
 }
 
-// Parse parses an XML string into a document tree, enforcing
-// well-formedness: properly nested matching tags, a single root element,
-// and nothing but whitespace, comments and PIs outside the root.
-func Parse(src string) (*Document, error) {
-	tokens, err := xmltext.Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	doc := &Document{}
-	var stack []*Node
-	push := func(n *Node) error {
-		if len(stack) > 0 {
-			stack[len(stack)-1].Append(n)
-			return nil
-		}
-		switch n.Kind {
-		case ElementNode:
-			if doc.Root != nil {
-				return fmt.Errorf("xml: multiple root elements (<%s> after <%s>)", n.Name, doc.Root.Name)
-			}
-			doc.Root = n
-		case TextNode:
-			if !isWhitespace(n.Data) {
-				return fmt.Errorf("xml: character data outside the root element: %.20q", n.Data)
-			}
-			// whitespace between top-level constructs is dropped
-		default:
-			if doc.Root == nil {
-				doc.Prolog = append(doc.Prolog, n)
-			} else {
-				doc.Epilog = append(doc.Epilog, n)
-			}
-		}
+// treeBuilder assembles a Document from a token stream, one token at a
+// time, enforcing well-formedness: properly nested matching tags, a single
+// root element, and nothing but whitespace, comments and PIs outside the
+// root. Feeding tokens incrementally (rather than materializing a token
+// slice first) is what lets ParseBytes ride the zero-copy lexer.
+type treeBuilder struct {
+	doc   Document
+	stack []*Node
+}
+
+func (b *treeBuilder) push(n *Node) error {
+	if len(b.stack) > 0 {
+		b.stack[len(b.stack)-1].Append(n)
 		return nil
 	}
-	for i := range tokens {
-		tok := &tokens[i]
-		switch tok.Kind {
-		case xmltext.StartTag:
-			n := &Node{Kind: ElementNode, Name: tok.Name, Attrs: tok.Attrs}
-			if err := push(n); err != nil {
-				return nil, err
-			}
-			stack = append(stack, n)
-		case xmltext.EndTag:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("xml: %s: unexpected end tag </%s>", tok.Pos, tok.Name)
-			}
-			top := stack[len(stack)-1]
-			if top.Name != tok.Name {
-				return nil, fmt.Errorf("xml: %s: end tag </%s> does not match open <%s>", tok.Pos, tok.Name, top.Name)
-			}
-			stack = stack[:len(stack)-1]
-		case xmltext.Text:
-			if tok.Data == "" {
-				continue
-			}
-			if err := push(&Node{Kind: TextNode, Data: tok.Data}); err != nil {
-				return nil, err
-			}
-		case xmltext.Comment:
-			if err := push(&Node{Kind: CommentNode, Data: tok.Data}); err != nil {
-				return nil, err
-			}
-		case xmltext.ProcInst:
-			if err := push(&Node{Kind: ProcInstNode, Name: tok.Name, Data: tok.Data}); err != nil {
-				return nil, err
-			}
-		case xmltext.Doctype:
-			// A DOCTYPE declaration in the instance is tolerated and ignored;
-			// the DTD is supplied separately in this system.
+	switch n.Kind {
+	case ElementNode:
+		if b.doc.Root != nil {
+			return fmt.Errorf("xml: multiple root elements (<%s> after <%s>)", n.Name, b.doc.Root.Name)
+		}
+		b.doc.Root = n
+	case TextNode:
+		if !isWhitespace(n.Data) {
+			return fmt.Errorf("xml: character data outside the root element: %.20q", n.Data)
+		}
+		// whitespace between top-level constructs is dropped
+	default:
+		if b.doc.Root == nil {
+			b.doc.Prolog = append(b.doc.Prolog, n)
+		} else {
+			b.doc.Epilog = append(b.doc.Epilog, n)
 		}
 	}
-	if len(stack) > 0 {
-		return nil, fmt.Errorf("xml: unclosed element <%s>", stack[len(stack)-1].Name)
+	return nil
+}
+
+// add consumes one token. The token may be transient (a reused ByteToken
+// materialized to strings); the builder retains only the strings it is
+// handed.
+func (b *treeBuilder) add(tok *xmltext.Token) error {
+	switch tok.Kind {
+	case xmltext.StartTag:
+		n := &Node{Kind: ElementNode, Name: tok.Name, Attrs: tok.Attrs}
+		if err := b.push(n); err != nil {
+			return err
+		}
+		b.stack = append(b.stack, n)
+	case xmltext.EndTag:
+		if len(b.stack) == 0 {
+			return fmt.Errorf("xml: %s: unexpected end tag </%s>", tok.Pos, tok.Name)
+		}
+		top := b.stack[len(b.stack)-1]
+		if top.Name != tok.Name {
+			return fmt.Errorf("xml: %s: end tag </%s> does not match open <%s>", tok.Pos, tok.Name, top.Name)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+	case xmltext.Text:
+		if tok.Data == "" {
+			return nil
+		}
+		return b.push(&Node{Kind: TextNode, Data: tok.Data})
+	case xmltext.Comment:
+		return b.push(&Node{Kind: CommentNode, Data: tok.Data})
+	case xmltext.ProcInst:
+		return b.push(&Node{Kind: ProcInstNode, Name: tok.Name, Data: tok.Data})
+	case xmltext.Doctype:
+		// A DOCTYPE declaration in the instance is tolerated and ignored;
+		// the DTD is supplied separately in this system.
 	}
-	if doc.Root == nil {
+	return nil
+}
+
+// finish validates the end state and returns the document.
+func (b *treeBuilder) finish() (*Document, error) {
+	if len(b.stack) > 0 {
+		return nil, fmt.Errorf("xml: unclosed element <%s>", b.stack[len(b.stack)-1].Name)
+	}
+	if b.doc.Root == nil {
 		return nil, fmt.Errorf("xml: no root element")
 	}
 	// Merge adjacent text nodes produced by entity/CDATA boundaries so that
 	// the tree matches the paper's model, where consecutive character data
 	// is a single text node (and δ_T maps it to a single σ).
-	mergeText(doc.Root)
-	return doc, nil
+	mergeText(b.doc.Root)
+	return &b.doc, nil
+}
+
+// Parse parses an XML string into a document tree.
+func Parse(src string) (*Document, error) {
+	var b treeBuilder
+	lx := xmltext.NewLexer(src)
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tok == nil {
+			return b.finish()
+		}
+		if err := b.add(tok); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ParseBytes parses an XML byte slice into a document tree without first
+// copying it into a string. Tokens come from the zero-copy lexer; only the
+// names, data and attributes the tree actually retains are materialized as
+// strings, so the resulting document does not pin the input buffer.
+func ParseBytes(src []byte) (*Document, error) {
+	var b treeBuilder
+	lx := xmltext.NewByteLexer(src)
+	for {
+		bt, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if bt == nil {
+			return b.finish()
+		}
+		tok := bt.Token()
+		if err := b.add(&tok); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // MustParse is Parse that panics on error; intended for tests and fixtures.

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/dtd"
@@ -26,6 +27,93 @@ func benchCorpus(n int) []Doc {
 		docs = append(docs, Doc{ID: fmt.Sprint(i), Content: doc.String()})
 	}
 	return docs
+}
+
+// asBytes converts a corpus to byte-path documents.
+func asBytes(docs []Doc) []Doc {
+	out := make([]Doc, len(docs))
+	for i, d := range docs {
+		out[i] = Doc{ID: d.ID, Bytes: []byte(d.Content)}
+	}
+	return out
+}
+
+// BenchmarkEngineBatchPath is experiment X8: CheckBatch throughput and
+// allocs/op over a 1k-document mixed corpus, string path versus zero-copy
+// byte path, in both verdict modes. The acceptance bar is >=30% fewer
+// allocs/op for bytes (TestBytePathAllocReduction enforces it).
+func BenchmarkEngineBatchPath(b *testing.B) {
+	docs := benchCorpus(1000)
+	byteDocs := asBytes(docs)
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d.Content))
+	}
+	for _, mode := range []struct {
+		name   string
+		pvOnly bool
+	}{{"full", false}, {"pvonly", true}} {
+		for _, path := range []struct {
+			name string
+			docs []Doc
+		}{{"string", docs}, {"bytes", byteDocs}} {
+			b.Run(mode.name+"/"+path.name, func(b *testing.B) {
+				e := New(Config{Workers: 4, PVOnly: mode.pvOnly})
+				s, err := e.Compile(DTDSource, dtd.Play, "play", CompileOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(bytes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					results, _ := e.CheckBatch(s, path.docs)
+					if len(results) != len(path.docs) {
+						b.Fatal("missing results")
+					}
+				}
+			})
+		}
+	}
+}
+
+// measureBatchAllocs runs CheckBatch over docs several times and returns
+// the steady-state allocation count per batch.
+func measureBatchAllocs(tb testing.TB, e *Engine, s *Schema, docs []Doc, rounds int) float64 {
+	tb.Helper()
+	e.CheckBatch(s, docs) // warm pools
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < rounds; i++ {
+		if results, _ := e.CheckBatch(s, docs); len(results) != len(docs) {
+			tb.Fatal("missing results")
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	return float64(ms1.Mallocs-ms0.Mallocs) / float64(rounds)
+}
+
+// TestBytePathAllocReduction enforces the X8 acceptance criterion: over a
+// 1k-document mixed corpus, the byte path must allocate at least 30% less
+// per CheckBatch than the string path (in practice the reduction is far
+// larger; 30% is the regression floor).
+func TestBytePathAllocReduction(t *testing.T) {
+	docs := benchCorpus(1000)
+	byteDocs := asBytes(docs)
+	e := New(Config{Workers: 4})
+	s, err := e.Compile(DTDSource, dtd.Play, "play", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strAllocs := measureBatchAllocs(t, e, s, docs, 3)
+	byteAllocs := measureBatchAllocs(t, e, s, byteDocs, 3)
+	t.Logf("allocs per 1k-doc batch: string=%.0f bytes=%.0f (%.1f%% reduction)",
+		strAllocs, byteAllocs, 100*(1-byteAllocs/strAllocs))
+	if byteAllocs > 0.7*strAllocs {
+		t.Errorf("byte path allocates %.0f per batch, string path %.0f — want >=30%% reduction",
+			byteAllocs, strAllocs)
+	}
 }
 
 // BenchmarkEngineBatch measures batch throughput across worker counts; CI

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -20,6 +22,12 @@ type Schema struct {
 	Core  *core.Schema
 	Valid *validator.Validator
 
+	// Ref is the full hex digest of the schema's registry key hash, set by
+	// Registry.Compile. Documents in a mixed batch select their schema by
+	// (a prefix of) this reference. Empty for schemas built outside a
+	// registry.
+	Ref string
+
 	checkers sync.Pool
 }
 
@@ -32,10 +40,25 @@ func NewSchema(c *core.Schema, v *validator.Validator) *Schema {
 }
 
 // Doc is one batch input: an identifier (a path, a queue key — anything)
-// and the XML content.
+// and the XML content. Content and Bytes are alternatives: when Bytes is
+// non-nil it is the document and the zero-copy byte path checks it without
+// ever materializing a string; otherwise Content is checked on the string
+// path. SchemaRef optionally routes the document to a registry-cached
+// schema (a prefix of Schema.Ref, at least RefMinLen hex digits), letting
+// one batch carry a mixed multi-schema firehose.
 type Doc struct {
-	ID      string `json:"id"`
-	Content string `json:"content"`
+	ID        string `json:"id"`
+	Content   string `json:"content,omitempty"`
+	Bytes     []byte `json:"-"`
+	SchemaRef string `json:"schemaRef,omitempty"`
+}
+
+// Size returns the payload length in bytes.
+func (d *Doc) Size() int {
+	if d.Bytes != nil {
+		return len(d.Bytes)
+	}
+	return len(d.Content)
 }
 
 // Result is the verdict for one document. It mirrors the sequential
@@ -52,17 +75,39 @@ type Result struct {
 	Bytes            int
 }
 
-// BatchStats aggregates one CheckBatch call.
+// BatchStats aggregates one CheckBatch call. Malformed counts documents
+// that failed lexically; RoutingErrors counts documents that never reached
+// a schema (bad schemaRef, no default) — a configuration signal, not a
+// data-quality one.
 type BatchStats struct {
 	Docs             int           `json:"docs"`
 	PotentiallyValid int           `json:"potentiallyValid"`
 	Valid            int           `json:"valid"`
 	Malformed        int           `json:"malformed"`
+	RoutingErrors    int           `json:"routingErrors,omitempty"`
 	Bytes            int64         `json:"bytes"`
 	Workers          int           `json:"workers"`
 	Elapsed          time.Duration `json:"elapsedNs"`
 	DocsPerSec       float64       `json:"docsPerSec"`
 	MBPerSec         float64       `json:"mbPerSec"`
+}
+
+// tally classifies one result into the stats counters (bytes + verdict) —
+// the single source of truth for verdict accounting, shared by CheckBatch,
+// the lifetime counters and the streaming endpoint.
+func (s *BatchStats) tally(r *Result) {
+	s.Bytes += int64(r.Bytes)
+	switch {
+	case IsRoutingError(r.Err):
+		s.RoutingErrors++
+	case r.Err != nil:
+		s.Malformed++
+	case r.Valid:
+		s.Valid++
+		s.PotentiallyValid++
+	case r.PotentiallyValid:
+		s.PotentiallyValid++
+	}
 }
 
 // Config parameterizes an Engine.
@@ -91,6 +136,7 @@ type Engine struct {
 	pv        atomic.Int64
 	valid     atomic.Int64
 	malformed atomic.Int64
+	routing   atomic.Int64
 	bytes     atomic.Int64
 	busyNanos atomic.Int64 // wall-clock spent inside CheckBatch calls
 }
@@ -123,10 +169,17 @@ func (e *Engine) Compile(kind SourceKind, src, root string, opts CompileOptions)
 // check runs the verdict for one document on a (reusable) stream checker.
 // The streaming pass settles well-formedness and potential validity in one
 // linear scan; only documents that pass it pay for the tree parse that the
-// full-validity bit needs.
+// full-validity bit needs. Byte documents ride the zero-copy path end to
+// end (RunBytes + ParseBytes); string documents the compatibility path.
 func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
-	res := Result{ID: d.ID, Bytes: len(d.Content)}
-	if err := c.Run(d.Content); err != nil {
+	res := Result{ID: d.ID, Bytes: d.Size()}
+	var err error
+	if d.Bytes != nil {
+		err = c.RunBytes(d.Bytes)
+	} else {
+		err = c.Run(d.Content)
+	}
+	if err != nil {
 		if core.IsViolation(err) {
 			res.Detail = err.Error()
 		} else {
@@ -136,14 +189,20 @@ func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
 	}
 	res.PotentiallyValid = true
 	if !e.pvOnly {
-		doc, err := dom.Parse(d.Content)
-		if err != nil {
+		var doc *dom.Document
+		var perr error
+		if d.Bytes != nil {
+			doc, perr = dom.ParseBytes(d.Bytes)
+		} else {
+			doc, perr = dom.Parse(d.Content)
+		}
+		if perr != nil {
 			// The stream lexer and the tree parser should agree on
 			// well-formedness (the fuzz targets enforce it); if they ever
 			// diverge, surface the parse error rather than inventing a
 			// PV-but-not-valid verdict CheckString would not produce.
 			res.PotentiallyValid = false
-			res.Err = err
+			res.Err = perr
 			return res
 		}
 		res.Valid = s.Valid.Validate(doc.Root) == nil
@@ -151,15 +210,102 @@ func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
 	return res
 }
 
+// RoutingError marks a failure to route a document to a schema (an
+// unknown, ambiguous or malformed schemaRef, or a missing default): a
+// request-configuration problem, counted separately from malformed
+// documents in all stats.
+type RoutingError struct{ msg string }
+
+func (e *RoutingError) Error() string { return e.msg }
+
+// routingErrf builds a RoutingError.
+func routingErrf(format string, args ...any) error {
+	return &RoutingError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsRoutingError reports whether err is a schema-routing failure, as
+// opposed to a verdict on the document itself.
+func IsRoutingError(err error) bool {
+	var r *RoutingError
+	return errors.As(err, &r)
+}
+
+// errNoSchema reports a document that cannot be routed to any schema.
+var errNoSchema error = &RoutingError{msg: "engine: document has no schemaRef and the batch has no default schema"}
+
+// refTable is a per-batch resolution of the distinct SchemaRefs appearing
+// in a document set; resolving once up front keeps the worker loop free of
+// registry traffic.
+type refTable struct {
+	schemas map[string]*Schema
+	errs    map[string]error
+}
+
+// resolveRefs builds the ref table for docs (nil when no doc carries a ref).
+func (e *Engine) resolveRefs(docs []Doc) *refTable {
+	var t *refTable
+	for i := range docs {
+		ref := docs[i].SchemaRef
+		if ref == "" {
+			continue
+		}
+		if t == nil {
+			t = &refTable{schemas: map[string]*Schema{}, errs: map[string]error{}}
+		}
+		if _, ok := t.schemas[ref]; ok {
+			continue
+		}
+		if _, ok := t.errs[ref]; ok {
+			continue
+		}
+		if s, err := e.reg.ResolveRef(ref); err != nil {
+			t.errs[ref] = err
+		} else {
+			t.schemas[ref] = s
+		}
+	}
+	return t
+}
+
+// schemaFor routes one document: its SchemaRef if set, else the batch
+// default.
+func (t *refTable) schemaFor(d *Doc, def *Schema) (*Schema, error) {
+	if d.SchemaRef != "" {
+		if s, ok := t.schemas[d.SchemaRef]; ok {
+			return s, nil
+		}
+		return nil, t.errs[d.SchemaRef]
+	}
+	if def == nil {
+		return nil, errNoSchema
+	}
+	return def, nil
+}
+
 // Check runs one document synchronously on the caller's goroutine (it
-// still counts against the engine-wide worker bound).
+// still counts against the engine-wide worker bound). s may be nil when
+// the document carries a SchemaRef.
 func (e *Engine) Check(s *Schema, d Doc) Result {
+	if d.SchemaRef != "" {
+		rs, err := e.reg.ResolveRef(d.SchemaRef)
+		if err != nil {
+			res := Result{ID: d.ID, Bytes: d.Size(), Err: err}
+			e.account(&res)
+			return res
+		}
+		s = rs
+	}
+	if s == nil {
+		res := Result{ID: d.ID, Bytes: d.Size(), Err: errNoSchema}
+		e.account(&res)
+		return res
+	}
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 	c := s.checkers.Get().(*core.StreamChecker)
 	res := e.check(s, c, d)
 	s.checkers.Put(c)
-	e.account(1, &res)
+	e.account(&res)
 	return res
 }
 
@@ -168,9 +314,16 @@ func (e *Engine) Check(s *Schema, d Doc) Result {
 // documents through an atomic cursor (cheap work stealing: large documents
 // do not stall a fixed partition) and write results into disjoint slots, so
 // the only synchronization on the hot path is the cursor increment.
+//
+// Documents carrying a SchemaRef are routed to the referenced
+// registry-cached schema, so one batch can mix schemas in a single round
+// trip; s is the default for documents without a ref and may be nil when
+// every document carries one. Each worker keeps one pooled checker per
+// schema it encounters.
 func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
 	start := time.Now()
 	results := make([]Result, len(docs))
+	refs := e.resolveRefs(docs)
 	workers := e.workers
 	if workers > len(docs) {
 		workers = len(docs)
@@ -183,14 +336,38 @@ func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
 			defer wg.Done()
 			e.sem <- struct{}{} // engine-wide bound across concurrent batches
 			defer func() { <-e.sem }()
-			c := s.checkers.Get().(*core.StreamChecker)
-			defer s.checkers.Put(c)
+			// Per-worker checker cache: one pooled checker per schema seen
+			// (linear scan — batches mix a handful of schemas, not hundreds).
+			var schemas []*Schema
+			var checkers []*core.StreamChecker
+			defer func() {
+				for i, sc := range schemas {
+					sc.checkers.Put(checkers[i])
+				}
+			}()
+			checkerFor := func(sc *Schema) *core.StreamChecker {
+				for i, x := range schemas {
+					if x == sc {
+						return checkers[i]
+					}
+				}
+				c := sc.checkers.Get().(*core.StreamChecker)
+				schemas = append(schemas, sc)
+				checkers = append(checkers, c)
+				return c
+			}
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(docs) {
 					return
 				}
-				results[i] = e.check(s, c, docs[i])
+				d := &docs[i]
+				sc, err := refs.schemaFor(d, s)
+				if err != nil {
+					results[i] = Result{ID: d.ID, Index: i, Bytes: d.Size(), Err: err}
+					continue
+				}
+				results[i] = e.check(sc, checkerFor(sc), docs[i])
 				results[i].Index = i
 			}
 		}()
@@ -199,17 +376,7 @@ func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
 
 	stats := BatchStats{Docs: len(docs), Workers: workers, Elapsed: time.Since(start)}
 	for i := range results {
-		r := &results[i]
-		stats.Bytes += int64(r.Bytes)
-		switch {
-		case r.Err != nil:
-			stats.Malformed++
-		case r.Valid:
-			stats.Valid++
-			stats.PotentiallyValid++
-		case r.PotentiallyValid:
-			stats.PotentiallyValid++
-		}
+		stats.tally(&results[i])
 	}
 	if secs := stats.Elapsed.Seconds(); secs > 0 {
 		stats.DocsPerSec = float64(stats.Docs) / secs
@@ -228,18 +395,10 @@ func (e *Engine) CheckAll(s *Schema, xmls []string) ([]Result, BatchStats) {
 	return e.CheckBatch(s, docs)
 }
 
-func (e *Engine) account(n int64, r *Result) {
-	e.docs.Add(n)
-	e.bytes.Add(int64(r.Bytes))
-	switch {
-	case r.Err != nil:
-		e.malformed.Add(1)
-	case r.Valid:
-		e.valid.Add(1)
-		e.pv.Add(1)
-	case r.PotentiallyValid:
-		e.pv.Add(1)
-	}
+func (e *Engine) account(r *Result) {
+	bs := BatchStats{Docs: 1}
+	bs.tally(r)
+	e.accountBatch(bs)
 }
 
 func (e *Engine) accountBatch(s BatchStats) {
@@ -247,6 +406,7 @@ func (e *Engine) accountBatch(s BatchStats) {
 	e.pv.Add(int64(s.PotentiallyValid))
 	e.valid.Add(int64(s.Valid))
 	e.malformed.Add(int64(s.Malformed))
+	e.routing.Add(int64(s.RoutingErrors))
 	e.bytes.Add(s.Bytes)
 	e.busyNanos.Add(s.Elapsed.Nanoseconds())
 }
@@ -258,6 +418,7 @@ type Stats struct {
 	PotentiallyValid int64 `json:"potentiallyValid"`
 	Valid            int64 `json:"valid"`
 	Malformed        int64 `json:"malformed"`
+	RoutingErrors    int64 `json:"routingErrors"`
 	Bytes            int64 `json:"bytes"`
 	BusyNanos        int64 `json:"busyNanos"`
 }
@@ -270,6 +431,7 @@ func (e *Engine) Stats() Stats {
 		PotentiallyValid: e.pv.Load(),
 		Valid:            e.valid.Load(),
 		Malformed:        e.malformed.Load(),
+		RoutingErrors:    e.routing.Load(),
 		Bytes:            e.bytes.Load(),
 		BusyNanos:        e.busyNanos.Load(),
 	}

@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -70,12 +71,22 @@ type key struct {
 	opts CompileOptions
 }
 
+// refOf digests the full key — source hash, kind, root and options — into
+// the hex reference documents use to select a schema. Hashing the whole key
+// (not just the source) keeps refs unambiguous when one source is compiled
+// under several roots or option sets.
+func refOf(k key) string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "%x|%d|%s|%+v", k.hash, k.kind, k.root, k.opts))
+	return hex.EncodeToString(sum[:])
+}
+
 // entry is one registry slot. The sync.Once gives compile-once semantics
 // under concurrent misses for the same key: the slot is published under the
 // registry lock, but compilation runs outside it, so N racing clients cost
 // one compilation, not N.
 type entry struct {
 	key    key
+	ref    string // refOf(key), precomputed for ResolveRef prefix scans
 	srcLen int
 	once   sync.Once
 	done   atomic.Bool // set after once.Do completes; guards schema/err reads
@@ -140,7 +151,7 @@ func (r *Registry) Compile(kind SourceKind, src, root string, opts CompileOption
 		r.lru.MoveToFront(e.elem)
 	} else {
 		r.misses++
-		e = &entry{key: k, srcLen: len(src)}
+		e = &entry{key: k, ref: refOf(k), srcLen: len(src)}
 		e.elem = r.lru.PushFront(e)
 		r.entries[k] = e
 		for r.lru.Len() > r.cap {
@@ -156,9 +167,49 @@ func (r *Registry) Compile(kind SourceKind, src, root string, opts CompileOption
 	e.once.Do(func() {
 		r.compiles.Add(1)
 		e.schema, e.err = compile(kind, src, root, opts)
+		if e.schema != nil {
+			e.schema.Ref = e.ref
+		}
 		e.done.Store(true)
 	})
 	return e.schema, e.err
+}
+
+// RefMinLen is the shortest accepted schemaRef prefix, in hex digits.
+const RefMinLen = 8
+
+// ResolveRef finds the cached compiled schema whose reference (Schema.Ref)
+// begins with ref, case-insensitively. A hit touches the entry's LRU
+// position like a Compile hit. Entries still compiling are invisible —
+// a ref only works once the schema it names has been compiled.
+func (r *Registry) ResolveRef(ref string) (*Schema, error) {
+	if len(ref) < RefMinLen {
+		return nil, routingErrf("engine: schemaRef %q is too short (want at least %d hex digits)", ref, RefMinLen)
+	}
+	want := strings.ToLower(ref)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var found *entry
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !e.done.Load() || !strings.HasPrefix(e.ref, want) {
+			continue
+		}
+		if found != nil {
+			return nil, routingErrf("engine: ambiguous schemaRef %q (matches several cached schemas)", ref)
+		}
+		found = e
+	}
+	switch {
+	case found == nil:
+		return nil, routingErrf("engine: unknown schemaRef %q", ref)
+	case found.err != nil:
+		return nil, routingErrf("engine: schemaRef %q names a schema that failed to compile: %v", ref, found.err)
+	}
+	r.hits++
+	found.hits++
+	r.lru.MoveToFront(found.elem)
+	return found.schema, nil
 }
 
 // compile builds the artifact: parse the schema source, compile the
@@ -214,6 +265,7 @@ func (r *Registry) Len() int {
 // SchemaInfo describes one cached artifact for listings (GET /schemas).
 type SchemaInfo struct {
 	Hash        string `json:"hash"` // short hex prefix of the source hash
+	Ref         string `json:"ref"`  // schemaRef prefix (full-key digest) for batch routing
 	Kind        string `json:"kind"`
 	Root        string `json:"root"`
 	SourceBytes int    `json:"sourceBytes"`
@@ -233,6 +285,7 @@ func (r *Registry) Schemas() []SchemaInfo {
 		e := el.Value.(*entry)
 		info := SchemaInfo{
 			Hash:        hex.EncodeToString(e.key.hash[:8]),
+			Ref:         e.ref[:16],
 			Kind:        e.key.kind.String(),
 			Root:        e.key.root,
 			SourceBytes: e.srcLen,

@@ -7,16 +7,29 @@ import (
 	"net/http"
 )
 
-// The HTTP front end (cmd/pvserve) speaks JSON over four routes:
+// The HTTP front end (cmd/pvserve) speaks JSON over five routes:
 //
-//	POST /check    one document           -> one verdict
-//	POST /batch    many documents         -> verdicts + batch stats
-//	GET  /schemas  cached compiled schemas (MRU first)
-//	GET  /stats    registry + engine lifetime counters
+//	POST /check         one document           -> one verdict
+//	POST /batch         many documents         -> verdicts + batch stats
+//	POST /check/stream  NDJSON document stream -> NDJSON verdict stream
+//	GET  /schemas       cached compiled schemas (MRU first)
+//	GET  /stats         registry + engine lifetime counters
 //
-// Both POST routes carry the schema source inline; the registry dedupes by
+// The POST routes carry the schema source inline; the registry dedupes by
 // content hash, so resending the same schema with every request costs one
-// hash, not one compilation.
+// hash, not one compilation. Documents may instead carry a "schemaRef" (a
+// prefix of a cached schema's ref, as listed by GET /schemas), routing a
+// mixed multi-schema firehose in one request; the inline schema then
+// becomes optional.
+//
+// /check/stream reads its body incrementally — one JSON object per line —
+// and flushes one verdict line per document as soon as it is checked, with
+// a bounded number of documents in flight (backpressure instead of
+// buffering whole batches). A line with "schema"/"root" fields (re)sets
+// the default schema for subsequent documents; other lines are documents
+// {"id","content","schemaRef"}. The response ends with a {"stats":...}
+// line. Each document is capped at MaxDocumentBytes (the request body as a
+// whole is uncapped — that is the point of streaming).
 
 // schemaRequest is the shared schema half of /check and /batch bodies.
 type schemaRequest struct {
@@ -89,9 +102,14 @@ func NewServer(e *Engine) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		s, ok := resolve(w, e, req.schemaRequest)
-		if !ok {
-			return
+		// The inline schema is optional when documents route themselves by
+		// schemaRef; documents without a ref then get a per-document error.
+		var s *Schema
+		if req.Schema != "" || req.Root != "" {
+			var ok bool
+			if s, ok = resolve(w, e, req.schemaRequest); !ok {
+				return
+			}
 		}
 		results, stats := e.CheckBatch(s, req.Documents)
 		out := batchResponse{Results: make([]resultJSON, len(results)), Stats: stats}
@@ -99,6 +117,9 @@ func NewServer(e *Engine) http.Handler {
 			out.Results[i] = toJSON(res)
 		}
 		reply(w, out)
+	})
+	mux.HandleFunc("POST /check/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveCheckStream(e, w, r)
 	})
 	mux.HandleFunc("GET /schemas", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, map[string]any{"schemas": e.Registry().Schemas()})

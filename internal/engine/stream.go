@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MaxDocumentBytes caps one document on the streaming endpoint. Unlike
+// MaxRequestBytes (which bounds whole /check and /batch bodies), this is a
+// per-document bound: a stream may carry terabytes as long as each
+// document fits.
+const MaxDocumentBytes = 64 << 20
+
+// streamLine is one NDJSON request line: either a schema header (Schema or
+// Root set) that (re)establishes the default schema for subsequent
+// documents, or a document.
+type streamLine struct {
+	Schema  string         `json:"schema,omitempty"`
+	Kind    string         `json:"kind,omitempty"`
+	Root    string         `json:"root,omitempty"`
+	Options CompileOptions `json:"options,omitempty"`
+
+	ID        string `json:"id,omitempty"`
+	Content   string `json:"content,omitempty"`
+	SchemaRef string `json:"schemaRef,omitempty"`
+}
+
+func (ln *streamLine) isHeader() bool { return ln.Schema != "" || ln.Root != "" }
+
+// streamFail is a terminal stream error: reported as a real HTTP status if
+// no output has been flushed yet, and as a final {"error":...} line
+// otherwise.
+type streamFail struct {
+	code int
+	msg  string
+}
+
+// streamJob is one unit in the ordered result pipeline: a pending verdict,
+// or a terminal failure.
+type streamJob struct {
+	res  chan Result // buffered(1), written by the checking goroutine
+	fail *streamFail
+}
+
+// streamStats is the closing NDJSON line.
+type streamStats struct {
+	Stats BatchStats `json:"stats"`
+}
+
+// serveCheckStream implements POST /check/stream: documents are read
+// incrementally off the request body, checked with at most 2×workers in
+// flight (the reader blocks when the window is full — TCP backpressure
+// instead of buffering), and each verdict is flushed as soon as it is
+// ready, in input order.
+func serveCheckStream(e *Engine, w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// A stream reads the body for as long as the client keeps sending;
+	// lift the server's ReadTimeout for this request only (the slow-client
+	// protection of the bounded routes stays in place). Errors are ignored:
+	// test recorders and exotic transports simply keep their defaults.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	sc := bufio.NewScanner(r.Body)
+	// A JSON-escaped document inflates by at most 2x for sane inputs; the
+	// slack keeps a cap-sized document scannable while still bounding one
+	// line's buffer.
+	sc.Buffer(make([]byte, 64<<10), 2*MaxDocumentBytes+(64<<10))
+
+	inflight := 2 * e.workers
+	queue := make(chan streamJob, inflight)
+	writerDead := make(chan struct{})
+
+	stats := BatchStats{Workers: e.workers}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		started, discard, failed := false, false, false
+		flush := func() {}
+		if f, ok := w.(http.Flusher); ok {
+			flush = f.Flush
+		}
+		enc := json.NewEncoder(w)
+		emit := func(v any) {
+			if discard {
+				return
+			}
+			if !started {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				started = true
+			}
+			if err := enc.Encode(v); err != nil {
+				// Client is gone; keep draining so the reader never blocks
+				// on a full queue.
+				discard = true
+				close(writerDead)
+				return
+			}
+			flush()
+		}
+		for j := range queue {
+			if j.fail != nil {
+				failed = true
+				if !started && !discard {
+					httpError(w, j.fail.code, j.fail.msg)
+					discard = true
+				} else {
+					emit(map[string]string{"error": j.fail.msg})
+				}
+				continue
+			}
+			res := <-j.res
+			res.Index = stats.Docs
+			stats.Docs++
+			stats.tally(&res)
+			emit(toJSON(res))
+		}
+		if !failed {
+			stats.Elapsed = time.Since(start)
+			if secs := stats.Elapsed.Seconds(); secs > 0 {
+				stats.DocsPerSec = float64(stats.Docs) / secs
+				stats.MBPerSec = float64(stats.Bytes) / (1 << 20) / secs
+			}
+			emit(streamStats{Stats: stats})
+		}
+	}()
+
+	// enqueue hands a job to the writer, giving up if the writer or client
+	// died; false stops the read loop.
+	enqueue := func(j streamJob) bool {
+		select {
+		case queue <- j:
+			return true
+		case <-writerDead:
+			return false
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	terminal := func(code int, msg string) {
+		enqueue(streamJob{fail: &streamFail{code: code, msg: msg}})
+	}
+
+	var cur *Schema
+	lineNo := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		lineNo++
+		var ln streamLine
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ln); err != nil {
+			terminal(http.StatusBadRequest, fmt.Sprintf("line %d: bad JSON: %v", lineNo, err))
+			break
+		}
+		if ln.isHeader() {
+			kind, err := ParseSourceKind(ln.Kind)
+			if err != nil {
+				terminal(http.StatusBadRequest, fmt.Sprintf("line %d: %v", lineNo, err))
+				break
+			}
+			if ln.Root == "" {
+				terminal(http.StatusBadRequest, fmt.Sprintf("line %d: schema header missing root element", lineNo))
+				break
+			}
+			s, err := e.Compile(kind, ln.Schema, ln.Root, ln.Options)
+			if err != nil {
+				terminal(http.StatusUnprocessableEntity, fmt.Sprintf("line %d: schema does not compile: %v", lineNo, err))
+				break
+			}
+			cur = s
+			continue
+		}
+		if len(ln.Content) > MaxDocumentBytes {
+			terminal(http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("line %d: document %q is %d bytes; the per-document cap is %d", lineNo, ln.ID, len(ln.Content), MaxDocumentBytes))
+			break
+		}
+		j := streamJob{res: make(chan Result, 1)}
+		if !enqueue(j) {
+			break
+		}
+		// e.Check blocks on the engine-wide worker bound, resolves the
+		// document's SchemaRef (or uses the current default) and accounts
+		// lifetime counters; the buffered channel means no goroutine leaks
+		// even if the writer has given up.
+		go func(s *Schema, d Doc) {
+			j.res <- e.Check(s, d)
+		}(cur, Doc{ID: ln.ID, Content: ln.Content, SchemaRef: ln.SchemaRef})
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			terminal(http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("line %d: document line exceeds the per-document cap of %d bytes", lineNo+1, MaxDocumentBytes))
+		} else {
+			// Most commonly a client disconnect mid-stream.
+			terminal(http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		}
+	}
+	close(queue)
+	wg.Wait()
+	e.busyNanos.Add(time.Since(start).Nanoseconds())
+}

@@ -1,0 +1,33 @@
+package xmltext
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzLexBytes asserts that on arbitrary input the zero-copy byte lexer
+// and the string lexer agree exactly: same token stream (kinds, names,
+// data, attributes, positions) on acceptance, same error text on
+// rejection. The streaming checker's byte fast path and dom.ParseBytes
+// both ride on this equivalence.
+func FuzzLexBytes(f *testing.F) {
+	for _, seed := range differentialInputs {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		want, wantErr := Tokenize(src)
+		got, gotErr := TokenizeBytes([]byte(src))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch on %q\n  string: %v\n  bytes:  %v", src, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("error text mismatch on %q\n  string: %v\n  bytes:  %v", src, wantErr, gotErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("token mismatch on %q\n  string: %#v\n  bytes:  %#v", src, want, got)
+		}
+	})
+}

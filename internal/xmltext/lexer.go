@@ -202,15 +202,15 @@ func (l *Lexer) lexEntity() (string, error) {
 	name := l.src[l.pos+1 : l.pos+semi]
 	l.advance(semi + 1)
 	if strings.HasPrefix(name, "#x") || strings.HasPrefix(name, "#X") {
-		var r rune
-		if _, err := fmt.Sscanf(name[2:], "%x", &r); err != nil {
+		r, ok := charRefValue(name[2:], 16)
+		if !ok {
 			return "", l.errf(start, "bad character reference &%s;", name)
 		}
 		return string(r), nil
 	}
 	if strings.HasPrefix(name, "#") {
-		var r rune
-		if _, err := fmt.Sscanf(name[1:], "%d", &r); err != nil {
+		r, ok := charRefValue(name[1:], 10)
+		if !ok {
 			return "", l.errf(start, "bad character reference &%s;", name)
 		}
 		return string(r), nil

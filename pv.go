@@ -34,6 +34,7 @@ package pv
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 
@@ -217,10 +218,113 @@ func (s *Schema) checkRoot(root *dom.Node) Result {
 	return res
 }
 
+// CheckBytes parses an XML document held as bytes and checks it, without
+// ever copying the document into a string — the byte-path twin of
+// CheckString. Verdicts are identical.
+func (s *Schema) CheckBytes(xml []byte) (Result, error) {
+	doc, err := dom.ParseBytes(xml)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.checkRoot(doc.Root), nil
+}
+
 // CheckStream checks an XML string in a single streaming pass without
 // building a tree — the recommended mode for large documents. It returns
 // nil when the document is potentially valid.
 func (s *Schema) CheckStream(xml string) error { return s.core.CheckStream(xml) }
+
+// CheckStreamBytes is CheckStream on the zero-copy byte path: token names
+// and data are subslices of xml, element names resolve through the
+// schema's interned-name table, and an entity-free document is checked
+// with no per-token allocation. The fastest way to check an mmap'd or
+// pooled buffer.
+func (s *Schema) CheckStreamBytes(xml []byte) error { return s.core.CheckStreamBytes(xml) }
+
+// Ref returns the schema's registry reference (a hex digest of source,
+// kind, root and options) when the schema was compiled through an Engine,
+// and "" otherwise. Documents in a mixed batch select their schema by this
+// reference (any prefix of at least 8 hex digits).
+func (s *Schema) Ref() string {
+	if s.eng != nil {
+		return s.eng.Ref
+	}
+	return ""
+}
+
+// FileChecker checks files one at a time through the byte path, reusing
+// one read buffer (and one pooled streaming checker) across calls — file
+// checking with one read syscall and no string round trip. Not safe for
+// concurrent use; create one per goroutine.
+type FileChecker struct {
+	s   *Schema
+	c   *core.StreamChecker
+	buf []byte
+}
+
+// NewFileChecker returns a reusable file checker for the schema.
+func (s *Schema) NewFileChecker() *FileChecker {
+	return &FileChecker{s: s, c: s.core.NewStreamChecker()}
+}
+
+// read loads path into the checker's buffer, growing it only when a file
+// exceeds every earlier size.
+func (fc *FileChecker) read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	n := int(info.Size())
+	if cap(fc.buf) < n {
+		fc.buf = make([]byte, n)
+	}
+	fc.buf = fc.buf[:n]
+	if _, err := io.ReadFull(f, fc.buf); err != nil {
+		return nil, err
+	}
+	return fc.buf, nil
+}
+
+// Check reads and checks one file. The semantics mirror CheckString: the
+// error covers I/O and lexical/well-formedness problems only, verdicts are
+// in the Result.
+func (fc *FileChecker) Check(path string) (Result, error) {
+	data, err := fc.read(path)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{}
+	if err := fc.c.RunBytes(data); err != nil {
+		if !core.IsViolation(err) {
+			return Result{}, err
+		}
+		res.Detail = err.Error()
+		return res, nil
+	}
+	res.PotentiallyValid = true
+	doc, err := dom.ParseBytes(data)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Valid = fc.s.valid.Validate(doc.Root) == nil
+	return res, nil
+}
+
+// CheckStream streams one file through the byte path and returns the
+// potential-validity verdict only (no tree parse, no full-validity bit) —
+// the fastest per-file mode.
+func (fc *FileChecker) CheckStream(path string) error {
+	data, err := fc.read(path)
+	if err != nil {
+		return err
+	}
+	return fc.c.RunBytes(data)
+}
 
 // Validate runs standard (full) DTD validation: the check for finished
 // encodings. It returns nil when the document is valid.
@@ -284,7 +388,10 @@ type EngineConfig struct {
 }
 
 // Doc is one batch input: an identifier (path, queue key, anything) plus
-// the XML content.
+// the XML content — as a string (Content) or zero-copy bytes (Bytes).
+// Setting SchemaRef (a prefix of another Schema's Ref) routes the document
+// to that registry-cached schema, so one CheckBatch can carry a mixed
+// multi-schema firehose; documents without a ref use the batch's schema.
 type Doc = engine.Doc
 
 // BatchResult is the verdict for one batch document. Err is set for
@@ -349,18 +456,31 @@ func (e *Engine) CompileXSD(src, root string, opts Options) (*Schema, error) {
 
 // CheckBatch fans docs out over the engine's worker pool and returns one
 // result per input, in input order, plus aggregate stats. Verdicts are
-// identical to calling Schema.CheckString per document sequentially.
+// identical to calling Schema.CheckString (or CheckBytes) per document
+// sequentially. Documents carrying a SchemaRef are routed to the
+// referenced schema; s covers the rest and may be nil when every document
+// routes itself.
 func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]BatchResult, BatchStats) {
-	return e.e.CheckBatch(s.eng, docs)
+	return e.e.CheckBatch(engSchema(s), docs)
 }
 
 // CheckAll is CheckBatch over bare XML strings.
 func (e *Engine) CheckAll(s *Schema, xmls []string) ([]BatchResult, BatchStats) {
-	return e.e.CheckAll(s.eng, xmls)
+	return e.e.CheckAll(engSchema(s), xmls)
 }
 
-// Check runs one document synchronously on the caller's goroutine.
-func (e *Engine) Check(s *Schema, d Doc) BatchResult { return e.e.Check(s.eng, d) }
+// Check runs one document synchronously on the caller's goroutine. s may
+// be nil when the document routes itself by SchemaRef.
+func (e *Engine) Check(s *Schema, d Doc) BatchResult { return e.e.Check(engSchema(s), d) }
+
+// engSchema unwraps the engine artifact, tolerating a nil schema (the
+// SchemaRef self-routing mode).
+func engSchema(s *Schema) *engine.Schema {
+	if s == nil {
+		return nil
+	}
+	return s.eng
+}
 
 // Stats returns the engine's lifetime counters.
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }

@@ -1,0 +1,136 @@
+package pv
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// TestCheckBytesMatchesCheckString: the public byte path agrees with the
+// string path on verdicts and on lexical errors.
+func TestCheckBytesMatchesCheckString(t *testing.T) {
+	s := MustCompileDTD(dtd.Figure1, "r", Options{})
+	for _, xml := range []string{
+		`<r><a><c>x</c><d></d></a></r>`,
+		`<r><a><b>x</b><e></e><c>y</c></a></r>`,
+		`<r><a><b>quick</b><c>fox</c> dog<e/></a></r>`,
+		`<r><a>`,
+		`garbage<`,
+	} {
+		sr, serr := s.CheckString(xml)
+		br, berr := s.CheckBytes([]byte(xml))
+		if (serr == nil) != (berr == nil) {
+			t.Fatalf("%q: error mismatch %v vs %v", xml, serr, berr)
+		}
+		if sr != br {
+			t.Errorf("%q: result mismatch %+v vs %+v", xml, sr, br)
+		}
+		streamErr := s.CheckStream(xml)
+		streamBytesErr := s.CheckStreamBytes([]byte(xml))
+		if (streamErr == nil) != (streamBytesErr == nil) {
+			t.Errorf("%q: stream mismatch %v vs %v", xml, streamErr, streamBytesErr)
+		}
+	}
+}
+
+// TestFileChecker covers the reused-buffer file path: multiple files,
+// shrinking and growing sizes, verdicts matching CheckString.
+func TestFileChecker(t *testing.T) {
+	s := MustCompileDTD(dtd.Figure1, "r", Options{})
+	dir := t.TempDir()
+	files := map[string]string{
+		"valid.xml": `<r><a><b>A quick brown</b><c> fox jumps over a lazy</c> dog<e></e></a></r>`,
+		"notpv.xml": `<r><a><b>x</b><e></e><c>y</c></a></r>`,
+		"tiny.xml":  `<r><a><c>x</c><d/></a></r>`,
+		"bad.xml":   `<r><a>`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc := s.NewFileChecker()
+	for round := 0; round < 2; round++ { // second round exercises buffer reuse
+		for name, content := range files {
+			got, gotErr := fc.Check(filepath.Join(dir, name))
+			want, wantErr := s.CheckString(content)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: error mismatch %v vs %v", name, gotErr, wantErr)
+			}
+			// Detail wording differs between the stream and tree paths (the
+			// engine has the same property); the verdict bits must agree.
+			if gotErr == nil && (got.PotentiallyValid != want.PotentiallyValid || got.Valid != want.Valid) {
+				t.Errorf("%s: %+v vs %+v", name, got, want)
+			}
+			if gotErr == nil && !got.PotentiallyValid && got.Detail == "" {
+				t.Errorf("%s: not-PV verdict without detail", name)
+			}
+			streamErr := fc.CheckStream(filepath.Join(dir, name))
+			if (streamErr == nil) != (want.PotentiallyValid && wantErr == nil) {
+				t.Errorf("%s: stream verdict %v, want pv=%t", name, streamErr, want.PotentiallyValid)
+			}
+		}
+	}
+	if _, err := fc.Check(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// TestSchemaRefRouting: engine-compiled schemas expose refs; a batch with
+// per-document refs routes across schemas in one call.
+func TestSchemaRefRouting(t *testing.T) {
+	eng := NewEngine(EngineConfig{Workers: 2})
+	fig, err := eng.CompileDTD(dtd.Figure1, "r", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := eng.CompileDTD(dtd.WeakRecursive, "p", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Ref() == "" || weak.Ref() == "" {
+		t.Fatalf("engine schemas must carry refs: %q, %q", fig.Ref(), weak.Ref())
+	}
+	if MustCompileDTD(dtd.Figure1, "r", Options{}).Ref() != "" {
+		t.Fatal("non-engine schema must not carry a ref")
+	}
+	results, stats := eng.CheckBatch(fig, []Doc{
+		{ID: "fig", Bytes: []byte(`<r><a><c>x</c><d></d></a></r>`)},
+		{ID: "weak", Bytes: []byte(`<p>text <b>bold</b></p>`), SchemaRef: weak.Ref()[:12]},
+	})
+	if stats.Docs != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for _, r := range results {
+		if r.Err != nil || !r.PotentiallyValid {
+			t.Errorf("%s: %+v", r.ID, r)
+		}
+	}
+
+	// Self-routing with a nil default schema works for single checks and
+	// batches alike (regression: this used to panic in Check).
+	if r := eng.Check(nil, Doc{ID: "solo", Content: `<r><a><c>x</c><d></d></a></r>`, SchemaRef: fig.Ref()}); r.Err != nil || !r.PotentiallyValid {
+		t.Errorf("nil-schema Check: %+v", r)
+	}
+	if r := eng.Check(nil, Doc{ID: "lost", Content: `<r></r>`}); r.Err == nil {
+		t.Error("nil-schema Check without ref: want routing error")
+	}
+}
+
+// TestCheckBytesLargeDoc sanity-checks the byte path on a larger document
+// assembled from repeated fragments.
+func TestCheckBytesLargeDoc(t *testing.T) {
+	s := MustCompileDTD(dtd.Play, "play", Options{})
+	var sb strings.Builder
+	sb.WriteString(`<play><title>t</title><personae>`)
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(`<persona>p</persona>`)
+	}
+	sb.WriteString(`</personae></play>`)
+	if err := s.CheckStreamBytes([]byte(sb.String())); err != nil {
+		t.Fatalf("large doc: %v", err)
+	}
+}
