@@ -1,12 +1,18 @@
-// Command pvbench regenerates the experiment tables of EXPERIMENTS.md
-// (X1-X6): the empirical counterparts of the paper's analytical claims.
+// Command pvbench regenerates the experiment tables X1-X9: the empirical
+// counterparts of the paper's analytical claims (X1-X6) plus the service
+// layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
+// path, X9 completion throughput).
 //
 // Usage:
 //
-//	pvbench [-quick] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath]
+//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion]
+//
+// -json emits the selected tables as a JSON array (the format committed
+// under bench/, e.g. bench/X9.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +25,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes, shorter timing budgets")
 	only := flag.String("only", "", "comma-separated table names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit the tables as a JSON array instead of text")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -65,18 +72,30 @@ func main() {
 		{"closure", func() *bench.Table { return bench.StripClosure(fracs, trials, budget) }},
 		{"throughput", func() *bench.Table { return bench.Throughput(workerCounts, corpus, tputBudget) }},
 		{"bytepath", func() *bench.Table { return bench.BytePath(bytePathCorpus, tputBudget) }},
+		{"completion", func() *bench.Table { return bench.CompletionThroughput(workerCounts, corpus, tputBudget) }},
 	}
 
-	ran := 0
+	var tables []*bench.Table
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.name] {
 			continue
 		}
-		fmt.Println(e.run().String())
-		ran++
+		tables = append(tables, e.run())
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, "pvbench: no tables matched -only")
 		os.Exit(2)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
 	}
 }

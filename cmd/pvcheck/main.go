@@ -6,9 +6,12 @@
 //
 //	pvcheck (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] doc.xml...
 //	pvcheck batch (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] dir...
+//	pvcheck complete (-dtd schema.dtd | -xsd schema.xsd) -root r [-diff] [-in-place] [flags] dir...
 //
 // The batch form fans a directory of documents out over the concurrent
-// checking engine (see -workers).
+// checking engine (see -workers); the complete form rewrites potentially
+// valid documents into valid ones, printing the completed document, the
+// insertion records (-diff), or rewriting files in place (-in-place).
 //
 // Exit status: 0 when every document is potentially valid, 1 when some
 // document is not, 2 on usage or parse errors.
@@ -22,8 +25,13 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "batch" {
-		os.Exit(cli.Batch(args[1:], os.Stdout, os.Stderr))
+	if len(args) > 0 {
+		switch args[0] {
+		case "batch":
+			os.Exit(cli.Batch(args[1:], os.Stdout, os.Stderr))
+		case "complete":
+			os.Exit(cli.Complete(args[1:], os.Stdout, os.Stderr))
+		}
 	}
 	os.Exit(cli.PVCheck(args, os.Stdout, os.Stderr))
 }

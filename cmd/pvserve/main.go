@@ -1,24 +1,27 @@
-// Command pvserve is the HTTP front end of the concurrent checking engine:
-// compile once, check a firehose of documents.
+// Command pvserve is the HTTP front end of the concurrent checking and
+// completion engine: compile once, check (or repair) a firehose of
+// documents.
 //
 // Usage:
 //
 //	pvserve [-addr :8080] [-workers N] [-cache N] [-pvonly]
 //
-// Routes (all JSON):
+// Routes (all JSON; full wire spec in docs/http-api.md):
 //
-//	POST /check         {"schema","kind","root","options","document"}  -> verdict
-//	POST /batch         {"schema","kind","root","options","documents"} -> verdicts + stats
-//	POST /check/stream  NDJSON in (schema headers + documents), NDJSON out
-//	GET  /schemas       cached compiled schemas, most recently used first
-//	GET  /stats         registry and engine lifetime counters
+//	POST /check            {"schema","kind","root","options","document"}  -> verdict
+//	POST /batch            {"schema","kind","root","options","documents"} -> verdicts + stats
+//	POST /check/stream     NDJSON in (schema headers + documents), NDJSON out
+//	POST /complete         {"schema",...,"documents","diff"} -> completions + diffs + stats
+//	POST /complete/stream  NDJSON in, NDJSON completion lines out (?diff=0 drops records)
+//	GET  /schemas          cached compiled schemas, most recently used first
+//	GET  /stats            registry and engine lifetime counters
 //
 // The schema travels inline with each request; the registry dedupes by
 // content hash, so resending it costs a hash, not a compilation. Documents
 // may instead carry "schemaRef" (see GET /schemas) to route a mixed
-// multi-schema batch. /check/stream reads documents incrementally, keeps a
-// bounded number in flight, and flushes one verdict line per document —
-// bodies of any size, with a 64MB cap per document, not per body.
+// multi-schema batch. The *stream routes read documents incrementally,
+// keep a bounded number in flight, and flush one output line per document
+// — bodies of any size, with a 64MB cap per document, not per body.
 package main
 
 import (

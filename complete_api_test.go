@@ -1,6 +1,9 @@
 package pv
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -97,5 +100,123 @@ func TestCompileDTDFileErrors(t *testing.T) {
 	}
 	if _, err := ParseDocumentFile("/nonexistent/doc.xml"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestCompleteDiffAndBytesPublicAPI(t *testing.T) {
+	schema := MustCompileDTD(Figure1DTD, "r", Options{})
+
+	ext, d, err := schema.CompleteDiff(MustParseDocument(exampleS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 2 || len(d.Insertions) != 2 {
+		t.Errorf("diff: %+v", d)
+	}
+	if d.Completed != ext.String() {
+		t.Error("diff serialization disagrees with the completed document")
+	}
+	if d.Insertions[0].Name != "d" || !strings.HasPrefix(d.Insertions[0].Path, "/r/a[0]") {
+		t.Errorf("first insertion: %+v", d.Insertions[0])
+	}
+
+	// The byte path produces the identical diff.
+	outBytes, bd, err := schema.CompleteBytes([]byte(exampleS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(outBytes) != d.Completed || bd.Inserted != 2 {
+		t.Errorf("byte path diverges: %s", outBytes)
+	}
+
+	// Already-valid identity through the public API: zero insertions,
+	// byte-identical serialization.
+	valid := `<r><a><c>x</c><d></d></a></r>`
+	outBytes, bd, err = schema.CompleteBytes([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Inserted != 0 || string(outBytes) != valid {
+		t.Errorf("already-valid: inserted %d, out %s", bd.Inserted, outBytes)
+	}
+
+	// Not potentially valid and malformed inputs fail.
+	if _, _, err := schema.CompleteBytes([]byte(`<r><a><b>x</b><e></e><c>y</c></a></r>`)); err == nil {
+		t.Error("not-PV input must fail")
+	}
+	if _, _, err := schema.CompleteBytes([]byte(`<r><a>`)); err == nil {
+		t.Error("malformed input must fail")
+	}
+}
+
+func TestEngineCompleteBatchPublicAPI(t *testing.T) {
+	eng := NewEngine(EngineConfig{Workers: 4})
+	fig, err := eng.CompileDTD(Figure1DTD, "r", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	play, err := eng.CompileDTD(PlayDTD, "play", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []Doc{
+		{ID: "fig", Content: exampleS},
+		{ID: "valid", Content: `<r><a><c>x</c><d></d></a></r>`},
+		{ID: "routed", Content: `<play><title>t</title></play>`, SchemaRef: play.Ref()[:12]},
+		{ID: "notpv", Content: `<r><a><b>x</b><e></e><c>y</c></a></r>`},
+	}
+	results, stats := eng.CompleteBatch(fig, docs, true)
+	if len(results) != 4 {
+		t.Fatalf("results: %d", len(results))
+	}
+	if r := results[0]; !r.Completed || r.Inserted != 2 || len(r.Insertions) != 2 {
+		t.Errorf("fig: %+v", r)
+	}
+	if r := results[1]; !r.AlreadyValid || r.Output != docs[1].Content {
+		t.Errorf("valid: %+v", r)
+	}
+	if r := results[2]; !r.Completed || r.Inserted == 0 {
+		t.Errorf("routed: %+v", r)
+	}
+	if r := results[3]; r.Completed || r.Detail == "" {
+		t.Errorf("notpv: %+v", r)
+	}
+	if stats.Docs != 4 || stats.Inserted < 3 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	// Single-document synchronous form.
+	one := eng.Complete(nil, Doc{ID: "fig", Content: exampleS, SchemaRef: fig.Ref()[:12]}, false)
+	if !one.Completed || one.Inserted != 2 || one.Insertions != nil {
+		t.Errorf("Complete: %+v", one)
+	}
+
+	// The handler exposes the /complete routes.
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/complete", "application/json",
+		strings.NewReader(`{"schema":"<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>","root":"r","documents":[{"id":"x","content":"<r>loose text</r>"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"inserted": 1`) {
+		t.Errorf("POST /complete: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestCompleteBytesPreservesProlog(t *testing.T) {
+	schema := MustCompileDTD(Figure1DTD, "r", Options{})
+	in := []byte(`<?xml version="1.0"?><!-- note -->` + exampleS)
+	out, d, err := schema.CompleteBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(out), `<?xml version="1.0"?><!-- note -->`) {
+		t.Errorf("prolog dropped: %s", out)
+	}
+	if d.Inserted != 2 || d.Completed != string(out) {
+		t.Errorf("diff: %+v", d)
 	}
 }

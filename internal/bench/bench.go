@@ -1,14 +1,16 @@
-// Package bench implements the experiment harness of EXPERIMENTS.md: one
-// function per experiment (X1-X6), each regenerating the corresponding
-// table. The paper (ICDE 2006) has no empirical tables — its evaluation is
-// analytical — so these experiments measure the paper's complexity claims:
-// linearity in document size (Theorem 4), the impracticality of generic
-// Earley parsing on G' (Section 3.3), the k^D depth factor for PV-strong
-// recursive DTDs, and the O(1) incremental update checks (Theorem 2,
-// Proposition 3).
+// Package bench implements the experiment harness: one function per
+// experiment (X1-X9), each regenerating the corresponding table. The paper
+// (ICDE 2006) has no empirical tables — its evaluation is analytical — so
+// X1-X6 measure the paper's complexity claims: linearity in document size
+// (Theorem 4), the impracticality of generic Earley parsing on G'
+// (Section 3.3), the k^D depth factor for PV-strong recursive DTDs, and
+// the O(1) incremental update checks (Theorem 2, Proposition 3). X7-X9
+// measure the service layer: checking throughput vs workers, the zero-copy
+// byte path, and completion throughput vs workers.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -26,13 +28,16 @@ import (
 )
 
 // Table is one experiment's output: a header and rows of cells, renderable
-// as an aligned text table.
+// as an aligned text table or as JSON (the bench/*.json artifacts).
 type Table struct {
-	Name    string
-	Caption string
-	Header  []string
-	Rows    [][]string
+	Name    string     `json:"name"`
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
 }
+
+// JSON renders the table as indented JSON.
+func (t *Table) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
@@ -532,6 +537,68 @@ func BytePath(corpusSize int, budget time.Duration) *Table {
 	return t
 }
 
+// CompletionThroughput is experiment X9 (the completion service): batched
+// completion of a tag-stripped play corpus as the worker count grows — the
+// repair-firehose workload CompleteBatch exists for. Three quarters of the
+// corpus needs real insertions; one quarter is already valid and rides the
+// validity fast path. The inserted-per-batch column is constant across
+// worker counts (the differential tests pin worker-pool completions to the
+// sequential results); speedup is relative to the first worker count.
+func CompletionThroughput(workerCounts []int, corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(9))
+	docs := make([]engine.Doc, corpusSize)
+	var corpusBytes int64
+	for i := range docs {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 7, MaxRepeat: 2})
+		if i%4 != 0 {
+			gen.Strip(rng, doc, 0.3)
+		}
+		docs[i] = engine.Doc{ID: fmt.Sprint(i), Content: doc.String()}
+		corpusBytes += int64(len(docs[i].Content))
+	}
+	t := &Table{
+		Name:    "completion",
+		Caption: "X9 / completion service — batched completion throughput vs worker count (tag-stripped play corpus)",
+		Header: []string{"workers", "corpus_docs", "batches", "docs_per_sec", "mb_per_sec",
+			"inserted_per_batch", "already_valid", "speedup"},
+	}
+	var base float64
+	for _, w := range workerCounts {
+		e := engine.New(engine.Config{Workers: w})
+		s, err := e.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+		if err != nil {
+			panic(err)
+		}
+		var inserted int64
+		var alreadyValid int
+		if _, stats := e.CompleteBatch(s, docs, true); stats.Malformed != 0 || stats.PotentiallyValid != corpusSize {
+			panic("completion corpus must be fully completable")
+		} // warm up (pools, completer memos)
+		batches := 0
+		start := time.Now()
+		for time.Since(start) < budget || batches == 0 {
+			_, stats := e.CompleteBatch(s, docs, true)
+			inserted = stats.Inserted
+			alreadyValid = stats.Valid
+			batches++
+		}
+		elapsed := time.Since(start)
+		dps := float64(batches*len(docs)) / elapsed.Seconds()
+		mbps := float64(batches) * float64(corpusBytes) / (1 << 20) / elapsed.Seconds()
+		if base == 0 {
+			base = dps
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w), fmt.Sprint(len(docs)), fmt.Sprint(batches),
+			fmt.Sprintf("%.0f", dps), fmt.Sprintf("%.2f", mbps),
+			fmt.Sprint(inserted), fmt.Sprint(alreadyValid),
+			fmt.Sprintf("%.2fx", dps/base),
+		})
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -566,5 +633,6 @@ func All(quick bool) []*Table {
 		StripClosure(fracs, trials, budget),
 		Throughput(workerCounts, corpus, tputBudget),
 		BytePath(corpus, tputBudget),
+		CompletionThroughput(workerCounts, corpus, tputBudget),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 8 {
-		t.Fatalf("want 8 tables, got %d", len(tables))
+	if len(tables) != 9 {
+		t.Fatalf("want 9 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -80,6 +80,28 @@ func TestAllQuick(t *testing.T) {
 				t.Errorf("bytepath %s: bytes allocate more than string: %v vs %v", rows[i][0], rows[i+1], rows[i])
 			}
 		}
+	}
+	// X9: completion moves documents at every worker count, inserts a
+	// positive, worker-independent number of elements per batch (the
+	// differential guarantee), and renders to JSON.
+	if rows := byName["completion"].Rows; len(rows) != 4 {
+		t.Errorf("completion rows: %v", rows)
+	} else {
+		for _, row := range rows {
+			dps, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || dps <= 0 {
+				t.Errorf("completion row has no progress: %v", row)
+			}
+			if row[5] != rows[0][5] || row[6] != rows[0][6] {
+				t.Errorf("completion counts vary across workers: %v vs %v", row, rows[0])
+			}
+		}
+		if ins, err := strconv.Atoi(rows[0][5]); err != nil || ins <= 0 {
+			t.Errorf("completion inserted nothing: %v", rows[0])
+		}
+	}
+	if out, err := byName["completion"].JSON(); err != nil || !strings.Contains(string(out), `"name": "completion"`) {
+		t.Errorf("completion JSON: %v %s", err, out)
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.
 	last := byName["earley"].Rows[len(byName["earley"].Rows)-1]

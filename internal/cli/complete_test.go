@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompleteDefaultPrintsDocument(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var out, errOut strings.Builder
+	code := Complete([]string{"-dtd", dtdPath, "-root", "r",
+		filepath.Join(docsDir, "pv.xml")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	// The completed document lands on stdout and must contain an inserted
+	// <d> wrapper; the summary goes to stderr.
+	if !strings.Contains(out.String(), "<d>") || strings.Contains(out.String(), "completed (+") {
+		t.Errorf("stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "completed (+") {
+		t.Errorf("stderr missing summary:\n%s", errOut.String())
+	}
+}
+
+func TestCompleteDiffMode(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var out, errOut strings.Builder
+	code := Complete([]string{"-dtd", dtdPath, "-root", "r", "-diff",
+		filepath.Join(docsDir, "pv.xml"), filepath.Join(docsDir, "valid1.xml")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "+<d> at /r/a[0]") {
+		t.Errorf("diff records missing:\n%s", text)
+	}
+	if !strings.Contains(text, "valid1.xml: already valid (0 insertions)") {
+		t.Errorf("already-valid record missing:\n%s", text)
+	}
+	// Diff mode must not dump whole documents on stdout.
+	if strings.Contains(text, "</r>") {
+		t.Errorf("diff mode printed a document:\n%s", text)
+	}
+}
+
+func TestCompleteInPlace(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	target := filepath.Join(docsDir, "pv.xml")
+	valid := filepath.Join(docsDir, "valid1.xml")
+	validBefore, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := Complete([]string{"-dtd", dtdPath, "-root", "r", "-in-place", target, valid}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	rewritten, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rewritten), "<d>") {
+		t.Errorf("in-place rewrite missing completion:\n%s", rewritten)
+	}
+	// The file is now valid: a second run reports already valid and leaves
+	// it untouched.
+	out.Reset()
+	errOut.Reset()
+	if code := Complete([]string{"-dtd", dtdPath, "-root", "r", "-in-place", target}, &out, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "already valid") {
+		t.Errorf("second run stderr:\n%s", errOut.String())
+	}
+	// An already-valid file is never rewritten.
+	validAfter, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(validAfter) != string(validBefore) {
+		t.Errorf("already-valid file was rewritten")
+	}
+}
+
+func TestCompleteFailuresAndExitCode(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var out, errOut strings.Builder
+	code := Complete([]string{"-dtd", dtdPath, "-root", "r", "-diff", docsDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	// Failure diagnostics live on stderr so stdout stays redirectable.
+	diag := errOut.String()
+	if !strings.Contains(diag, "notpv.xml: NOT potentially valid") {
+		t.Errorf("not-PV verdict missing from stderr:\n%s", diag)
+	}
+	if !strings.Contains(diag, "broken.xml: cannot complete") {
+		t.Errorf("malformed verdict missing from stderr:\n%s", diag)
+	}
+	if strings.Contains(out.String(), "NOT potentially valid") || strings.Contains(out.String(), "cannot complete") {
+		t.Errorf("failure diagnostics leaked to stdout:\n%s", out.String())
+	}
+	if !strings.Contains(diag, "inserted elements") {
+		t.Errorf("summary missing:\n%s", diag)
+	}
+}
+
+func TestCompleteUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Complete(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := Complete([]string{"-dtd", "x.dtd", "-root", "r", "/nonexistent-dir-xyz"}, &out, &errOut); code != 2 {
+		t.Errorf("missing input: exit = %d, want 2", code)
+	}
+}

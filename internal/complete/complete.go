@@ -47,25 +47,53 @@ func New(schema *core.Schema) *Completer {
 	return c
 }
 
+// insLog accumulates the element nodes a completion inserts, in creation
+// order. The inserted count is always len(nodes).
+type insLog struct {
+	nodes []*dom.Node
+}
+
+// addTree records every element of an inserted subtree.
+func (l *insLog) addTree(n *dom.Node) {
+	n.Walk(func(x *dom.Node) bool {
+		if x.Kind == dom.ElementNode {
+			l.nodes = append(l.nodes, x)
+		}
+		return true
+	})
+}
+
 // Complete returns a valid extension of root (a fresh tree; the input is
 // not modified) together with the number of elements inserted. It fails if
-// the document is not potentially valid within the schema's depth bound.
+// the document is not potentially valid within the schema's depth bound;
+// that failure satisfies core.IsViolation, distinguishing it from internal
+// errors.
 func (c *Completer) Complete(root *dom.Node) (*dom.Node, int, error) {
-	if v := c.schema.CheckDocument(root); v != nil {
-		return nil, 0, fmt.Errorf("complete: document is not potentially valid: %v", v)
-	}
-	out := root.Clone()
-	inserted := 0
-	err := c.completeNode(out, c.schema.EffectiveDepth(), &inserted)
+	out, nodes, err := c.CompleteTracked(root)
 	if err != nil {
 		return nil, 0, err
 	}
-	return out, inserted, nil
+	return out, len(nodes), nil
+}
+
+// CompleteTracked is Complete returning the inserted element nodes
+// themselves (nodes of the returned tree, in creation order) instead of
+// just their count — the input for diff computation (internal/diff).
+func (c *Completer) CompleteTracked(root *dom.Node) (*dom.Node, []*dom.Node, error) {
+	if v := c.schema.CheckDocument(root); v != nil {
+		return nil, nil, &core.ViolationError{Reason: fmt.Sprintf("complete: document is not potentially valid: %v", v)}
+	}
+	out := root.Clone()
+	log := &insLog{}
+	if err := c.completeNode(out, c.schema.EffectiveDepth(), log); err != nil {
+		return nil, nil, err
+	}
+	return out, log.nodes, nil
 }
 
 // completeNode rewrites n's children into a valid configuration (recursing
 // into original children first), inserting wrapper elements as needed.
-func (c *Completer) completeNode(n *dom.Node, depth int, inserted *int) error {
+func (c *Completer) completeNode(n *dom.Node, depth int, log *insLog) error {
 	if n.Kind != dom.ElementNode {
 		return nil
 	}
@@ -73,7 +101,7 @@ func (c *Completer) completeNode(n *dom.Node, depth int, inserted *int) error {
 	// independent subproblems.
 	for _, child := range n.Children {
 		if child.Kind == dom.ElementNode {
-			if err := c.completeNode(child, depth, inserted); err != nil {
+			if err := c.completeNode(child, depth, log); err != nil {
 				return err
 			}
 		}
@@ -97,7 +125,7 @@ func (c *Completer) completeNode(n *dom.Node, depth int, inserted *int) error {
 	// content may hold child elements outside its allowed set only by
 	// wrapping them into allowed hosts (e.g. an <item> inside <para>
 	// becomes <list><item/></list>).
-	newChildren, err := c.arrange(n.Name, n.Children, depth, inserted)
+	newChildren, err := c.arrange(n.Name, n.Children, depth, log)
 	if err != nil {
 		return fmt.Errorf("complete: inside <%s>: %w", n.Name, err)
 	}
@@ -123,7 +151,7 @@ func realChildren(n *dom.Node) []*dom.Node {
 // arrange embeds the child list into elem's content model, returning the
 // new child list (with wrappers inserted). Whitespace-only text in element
 // content is permitted by XML and kept in place next to its neighbor.
-func (c *Completer) arrange(elem string, children []*dom.Node, depth int, inserted *int) ([]*dom.Node, error) {
+func (c *Completer) arrange(elem string, children []*dom.Node, depth int, log *insLog) ([]*dom.Node, error) {
 	// Split children into the "significant" items the model must account
 	// for, and a map of trailing decorations (comments/PIs/whitespace)
 	// re-attached after arrangement. In mixed content all text is
@@ -144,7 +172,7 @@ func (c *Completer) arrange(elem string, children []*dom.Node, depth int, insert
 	if !ok {
 		return nil, fmt.Errorf("no embedding of %d children into model of <%s>", len(items), elem)
 	}
-	out := d.render(plan, inserted)
+	out := d.render(plan, log)
 	// Re-attach decorations: items keep their original relative order;
 	// decorations that followed item i are appended after i's final
 	// position. Leading decorations go first.
@@ -392,7 +420,7 @@ func (d *dp) canHost(elem string, i, j int) bool {
 }
 
 // render reconstructs the completed child list from the DP decisions.
-func (d *dp) render(start *dpVal, inserted *int) []*dom.Node {
+func (d *dp) render(start *dpVal, log *insLog) []*dom.Node {
 	var out []*dom.Node
 	p, i := 0, 0
 	v := start
@@ -408,7 +436,7 @@ func (d *dp) render(start *dpVal, inserted *int) []*dom.Node {
 			p = v.q
 		case "host":
 			elem := d.auto.Symbol(v.q)
-			host := d.buildHost(elem, i, v.j, inserted)
+			host := d.buildHost(elem, i, v.j, log)
 			out = append(out, host)
 			i = v.j
 			p = v.q
@@ -424,13 +452,15 @@ func (d *dp) render(start *dpVal, inserted *int) []*dom.Node {
 
 // buildHost constructs the inserted <elem> wrapping items [i, j),
 // completing its interior recursively.
-func (d *dp) buildHost(elem string, i, j int, inserted *int) *dom.Node {
-	*inserted++
+func (d *dp) buildHost(elem string, i, j int, log *insLog) *dom.Node {
 	if j == i {
-		return d.c.synthesizeMinimal(elem, inserted)
+		host := d.c.synthesizeMinimal(elem)
+		log.addTree(host)
+		return host
 	}
 	decl := d.c.schema.DTD.Elements[elem]
 	host := dom.NewElement(elem)
+	log.nodes = append(log.nodes, host)
 	if decl.Category == dtd.Any {
 		// ANY: the items go in as-is.
 		for _, it := range d.items[i:j] {
@@ -453,7 +483,7 @@ func (d *dp) buildHost(elem string, i, j int, inserted *int) *dom.Node {
 	if !ok {
 		panic("complete: host became infeasible during render")
 	}
-	for _, ch := range sub.render(plan, inserted) {
+	for _, ch := range sub.render(plan, log) {
 		host.Append(ch)
 	}
 	return host
@@ -461,12 +491,11 @@ func (d *dp) buildHost(elem string, i, j int, inserted *int) *dom.Node {
 
 // synthesizeMinimal builds a minimal valid instance of elem (memoized,
 // deterministic): EMPTY/Mixed/ANY are empty; Children content picks
-// minimal-height alternatives, zero repetitions, and empty optionals.
-func (c *Completer) synthesizeMinimal(elem string, inserted *int) *dom.Node {
+// minimal-height alternatives, zero repetitions, and empty optionals. The
+// caller records the returned subtree's elements in its insLog.
+func (c *Completer) synthesizeMinimal(elem string) *dom.Node {
 	if cached, ok := c.minimal[elem]; ok {
-		clone := cached.Clone()
-		*inserted += countElements(clone) - 1
-		return clone
+		return cached.Clone()
 	}
 	n := dom.NewElement(elem)
 	decl := c.schema.DTD.Elements[elem]
@@ -476,19 +505,7 @@ func (c *Completer) synthesizeMinimal(elem string, inserted *int) *dom.Node {
 		}
 	}
 	c.minimal[elem] = n.Clone()
-	*inserted += countElements(n) - 1
 	return n
-}
-
-func countElements(n *dom.Node) int {
-	count := 0
-	n.Walk(func(x *dom.Node) bool {
-		if x.Kind == dom.ElementNode {
-			count++
-		}
-		return true
-	})
-	return count
 }
 
 // minimalSeq returns a minimal child sequence satisfying e.
@@ -497,8 +514,7 @@ func (c *Completer) minimalSeq(e *contentmodel.Expr) []*dom.Node {
 	case contentmodel.KindPCDATA:
 		return nil // empty text
 	case contentmodel.KindName:
-		var throwaway int
-		return []*dom.Node{c.synthesizeMinimal(e.Name, &throwaway)}
+		return []*dom.Node{c.synthesizeMinimal(e.Name)}
 	case contentmodel.KindSeq:
 		var out []*dom.Node
 		for _, ch := range e.Children {

@@ -229,3 +229,44 @@ func TestCompleteRecursive(t *testing.T) {
 		}
 	}
 }
+
+// TestCompleteAlreadyValidIdentity is the regression test for the
+// completion identity: completing an already-valid document inserts
+// nothing and serializes byte-identically to the input tree. The engine's
+// already-valid fast path and the /complete endpoints rely on this
+// equivalence.
+func TestCompleteAlreadyValidIdentity(t *testing.T) {
+	for _, fix := range []struct{ src, root string }{
+		{dtd.Figure1, "r"},
+		{dtd.Play, "play"},
+		{dtd.WeakRecursive, "p"},
+		{dtd.TEILite, "TEI"},
+	} {
+		d := dtd.MustParse(fix.src)
+		schema := core.MustCompile(d, fix.root, core.Options{})
+		comp := New(schema)
+		val := validator.MustNew(d, fix.root)
+		for trial := 0; trial < 100; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*31 + 1))
+			doc := gen.GenValid(rng, d, fix.root, gen.DocOptions{MaxDepth: 7, MaxRepeat: 3})
+			if err := val.Validate(doc); err != nil {
+				t.Fatalf("%s trial %d: generator emitted invalid doc: %v", fix.root, trial, err)
+			}
+			before := doc.String()
+			ext, inserted, err := comp.Complete(doc)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", fix.root, trial, err)
+			}
+			if inserted != 0 {
+				t.Errorf("%s trial %d: inserted %d elements into a valid document", fix.root, trial, inserted)
+			}
+			if got := ext.String(); got != before {
+				t.Errorf("%s trial %d: serialization changed\n before: %.300s\n after:  %.300s",
+					fix.root, trial, before, got)
+			}
+			if doc.String() != before {
+				t.Errorf("%s trial %d: Complete mutated its input", fix.root, trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package diff turns a completion into a structured, serializable record:
+// which elements the completer inserted (as path/position/name records
+// locating each insertion in the completed document) plus the completed
+// document's serialization. A diff describes the outcome of the paper's
+// constructive completion (Definition 3); the records pinpoint every
+// inserted element for review and tooling. They are not a self-contained
+// replayable edit script — a wrapper insertion does not carry the span of
+// pre-existing children it absorbed (an applicable patch format is listed
+// as ROADMAP future work).
+package diff
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// Insertion records one inserted element in the completed document.
+type Insertion struct {
+	// Path addresses the inserted element's parent in the completed
+	// document: "/" for the root's parent, otherwise segments of the form
+	// name[i] where i is the index among same-name element siblings, e.g.
+	// "/play/act[0]/scene[1]". Paths may traverse other inserted elements;
+	// records are emitted in document order, so replaying them in order is
+	// well defined.
+	Path string `json:"path"`
+	// Index is the child slot (among all child nodes of the parent in the
+	// completed document) at which the element sits.
+	Index int `json:"index"`
+	// Name is the inserted element's name.
+	Name string `json:"name"`
+	// Synthesized reports that the element's whole subtree was invented by
+	// the completer (an empty wrapper or a minimal valid instance), as
+	// opposed to a wrapper around pre-existing content.
+	Synthesized bool `json:"synthesized,omitempty"`
+}
+
+// String renders the record as "+<name> at path[index]".
+func (i Insertion) String() string {
+	return fmt.Sprintf("+<%s> at %s[%d]", i.Name, i.Path, i.Index)
+}
+
+// Diff is the structured outcome of one completion.
+type Diff struct {
+	// Inserted is the number of elements the completion added; zero means
+	// the document was already valid.
+	Inserted int `json:"inserted"`
+	// Insertions lists the inserted elements in document order of the
+	// completed document.
+	Insertions []Insertion `json:"insertions,omitempty"`
+	// Completed is the completed document's serialization.
+	Completed string `json:"completed"`
+}
+
+// Compute builds the Diff for a completed tree and the inserted element
+// nodes reported by the completer (nodes of that same tree). The
+// serialization is the completed root's; callers holding a full document
+// (prolog/epilog nodes outside the root) should use ComputeDoc with the
+// document-level rendering instead. Insertion records come out in
+// document order regardless of the completer's creation order.
+func Compute(completed *dom.Node, inserted []*dom.Node) *Diff {
+	return ComputeDoc(completed, inserted, completed.String())
+}
+
+// ComputeDoc is Compute with a caller-supplied serialization of the
+// completed document — typically dom.Document.String(), which preserves
+// prolog and epilog comment/PI nodes that live outside the root element.
+func ComputeDoc(completed *dom.Node, inserted []*dom.Node, serialized string) *Diff {
+	d := &Diff{
+		Inserted:  len(inserted),
+		Completed: serialized,
+	}
+	if len(inserted) == 0 {
+		return d
+	}
+	set := make(map[*dom.Node]bool, len(inserted))
+	for _, n := range inserted {
+		set[n] = true
+	}
+	d.Insertions = Records(completed, set)
+	return d
+}
+
+// Records walks the completed tree in document order and emits one
+// Insertion per element in the inserted set. An element all of whose
+// descendant elements are themselves inserted (and which holds no text) is
+// marked Synthesized.
+func Records(completed *dom.Node, inserted map[*dom.Node]bool) []Insertion {
+	var out []Insertion
+	var walk func(n *dom.Node, path string)
+	walk = func(n *dom.Node, path string) {
+		// Count same-name element occurrences to build child segments.
+		nameSeen := map[string]int{}
+		for idx, ch := range n.Children {
+			if ch.Kind != dom.ElementNode {
+				continue
+			}
+			occ := nameSeen[ch.Name]
+			nameSeen[ch.Name]++
+			if inserted[ch] {
+				out = append(out, Insertion{
+					Path:        path,
+					Index:       idx,
+					Name:        ch.Name,
+					Synthesized: synthesized(ch, inserted),
+				})
+			}
+			childPath := fmt.Sprintf("%s/%s[%d]", strings.TrimSuffix(path, "/"), ch.Name, occ)
+			walk(ch, childPath)
+		}
+	}
+	if inserted[completed] {
+		out = append(out, Insertion{
+			Path:        "/",
+			Index:       0,
+			Name:        completed.Name,
+			Synthesized: synthesized(completed, inserted),
+		})
+	}
+	walk(completed, "/"+completed.Name)
+	return out
+}
+
+// synthesized reports whether n's entire subtree was invented: every
+// descendant element is inserted and no text rides inside.
+func synthesized(n *dom.Node, inserted map[*dom.Node]bool) bool {
+	ok := true
+	n.Walk(func(x *dom.Node) bool {
+		switch {
+		case x.Kind == dom.ElementNode && !inserted[x]:
+			ok = false
+		case x.Kind == dom.TextNode && x.Data != "":
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// Summary renders the diff as human-readable lines: one per insertion,
+// prefixed by the total. Empty diff summarizes as "already valid".
+func (d *Diff) Summary() string {
+	if d.Inserted == 0 {
+		return "already valid (0 insertions)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d insertion(s):\n", d.Inserted)
+	for _, ins := range d.Insertions {
+		fmt.Fprintf(&b, "  %s\n", ins)
+	}
+	return b.String()
+}

@@ -142,3 +142,47 @@ func BenchmarkEngineBatch(b *testing.B) {
 		})
 	}
 }
+
+// completableCorpus builds a completion-workload corpus: tag-stripped (and
+// some already-valid) play documents, all potentially valid.
+func completableCorpus(n int) []Doc {
+	rng := rand.New(rand.NewSource(9))
+	d := dtd.MustParse(dtd.Play)
+	docs := make([]Doc, 0, n)
+	for i := 0; i < n; i++ {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 7, MaxRepeat: 2})
+		if i%4 != 0 {
+			gen.Strip(rng, doc, 0.3)
+		}
+		docs = append(docs, Doc{ID: fmt.Sprint(i), Content: doc.String()})
+	}
+	return docs
+}
+
+// BenchmarkEngineComplete measures batched completion throughput across
+// worker counts (the X9 workload); CI runs it once (-benchtime=1x) as a
+// compile-and-run guard.
+func BenchmarkEngineComplete(b *testing.B) {
+	docs := completableCorpus(128)
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d.Content))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(Config{Workers: workers})
+			s, err := e.Compile(DTDSource, dtd.Play, "play", CompileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, stats := e.CompleteBatch(s, docs, true)
+				if len(results) != len(docs) || stats.Malformed != 0 {
+					b.Fatal("completion corpus must be completable")
+				}
+			}
+		})
+	}
+}

@@ -9,15 +9,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/complete"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/validator"
 )
 
-// Schema is one compiled checking artifact: the potential-validity core, the
-// full validator, and a pool of reusable streaming checkers. A Schema is
-// safe for concurrent use; the pool keeps per-worker checker state off the
-// allocator on the hot path.
+// Schema is one compiled checking artifact: the potential-validity core,
+// the full validator, and pools of reusable streaming checkers and
+// completers. A Schema is safe for concurrent use; the pools keep
+// per-worker checker and completer state off the allocator on the hot
+// path.
 type Schema struct {
 	Core  *core.Schema
 	Valid *validator.Validator
@@ -28,7 +30,8 @@ type Schema struct {
 	// registry.
 	Ref string
 
-	checkers sync.Pool
+	checkers   sync.Pool
+	completers sync.Pool
 }
 
 // NewSchema wraps an already compiled core schema and validator for use
@@ -36,6 +39,7 @@ type Schema struct {
 func NewSchema(c *core.Schema, v *validator.Validator) *Schema {
 	s := &Schema{Core: c, Valid: v}
 	s.checkers.New = func() any { return c.NewStreamChecker() }
+	s.completers.New = func() any { return complete.New(c) }
 	return s
 }
 
@@ -75,16 +79,19 @@ type Result struct {
 	Bytes            int
 }
 
-// BatchStats aggregates one CheckBatch call. Malformed counts documents
-// that failed lexically; RoutingErrors counts documents that never reached
-// a schema (bad schemaRef, no default) — a configuration signal, not a
-// data-quality one.
+// BatchStats aggregates one CheckBatch or CompleteBatch call. Malformed
+// counts documents that failed lexically; RoutingErrors counts documents
+// that never reached a schema (bad schemaRef, no default) — a
+// configuration signal, not a data-quality one. On the completion path,
+// PotentiallyValid counts completable documents, Valid the already-valid
+// ones, and Inserted the total elements inserted across the batch.
 type BatchStats struct {
 	Docs             int           `json:"docs"`
 	PotentiallyValid int           `json:"potentiallyValid"`
 	Valid            int           `json:"valid"`
 	Malformed        int           `json:"malformed"`
 	RoutingErrors    int           `json:"routingErrors,omitempty"`
+	Inserted         int64         `json:"inserted,omitempty"`
 	Bytes            int64         `json:"bytes"`
 	Workers          int           `json:"workers"`
 	Elapsed          time.Duration `json:"elapsedNs"`
@@ -137,6 +144,7 @@ type Engine struct {
 	valid     atomic.Int64
 	malformed atomic.Int64
 	routing   atomic.Int64
+	inserted  atomic.Int64
 	bytes     atomic.Int64
 	busyNanos atomic.Int64 // wall-clock spent inside CheckBatch calls
 }
@@ -216,6 +224,7 @@ func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
 // documents in all stats.
 type RoutingError struct{ msg string }
 
+// Error returns the routing failure's explanation.
 func (e *RoutingError) Error() string { return e.msg }
 
 // routingErrf builds a RoutingError.
@@ -309,20 +318,22 @@ func (e *Engine) Check(s *Schema, d Doc) Result {
 	return res
 }
 
-// CheckBatch fans docs out over the engine's worker pool and returns one
-// Result per input, in input order, plus aggregate stats. Workers claim
-// documents through an atomic cursor (cheap work stealing: large documents
-// do not stall a fixed partition) and write results into disjoint slots, so
-// the only synchronization on the hot path is the cursor increment.
-//
-// Documents carrying a SchemaRef are routed to the referenced
-// registry-cached schema, so one batch can mix schemas in a single round
-// trip; s is the default for documents without a ref and may be nil when
-// every document carries one. Each worker keeps one pooled checker per
-// schema it encounters.
-func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
-	start := time.Now()
-	results := make([]Result, len(docs))
+// runBatch is the shared worker-pool core of CheckBatch and CompleteBatch:
+// workers claim documents through an atomic cursor (cheap work stealing:
+// large documents do not stall a fixed partition) and write results into
+// disjoint slots, so the only synchronization on the hot path is the
+// cursor increment. Each worker keeps one pooled resource of type C (a
+// stream checker or a completer) per schema it encounters (linear scan —
+// batches mix a handful of schemas, not hundreds). Documents that fail
+// schema routing are mapped through errResult. Returns the results (Index
+// not yet set) and the worker count used.
+func runBatch[C any, R any](e *Engine, s *Schema, docs []Doc,
+	acquire func(*Schema) C,
+	release func(*Schema, C),
+	run func(*Schema, C, Doc) R,
+	errResult func(*Doc, error) R,
+) ([]R, int) {
+	results := make([]R, len(docs))
 	refs := e.resolveRefs(docs)
 	workers := e.workers
 	if workers > len(docs) {
@@ -336,24 +347,22 @@ func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
 			defer wg.Done()
 			e.sem <- struct{}{} // engine-wide bound across concurrent batches
 			defer func() { <-e.sem }()
-			// Per-worker checker cache: one pooled checker per schema seen
-			// (linear scan — batches mix a handful of schemas, not hundreds).
 			var schemas []*Schema
-			var checkers []*core.StreamChecker
+			var held []C
 			defer func() {
 				for i, sc := range schemas {
-					sc.checkers.Put(checkers[i])
+					release(sc, held[i])
 				}
 			}()
-			checkerFor := func(sc *Schema) *core.StreamChecker {
+			resourceFor := func(sc *Schema) C {
 				for i, x := range schemas {
 					if x == sc {
-						return checkers[i]
+						return held[i]
 					}
 				}
-				c := sc.checkers.Get().(*core.StreamChecker)
+				c := acquire(sc)
 				schemas = append(schemas, sc)
-				checkers = append(checkers, c)
+				held = append(held, c)
 				return c
 			}
 			for {
@@ -364,25 +373,50 @@ func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
 				d := &docs[i]
 				sc, err := refs.schemaFor(d, s)
 				if err != nil {
-					results[i] = Result{ID: d.ID, Index: i, Bytes: d.Size(), Err: err}
+					results[i] = errResult(d, err)
 					continue
 				}
-				results[i] = e.check(sc, checkerFor(sc), docs[i])
-				results[i].Index = i
+				results[i] = run(sc, resourceFor(sc), docs[i])
 			}
 		}()
 	}
 	wg.Wait()
+	return results, workers
+}
 
-	stats := BatchStats{Docs: len(docs), Workers: workers, Elapsed: time.Since(start)}
-	for i := range results {
-		stats.tally(&results[i])
-	}
+// finishBatch computes per-batch throughput and folds the stats into the
+// lifetime counters.
+func (e *Engine) finishBatch(stats *BatchStats, start time.Time) {
+	stats.Elapsed = time.Since(start)
 	if secs := stats.Elapsed.Seconds(); secs > 0 {
 		stats.DocsPerSec = float64(stats.Docs) / secs
 		stats.MBPerSec = float64(stats.Bytes) / (1 << 20) / secs
 	}
-	e.accountBatch(stats)
+	e.accountBatch(*stats)
+}
+
+// CheckBatch fans docs out over the engine's worker pool and returns one
+// Result per input, in input order, plus aggregate stats.
+//
+// Documents carrying a SchemaRef are routed to the referenced
+// registry-cached schema, so one batch can mix schemas in a single round
+// trip; s is the default for documents without a ref and may be nil when
+// every document carries one. Each worker keeps one pooled checker per
+// schema it encounters.
+func (e *Engine) CheckBatch(s *Schema, docs []Doc) ([]Result, BatchStats) {
+	start := time.Now()
+	results, workers := runBatch(e, s, docs,
+		func(sc *Schema) *core.StreamChecker { return sc.checkers.Get().(*core.StreamChecker) },
+		func(sc *Schema, c *core.StreamChecker) { sc.checkers.Put(c) },
+		e.check,
+		func(d *Doc, err error) Result { return Result{ID: d.ID, Bytes: d.Size(), Err: err} },
+	)
+	stats := BatchStats{Docs: len(docs), Workers: workers}
+	for i := range results {
+		results[i].Index = i
+		stats.tally(&results[i])
+	}
+	e.finishBatch(&stats, start)
 	return results, stats
 }
 
@@ -407,11 +441,13 @@ func (e *Engine) accountBatch(s BatchStats) {
 	e.valid.Add(int64(s.Valid))
 	e.malformed.Add(int64(s.Malformed))
 	e.routing.Add(int64(s.RoutingErrors))
+	e.inserted.Add(s.Inserted)
 	e.bytes.Add(s.Bytes)
 	e.busyNanos.Add(s.Elapsed.Nanoseconds())
 }
 
-// Stats is a lifetime snapshot of engine counters.
+// Stats is a lifetime snapshot of engine counters. Inserted accumulates
+// the elements added by the completion workload.
 type Stats struct {
 	Workers          int   `json:"workers"`
 	Docs             int64 `json:"docs"`
@@ -419,6 +455,7 @@ type Stats struct {
 	Valid            int64 `json:"valid"`
 	Malformed        int64 `json:"malformed"`
 	RoutingErrors    int64 `json:"routingErrors"`
+	Inserted         int64 `json:"inserted"`
 	Bytes            int64 `json:"bytes"`
 	BusyNanos        int64 `json:"busyNanos"`
 }
@@ -432,6 +469,7 @@ func (e *Engine) Stats() Stats {
 		Valid:            e.valid.Load(),
 		Malformed:        e.malformed.Load(),
 		RoutingErrors:    e.routing.Load(),
+		Inserted:         e.inserted.Load(),
 		Bytes:            e.bytes.Load(),
 		BusyNanos:        e.busyNanos.Load(),
 	}

@@ -84,10 +84,10 @@ func TestCheckBatchMultiSchema(t *testing.T) {
 		`<act><title>a</title><scene><title>s</title><speech><speaker>x</speaker><line>l</line></speech></scene></act></play>`
 	weakDoc := `<p>text <b>bold</b></p>`
 	docs := []Doc{
-		{ID: "fig-default", Content: figDoc},                              // default schema
-		{ID: "play", Content: playDoc, SchemaRef: play.Ref},               // full ref
-		{ID: "weak", Bytes: []byte(weakDoc), SchemaRef: weak.Ref[:12]},    // prefix ref + bytes
-		{ID: "cross", Content: playDoc, SchemaRef: fig.Ref},               // wrong schema: not PV
+		{ID: "fig-default", Content: figDoc},                           // default schema
+		{ID: "play", Content: playDoc, SchemaRef: play.Ref},            // full ref
+		{ID: "weak", Bytes: []byte(weakDoc), SchemaRef: weak.Ref[:12]}, // prefix ref + bytes
+		{ID: "cross", Content: playDoc, SchemaRef: fig.Ref},            // wrong schema: not PV
 		{ID: "unknown", Content: figDoc, SchemaRef: strings.Repeat("f", 16)},
 		{ID: "short", Content: figDoc, SchemaRef: "ab"},
 	}

@@ -5,15 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/diff"
 )
 
-// The HTTP front end (cmd/pvserve) speaks JSON over five routes:
+// The HTTP front end (cmd/pvserve) speaks JSON over seven routes:
 //
-//	POST /check         one document           -> one verdict
-//	POST /batch         many documents         -> verdicts + batch stats
-//	POST /check/stream  NDJSON document stream -> NDJSON verdict stream
-//	GET  /schemas       cached compiled schemas (MRU first)
-//	GET  /stats         registry + engine lifetime counters
+//	POST /check            one document           -> one verdict
+//	POST /batch            many documents         -> verdicts + batch stats
+//	POST /check/stream     NDJSON document stream -> NDJSON verdict stream
+//	POST /complete         many documents         -> completions + stats
+//	POST /complete/stream  NDJSON document stream -> NDJSON completion stream
+//	GET  /schemas          cached compiled schemas (MRU first)
+//	GET  /stats            registry + engine lifetime counters
 //
 // The POST routes carry the schema source inline; the registry dedupes by
 // content hash, so resending the same schema with every request costs one
@@ -22,14 +26,21 @@ import (
 // mixed multi-schema firehose in one request; the inline schema then
 // becomes optional.
 //
-// /check/stream reads its body incrementally — one JSON object per line —
-// and flushes one verdict line per document as soon as it is checked, with
-// a bounded number of documents in flight (backpressure instead of
+// The *stream routes read their bodies incrementally — one JSON object per
+// line — and flush one output line per document as soon as it is ready,
+// with a bounded number of documents in flight (backpressure instead of
 // buffering whole batches). A line with "schema"/"root" fields (re)sets
 // the default schema for subsequent documents; other lines are documents
 // {"id","content","schemaRef"}. The response ends with a {"stats":...}
 // line. Each document is capped at MaxDocumentBytes (the request body as a
 // whole is uncapped — that is the point of streaming).
+//
+// The /complete* routes answer with the completed document (a valid
+// extension of a potentially valid input, per the paper's Definition 3)
+// plus a structured diff: inserted count and per-insertion
+// path/index/name records (internal/diff); "?diff=0" — or "diff": false
+// in the /complete body — drops the records. A document that is not
+// potentially valid yields a typed "detail" verdict, not an HTTP error.
 
 // schemaRequest is the shared schema half of /check and /batch bodies.
 type schemaRequest struct {
@@ -47,6 +58,14 @@ type checkRequest struct {
 type batchRequest struct {
 	schemaRequest
 	Documents []Doc `json:"documents"`
+}
+
+// completeRequest is the /complete body: the /batch shape plus the diff
+// switch (nil means true — insertion records are on by default).
+type completeRequest struct {
+	schemaRequest
+	Documents []Doc `json:"documents"`
+	Diff      *bool `json:"diff,omitempty"`
 }
 
 // resultJSON is the wire form of Result.
@@ -76,6 +95,41 @@ func toJSON(r Result) resultJSON {
 type batchResponse struct {
 	Results []resultJSON `json:"results"`
 	Stats   BatchStats   `json:"stats"`
+}
+
+// completeJSON is the wire form of CompleteResult.
+type completeJSON struct {
+	ID           string           `json:"id,omitempty"`
+	Index        int              `json:"index"`
+	Completed    bool             `json:"completed"`
+	AlreadyValid bool             `json:"alreadyValid,omitempty"`
+	Inserted     int              `json:"inserted"`
+	Insertions   []diff.Insertion `json:"insertions,omitempty"`
+	Output       string           `json:"output,omitempty"`
+	Detail       string           `json:"detail,omitempty"`
+	Error        string           `json:"error,omitempty"`
+}
+
+func completeToJSON(r CompleteResult) completeJSON {
+	out := completeJSON{
+		ID:           r.ID,
+		Index:        r.Index,
+		Completed:    r.Completed,
+		AlreadyValid: r.AlreadyValid,
+		Inserted:     r.Inserted,
+		Insertions:   r.Insertions,
+		Output:       r.Output,
+		Detail:       r.Detail,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return out
+}
+
+type completeResponse struct {
+	Results []completeJSON `json:"results"`
+	Stats   BatchStats     `json:"stats"`
 }
 
 type statsResponse struct {
@@ -120,6 +174,29 @@ func NewServer(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("POST /check/stream", func(w http.ResponseWriter, r *http.Request) {
 		serveCheckStream(e, w, r)
+	})
+	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		var s *Schema
+		if req.Schema != "" || req.Root != "" {
+			var ok bool
+			if s, ok = resolve(w, e, req.schemaRequest); !ok {
+				return
+			}
+		}
+		withDiff := wantDiff(r) && (req.Diff == nil || *req.Diff)
+		results, stats := e.CompleteBatch(s, req.Documents, withDiff)
+		out := completeResponse{Results: make([]completeJSON, len(results)), Stats: stats}
+		for i, res := range results {
+			out.Results[i] = completeToJSON(res)
+		}
+		reply(w, out)
+	})
+	mux.HandleFunc("POST /complete/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveCompleteStream(e, w, r)
 	})
 	mux.HandleFunc("GET /schemas", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, map[string]any{"schemas": e.Registry().Schemas()})

@@ -11,10 +11,10 @@ import (
 	"time"
 )
 
-// MaxDocumentBytes caps one document on the streaming endpoint. Unlike
-// MaxRequestBytes (which bounds whole /check and /batch bodies), this is a
-// per-document bound: a stream may carry terabytes as long as each
-// document fits.
+// MaxDocumentBytes caps one document on the streaming endpoints. Unlike
+// MaxRequestBytes (which bounds whole /check, /batch and /complete bodies),
+// this is a per-document bound: a stream may carry terabytes as long as
+// each document fits.
 const MaxDocumentBytes = 64 << 20
 
 // streamLine is one NDJSON request line: either a schema header (Schema or
@@ -41,10 +41,24 @@ type streamFail struct {
 	msg  string
 }
 
-// streamJob is one unit in the ordered result pipeline: a pending verdict,
+// streamOut is the outcome of one streamed document: the wire line to emit
+// (rendered once the final stream index is known) plus its verdict
+// accounting.
+type streamOut struct {
+	line     func(index int) any
+	tally    Result
+	inserted int
+}
+
+// streamRunner runs one document on behalf of a streaming endpoint. The
+// check and complete streams differ only here; the reading, backpressure,
+// ordering and error discipline are shared.
+type streamRunner func(e *Engine, s *Schema, d Doc) streamOut
+
+// streamJob is one unit in the ordered result pipeline: a pending outcome,
 // or a terminal failure.
 type streamJob struct {
-	res  chan Result // buffered(1), written by the checking goroutine
+	res  chan streamOut // buffered(1), written by the worker goroutine
 	fail *streamFail
 }
 
@@ -53,12 +67,54 @@ type streamStats struct {
 	Stats BatchStats `json:"stats"`
 }
 
-// serveCheckStream implements POST /check/stream: documents are read
-// incrementally off the request body, checked with at most 2×workers in
-// flight (the reader blocks when the window is full — TCP backpressure
-// instead of buffering), and each verdict is flushed as soon as it is
-// ready, in input order.
+// runCheck adapts the checking path to the shared stream pipeline.
+func runCheck(e *Engine, s *Schema, d Doc) streamOut {
+	res := e.Check(s, d)
+	return streamOut{
+		line:  func(i int) any { res.Index = i; return toJSON(res) },
+		tally: res,
+	}
+}
+
+// runComplete adapts the completion path to the shared stream pipeline.
+func runComplete(withDiff bool) streamRunner {
+	return func(e *Engine, s *Schema, d Doc) streamOut {
+		res := e.Complete(s, d, withDiff)
+		return streamOut{
+			line:     func(i int) any { res.Index = i; return completeToJSON(res) },
+			tally:    res.tallyResult(),
+			inserted: res.Inserted,
+		}
+	}
+}
+
+// serveCheckStream implements POST /check/stream.
 func serveCheckStream(e *Engine, w http.ResponseWriter, r *http.Request) {
+	serveDocStream(e, w, r, runCheck)
+}
+
+// serveCompleteStream implements POST /complete/stream; ?diff=0 drops the
+// per-insertion records (the completed output always travels).
+func serveCompleteStream(e *Engine, w http.ResponseWriter, r *http.Request) {
+	serveDocStream(e, w, r, runComplete(wantDiff(r)))
+}
+
+// wantDiff reads the diff query parameter; insertion records default to on.
+func wantDiff(r *http.Request) bool {
+	switch r.URL.Query().Get("diff") {
+	case "0", "false", "no":
+		return false
+	}
+	return true
+}
+
+// serveDocStream is the shared NDJSON document-stream pipeline behind
+// POST /check/stream and POST /complete/stream: documents are read
+// incrementally off the request body, processed with at most 2×workers in
+// flight (the reader blocks when the window is full — TCP backpressure
+// instead of buffering), and each outcome is flushed as soon as it is
+// ready, in input order.
+func serveDocStream(e *Engine, w http.ResponseWriter, r *http.Request, run streamRunner) {
 	start := time.Now()
 	// A stream reads the body for as long as the client keeps sending;
 	// lift the server's ReadTimeout for this request only (the slow-client
@@ -116,11 +172,13 @@ func serveCheckStream(e *Engine, w http.ResponseWriter, r *http.Request) {
 				}
 				continue
 			}
-			res := <-j.res
-			res.Index = stats.Docs
+			out := <-j.res
+			index := stats.Docs
 			stats.Docs++
-			stats.tally(&res)
-			emit(toJSON(res))
+			out.tally.Index = index
+			stats.tally(&out.tally)
+			stats.Inserted += int64(out.inserted)
+			emit(out.line(index))
 		}
 		if !failed {
 			stats.Elapsed = time.Since(start)
@@ -186,16 +244,16 @@ func serveCheckStream(e *Engine, w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("line %d: document %q is %d bytes; the per-document cap is %d", lineNo, ln.ID, len(ln.Content), MaxDocumentBytes))
 			break
 		}
-		j := streamJob{res: make(chan Result, 1)}
+		j := streamJob{res: make(chan streamOut, 1)}
 		if !enqueue(j) {
 			break
 		}
-		// e.Check blocks on the engine-wide worker bound, resolves the
+		// run blocks on the engine-wide worker bound, resolves the
 		// document's SchemaRef (or uses the current default) and accounts
 		// lifetime counters; the buffered channel means no goroutine leaks
 		// even if the writer has given up.
 		go func(s *Schema, d Doc) {
-			j.res <- e.Check(s, d)
+			j.res <- run(e, s, d)
 		}(cur, Doc{ID: ln.ID, Content: ln.Content, SchemaRef: ln.SchemaRef})
 	}
 	if err := sc.Err(); err != nil {

@@ -42,8 +42,8 @@ var differentialInputs = []string{
 	`<?pi unterminated`,
 	`<!DOCTYPE unterminated`,
 	`<a>x</a>trailing&`,
-	`<a>&#1114112;</a>`,  // beyond MaxRune
-	`<a>&#x10FFFF;</a>`,  // exactly MaxRune
+	`<a>&#1114112;</a>`,   // beyond MaxRune
+	`<a>&#x10FFFF;</a>`,   // exactly MaxRune
 	`<élem attr="café"/>`, // multi-byte names and values
 	`<a>mixed &#x263A; text</a>`,
 }

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/complete"
 	"repro/internal/core"
+	"repro/internal/diff"
 	"repro/internal/dom"
 	"repro/internal/dtd"
 	"repro/internal/engine"
@@ -81,6 +82,16 @@ type Schema struct {
 	valid *validator.Validator
 	eng   *engine.Schema
 }
+
+// completer fetches a pooled completer from the engine artifact (every
+// Schema carries one); return it with putCompleter. Completers memoize
+// per-schema state that is expensive to rebuild, and the engine pool is
+// shared by registry-cached schemas, so warm completers survive cache
+// hits.
+func (s *Schema) completer() *complete.Completer { return s.eng.Completer() }
+
+// putCompleter returns a pooled completer.
+func (s *Schema) putCompleter(c *complete.Completer) { s.eng.PutCompleter(c) }
 
 // ParseDTD parses DTD source text (internal/external subset syntax).
 func ParseDTD(src string) (*DTD, error) {
@@ -352,13 +363,67 @@ func (s *Schema) ElementClass(name string) Class { return s.core.LT.ElementClass
 // Figure 3, where two <d> insertions complete Example 1's s). It returns a
 // fresh document (the input is untouched) and the number of elements
 // inserted. It fails if the document is not potentially valid within the
-// schema's depth bound.
+// schema's depth bound. Completing an already-valid document is the
+// identity: zero insertions and an unchanged serialization.
 func (s *Schema) Complete(doc *Document) (*Document, int, error) {
-	ext, inserted, err := complete.New(s.core).Complete(doc.root)
+	c := s.completer()
+	ext, inserted, err := c.Complete(doc.root)
+	s.putCompleter(c)
 	if err != nil {
 		return nil, 0, err
 	}
 	return &Document{root: ext}, inserted, nil
+}
+
+// Diff is the structured outcome of one completion: inserted count,
+// per-insertion path/index/name records, and the completed document's
+// serialization. See internal/diff for the path grammar.
+type Diff = diff.Diff
+
+// Insertion is one inserted element's path/position/name record inside a
+// Diff.
+type Insertion = diff.Insertion
+
+// CompleteResult is the outcome of one batched completion (pv.Engine's
+// CompleteBatch). Err covers lexical/well-formedness and routing problems;
+// Detail explains a not-potentially-valid verdict; otherwise Output holds
+// the completed document and Inserted/Insertions describe the edit.
+type CompleteResult = engine.CompleteResult
+
+// CompleteDiff completes doc and returns the structured diff alongside the
+// completed document — the library twin of the engine's /complete routes.
+// A Document holds the root subtree only, so the diff's serialization is
+// root-level; CompleteBytes preserves prolog/epilog nodes too.
+func (s *Schema) CompleteDiff(doc *Document) (*Document, *Diff, error) {
+	c := s.completer()
+	ext, nodes, err := c.CompleteTracked(doc.root)
+	s.putCompleter(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Document{root: ext}, diff.Compute(ext, nodes), nil
+}
+
+// CompleteBytes parses an XML document held as bytes, completes it, and
+// returns the completed serialization plus the structured diff — the
+// byte-path completion entry. The output is serialized at document level,
+// so prolog and epilog comments/PIs (including an XML declaration)
+// survive. The returned error covers lexical/well-formedness problems and
+// not-potentially-valid inputs.
+func (s *Schema) CompleteBytes(xml []byte) ([]byte, *Diff, error) {
+	parsed, err := dom.ParseBytes(xml)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := s.completer()
+	ext, nodes, err := c.CompleteTracked(parsed.Root)
+	s.putCompleter(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsed.Root = ext
+	d := diff.ComputeDoc(ext, nodes, parsed.String())
+	return []byte(d.Completed), d, nil
 }
 
 // Info summarizes the compiled schema for display.
@@ -429,7 +494,8 @@ func engineOptions(opts Options) engine.CompileOptions {
 }
 
 // wrapEngineSchema rebuilds the thin public wrapper around a cached
-// artifact; the heavy state (core, validator, checker pool) is shared.
+// artifact; the heavy state (core, validator, checker and completer
+// pools) is shared.
 func wrapEngineSchema(es *engine.Schema) *Schema {
 	return &Schema{dtd: es.Core.DTD, root: es.Core.Root, core: es.Core, valid: es.Valid, eng: es}
 }
@@ -472,6 +538,23 @@ func (e *Engine) CheckAll(s *Schema, xmls []string) ([]BatchResult, BatchStats) 
 // Check runs one document synchronously on the caller's goroutine. s may
 // be nil when the document routes itself by SchemaRef.
 func (e *Engine) Check(s *Schema, d Doc) BatchResult { return e.e.Check(engSchema(s), d) }
+
+// CompleteBatch fans docs out over the engine's worker pool, completing
+// each potentially valid document into a valid one, and returns one
+// CompleteResult per input, in input order, plus aggregate stats (the
+// completion twin of CheckBatch, including SchemaRef routing). withDiff
+// asks for per-insertion records in addition to the completed output.
+// Outputs and inserted counts are identical to sequential per-document
+// completion.
+func (e *Engine) CompleteBatch(s *Schema, docs []Doc, withDiff bool) ([]CompleteResult, BatchStats) {
+	return e.e.CompleteBatch(engSchema(s), docs, withDiff)
+}
+
+// Complete runs one document's completion synchronously on the caller's
+// goroutine. s may be nil when the document routes itself by SchemaRef.
+func (e *Engine) Complete(s *Schema, d Doc, withDiff bool) CompleteResult {
+	return e.e.Complete(engSchema(s), d, withDiff)
+}
 
 // engSchema unwraps the engine artifact, tolerating a nil schema (the
 // SchemaRef self-routing mode).

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# linkcheck.sh — fail on dead relative links in the repo's markdown docs.
+#
+# Scans README.md and docs/*.md for [text](target) links, ignores absolute
+# URLs and pure anchors, and verifies every relative target (file or
+# directory, optional #fragment stripped) exists relative to the linking
+# file. CI runs this as the docs gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+files=(README.md docs/*.md)
+
+for file in "${files[@]}"; do
+  [ -f "$file" ] || continue
+  dir=$(dirname "$file")
+  # Extract link targets: capture (...) groups following ](, one per line,
+  # then drop an optional quoted markdown title ( [x](path "Title") ).
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"         # strip fragment
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "$file: dead link -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "linkcheck: dead relative links found" >&2
+  exit 1
+fi
+echo "linkcheck: all relative links resolve"
