@@ -1,14 +1,14 @@
-// Command pvbench regenerates the experiment tables X1-X9: the empirical
+// Command pvbench regenerates the experiment tables X1-X10: the empirical
 // counterparts of the paper's analytical claims (X1-X6) plus the service
 // layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
-// path, X9 completion throughput).
+// path, X9 completion throughput, X10 sharded two-tier schema store).
 //
 // Usage:
 //
-//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion]
+//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore]
 //
 // -json emits the selected tables as a JSON array (the format committed
-// under bench/, e.g. bench/X9.json).
+// under bench/, e.g. bench/X9.json and bench/X10.json).
 package main
 
 import (
@@ -46,6 +46,8 @@ func main() {
 	workerCounts := []int{1, 2, 4, 8}
 	corpus := 256
 	bytePathCorpus := 1000 // X8's acceptance corpus size
+	schemaCount := 16      // X10's mixed-schema population
+	shardCounts := []int{1, 2, 4, 8}
 	tputBudget := 1 * time.Second
 	if *quick {
 		budget = 2 * time.Millisecond
@@ -57,6 +59,8 @@ func main() {
 		trials = 5
 		corpus = 48
 		bytePathCorpus = 128
+		schemaCount = 6
+		shardCounts = []int{1, 4}
 		tputBudget = 25 * time.Millisecond
 	}
 
@@ -73,6 +77,7 @@ func main() {
 		{"throughput", func() *bench.Table { return bench.Throughput(workerCounts, corpus, tputBudget) }},
 		{"bytepath", func() *bench.Table { return bench.BytePath(bytePathCorpus, tputBudget) }},
 		{"completion", func() *bench.Table { return bench.CompletionThroughput(workerCounts, corpus, tputBudget) }},
+		{"schemastore", func() *bench.Table { return bench.SchemaStore(shardCounts, schemaCount, corpus, tputBudget) }},
 	}
 
 	var tables []*bench.Table

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pvserve [-addr :8080] [-workers N] [-cache N] [-pvonly]
+//	pvserve [-addr :8080] [-workers N] [-cache N] [-shards N] [-cache-dir DIR] [-pvonly]
 //
 // Routes (all JSON; full wire spec in docs/http-api.md):
 //
@@ -16,12 +16,17 @@
 //	GET  /schemas          cached compiled schemas, most recently used first
 //	GET  /stats            registry and engine lifetime counters
 //
-// The schema travels inline with each request; the registry dedupes by
-// content hash, so resending it costs a hash, not a compilation. Documents
-// may instead carry "schemaRef" (see GET /schemas) to route a mixed
-// multi-schema batch. The *stream routes read documents incrementally,
-// keep a bounded number in flight, and flush one output line per document
-// — bodies of any size, with a 64MB cap per document, not per body.
+// The schema travels inline with each request; the store dedupes by
+// content hash, so resending it costs a hash, not a compilation. The store
+// is lock-striped over -shards shards, and -cache-dir enables the
+// disk-backed compiled-schema cache: a restarted pvserve rehydrates its
+// hot schema set (and keeps honoring previously issued schemaRefs)
+// without recompiling a single DTD. Documents may instead carry
+// "schemaRef" (see GET /schemas) to route a mixed multi-schema batch. The
+// *stream routes read documents incrementally (plain or gzip-encoded
+// bodies), keep a bounded number in flight, and flush one output line per
+// document — bodies of any size, with a 64MB cap per document (after
+// decompression), not per body.
 package main
 
 import (
@@ -36,11 +41,22 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
-	cache := flag.Int("cache", 0, "compiled-schema LRU capacity (0 = default 64)")
+	cache := flag.Int("cache", 0, "compiled-schema store capacity across shards (0 = default 64)")
+	shards := flag.Int("shards", 0, "schema store lock-stripe count (0 = default 8)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed compiled-schema cache directory (empty = memory only)")
 	pvOnly := flag.Bool("pvonly", false, "skip the full-validity bit (fastest)")
 	flag.Parse()
 
-	e := engine.New(engine.Config{Workers: *workers, CacheSize: *cache, PVOnly: *pvOnly})
+	e, err := engine.Open(engine.Config{
+		Workers:   *workers,
+		CacheSize: *cache,
+		Shards:    *shards,
+		CacheDir:  *cacheDir,
+		PVOnly:    *pvOnly,
+	})
+	if err != nil {
+		log.Fatalf("pvserve: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           engine.NewServer(e),
@@ -51,7 +67,8 @@ func main() {
 		ReadTimeout: 2 * time.Minute,
 		IdleTimeout: 2 * time.Minute,
 	}
-	log.Printf("pvserve listening on %s (workers=%d, cache=%d, pvonly=%v)",
-		*addr, e.Workers(), e.Registry().Stats().Capacity, *pvOnly)
+	st := e.Store().Stats()
+	log.Printf("pvserve listening on %s (workers=%d, cache=%d over %d shards, cache-dir=%q, pvonly=%v)",
+		*addr, e.Workers(), st.Capacity, st.Shards, *cacheDir, *pvOnly)
 	log.Fatal(srv.ListenAndServe())
 }

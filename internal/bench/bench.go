@@ -1,20 +1,25 @@
 // Package bench implements the experiment harness: one function per
-// experiment (X1-X9), each regenerating the corresponding table. The paper
-// (ICDE 2006) has no empirical tables — its evaluation is analytical — so
-// X1-X6 measure the paper's complexity claims: linearity in document size
-// (Theorem 4), the impracticality of generic Earley parsing on G'
-// (Section 3.3), the k^D depth factor for PV-strong recursive DTDs, and
-// the O(1) incremental update checks (Theorem 2, Proposition 3). X7-X9
-// measure the service layer: checking throughput vs workers, the zero-copy
-// byte path, and completion throughput vs workers.
+// experiment (X1-X10), each regenerating the corresponding table. The
+// paper (ICDE 2006) has no empirical tables — its evaluation is
+// analytical — so X1-X6 measure the paper's complexity claims: linearity
+// in document size (Theorem 4), the impracticality of generic Earley
+// parsing on G' (Section 3.3), the k^D depth factor for PV-strong
+// recursive DTDs, and the O(1) incremental update checks (Theorem 2,
+// Proposition 3). X7-X10 measure the service layer: checking throughput
+// vs workers, the zero-copy byte path, completion throughput vs workers,
+// and the sharded two-tier schema store (lock-stripe scaling + disk-cache
+// cold start).
 package bench
 
 import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -599,6 +604,186 @@ func CompletionThroughput(workerCounts []int, corpusSize int, budget time.Durati
 	return t
 }
 
+// SchemaStore is experiment X10 (the sharded two-tier schema store). Part
+// (a): store operation throughput (cache-hit Compile + ResolveRef from 8
+// goroutines — the pure lock-stripe scaling the shards exist for) and
+// mixed-schema CheckBatch throughput (every document routed by schemaRef)
+// as the shard count grows, with background goroutines hammering the store
+// with concurrent schema registration during the batch runs; speedups are
+// relative to shards=1 (the single-mutex configuration), so the batch
+// column doubles as the no-regression-at-one-shard guard. Part (b):
+// cold-start cost of compiling the schema population from source versus
+// rehydrating it from a warm disk cache (the disk_loads column shows the
+// warm start compiling nothing).
+func SchemaStore(shardCounts []int, schemaCount, corpusSize int, budget time.Duration) *Table {
+	rng := rand.New(rand.NewSource(10))
+	srcs := make([]string, schemaCount)
+	dtds := make([]*dtd.DTD, schemaCount)
+	for i := range srcs {
+		dtds[i] = gen.RandDTD(rng, gen.DTDOptions{Elements: 12 + i%8, MaxChildren: 4})
+		srcs[i] = dtds[i].String()
+	}
+	// Resolve the content-derived refs once (identical for every engine).
+	refEngine := engine.New(engine.Config{})
+	refs := make([]string, schemaCount)
+	for i, src := range srcs {
+		s, err := refEngine.Compile(engine.DTDSource, src, "e0", engine.CompileOptions{})
+		if err != nil {
+			panic(err)
+		}
+		refs[i] = s.Ref[:16]
+	}
+	docs := make([]engine.Doc, corpusSize)
+	var corpusBytes int64
+	for j := range docs {
+		i := j % schemaCount
+		doc := gen.GenValid(rng, dtds[i], "e0", gen.DocOptions{MaxDepth: 6, MaxRepeat: 3})
+		docs[j] = engine.Doc{ID: fmt.Sprint(j), Content: doc.String(), SchemaRef: refs[i]}
+		corpusBytes += int64(len(docs[j].Content))
+	}
+
+	t := &Table{
+		Name: "schemastore",
+		Caption: fmt.Sprintf("X10 / sharded two-tier schema store — %d-schema store-op and routed-batch throughput vs shards under concurrent registration, plus cold start vs warm disk cache",
+			schemaCount),
+		Header: []string{"config", "store_ops_per_sec", "store_speedup", "docs_per_sec", "mb_per_sec", "batch_speedup", "compiles", "disk_loads", "cold_start_ms"},
+	}
+
+	var opsBase, base float64
+	for _, shards := range shardCounts {
+		e := engine.New(engine.Config{Workers: 4, Shards: shards})
+		for i, src := range srcs {
+			if _, err := e.Compile(engine.DTDSource, src, "e0", engine.CompileOptions{}); err != nil {
+				panic(fmt.Sprintf("schema %d: %v", i, err))
+			}
+		}
+		// Store-op throughput: 8 goroutines resolving refs (the hottest
+		// store op: every routed document or micro-batch pays one) against
+		// the warm store — the path the lock stripes exist to scale.
+		var ops atomic.Int64
+		opsStop := make(chan struct{})
+		var opsWG sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			opsWG.Add(1)
+			go func(g int) {
+				defer opsWG.Done()
+				n := int64(0)
+				for i := g; ; i++ {
+					select {
+					case <-opsStop:
+						ops.Add(n)
+						return
+					default:
+						if _, err := e.Registry().ResolveRef(refs[i%schemaCount]); err != nil {
+							panic(err)
+						}
+						n++
+					}
+				}
+			}(g)
+		}
+		opsStart := time.Now()
+		time.Sleep(budget)
+		close(opsStop)
+		opsWG.Wait()
+		opsPerSec := float64(ops.Load()) / time.Since(opsStart).Seconds()
+		if opsBase == 0 {
+			opsBase = opsPerSec
+		}
+		// Background registration traffic: re-Compile (cache-hit) loops that
+		// contend on the store's stripes exactly like clients resending
+		// schemas with every request.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+						src := srcs[i%schemaCount]
+						if _, err := e.Compile(engine.DTDSource, src, "e0", engine.CompileOptions{}); err != nil {
+							panic(err)
+						}
+					}
+				}
+			}(g)
+		}
+		if _, stats := e.CheckBatch(nil, docs); stats.RoutingErrors != 0 || stats.Malformed != 0 {
+			panic("X10 corpus must route and parse cleanly")
+		} // warm up (pools, routing table)
+		batches := 0
+		start := time.Now()
+		for time.Since(start) < budget || batches == 0 {
+			if _, stats := e.CheckBatch(nil, docs); stats.RoutingErrors != 0 {
+				panic("routing errors mid-benchmark")
+			}
+			batches++
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		dps := float64(batches*len(docs)) / elapsed.Seconds()
+		mbps := float64(batches) * float64(corpusBytes) / (1 << 20) / elapsed.Seconds()
+		if base == 0 {
+			base = dps
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("shards=%d", shards),
+			fmt.Sprintf("%.0f", opsPerSec), fmt.Sprintf("%.2fx", opsPerSec/opsBase),
+			fmt.Sprintf("%.0f", dps), fmt.Sprintf("%.2f", mbps), fmt.Sprintf("%.2fx", dps/base),
+			"-", "-", "-",
+		})
+	}
+
+	// Part (b): cold start from source vs warm disk cache.
+	compileAll := func(e *engine.Engine) time.Duration {
+		start := time.Now()
+		for _, src := range srcs {
+			if _, err := e.Compile(engine.DTDSource, src, "e0", engine.CompileOptions{}); err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(start)
+	}
+	cold := engine.New(engine.Config{Workers: 4})
+	coldElapsed := compileAll(cold)
+	coldStats := cold.Store().Stats()
+
+	dir, err := os.MkdirTemp("", "pv-x10-cache-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	seed, err := engine.Open(engine.Config{Workers: 4, CacheDir: dir})
+	if err != nil {
+		panic(err)
+	}
+	compileAll(seed) // populate the disk tier
+	warm, err := engine.Open(engine.Config{Workers: 4, CacheDir: dir})
+	if err != nil {
+		panic(err)
+	}
+	warmElapsed := compileAll(warm)
+	warmStats := warm.Store().Stats()
+	if warmStats.Compiles != 0 {
+		panic(fmt.Sprintf("warm start compiled %d schemas, want 0", warmStats.Compiles))
+	}
+
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+	t.Rows = append(t.Rows,
+		[]string{"coldstart/compile", "-", "-", "-", "-", "1.00x",
+			fmt.Sprint(coldStats.Compiles), fmt.Sprint(coldStats.DiskLoads), ms(coldElapsed)},
+		[]string{"coldstart/warmdisk", "-", "-", "-", "-",
+			fmt.Sprintf("%.2fx", float64(coldElapsed)/float64(warmElapsed)),
+			fmt.Sprint(warmStats.Compiles), fmt.Sprint(warmStats.DiskLoads), ms(warmElapsed)},
+	)
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -624,6 +809,10 @@ func All(quick bool) []*Table {
 		corpus = 48
 		tputBudget = 10 * time.Millisecond
 	}
+	schemaCount := 16
+	if quick {
+		schemaCount = 6
+	}
 	return []*Table{
 		LinearScaling(linSizes, budget),
 		EarleyComparison(earSizes, budget),
@@ -634,5 +823,6 @@ func All(quick bool) []*Table {
 		Throughput(workerCounts, corpus, tputBudget),
 		BytePath(corpus, tputBudget),
 		CompletionThroughput(workerCounts, corpus, tputBudget),
+		SchemaStore([]int{1, 2, 4, 8}, schemaCount, corpus, tputBudget),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 9 {
-		t.Fatalf("want 9 tables, got %d", len(tables))
+	if len(tables) != 10 {
+		t.Fatalf("want 10 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -102,6 +102,39 @@ func TestAllQuick(t *testing.T) {
 	}
 	if out, err := byName["completion"].JSON(); err != nil || !strings.Contains(string(out), `"name": "completion"`) {
 		t.Errorf("completion JSON: %v %s", err, out)
+	}
+	// X10: store-op and batch rows make progress at every shard count, and
+	// the cold-start rows pin the disk tier's contract — the warm start
+	// compiles nothing and rehydrates everything from disk.
+	{
+		rows := byName["schemastore"].Rows
+		if len(rows) < 3 {
+			t.Fatalf("schemastore rows: %v", rows)
+		}
+		var warm, cold []string
+		for _, row := range rows {
+			switch row[0] {
+			case "coldstart/compile":
+				cold = row
+			case "coldstart/warmdisk":
+				warm = row
+			default:
+				ops, err1 := strconv.ParseFloat(row[1], 64)
+				dps, err2 := strconv.ParseFloat(row[3], 64)
+				if err1 != nil || err2 != nil || ops <= 0 || dps <= 0 {
+					t.Errorf("schemastore shard row has no progress: %v", row)
+				}
+			}
+		}
+		if cold == nil || warm == nil {
+			t.Fatalf("schemastore missing cold-start rows: %v", rows)
+		}
+		if warm[6] != "0" {
+			t.Errorf("warm disk start compiled schemas: %v", warm)
+		}
+		if warm[7] == "0" || cold[6] == "0" {
+			t.Errorf("cold-start accounting wrong: cold %v warm %v", cold, warm)
+		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.
 	last := byName["earley"].Rows[len(byName["earley"].Rows)-1]

@@ -63,7 +63,7 @@ func TestBatchDirectory(t *testing.T) {
 		t.Errorf("non-XML file was checked:\n%s", text)
 	}
 	summary := errOut.String()
-	if !strings.Contains(summary, "checked 5 documents (4 workers): 3 potentially valid, 2 valid, 1 malformed") {
+	if !strings.Contains(summary, "checked 5 documents (4 workers, 0 mmapped): 3 potentially valid, 2 valid, 1 malformed") {
 		t.Errorf("summary:\n%s", summary)
 	}
 	// The byte-path batch reports per-file throughput.
@@ -82,6 +82,42 @@ func TestBatchQuietAllPV(t *testing.T) {
 	}
 	if out.String() != "" {
 		t.Errorf("quiet mode printed verdicts:\n%s", out.String())
+	}
+}
+
+// TestBatchMmapAndPlainPaths runs the same corpus once with mmap forced on
+// (threshold 1 byte) and once forced off (threshold -1): verdicts and
+// counts must be identical, and the summary must report how many files
+// were mapped.
+func TestBatchMmapAndPlainPaths(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	// A document big enough that mapping it is plausible in production too.
+	big := `<r><a><c>` + strings.Repeat("A quick brown fox. ", 5000) + `</c><d></d></a></r>`
+	if err := os.WriteFile(filepath.Join(docsDir, "big.xml"), []byte(big), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mmapFlag string) (string, string, int) {
+		var out, errOut strings.Builder
+		code := Batch([]string{"-dtd", dtdPath, "-root", "r", "-workers", "2", "-mmap", mmapFlag, docsDir}, &out, &errOut)
+		return out.String(), errOut.String(), code
+	}
+	mOut, mSummary, mCode := run("1")
+	pOut, pSummary, pCode := run("-1")
+	if mCode != pCode {
+		t.Fatalf("exit codes diverge: mmap=%d plain=%d", mCode, pCode)
+	}
+	if mOut != pOut {
+		t.Errorf("verdicts diverge between mmap and plain read:\nmmap:\n%s\nplain:\n%s", mOut, pOut)
+	}
+	if !strings.Contains(mOut, "big.xml: valid") {
+		t.Errorf("big document verdict missing:\n%s", mOut)
+	}
+	if !strings.Contains(mSummary, "6 mmapped") {
+		t.Errorf("mmap summary should report 6 mapped files:\n%s", mSummary)
+	}
+	if !strings.Contains(pSummary, "0 mmapped") {
+		t.Errorf("plain summary should report 0 mapped files:\n%s", pSummary)
 	}
 }
 

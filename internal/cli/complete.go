@@ -28,6 +28,7 @@ func Complete(args []string, stdout, stderr io.Writer) int {
 	xsdPath := fs.String("xsd", "", "path to an XML Schema file (subset; alternative to -dtd)")
 	root := fs.String("root", "", "root element (required)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "disk-backed compiled-schema cache (skips recompiling across runs)")
 	diffMode := fs.Bool("diff", false, "print insertion records instead of the completed document")
 	inPlace := fs.Bool("in-place", false, "rewrite each input file with its completion")
 	ws := fs.Bool("ws", false, "ignore whitespace-only text nodes")
@@ -52,7 +53,11 @@ func Complete(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	eng := pv.NewEngine(pv.EngineConfig{Workers: *workers})
+	eng, err := pv.OpenEngine(pv.EngineConfig{Workers: *workers, SchemaCacheDir: *cacheDir})
+	if err != nil {
+		fmt.Fprintf(stderr, "pvcheck complete: %v\n", err)
+		return 2
+	}
 	opts := pv.Options{MaxDepth: *depth, IgnoreWhitespaceText: *ws, AllowAnyRoot: *anyRoot}
 	var schema *pv.Schema
 	if *dtdPath != "" {

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dag"
+	"repro/internal/dtd"
+	"repro/internal/reach"
+)
+
+// This file is the compiled-schema binary codec: a versioned, checksummed
+// encoding of everything Compile derives from a DTD — the element table
+// (declarations and content models over an interned symbol table), the
+// reachability lookup table LT with its transitive closures, and the
+// recognizer DAGs. Decoding rehydrates a Schema without parsing DTD text
+// or re-running the Floyd-Warshall closure, which is what makes the
+// disk-backed schema cache (internal/schemastore) a real cold-start win:
+// a process restart re-loads its hot schema set at deserialization speed.
+//
+// The format is strictly versioned (BinaryVersion) and ends in a CRC32 of
+// the payload; any mismatch, truncation or out-of-range reference fails
+// decoding, and callers fall back to compiling from source.
+
+// BinaryVersion is the current compiled-schema binary format version.
+// Decoders reject any other version; bump it whenever the encoded shape
+// of the schema (element tables, reach matrices, DAG nodes) changes.
+const BinaryVersion = 1
+
+// binaryMagic brands a compiled-schema blob ("PV schema, compiled").
+var binaryMagic = [4]byte{'P', 'V', 'S', 'C'}
+
+type encoder struct {
+	buf []byte
+	sym map[string]int
+	err error
+}
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) count(v int)      { e.uvarint(uint64(v)) }
+func (e *encoder) byteVal(b byte)   { e.buf = append(e.buf, b) }
+func (e *encoder) stringVal(s string) {
+	e.count(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// symbol writes the interned index of an element name; referencing a name
+// outside the symbol table is an encoder-side invariant violation.
+func (e *encoder) symbol(name string) {
+	i, ok := e.sym[name]
+	if !ok && e.err == nil {
+		e.err = fmt.Errorf("core: encode: element %q is not in the symbol table", name)
+	}
+	e.count(i)
+}
+
+// bitset packs a bool slice LSB-first, 8 cells per byte.
+func (e *encoder) bitset(bits []bool) {
+	var cur byte
+	for i, b := range bits {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			e.byteVal(cur)
+			cur = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		e.byteVal(cur)
+	}
+}
+
+func (e *encoder) expr(x *contentmodel.Expr) {
+	e.count(int(x.Kind))
+	switch x.Kind {
+	case contentmodel.KindPCDATA:
+	case contentmodel.KindName:
+		e.symbol(x.Name)
+	default:
+		e.count(len(x.Children))
+		for _, c := range x.Children {
+			e.expr(c)
+		}
+	}
+}
+
+// MarshalBinary encodes the compiled schema in the versioned binary format.
+// The blob is self-contained (symbol table, element declarations, reach
+// matrices, recognizer DAGs, options and effective depth) and ends in a
+// CRC32 checksum.
+func (s *Schema) MarshalBinary() ([]byte, error) {
+	m := len(s.DTD.Order)
+	e := &encoder{buf: make([]byte, 0, 256+64*m), sym: make(map[string]int, m)}
+	e.buf = append(e.buf, binaryMagic[:]...)
+	e.uvarint(BinaryVersion)
+
+	// Symbol table: element names in declaration order (the interned table).
+	e.count(m)
+	for i, name := range s.DTD.Order {
+		e.sym[name] = i
+		e.stringVal(name)
+	}
+	e.symbol(s.Root)
+
+	var flags byte
+	if s.opts.IgnoreWhitespaceText {
+		flags |= 1
+	}
+	if s.opts.AllowAnyRoot {
+		flags |= 2
+	}
+	e.byteVal(flags)
+	e.count(s.opts.MaxDepth)
+	e.count(s.depth)
+
+	// Element table: category plus content model per declaration.
+	for _, name := range s.DTD.Order {
+		decl := s.DTD.Elements[name]
+		e.count(int(decl.Category))
+		if decl.Category == dtd.Mixed || decl.Category == dtd.Children {
+			e.expr(decl.Model)
+		}
+	}
+
+	// Reachability lookup table: PCDATA column, both closures, classes.
+	raw := s.LT.Raw()
+	e.bitset(raw.PCData)
+	e.bitset(raw.Reach)
+	e.bitset(raw.Strong)
+	for _, c := range raw.Classes {
+		e.count(int(c))
+	}
+	e.count(int(raw.Class))
+	e.count(raw.LongestStrongChain)
+
+	// Recognizer automata: one DAG per element.
+	for _, name := range s.DTD.Order {
+		rd := s.DAG.Element(name).Raw()
+		var dflags byte
+		if rd.Any {
+			dflags |= 1
+		}
+		e.byteVal(dflags)
+		if rd.Any {
+			continue
+		}
+		e.count(len(rd.Nodes))
+		for _, n := range rd.Nodes {
+			var nflags byte
+			if n.Group {
+				nflags |= 1
+			}
+			if n.HasPCDATA {
+				nflags |= 2
+			}
+			e.byteVal(nflags)
+			if n.Group {
+				e.count(len(n.Elements))
+				for _, el := range n.Elements {
+					e.symbol(el)
+				}
+			} else {
+				e.symbol(n.Element)
+			}
+			e.count(len(n.Succ))
+			for _, id := range n.Succ {
+				e.count(id)
+			}
+		}
+		e.count(len(rd.Entry))
+		for _, id := range rd.Entry {
+			e.count(id)
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+	return e.buf, nil
+}
+
+type decoder struct {
+	data  []byte
+	pos   int
+	names []string
+}
+
+var errTruncated = fmt.Errorf("core: decode: truncated compiled-schema blob")
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a non-negative size bounded by the remaining input, so a
+// corrupt length can never drive allocation beyond the blob itself.
+func (d *decoder) count() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(d.data)) {
+		return 0, fmt.Errorf("core: decode: implausible count %d", v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) byteVal() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, errTruncated
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) stringVal() (string, error) {
+	n, err := d.count()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+n > len(d.data) {
+		return "", errTruncated
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+func (d *decoder) symbol() (string, error) {
+	i, err := d.count()
+	if err != nil {
+		return "", err
+	}
+	if i >= len(d.names) {
+		return "", fmt.Errorf("core: decode: symbol index %d out of range (%d names)", i, len(d.names))
+	}
+	return d.names[i], nil
+}
+
+func (d *decoder) bitset(n int) ([]bool, error) {
+	nbytes := (n + 7) / 8
+	if d.pos+nbytes > len(d.data) {
+		return nil, errTruncated
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.data[d.pos+i/8]&(1<<(i%8)) != 0
+	}
+	d.pos += nbytes
+	return out, nil
+}
+
+// expr decodes one content-model node. depth bounds recursion so a corrupt
+// blob cannot overflow the stack.
+func (d *decoder) expr(depth int) (*contentmodel.Expr, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("core: decode: content model nested too deeply")
+	}
+	k, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	kind := contentmodel.Kind(k)
+	switch kind {
+	case contentmodel.KindPCDATA:
+		return contentmodel.NewPCDATA(), nil
+	case contentmodel.KindName:
+		name, err := d.symbol()
+		if err != nil {
+			return nil, err
+		}
+		return contentmodel.NewName(name), nil
+	case contentmodel.KindSeq, contentmodel.KindChoice, contentmodel.KindStar, contentmodel.KindPlus, contentmodel.KindOpt:
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		unary := kind == contentmodel.KindStar || kind == contentmodel.KindPlus || kind == contentmodel.KindOpt
+		if unary && n != 1 || !unary && n < 2 {
+			return nil, fmt.Errorf("core: decode: %v node with %d children", kind, n)
+		}
+		children := make([]*contentmodel.Expr, n)
+		for i := range children {
+			if children[i], err = d.expr(depth - 1); err != nil {
+				return nil, err
+			}
+		}
+		return &contentmodel.Expr{Kind: kind, Children: children}, nil
+	}
+	return nil, fmt.Errorf("core: decode: unknown content-model kind %d", k)
+}
+
+// UnmarshalBinary decodes a compiled-schema blob produced by MarshalBinary,
+// rebuilding the Schema without touching the DTD text parser or recomputing
+// the reachability closure. It fails on any version mismatch, checksum
+// mismatch, truncation or out-of-range reference; callers treat a failure
+// as a cache miss and compile from source.
+func UnmarshalBinary(data []byte) (*Schema, error) {
+	if len(data) < len(binaryMagic)+5 {
+		return nil, errTruncated
+	}
+	if [4]byte(data[:4]) != binaryMagic {
+		return nil, fmt.Errorf("core: decode: not a compiled-schema blob (bad magic)")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("core: decode: checksum mismatch (corrupt compiled-schema blob)")
+	}
+	d := &decoder{data: body, pos: len(binaryMagic)}
+	version, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != BinaryVersion {
+		return nil, fmt.Errorf("core: decode: compiled-schema format version %d (this build reads %d)", version, BinaryVersion)
+	}
+
+	m, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	d.names = make([]string, m)
+	interned := make(map[string]string, m)
+	for i := range d.names {
+		name, err := d.stringVal()
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, fmt.Errorf("core: decode: empty element name in symbol table")
+		}
+		if _, dup := interned[name]; dup {
+			return nil, fmt.Errorf("core: decode: duplicate element %q in symbol table", name)
+		}
+		d.names[i] = name
+		interned[name] = name
+	}
+	root, err := d.symbol()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{IgnoreWhitespaceText: flags&1 != 0, AllowAnyRoot: flags&2 != 0}
+	if opts.MaxDepth, err = d.count(); err != nil {
+		return nil, err
+	}
+	depth, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+
+	dd := &dtd.DTD{Elements: make(map[string]*dtd.ElementDecl, m), Order: append([]string(nil), d.names...)}
+	for _, name := range d.names {
+		cat, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		decl := &dtd.ElementDecl{Name: name, Category: dtd.Category(cat)}
+		switch decl.Category {
+		case dtd.Empty, dtd.Any:
+		case dtd.Mixed, dtd.Children:
+			if decl.Model, err = d.expr(10_000); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("core: decode: unknown content category %d for %q", cat, name)
+		}
+		dd.Elements[name] = decl
+	}
+
+	raw := &reach.Raw{}
+	if raw.PCData, err = d.bitset(m); err != nil {
+		return nil, err
+	}
+	if raw.Reach, err = d.bitset(m * m); err != nil {
+		return nil, err
+	}
+	if raw.Strong, err = d.bitset(m * m); err != nil {
+		return nil, err
+	}
+	raw.Classes = make([]reach.Class, m)
+	for i := range raw.Classes {
+		c, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		raw.Classes[i] = reach.Class(c)
+	}
+	cls, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	raw.Class = reach.Class(cls)
+	if raw.LongestStrongChain, err = d.count(); err != nil {
+		return nil, err
+	}
+	lt, err := reach.FromRaw(dd, raw)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &dag.DAG{ByElement: make(map[string]*dag.ElementDAG, m)}
+	for _, name := range d.names {
+		dflags, err := d.byteVal()
+		if err != nil {
+			return nil, err
+		}
+		rd := dag.RawElement{Any: dflags&1 != 0}
+		if !rd.Any {
+			nnodes, err := d.count()
+			if err != nil {
+				return nil, err
+			}
+			rd.Nodes = make([]dag.RawNode, nnodes)
+			for i := range rd.Nodes {
+				n := &rd.Nodes[i]
+				nflags, err := d.byteVal()
+				if err != nil {
+					return nil, err
+				}
+				n.Group = nflags&1 != 0
+				n.HasPCDATA = nflags&2 != 0
+				if n.Group {
+					ne, err := d.count()
+					if err != nil {
+						return nil, err
+					}
+					n.Elements = make([]string, ne)
+					for j := range n.Elements {
+						if n.Elements[j], err = d.symbol(); err != nil {
+							return nil, err
+						}
+					}
+				} else if n.Element, err = d.symbol(); err != nil {
+					return nil, err
+				}
+				ns, err := d.count()
+				if err != nil {
+					return nil, err
+				}
+				n.Succ = make([]int, ns)
+				for j := range n.Succ {
+					if n.Succ[j], err = d.count(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			nentry, err := d.count()
+			if err != nil {
+				return nil, err
+			}
+			rd.Entry = make([]int, nentry)
+			for i := range rd.Entry {
+				if rd.Entry[i], err = d.count(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		ed, err := dag.ElementFromRaw(name, rd)
+		if err != nil {
+			return nil, err
+		}
+		g.ByElement[name] = ed
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("core: decode: %d trailing bytes after compiled schema", len(body)-d.pos)
+	}
+
+	return &Schema{
+		DTD:      dd,
+		Root:     root,
+		LT:       lt,
+		DAG:      g,
+		opts:     opts,
+		depth:    depth,
+		interned: interned,
+	}, nil
+}

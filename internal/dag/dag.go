@@ -168,6 +168,92 @@ func (b *builder) build(e *contentmodel.Expr) (entry, exit []*Node) {
 	panic(fmt.Sprintf("dag: unexpected expression kind %v after normalization", e.Kind))
 }
 
+// RawNode is the serializable shape of one Node: successors by ID instead
+// of by pointer.
+type RawNode struct {
+	Group     bool
+	Element   string
+	Elements  []string
+	HasPCDATA bool
+	Succ      []int
+}
+
+// RawElement is the serializable shape of an ElementDAG: nodes in ID order
+// with entry points by ID. It exists for the compiled-schema disk cache
+// (internal/core's binary codec).
+type RawElement struct {
+	Any   bool
+	Entry []int
+	Nodes []RawNode
+}
+
+// Raw exports the DAG's structure for serialization.
+func (d *ElementDAG) Raw() RawElement {
+	r := RawElement{Any: d.Any}
+	for _, e := range d.Entry {
+		r.Entry = append(r.Entry, e.ID)
+	}
+	for _, n := range d.nodes {
+		rn := RawNode{
+			Group:     n.Type == Group,
+			Element:   n.Element,
+			Elements:  n.Elements,
+			HasPCDATA: n.HasPCDATA,
+		}
+		for _, s := range n.Succ {
+			rn.Succ = append(rn.Succ, s.ID)
+		}
+		r.Nodes = append(r.Nodes, rn)
+	}
+	return r
+}
+
+// ElementFromRaw rebuilds an ElementDAG from its raw form, validating that
+// every node and entry reference is in range.
+func ElementFromRaw(element string, r RawElement) (*ElementDAG, error) {
+	ed := &ElementDAG{Element: element, Any: r.Any}
+	if r.Any {
+		return ed, nil
+	}
+	ed.nodes = make([]*Node, len(r.Nodes))
+	for i := range r.Nodes {
+		ed.nodes[i] = &Node{ID: i}
+	}
+	resolve := func(ids []int) ([]*Node, error) {
+		if len(ids) == 0 {
+			return nil, nil
+		}
+		out := make([]*Node, len(ids))
+		for i, id := range ids {
+			if id < 0 || id >= len(ed.nodes) {
+				return nil, fmt.Errorf("dag: node reference %d out of range for %q (%d nodes)", id, element, len(ed.nodes))
+			}
+			out[i] = ed.nodes[id]
+		}
+		return out, nil
+	}
+	for i, rn := range r.Nodes {
+		n := ed.nodes[i]
+		if rn.Group {
+			n.Type = Group
+		}
+		n.Element = rn.Element
+		n.Elements = rn.Elements
+		n.HasPCDATA = rn.HasPCDATA
+		succ, err := resolve(rn.Succ)
+		if err != nil {
+			return nil, err
+		}
+		n.Succ = succ
+	}
+	entry, err := resolve(r.Entry)
+	if err != nil {
+		return nil, err
+	}
+	ed.Entry = entry
+	return ed, nil
+}
+
 // Paths enumerates all root-to-leaf label sequences of the DAG — each is
 // one production alternative of X̂ (the Figure 4 property). Intended for
 // tests and the dtdinfo tool; exponential in the worst case.

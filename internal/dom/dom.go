@@ -9,6 +9,7 @@ package dom
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/xmltext"
@@ -235,41 +236,67 @@ func (n *Node) Clone() *Node {
 // as a start/end tag pair (never the self-closing form) so that the output
 // round-trips through the paper's string-based definitions unambiguously.
 func (n *Node) String() string {
-	var b strings.Builder
-	n.serialize(&b)
-	return b.String()
+	return string(n.AppendXML(nil))
 }
 
-func (n *Node) serialize(b *strings.Builder) {
+// AppendXML serializes the subtree to XML text appended to buf, returning
+// the extended slice — the allocation-free twin of String for callers
+// holding a reusable (pooled) buffer. The output is byte-identical to
+// String's. Text escaping is inlined (no per-node replacer), so a subtree
+// with many text nodes serializes with no allocations beyond buffer
+// growth.
+func (n *Node) AppendXML(buf []byte) []byte {
 	switch n.Kind {
 	case TextNode:
-		b.WriteString(xmltext.EscapeText(n.Data))
+		buf = appendEscapedText(buf, n.Data)
 	case CommentNode:
-		b.WriteString("<!--")
-		b.WriteString(n.Data)
-		b.WriteString("-->")
+		buf = append(buf, "<!--"...)
+		buf = append(buf, n.Data...)
+		buf = append(buf, "-->"...)
 	case ProcInstNode:
-		b.WriteString("<?")
-		b.WriteString(n.Name)
+		buf = append(buf, "<?"...)
+		buf = append(buf, n.Name...)
 		if n.Data != "" {
-			b.WriteByte(' ')
-			b.WriteString(n.Data)
+			buf = append(buf, ' ')
+			buf = append(buf, n.Data...)
 		}
-		b.WriteString("?>")
+		buf = append(buf, "?>"...)
 	case ElementNode:
-		b.WriteByte('<')
-		b.WriteString(n.Name)
+		buf = append(buf, '<')
+		buf = append(buf, n.Name...)
 		for _, a := range n.Attrs {
-			fmt.Fprintf(b, " %s=%q", a.Name, xmltext.EscapeAttr(a.Value))
+			buf = append(buf, ' ')
+			buf = append(buf, a.Name...)
+			buf = append(buf, '=')
+			buf = strconv.AppendQuote(buf, xmltext.EscapeAttr(a.Value))
 		}
-		b.WriteByte('>')
+		buf = append(buf, '>')
 		for _, c := range n.Children {
-			c.serialize(b)
+			buf = c.AppendXML(buf)
 		}
-		b.WriteString("</")
-		b.WriteString(n.Name)
-		b.WriteByte('>')
+		buf = append(buf, "</"...)
+		buf = append(buf, n.Name...)
+		buf = append(buf, '>')
 	}
+	return buf
+}
+
+// appendEscapedText appends s with the character-data escapes of
+// xmltext.EscapeText (&, <, >) without building a replacer.
+func appendEscapedText(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			buf = append(buf, "&amp;"...)
+		case '<':
+			buf = append(buf, "&lt;"...)
+		case '>':
+			buf = append(buf, "&gt;"...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
 }
 
 // Equal reports whether two subtrees are structurally identical (kinds,

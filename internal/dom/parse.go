@@ -189,13 +189,18 @@ func isWhitespace(s string) bool {
 
 // String serializes the document: prolog nodes, root, epilog nodes.
 func (d *Document) String() string {
-	out := ""
+	return string(d.AppendXML(nil))
+}
+
+// AppendXML serializes the document (prolog, root, epilog) appended to
+// buf — the pooled-buffer twin of String, byte-identical output.
+func (d *Document) AppendXML(buf []byte) []byte {
 	for _, n := range d.Prolog {
-		out += n.String()
+		buf = n.AppendXML(buf)
 	}
-	out += d.Root.String()
+	buf = d.Root.AppendXML(buf)
 	for _, n := range d.Epilog {
-		out += n.String()
+		buf = n.AppendXML(buf)
 	}
-	return out
+	return buf
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/complete"
@@ -8,6 +9,23 @@ import (
 	"repro/internal/diff"
 	"repro/internal/dom"
 )
+
+// outBufs pools the completion path's serialization buffers: each document
+// serializes into a recycled []byte (grown once, reused across documents
+// and workers) and pays exactly one allocation — the output string — where
+// the strings.Builder path allocated its whole growth chain plus a
+// replacer per text node.
+var outBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// serializeDoc renders the completed document through a pooled buffer.
+func serializeDoc(doc *dom.Document) string {
+	bp := outBufs.Get().(*[]byte)
+	buf := doc.AppendXML((*bp)[:0])
+	out := string(buf)
+	*bp = buf
+	outBufs.Put(bp)
+	return out
+}
 
 // The completion path is the engine's second workload: instead of a boolean
 // verdict, each potentially valid document is rewritten into a valid one
@@ -88,7 +106,7 @@ func (e *Engine) completeOne(s *Schema, c *complete.Completer, d Doc, withDiff b
 	if s.Valid != nil && s.Valid.Validate(doc.Root) == nil {
 		res.Completed = true
 		res.AlreadyValid = true
-		res.Output = doc.String()
+		res.Output = serializeDoc(doc)
 		return res
 	}
 	out, nodes, err := c.CompleteTracked(doc.Root)
@@ -105,7 +123,7 @@ func (e *Engine) completeOne(s *Schema, c *complete.Completer, d Doc, withDiff b
 	// Serialize at document level: prolog/epilog nodes (XML declaration
 	// PI, license comments) survive completion.
 	doc.Root = out
-	res.Output = doc.String()
+	res.Output = serializeDoc(doc)
 	if withDiff {
 		res.Insertions = diff.ComputeDoc(out, nodes, res.Output).Insertions
 	}
@@ -118,7 +136,7 @@ func (e *Engine) completeOne(s *Schema, c *complete.Completer, d Doc, withDiff b
 // records in addition to the completed output.
 func (e *Engine) Complete(s *Schema, d Doc, withDiff bool) CompleteResult {
 	if d.SchemaRef != "" {
-		rs, err := e.reg.ResolveRef(d.SchemaRef)
+		rs, err := e.store.ResolveRef(d.SchemaRef)
 		if err != nil {
 			res := CompleteResult{ID: d.ID, Bytes: d.Size(), Err: err}
 			e.accountComplete(&res)

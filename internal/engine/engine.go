@@ -12,6 +12,7 @@ import (
 	"repro/internal/complete"
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/schemastore"
 	"repro/internal/validator"
 )
 
@@ -121,17 +122,27 @@ func (s *BatchStats) tally(r *Result) {
 type Config struct {
 	// Workers bounds batch concurrency; <=0 selects GOMAXPROCS.
 	Workers int
-	// CacheSize bounds the schema registry; <=0 selects DefaultCapacity.
+	// CacheSize bounds the schema store's total in-memory capacity (split
+	// across shards); <=0 selects DefaultCapacity.
 	CacheSize int
+	// Shards is the schema store's lock-stripe count; <=0 selects
+	// DefaultShards. 1 reproduces the single-mutex registry exactly.
+	Shards int
+	// CacheDir enables the disk tier: compiled schemas are persisted as
+	// content-addressed blobs under this directory and rehydrated (instead
+	// of recompiled) on later misses — including by freshly started
+	// processes. Empty disables the tier.
+	CacheDir string
 	// PVOnly skips the full-validity bit (which needs a tree parse of every
 	// potentially valid document) — the fastest mode for firehose filtering.
 	PVOnly bool
 }
 
-// Engine is the concurrent checking front end: a registry plus a worker
-// pool configuration and lifetime counters.
+// Engine is the concurrent checking front end: a sharded schema store plus
+// a worker pool configuration and lifetime counters.
 type Engine struct {
-	reg     *Registry
+	store   SchemaStore
+	reg     *Registry // the built-in store, when store is one
 	workers int
 	pvOnly  bool
 	// sem bounds checking concurrency engine-wide, not per batch: N
@@ -149,29 +160,55 @@ type Engine struct {
 	busyNanos atomic.Int64 // wall-clock spent inside CheckBatch calls
 }
 
-// New builds an engine.
+// New builds an engine. It panics when Config.CacheDir is set but cannot
+// be opened — only possible with a disk tier configured; use Open to
+// handle that error.
 func New(cfg Config) *Engine {
+	e, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Open builds an engine, reporting a disk-tier cache directory that cannot
+// be created or opened as an error.
+func Open(cfg Config) (*Engine, error) {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	var disk *schemastore.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		if disk, err = schemastore.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	reg := NewShardedRegistry(cfg.CacheSize, cfg.Shards, disk)
 	return &Engine{
-		reg:     NewRegistry(cfg.CacheSize),
+		store:   reg,
+		reg:     reg,
 		workers: w,
 		pvOnly:  cfg.PVOnly,
 		sem:     make(chan struct{}, w),
-	}
+	}, nil
 }
 
-// Registry returns the engine's schema registry.
+// Store returns the engine's schema store.
+func (e *Engine) Store() SchemaStore { return e.store }
+
+// Registry returns the engine's built-in sharded registry (the default
+// SchemaStore).
 func (e *Engine) Registry() *Registry { return e.reg }
 
 // Workers returns the configured worker bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Compile resolves a schema through the registry (compile-once, LRU).
+// Compile resolves a schema through the store (compile-once, sharded LRU,
+// optional disk tier).
 func (e *Engine) Compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, error) {
-	return e.reg.Compile(kind, src, root, opts)
+	return e.store.Compile(kind, src, root, opts)
 }
 
 // check runs the verdict for one document on a (reusable) stream checker.
@@ -267,7 +304,7 @@ func (e *Engine) resolveRefs(docs []Doc) *refTable {
 		if _, ok := t.errs[ref]; ok {
 			continue
 		}
-		if s, err := e.reg.ResolveRef(ref); err != nil {
+		if s, err := e.store.ResolveRef(ref); err != nil {
 			t.errs[ref] = err
 		} else {
 			t.schemas[ref] = s
@@ -296,7 +333,7 @@ func (t *refTable) schemaFor(d *Doc, def *Schema) (*Schema, error) {
 // the document carries a SchemaRef.
 func (e *Engine) Check(s *Schema, d Doc) Result {
 	if d.SchemaRef != "" {
-		rs, err := e.reg.ResolveRef(d.SchemaRef)
+		rs, err := e.store.ResolveRef(d.SchemaRef)
 		if err != nil {
 			res := Result{ID: d.ID, Bytes: d.Size(), Err: err}
 			e.account(&res)

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/validator"
+)
+
+// The disk-tier blob is an engine envelope around internal/core's compiled
+// schema binary: the registry key fields (source hash, kind, root and the
+// *requested* compile options — core stores the defaulted ones) plus the
+// source length, so a blob found by content address alone (ResolveRef
+// resurrection after a restart) rebuilds the full registry entry. The core
+// payload carries its own version and checksum; the envelope adds a
+// version byte of its own so either layer can evolve independently.
+
+// envelopeVersion is the current engine envelope format version.
+const envelopeVersion = 1
+
+// envelopeMagic brands an engine schema envelope ("PV schema, envelope").
+var envelopeMagic = [4]byte{'P', 'V', 'S', 'E'}
+
+// envelope is a decoded disk blob: the registry key, the source length and
+// the rehydrated schema artifact.
+type envelope struct {
+	key    key
+	srcLen int
+	schema *Schema
+}
+
+// encodeEnvelope wraps a compiled schema and its registry key into a disk
+// blob.
+func encodeEnvelope(k *key, srcLen int, s *Schema) ([]byte, error) {
+	payload, err := s.Core.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(payload)+sha256.Size+len(k.root)+32)
+	buf = append(buf, envelopeMagic[:]...)
+	buf = binary.AppendUvarint(buf, envelopeVersion)
+	buf = append(buf, k.hash[:]...)
+	buf = binary.AppendUvarint(buf, uint64(k.kind))
+	buf = binary.AppendUvarint(buf, uint64(len(k.root)))
+	buf = append(buf, k.root...)
+	var flags byte
+	if k.opts.IgnoreWhitespaceText {
+		flags |= 1
+	}
+	if k.opts.AllowAnyRoot {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(k.opts.MaxDepth))
+	buf = binary.AppendUvarint(buf, uint64(srcLen))
+	return append(buf, payload...), nil
+}
+
+// decodeEnvelope parses a disk blob back into its key and schema,
+// rebuilding the full validator from the decoded element table. Any
+// structural damage fails decoding (the caller discards the blob and
+// compiles from source).
+func decodeEnvelope(data []byte) (*envelope, error) {
+	if len(data) < len(envelopeMagic)+1 || [4]byte(data[:4]) != envelopeMagic {
+		return nil, fmt.Errorf("engine: not a compiled-schema envelope")
+	}
+	pos := len(envelopeMagic)
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("engine: truncated schema envelope")
+		}
+		pos += n
+		return v, nil
+	}
+	version, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if version != envelopeVersion {
+		return nil, fmt.Errorf("engine: schema envelope version %d (this build reads %d)", version, envelopeVersion)
+	}
+	env := &envelope{}
+	if pos+sha256.Size > len(data) {
+		return nil, fmt.Errorf("engine: truncated schema envelope")
+	}
+	copy(env.key.hash[:], data[pos:])
+	pos += sha256.Size
+	kind, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if kind > uint64(XSDSource) {
+		return nil, fmt.Errorf("engine: schema envelope names unknown source kind %d", kind)
+	}
+	env.key.kind = SourceKind(kind)
+	rootLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if rootLen > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("engine: truncated schema envelope")
+	}
+	env.key.root = string(data[pos : pos+int(rootLen)])
+	pos += int(rootLen)
+	if pos >= len(data) {
+		return nil, fmt.Errorf("engine: truncated schema envelope")
+	}
+	flags := data[pos]
+	pos++
+	env.key.opts.IgnoreWhitespaceText = flags&1 != 0
+	env.key.opts.AllowAnyRoot = flags&2 != 0
+	maxDepth, err := next()
+	if err != nil {
+		return nil, err
+	}
+	env.key.opts.MaxDepth = int(maxDepth)
+	srcLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	env.srcLen = int(srcLen)
+
+	c, err := core.UnmarshalBinary(data[pos:])
+	if err != nil {
+		return nil, err
+	}
+	if c.Root != env.key.root {
+		return nil, fmt.Errorf("engine: schema envelope root %q does not match compiled root %q", env.key.root, c.Root)
+	}
+	// The validator is derived state over the decoded element table —
+	// rebuilt here (Glushkov automata are cheap relative to the closure the
+	// core payload spares us) rather than serialized.
+	v, err := validator.New(c.DTD, c.Root)
+	if err != nil {
+		return nil, err
+	}
+	env.schema = NewSchema(c, v)
+	return env, nil
+}

@@ -27,13 +27,15 @@ import (
 // becomes optional.
 //
 // The *stream routes read their bodies incrementally — one JSON object per
-// line — and flush one output line per document as soon as it is ready,
-// with a bounded number of documents in flight (backpressure instead of
-// buffering whole batches). A line with "schema"/"root" fields (re)sets
-// the default schema for subsequent documents; other lines are documents
+// line, optionally gzip-encoded (Content-Encoding: gzip) — and flush one
+// output line per document as soon as it is ready, with a bounded number
+// of documents in flight (backpressure instead of buffering whole
+// batches). A line with "schema"/"root" fields (re)sets the default
+// schema for subsequent documents; other lines are documents
 // {"id","content","schemaRef"}. The response ends with a {"stats":...}
-// line. Each document is capped at MaxDocumentBytes (the request body as a
-// whole is uncapped — that is the point of streaming).
+// line. Each document is capped at MaxDocumentBytes, enforced on
+// decompressed bytes (the request body as a whole is uncapped — that is
+// the point of streaming).
 //
 // The /complete* routes answer with the completed document (a valid
 // extension of a potentially valid input, per the paper's Definition 3)
@@ -199,10 +201,10 @@ func NewServer(e *Engine) http.Handler {
 		serveCompleteStream(e, w, r)
 	})
 	mux.HandleFunc("GET /schemas", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, map[string]any{"schemas": e.Registry().Schemas()})
+		reply(w, map[string]any{"schemas": e.Store().Schemas()})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, statsResponse{Registry: e.Registry().Stats(), Engine: e.Stats()})
+		reply(w, statsResponse{Registry: e.Store().Stats(), Engine: e.Stats()})
 	})
 	return mux
 }

@@ -1,0 +1,26 @@
+package engine
+
+// SchemaStore is the engine's schema-resolution surface: everything the
+// batch checker, the completion path, the HTTP server and the stream
+// pipeline need from a compiled-schema cache. The built-in implementation
+// is the sharded two-tier Registry; the interface exists so those layers
+// depend on the capability, not on one mutex-guarded structure — a custom
+// store (remote, read-only, pre-warmed) can slot in without touching the
+// worker or server code.
+type SchemaStore interface {
+	// Compile resolves (kind, src, root, opts) to a compiled schema,
+	// compiling at most once per distinct key.
+	Compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, error)
+	// ResolveRef resolves a schemaRef prefix (>=RefMinLen hex digits) to a
+	// cached schema; failures are RoutingErrors.
+	ResolveRef(ref string) (*Schema, error)
+	// Stats snapshots the store's counters.
+	Stats() RegistryStats
+	// Schemas lists cached artifacts, most recently used first.
+	Schemas() []SchemaInfo
+	// Len reports the number of cached artifacts.
+	Len() int
+}
+
+// Registry implements SchemaStore.
+var _ SchemaStore = (*Registry)(nil)

@@ -3,10 +3,13 @@ package engine
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -108,21 +111,50 @@ func wantDiff(r *http.Request) bool {
 	return true
 }
 
+// streamBody resolves the request's Content-Encoding: identity bodies pass
+// through, gzip bodies are inflated transparently (the per-document cap
+// then applies to the *decompressed* bytes, since every downstream limit —
+// the scanner's line bound and the explicit content check — sees inflated
+// data). The cleanup closes the inflater; a nil reader means the encoding
+// was rejected and an error response has been written.
+func streamBody(w http.ResponseWriter, r *http.Request) (io.Reader, func()) {
+	switch enc := strings.ToLower(r.Header.Get("Content-Encoding")); enc {
+	case "", "identity":
+		return r.Body, func() {}
+	case "gzip", "x-gzip":
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad gzip request body: %v", err))
+			return nil, func() {}
+		}
+		return zr, func() { _ = zr.Close() }
+	default:
+		httpError(w, http.StatusUnsupportedMediaType,
+			fmt.Sprintf("unsupported Content-Encoding %q (want gzip or identity)", enc))
+		return nil, func() {}
+	}
+}
+
 // serveDocStream is the shared NDJSON document-stream pipeline behind
 // POST /check/stream and POST /complete/stream: documents are read
-// incrementally off the request body, processed with at most 2×workers in
-// flight (the reader blocks when the window is full — TCP backpressure
-// instead of buffering), and each outcome is flushed as soon as it is
-// ready, in input order.
+// incrementally off the request body (optionally gzip-encoded), processed
+// with at most 2×workers in flight (the reader blocks when the window is
+// full — TCP backpressure instead of buffering), and each outcome is
+// flushed as soon as it is ready, in input order.
 func serveDocStream(e *Engine, w http.ResponseWriter, r *http.Request, run streamRunner) {
 	start := time.Now()
+	body, closeBody := streamBody(w, r)
+	if body == nil {
+		return
+	}
+	defer closeBody()
 	// A stream reads the body for as long as the client keeps sending;
 	// lift the server's ReadTimeout for this request only (the slow-client
 	// protection of the bounded routes stays in place). Errors are ignored:
 	// test recorders and exotic transports simply keep their defaults.
 	rc := http.NewResponseController(w)
 	_ = rc.SetReadDeadline(time.Time{})
-	sc := bufio.NewScanner(r.Body)
+	sc := bufio.NewScanner(body)
 	// A JSON-escaped document inflates by at most 2x for sane inputs; the
 	// slack keeps a cap-sized document scannable while still bounding one
 	// line's buffer.

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"bytes"
+	"compress/gzip"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// postGzip posts a gzip-compressed body with Content-Encoding: gzip.
+func postGzip(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(body)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, &buf)
+	req.Header.Set("Content-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestStreamGzipRoundTrip runs the same NDJSON stream plain and
+// gzip-encoded through both stream endpoints: verdicts must be identical.
+func TestStreamGzipRoundTrip(t *testing.T) {
+	h := NewServer(New(Config{Workers: 4}))
+	body := ndjson(
+		header(t, dtd.Figure1, "r"),
+		docLine(t, "ok", `<r><a><c>x</c><d></d></a></r>`, ""),
+		docLine(t, "notpv", `<r><a><b>x</b><e></e><c>y</c></a></r>`, ""),
+		docLine(t, "malformed", `<r><a>`, ""),
+	)
+	for _, path := range []string{"/check/stream", "/complete/stream"} {
+		plain := post(t, h, path, body)
+		zipped := postGzip(t, h, path, body)
+		if plain.Code != http.StatusOK || zipped.Code != http.StatusOK {
+			t.Fatalf("%s: plain %d, gzip %d", path, plain.Code, zipped.Code)
+		}
+		if plain.Body.String() == "" || countStreamDocs(t, zipped.Body.String()) != countStreamDocs(t, plain.Body.String()) {
+			t.Fatalf("%s: gzip results diverge:\nplain: %s\ngzip: %s", path, plain.Body, zipped.Body)
+		}
+	}
+	// Spot-check the verdict content on the checking endpoint.
+	results, errLines, stats := parseStream(t, postGzip(t, h, "/check/stream", body).Body.String())
+	if len(errLines) != 0 || len(results) != 3 || stats == nil {
+		t.Fatalf("gzip stream: results %v, errs %v, stats %v", results, errLines, stats)
+	}
+	if !results[0].Valid || results[1].PotentiallyValid || results[2].Error == "" {
+		t.Errorf("gzip stream verdicts: %+v", results)
+	}
+}
+
+// countStreamDocs counts non-stats result lines in an NDJSON response.
+func countStreamDocs(t *testing.T, body string) int {
+	t.Helper()
+	n := 0
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line != "" && !strings.Contains(line, `"stats"`) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestStreamGzipOversizedAfterInflate pins the satellite's cap semantics:
+// a document under the 64MB cap on the wire (gzip shrinks 64MB of 'x' to
+// ~64KB) but over it after inflation draws the same 413 as a plain
+// oversized document — the cap is enforced on decompressed bytes.
+func TestStreamGzipOversizedAfterInflate(t *testing.T) {
+	h := NewServer(New(Config{Workers: 2}))
+	big := strings.Repeat("x", MaxDocumentBytes+1)
+	body := ndjson(header(t, dtd.Figure1, "r"), docLine(t, "big", big, ""))
+	rec := postGzip(t, h, "/check/stream", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413; body: %.200s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "cap") {
+		t.Errorf("413 body should name the cap: %.200s", rec.Body)
+	}
+}
+
+// TestStreamGzipGarbageAndUnsupportedEncoding: a gzip header that is not
+// gzip is a 400; an encoding the server does not speak is a 415.
+func TestStreamGzipGarbageAndUnsupportedEncoding(t *testing.T) {
+	h := NewServer(New(Config{Workers: 2}))
+	req := httptest.NewRequest("POST", "/check/stream", strings.NewReader("this is not gzip"))
+	req.Header.Set("Content-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage gzip: status %d, want 400", rec.Code)
+	}
+
+	req = httptest.NewRequest("POST", "/complete/stream", strings.NewReader("{}"))
+	req.Header.Set("Content-Encoding", "br")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnsupportedMediaType {
+		t.Errorf("br encoding: status %d, want 415", rec.Code)
+	}
+}

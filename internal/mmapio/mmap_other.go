@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmap is unsupported on this platform; ReadFile falls back to a plain
+// read.
+func mmap(*os.File, int64) ([]byte, func(), error) {
+	return nil, nil, fmt.Errorf("mmapio: memory mapping not supported on this platform")
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only and privately. The release closure
+// unmaps; double-unmapping is guarded so a sloppy caller cannot corrupt a
+// later mapping at the same address.
+func mmap(f *os.File, size int64) ([]byte, func(), error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, nil, fmt.Errorf("mmapio: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	released := false
+	return data, func() {
+		if !released {
+			released = true
+			_ = syscall.Munmap(data)
+		}
+	}, nil
+}

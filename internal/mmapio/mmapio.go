@@ -1,0 +1,55 @@
+// Package mmapio reads files for the zero-copy byte-path checkers,
+// memory-mapping large files instead of copying them through the page
+// cache twice. Small files (and platforms without mmap support) fall back
+// to a plain read; callers get the same []byte either way plus a release
+// function that unmaps or no-ops. The engine's byte path never retains
+// document bytes past a check, so releasing after the batch returns is
+// safe.
+package mmapio
+
+import (
+	"io"
+	"os"
+)
+
+// DefaultThreshold is the size, in bytes, at or above which ReadFile
+// memory-maps instead of reading. One MiB keeps small-document workloads
+// on the cheap read path (mmap + fault + munmap costs more than a small
+// read) while large corpora stream straight off the page cache.
+const DefaultThreshold = 1 << 20
+
+// ReadFile returns the file's contents, memory-mapped when the file size
+// is at least threshold bytes (threshold <= 0 selects DefaultThreshold;
+// mapping failures and unsupported platforms silently fall back to a plain
+// read). The returned release function must be called once the bytes are
+// no longer referenced; it unmaps mapped data and is a no-op otherwise.
+// mapped reports which path was taken (for tests and stats).
+func ReadFile(path string, threshold int64) (data []byte, release func(), mapped bool, err error) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	noop := func() {}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, noop, false, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, noop, false, err
+	}
+	if info.Size() >= threshold {
+		if data, release, err := mmap(f, info.Size()); err == nil {
+			return data, release, true, nil
+		}
+		// Fall through to the plain read: a mapping failure (exotic
+		// filesystem, resource limits) must not fail the check.
+	}
+	// Plain read from the already-open file: one open+stat per file, and
+	// the size decision and the bytes come from the same file object.
+	data = make([]byte, info.Size())
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, noop, false, err
+	}
+	return data, noop, false, nil
+}

@@ -1,0 +1,63 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadFileBothPaths covers the mmap path and the plain-read fallback
+// with the same content, driven by the threshold.
+func TestReadFileBothPaths(t *testing.T) {
+	dir := t.TempDir()
+	content := []byte("<doc>" + strings.Repeat("payload ", 1000) + "</doc>")
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Threshold above the file size: plain read.
+	data, release, mapped, err := ReadFile(path, int64(len(content))+1)
+	if err != nil || mapped {
+		t.Fatalf("plain path: mapped=%v err=%v", mapped, err)
+	}
+	if !bytes.Equal(data, content) {
+		t.Fatal("plain path: content mismatch")
+	}
+	release()
+
+	// Threshold at the file size: mmap (on supported platforms).
+	data, release, mapped, err = ReadFile(path, int64(len(content)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, content) {
+		t.Fatal("mapped path: content mismatch")
+	}
+	if !mapped {
+		t.Log("mmap unsupported on this platform; fallback exercised instead")
+	}
+	release()
+	release() // double release must be safe
+}
+
+// TestReadFileEmptyAndMissing pins the edge cases: empty files never map
+// (zero-length mappings are invalid) and missing files error.
+func TestReadFileEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.xml")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, release, mapped, err := ReadFile(empty, 0) // 0 selects the default threshold
+	if err != nil || mapped || len(data) != 0 {
+		t.Fatalf("empty file: data=%d mapped=%v err=%v", len(data), mapped, err)
+	}
+	release()
+
+	if _, _, _, err := ReadFile(filepath.Join(dir, "missing.xml"), 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

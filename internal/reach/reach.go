@@ -229,6 +229,70 @@ func longestPath(direct, closed [][]bool) int {
 	return best
 }
 
+// Raw is the serializable shape of a Table: the precomputed matrices and
+// classifications without the DTD back-pointer or index maps. Matrices are
+// flattened row-major (m*m cells for m elements, in declaration order).
+// It exists for the compiled-schema disk cache (internal/core's binary
+// codec): rehydrating a Table from Raw skips the Floyd-Warshall closure,
+// the dominant cost of reach.Build on large DTDs.
+type Raw struct {
+	PCData             []bool
+	Reach              []bool
+	Strong             []bool
+	Classes            []Class
+	Class              Class
+	LongestStrongChain int
+}
+
+// Raw exports the table's precomputed state for serialization.
+func (t *Table) Raw() *Raw {
+	r := &Raw{
+		PCData:             append([]bool(nil), t.pcdata...),
+		Reach:              make([]bool, 0, t.m*t.m),
+		Strong:             make([]bool, 0, t.m*t.m),
+		Classes:            append([]Class(nil), t.classes...),
+		Class:              t.class,
+		LongestStrongChain: t.longestStrongChain,
+	}
+	for i := 0; i < t.m; i++ {
+		r.Reach = append(r.Reach, t.reach[i]...)
+		r.Strong = append(r.Strong, t.strong[i]...)
+	}
+	return r
+}
+
+// FromRaw rebuilds a Table for d from previously exported raw state,
+// validating dimensions against the DTD's declaration count. The caller is
+// responsible for pairing the raw state with the DTD it was computed from
+// (the disk cache's content addressing guarantees this; a checksum guards
+// against bit rot).
+func FromRaw(d *dtd.DTD, r *Raw) (*Table, error) {
+	m := len(d.Order)
+	if len(r.PCData) != m || len(r.Classes) != m || len(r.Reach) != m*m || len(r.Strong) != m*m {
+		return nil, fmt.Errorf("reach: raw table dimensions do not match DTD with %d elements", m)
+	}
+	t := &Table{
+		dtd:                d,
+		index:              make(map[string]int, m),
+		names:              append([]string(nil), d.Order...),
+		m:                  m,
+		pcdata:             append([]bool(nil), r.PCData...),
+		reach:              makeMatrix(m),
+		strong:             makeMatrix(m),
+		classes:            append([]Class(nil), r.Classes...),
+		class:              r.Class,
+		longestStrongChain: r.LongestStrongChain,
+	}
+	for i, name := range d.Order {
+		t.index[name] = i
+	}
+	for i := 0; i < m; i++ {
+		copy(t.reach[i], r.Reach[i*m:(i+1)*m])
+		copy(t.strong[i], r.Strong[i*m:(i+1)*m])
+	}
+	return t, nil
+}
+
 // Has reports whether name is a declared element.
 func (t *Table) Has(name string) bool {
 	_, ok := t.index[name]

@@ -1,0 +1,139 @@
+package schemastore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const refA = "aa11bb22cc33dd44ee55ff6600112233445566778899aabbccddeeff00112233"
+
+func open(t *testing.T) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := open(t)
+	if _, err := c.Get(refA); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty cache Get = %v, want ErrNotFound", err)
+	}
+	blob := []byte("compiled schema bytes")
+	if err := c.Put(refA, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(refA)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if n, err := c.Len(); n != 1 || err != nil {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The blob lands under the two-digit fanout directory.
+	if _, err := os.Stat(filepath.Join(c.Dir(), refA[:2], refA+Ext)); err != nil {
+		t.Errorf("fanout layout: %v", err)
+	}
+}
+
+func TestFindByPrefix(t *testing.T) {
+	c := open(t)
+	other := "aa11bb22dd000000000000000000000000000000000000000000000000000000"
+	elsewhere := "bb00000000000000000000000000000000000000000000000000000000000000"
+	for _, ref := range []string{refA, other, elsewhere} {
+		if err := c.Put(ref, []byte("blob:"+ref)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, data, err := c.FindByPrefix(refA[:12])
+	if err != nil || ref != refA || string(data) != "blob:"+refA {
+		t.Fatalf("FindByPrefix = %q, %q, %v", ref, data, err)
+	}
+	if _, _, err := c.FindByPrefix("aa11bb22"); !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("shared prefix = %v, want ErrAmbiguous", err)
+	}
+	if _, _, err := c.FindByPrefix("aa11bb22ee55"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown prefix = %v, want ErrNotFound", err)
+	}
+	if _, _, err := c.FindByPrefix("cc00000000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing fanout dir = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRefValidation(t *testing.T) {
+	c := open(t)
+	for _, bad := range []string{"", "short", "ABCDEF0011", "../../../etc/passwd", "zz11bb22cc33dd44"} {
+		if err := c.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed ref", bad)
+		}
+		if _, err := c.Get(bad); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q) = %v, want a malformed-ref error", bad, err)
+		}
+	}
+}
+
+func TestDeleteAndRecovery(t *testing.T) {
+	c := open(t)
+	if err := c.Put(refA, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(refA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(refA); err != nil {
+		t.Fatalf("double delete = %v, want nil", err)
+	}
+	if _, err := c.Get(refA); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c := open(t)
+	blob := []byte(strings.Repeat("schema", 1000))
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := c.Put(refA, blob); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := c.Get(refA)
+				if err != nil || len(got) != len(blob) {
+					t.Errorf("torn read: %d bytes, %v", len(got), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n, _ := c.Len(); n != 1 {
+		t.Errorf("Len = %d after racing Puts of one ref", n)
+	}
+}
+
+func TestOpenRejectsEmptyAndFiles(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f); err == nil {
+		t.Error("Open over a regular file succeeded")
+	}
+}

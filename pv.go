@@ -422,8 +422,9 @@ func (s *Schema) CompleteBytes(xml []byte) ([]byte, *Diff, error) {
 		return nil, nil, err
 	}
 	parsed.Root = ext
-	d := diff.ComputeDoc(ext, nodes, parsed.String())
-	return []byte(d.Completed), d, nil
+	buf := parsed.AppendXML(nil)
+	d := diff.ComputeDoc(ext, nodes, string(buf))
+	return buf, d, nil
 }
 
 // Info summarizes the compiled schema for display.
@@ -441,12 +442,23 @@ func (s *Schema) Info() string {
 type Engine struct{ e *engine.Engine }
 
 // EngineConfig parameterizes NewEngine. The zero value is a good default:
-// GOMAXPROCS workers, a 64-schema cache, both verdict bits computed.
+// GOMAXPROCS workers, a 64-schema cache striped over 8 shards, both
+// verdict bits computed, no disk cache.
 type EngineConfig struct {
 	// Workers bounds batch concurrency; <=0 selects GOMAXPROCS.
 	Workers int
-	// SchemaCacheSize bounds the compiled-schema LRU; <=0 selects 64.
+	// SchemaCacheSize bounds the compiled-schema store's total in-memory
+	// capacity; <=0 selects 64.
 	SchemaCacheSize int
+	// SchemaCacheShards is the store's lock-stripe count; <=0 selects 8.
+	// Concurrent compilation and ref-routing traffic contends per shard,
+	// not on one mutex.
+	SchemaCacheShards int
+	// SchemaCacheDir enables the disk tier: compiled schemas persist as
+	// content-addressed blobs under this directory, so later engines (and
+	// process restarts) rehydrate them instead of recompiling. Empty
+	// disables the tier.
+	SchemaCacheDir string
 	// PVOnly skips the full-validity bit, which needs a tree parse of each
 	// potentially valid document — the fastest mode for firehose filtering.
 	PVOnly bool
@@ -475,13 +487,31 @@ type EngineStats = engine.Stats
 // RegistryStats is a schema-registry counter snapshot.
 type RegistryStats = engine.RegistryStats
 
-// NewEngine builds a concurrent checking engine.
+// NewEngine builds a concurrent checking engine. It panics when
+// SchemaCacheDir is set but cannot be created or opened; use OpenEngine to
+// handle that error (a zero-value config never fails).
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{e: engine.New(engine.Config{
+	e, err := OpenEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// OpenEngine builds a concurrent checking engine, reporting a disk cache
+// directory that cannot be created or opened as an error.
+func OpenEngine(cfg EngineConfig) (*Engine, error) {
+	e, err := engine.Open(engine.Config{
 		Workers:   cfg.Workers,
 		CacheSize: cfg.SchemaCacheSize,
+		Shards:    cfg.SchemaCacheShards,
+		CacheDir:  cfg.SchemaCacheDir,
 		PVOnly:    cfg.PVOnly,
-	})}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
 }
 
 // engineOptions converts public Options to the registry's key options.
@@ -568,8 +598,9 @@ func engSchema(s *Schema) *engine.Schema {
 // Stats returns the engine's lifetime counters.
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }
 
-// CacheStats returns the schema registry's counters.
-func (e *Engine) CacheStats() RegistryStats { return e.e.Registry().Stats() }
+// CacheStats returns the schema store's counters (shard aggregates plus
+// disk-tier activity when a cache directory is configured).
+func (e *Engine) CacheStats() RegistryStats { return e.e.Store().Stats() }
 
 // Handler returns the engine's HTTP API (the pvserve surface: POST /check,
 // POST /batch, GET /schemas, GET /stats), for embedding in a larger server.
