@@ -3,7 +3,8 @@
 // identifier (types, functions, methods, consts, vars) must carry a doc
 // comment. CI runs it over the public API surface and the service packages:
 //
-//	go run ./cmd/doclint . ./internal/engine ./internal/diff ./internal/complete
+//	go run ./cmd/doclint . ./internal/engine ./internal/diff ./internal/complete \
+//	    ./internal/schemastore ./internal/mmapio ./internal/jobs
 //
 // Exit status: 0 clean, 1 findings, 2 usage or parse errors.
 package main

@@ -1,14 +1,15 @@
-// Command pvbench regenerates the experiment tables X1-X10: the empirical
+// Command pvbench regenerates the experiment tables X1-X11: the empirical
 // counterparts of the paper's analytical claims (X1-X6) plus the service
 // layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
-// path, X9 completion throughput, X10 sharded two-tier schema store).
+// path, X9 completion throughput, X10 sharded two-tier schema store,
+// X11 async job-queue ingest).
 //
 // Usage:
 //
-//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore]
+//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest]
 //
 // -json emits the selected tables as a JSON array (the format committed
-// under bench/, e.g. bench/X9.json and bench/X10.json).
+// under bench/, e.g. bench/X9.json, bench/X10.json and bench/X11.json).
 package main
 
 import (
@@ -78,6 +79,7 @@ func main() {
 		{"bytepath", func() *bench.Table { return bench.BytePath(bytePathCorpus, tputBudget) }},
 		{"completion", func() *bench.Table { return bench.CompletionThroughput(workerCounts, corpus, tputBudget) }},
 		{"schemastore", func() *bench.Table { return bench.SchemaStore(shardCounts, schemaCount, corpus, tputBudget) }},
+		{"asyncingest", func() *bench.Table { return bench.AsyncIngest(workerCounts, corpus, tputBudget) }},
 	}
 
 	var tables []*bench.Table

@@ -9,8 +9,11 @@
 //	pvcheck complete (-dtd schema.dtd | -xsd schema.xsd) -root r [-diff] [-in-place] [flags] dir...
 //
 // The batch form fans a directory of documents out over the concurrent
-// checking engine (see -workers); the complete form rewrites potentially
-// valid documents into valid ones, printing the completed document, the
+// checking engine (see -workers); with -async it submits the corpus as one
+// job on the engine's async queue instead and polls it to completion
+// (progress every -poll interval) — the CLI twin of pvserve's
+// POST /batch?async=1. The complete form rewrites potentially valid
+// documents into valid ones, printing the completed document, the
 // insertion records (-diff), or rewriting files in place (-in-place).
 //
 // Exit status: 0 when every document is potentially valid, 1 when some

@@ -5,16 +5,28 @@
 // Usage:
 //
 //	pvserve [-addr :8080] [-workers N] [-cache N] [-shards N] [-cache-dir DIR] [-pvonly]
+//	        [-job-workers N] [-job-queue N] [-job-ttl DUR]
 //
-// Routes (all JSON; full wire spec in docs/http-api.md):
+// Routes (all JSON; full wire spec in docs/http-api.md, async jobs in
+// docs/jobs-api.md):
 //
-//	POST /check            {"schema","kind","root","options","document"}  -> verdict
-//	POST /batch            {"schema","kind","root","options","documents"} -> verdicts + stats
-//	POST /check/stream     NDJSON in (schema headers + documents), NDJSON out
-//	POST /complete         {"schema",...,"documents","diff"} -> completions + diffs + stats
-//	POST /complete/stream  NDJSON in, NDJSON completion lines out (?diff=0 drops records)
-//	GET  /schemas          cached compiled schemas, most recently used first
-//	GET  /stats            registry and engine lifetime counters
+//	POST /check             {"schema","kind","root","options","document"}  -> verdict
+//	POST /batch             {"schema","kind","root","options","documents"} -> verdicts + stats
+//	POST /batch?async=1     same body -> 202 {jobId}; poll /jobs/{id}
+//	POST /check/stream      NDJSON in (schema headers + documents), NDJSON out
+//	POST /complete          {"schema",...,"documents","diff"} -> completions + diffs + stats
+//	POST /complete?async=1  same body -> 202 {jobId}
+//	POST /complete/stream   NDJSON in, NDJSON completion lines out (?diff=0 drops records)
+//	GET  /jobs              retained async jobs; GET /jobs/{id} one job's progress
+//	GET  /jobs/{id}/results one job's verdicts as NDJSON; DELETE /jobs/{id} cancels
+//	GET  /schemas           cached compiled schemas, most recently used first
+//	GET  /stats             registry, engine and job-queue lifetime counters
+//
+// Async jobs decouple document arrival from verdict production: a huge
+// corpus is accepted in one 202 round trip, checked by -job-workers jobs
+// draining through the shared worker pool, and its results are retained
+// for -job-ttl after completion (spilling to <cache-dir>/jobs/<pid> past
+// the in-memory buffer when a cache directory is configured).
 //
 // The schema travels inline with each request; the store dedupes by
 // content hash, so resending it costs a hash, not a compilation. The store
@@ -45,14 +57,20 @@ func main() {
 	shards := flag.Int("shards", 0, "schema store lock-stripe count (0 = default 8)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed compiled-schema cache directory (empty = memory only)")
 	pvOnly := flag.Bool("pvonly", false, "skip the full-validity bit (fastest)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (0 = default 2)")
+	jobQueue := flag.Int("job-queue", 0, "async jobs queued beyond the running ones before 429 (0 = default 64)")
+	jobTTL := flag.Duration("job-ttl", 0, "retention of finished async jobs and their results (0 = default 15m)")
 	flag.Parse()
 
 	e, err := engine.Open(engine.Config{
-		Workers:   *workers,
-		CacheSize: *cache,
-		Shards:    *shards,
-		CacheDir:  *cacheDir,
-		PVOnly:    *pvOnly,
+		Workers:       *workers,
+		CacheSize:     *cache,
+		Shards:        *shards,
+		CacheDir:      *cacheDir,
+		PVOnly:        *pvOnly,
+		JobWorkers:    *jobWorkers,
+		JobQueueDepth: *jobQueue,
+		JobResultTTL:  *jobTTL,
 	})
 	if err != nil {
 		log.Fatalf("pvserve: %v", err)
@@ -68,7 +86,8 @@ func main() {
 		IdleTimeout: 2 * time.Minute,
 	}
 	st := e.Store().Stats()
-	log.Printf("pvserve listening on %s (workers=%d, cache=%d over %d shards, cache-dir=%q, pvonly=%v)",
-		*addr, e.Workers(), st.Capacity, st.Shards, *cacheDir, *pvOnly)
+	js := e.Jobs().Stats()
+	log.Printf("pvserve listening on %s (workers=%d, cache=%d over %d shards, cache-dir=%q, pvonly=%v, job-workers=%d, job-queue=%d)",
+		*addr, e.Workers(), st.Capacity, st.Shards, *cacheDir, *pvOnly, js.Workers, js.QueueDepth)
 	log.Fatal(srv.ListenAndServe())
 }

@@ -1,14 +1,15 @@
 // Package bench implements the experiment harness: one function per
-// experiment (X1-X10), each regenerating the corresponding table. The
+// experiment (X1-X11), each regenerating the corresponding table. The
 // paper (ICDE 2006) has no empirical tables — its evaluation is
 // analytical — so X1-X6 measure the paper's complexity claims: linearity
 // in document size (Theorem 4), the impracticality of generic Earley
 // parsing on G' (Section 3.3), the k^D depth factor for PV-strong
 // recursive DTDs, and the O(1) incremental update checks (Theorem 2,
-// Proposition 3). X7-X10 measure the service layer: checking throughput
+// Proposition 3). X7-X11 measure the service layer: checking throughput
 // vs workers, the zero-copy byte path, completion throughput vs workers,
-// and the sharded two-tier schema store (lock-stripe scaling + disk-cache
-// cold start).
+// the sharded two-tier schema store (lock-stripe scaling + disk-cache
+// cold start), and the async job-queue ingest (submit latency + job
+// throughput vs the synchronous batch).
 package bench
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/grammar"
+	"repro/internal/jobs"
 	"repro/internal/validator"
 )
 
@@ -784,6 +786,92 @@ func SchemaStore(shardCounts []int, schemaCount, corpusSize int, budget time.Dur
 	return t
 }
 
+// AsyncIngest is experiment X11 (the async job-queue ingest): submit
+// latency and end-to-end throughput of the job path (SubmitCheckBatch →
+// poll → results, the machinery behind POST /batch?async=1) versus the
+// synchronous CheckBatch at equal worker counts, over the X7 mixed play
+// corpus. Submit latency is what an HTTP client pays before its 202 —
+// near-constant and tiny, independent of corpus size, which is the point
+// of async ingest: arrival is decoupled from verdict production. The
+// end-to-end column shows what the decoupling costs: job chunking adds
+// bounded overhead over the synchronous batch (the async_vs_sync ratio).
+func AsyncIngest(workerCounts []int, corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(11))
+	docs := make([]engine.Doc, corpusSize)
+	var corpusBytes int64
+	for i := range docs {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+		switch i % 3 {
+		case 1:
+			gen.Strip(rng, doc, 0.3)
+		case 2:
+			gen.Corrupt(rng, d, doc)
+		}
+		docs[i] = engine.Doc{ID: fmt.Sprint(i), Content: doc.String()}
+		corpusBytes += int64(len(docs[i].Content))
+	}
+	t := &Table{
+		Name:    "asyncingest",
+		Caption: "X11 / async ingest — job submit latency and end-to-end async throughput vs synchronous CheckBatch (mixed play corpus)",
+		Header: []string{"workers", "corpus_docs", "submit_ns", "sync_docs_per_sec",
+			"async_docs_per_sec", "async_mb_per_sec", "async_vs_sync"},
+	}
+	for _, w := range workerCounts {
+		e := engine.New(engine.Config{Workers: w, JobWorkers: 2, JobQueueDepth: 16})
+		s, err := e.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+		if err != nil {
+			panic(err)
+		}
+		e.CheckBatch(s, docs) // warm up (pools, page cache)
+
+		// Synchronous baseline at this worker count.
+		syncBatches := 0
+		start := time.Now()
+		for time.Since(start) < budget || syncBatches == 0 {
+			if _, stats := e.CheckBatch(s, docs); stats.Malformed != 0 {
+				panic("play corpus contains malformed documents")
+			}
+			syncBatches++
+		}
+		syncDps := float64(syncBatches*len(docs)) / time.Since(start).Seconds()
+
+		// Async path: submit latency is measured alone; the wait to Done
+		// makes the loop's wall clock the end-to-end throughput. Finished
+		// jobs are removed immediately so retention never skews the loop.
+		var submitNs int64
+		asyncRuns := 0
+		start = time.Now()
+		for time.Since(start) < budget || asyncRuns == 0 {
+			t0 := time.Now()
+			job, err := e.SubmitCheckBatch(s, docs)
+			if err != nil {
+				panic(err)
+			}
+			submitNs += time.Since(t0).Nanoseconds()
+			<-job.Done()
+			if job.State() != jobs.Done {
+				panic(fmt.Sprintf("async job ended %v", job.State()))
+			}
+			e.Jobs().Remove(job.ID())
+			asyncRuns++
+		}
+		asyncElapsed := time.Since(start)
+		asyncDps := float64(asyncRuns*len(docs)) / asyncElapsed.Seconds()
+		asyncMBps := float64(asyncRuns) * float64(corpusBytes) / (1 << 20) / asyncElapsed.Seconds()
+		e.Close()
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w), fmt.Sprint(len(docs)),
+			fmt.Sprint(submitNs / int64(asyncRuns)),
+			fmt.Sprintf("%.0f", syncDps), fmt.Sprintf("%.0f", asyncDps),
+			fmt.Sprintf("%.2f", asyncMBps),
+			fmt.Sprintf("%.2fx", asyncDps/syncDps),
+		})
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -824,5 +912,6 @@ func All(quick bool) []*Table {
 		BytePath(corpus, tputBudget),
 		CompletionThroughput(workerCounts, corpus, tputBudget),
 		SchemaStore([]int{1, 2, 4, 8}, schemaCount, corpus, tputBudget),
+		AsyncIngest(workerCounts, corpus, tputBudget),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 10 {
-		t.Fatalf("want 10 tables, got %d", len(tables))
+	if len(tables) != 11 {
+		t.Fatalf("want 11 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -134,6 +134,29 @@ func TestAllQuick(t *testing.T) {
 		}
 		if warm[7] == "0" || cold[6] == "0" {
 			t.Errorf("cold-start accounting wrong: cold %v warm %v", cold, warm)
+		}
+	}
+	// X11: both ingest paths make progress at every worker count, and the
+	// submit latency stays orders of magnitude below one corpus pass (the
+	// decoupling the async path exists for).
+	if rows := byName["asyncingest"].Rows; len(rows) != 4 {
+		t.Errorf("asyncingest rows: %v", rows)
+	} else {
+		for _, row := range rows {
+			syncDps, err1 := strconv.ParseFloat(row[3], 64)
+			asyncDps, err2 := strconv.ParseFloat(row[4], 64)
+			if err1 != nil || err2 != nil || syncDps <= 0 || asyncDps <= 0 {
+				t.Errorf("asyncingest row has no progress: %v", row)
+			}
+			submitNs, err := strconv.ParseInt(row[2], 10, 64)
+			if err != nil || submitNs <= 0 {
+				t.Errorf("asyncingest submit latency missing: %v", row)
+			}
+			docs, _ := strconv.Atoi(row[1])
+			corpusNs := float64(docs) / asyncDps * 1e9
+			if float64(submitNs) > corpusNs/2 {
+				t.Errorf("submit latency %dns not decoupled from corpus pass %.0fns: %v", submitNs, corpusNs, row)
+			}
 		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.

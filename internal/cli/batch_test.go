@@ -130,3 +130,26 @@ func TestBatchUsageErrors(t *testing.T) {
 		t.Errorf("missing input: exit = %d, want 2", code)
 	}
 }
+
+// TestBatchAsync pins the -async job mode to the synchronous verdicts:
+// same per-document lines, same exit code, plus job progress on stderr.
+func TestBatchAsync(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var syncOut, syncErr strings.Builder
+	syncCode := Batch([]string{"-dtd", dtdPath, "-root", "r", docsDir}, &syncOut, &syncErr)
+	var out, errOut strings.Builder
+	code := Batch([]string{"-dtd", dtdPath, "-root", "r", "-async", "-poll", "1ms", docsDir}, &out, &errOut)
+	if code != syncCode {
+		t.Fatalf("async exit = %d, sync = %d\nstderr:\n%s", code, syncCode, errOut.String())
+	}
+	if out.String() != syncOut.String() {
+		t.Errorf("async verdicts diverge from sync:\nasync:\n%s\nsync:\n%s", out.String(), syncOut.String())
+	}
+	text := errOut.String()
+	if !strings.Contains(text, "submitted 5 documents") {
+		t.Errorf("stderr missing submission line:\n%s", text)
+	}
+	if !strings.Contains(text, "checked 5 documents async") {
+		t.Errorf("stderr missing async summary:\n%s", text)
+	}
+}

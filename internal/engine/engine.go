@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/complete"
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/jobs"
 	"repro/internal/schemastore"
 	"repro/internal/validator"
 )
@@ -136,6 +138,17 @@ type Config struct {
 	// PVOnly skips the full-validity bit (which needs a tree parse of every
 	// potentially valid document) — the fastest mode for firehose filtering.
 	PVOnly bool
+	// JobWorkers bounds how many async jobs execute concurrently (each
+	// job's chunks still share the engine-wide Workers semaphore, so this
+	// bounds job-level parallelism, not CPU use); <=0 selects 2.
+	JobWorkers int
+	// JobQueueDepth bounds async jobs accepted but not yet running; a full
+	// queue rejects submission (ErrJobQueueFull, HTTP 429). <=0 selects 64.
+	JobQueueDepth int
+	// JobResultTTL is how long a finished async job and its buffered
+	// results are retained before reaping (a reaped job answers 404); <=0
+	// selects 15 minutes.
+	JobResultTTL time.Duration
 }
 
 // Engine is the concurrent checking front end: a sharded schema store plus
@@ -143,6 +156,7 @@ type Config struct {
 type Engine struct {
 	store   SchemaStore
 	reg     *Registry // the built-in store, when store is one
+	jobs    *jobs.Manager
 	workers int
 	pvOnly  bool
 	// sem bounds checking concurrency engine-wide, not per batch: N
@@ -186,14 +200,32 @@ func Open(cfg Config) (*Engine, error) {
 		}
 	}
 	reg := NewShardedRegistry(cfg.CacheSize, cfg.Shards, disk)
+	// Async job results spill next to the schema cache when a disk tier is
+	// configured; memory-only engines buffer results in memory.
+	var spill string
+	if cfg.CacheDir != "" {
+		spill = filepath.Join(cfg.CacheDir, "jobs")
+	}
 	return &Engine{
-		store:   reg,
-		reg:     reg,
+		store: reg,
+		reg:   reg,
+		jobs: jobs.NewManager(jobs.Config{
+			Workers:    cfg.JobWorkers,
+			QueueDepth: cfg.JobQueueDepth,
+			ResultTTL:  cfg.JobResultTTL,
+			SpillDir:   spill,
+		}),
 		workers: w,
 		pvOnly:  cfg.PVOnly,
 		sem:     make(chan struct{}, w),
 	}, nil
 }
+
+// Close stops the engine's async job workers and reaper. Running jobs
+// finish their current chunk; queued jobs stop being picked up. Batch and
+// single-document checking remain usable (they never go through the job
+// layer).
+func (e *Engine) Close() { e.jobs.Close() }
 
 // Store returns the engine's schema store.
 func (e *Engine) Store() SchemaStore { return e.store }

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"encoding/json"
+
+	"repro/internal/jobs"
+)
+
+// The async ingest path: instead of holding an HTTP connection open while
+// a huge corpus is checked, a client submits the batch as a *job*
+// (POST /batch?async=1 → 202 {jobId}), polls GET /jobs/{id} for state and
+// progress, and fetches the verdicts as NDJSON from GET /jobs/{id}/results
+// once the job is done. The job layer (internal/jobs) owns the bounded
+// queue, the worker pool, the state machine and result retention; this
+// file adapts it to the engine: each job's runner drains chunks of the
+// submitted documents through the same CheckBatch/CompleteBatch the
+// synchronous routes use, so async verdicts are identical to synchronous
+// ones (the end-to-end test pins this), progress advances once per chunk,
+// and cancellation takes effect at chunk boundaries.
+
+// ErrJobQueueFull rejects an async submission when the job queue is at
+// capacity — the HTTP layer maps it to 429.
+var ErrJobQueueFull = jobs.ErrQueueFull
+
+// Jobs returns the engine's async job manager (queue, state, results).
+func (e *Engine) Jobs() *jobs.Manager { return e.jobs }
+
+// SubmitCheckBatch enqueues docs for asynchronous checking and returns
+// the accepted job without waiting for any verdict. The job's workers
+// drain the documents through CheckBatch in chunks — identical verdicts,
+// SchemaRef routing and lifetime accounting as the synchronous call — and
+// retain one NDJSON verdict line per document. s is the default schema
+// for documents without a SchemaRef and may be nil when every document
+// routes itself. Fails with ErrJobQueueFull when the queue is at
+// capacity. The docs slice is retained until the job reaches a terminal
+// state (it is released at finish, not held for the retention TTL);
+// callers must not mutate it after submission.
+func (e *Engine) SubmitCheckBatch(s *Schema, docs []Doc) (*jobs.Job, error) {
+	return e.jobs.Submit("check", len(docs), func(lo, hi int) ([][]byte, error) {
+		results, _ := e.CheckBatch(s, docs[lo:hi])
+		lines := make([][]byte, len(results))
+		for i := range results {
+			results[i].Index = lo + i
+			b, err := json.Marshal(toJSON(results[i]))
+			if err != nil {
+				return nil, err
+			}
+			lines[i] = b
+		}
+		return lines, nil
+	})
+}
+
+// SubmitCompleteBatch enqueues docs for asynchronous completion — the
+// CompleteBatch twin of SubmitCheckBatch. Each retained NDJSON line is a
+// /complete result object (completed output, inserted count, and the
+// per-insertion records when withDiff is set).
+func (e *Engine) SubmitCompleteBatch(s *Schema, docs []Doc, withDiff bool) (*jobs.Job, error) {
+	return e.jobs.Submit("complete", len(docs), func(lo, hi int) ([][]byte, error) {
+		results, _ := e.CompleteBatch(s, docs[lo:hi], withDiff)
+		lines := make([][]byte, len(results))
+		for i := range results {
+			results[i].Index = lo + i
+			b, err := json.Marshal(completeToJSON(results[i]))
+			if err != nil {
+				return nil, err
+			}
+			lines[i] = b
+		}
+		return lines, nil
+	})
+}

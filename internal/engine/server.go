@@ -5,19 +5,30 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"repro/internal/diff"
+	"repro/internal/jobs"
 )
 
-// The HTTP front end (cmd/pvserve) speaks JSON over seven routes:
+// The HTTP front end (cmd/pvserve) speaks JSON over these routes:
 //
-//	POST /check            one document           -> one verdict
-//	POST /batch            many documents         -> verdicts + batch stats
-//	POST /check/stream     NDJSON document stream -> NDJSON verdict stream
-//	POST /complete         many documents         -> completions + stats
-//	POST /complete/stream  NDJSON document stream -> NDJSON completion stream
-//	GET  /schemas          cached compiled schemas (MRU first)
-//	GET  /stats            registry + engine lifetime counters
+//	POST /check             one document           -> one verdict
+//	POST /batch             many documents         -> verdicts + batch stats
+//	POST /batch?async=1     many documents         -> 202 {jobId} (async job)
+//	POST /check/stream      NDJSON document stream -> NDJSON verdict stream
+//	POST /complete          many documents         -> completions + stats
+//	POST /complete?async=1  many documents         -> 202 {jobId} (async job)
+//	POST /complete/stream   NDJSON document stream -> NDJSON completion stream
+//	GET  /jobs              retained async jobs (newest first)
+//	GET  /jobs/{id}         one job's state + progress
+//	GET  /jobs/{id}/results one job's verdicts as NDJSON
+//	DELETE /jobs/{id}       cancel an active job / remove a finished one
+//	GET  /schemas           cached compiled schemas (MRU first)
+//	GET  /stats             registry + engine + job-queue lifetime counters
+//
+// POST /check/batch and POST /complete/batch are aliases of /batch and
+// /complete (async-capable spellings that name the workload explicitly).
 //
 // The POST routes carry the schema source inline; the registry dedupes by
 // content hash, so resending the same schema with every request costs one
@@ -137,6 +148,49 @@ type completeResponse struct {
 type statsResponse struct {
 	Registry RegistryStats `json:"registry"`
 	Engine   Stats         `json:"engine"`
+	Jobs     jobs.Stats    `json:"jobs"`
+}
+
+// jobAccepted is the 202 response of an async submission.
+type jobAccepted struct {
+	JobID    string `json:"jobId"`
+	State    string `json:"state"`
+	Total    int    `json:"total"`
+	Location string `json:"location"`
+}
+
+// wantAsync reports whether the request selects the async job path
+// (?async=1, true or yes).
+func wantAsync(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("async")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// accepted answers an async submission: 202 with the job id and where to
+// poll.
+func accepted(w http.ResponseWriter, j *jobs.Job) {
+	w.Header().Set("Content-Type", "application/json")
+	loc := "/jobs/" + j.ID()
+	w.Header().Set("Location", loc)
+	w.WriteHeader(http.StatusAccepted)
+	info := j.Info()
+	_ = json.NewEncoder(w).Encode(jobAccepted{
+		JobID: info.ID, State: info.State, Total: info.Total, Location: loc,
+	})
+}
+
+// submitError maps job-submission failures: a full queue is 429, anything
+// else a 500.
+func submitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrJobQueueFull) {
+		httpError(w, http.StatusTooManyRequests,
+			"job queue is full; retry later or raise -job-queue")
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err.Error())
 }
 
 // NewServer returns the HTTP handler over e.
@@ -153,7 +207,7 @@ func NewServer(e *Engine) http.Handler {
 		}
 		reply(w, toJSON(e.Check(s, Doc{Content: req.Document})))
 	})
-	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+	batch := func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
 		if !decode(w, r, &req) {
 			return
@@ -167,17 +221,28 @@ func NewServer(e *Engine) http.Handler {
 				return
 			}
 		}
+		if wantAsync(r) {
+			j, err := e.SubmitCheckBatch(s, req.Documents)
+			if err != nil {
+				submitError(w, err)
+				return
+			}
+			accepted(w, j)
+			return
+		}
 		results, stats := e.CheckBatch(s, req.Documents)
 		out := batchResponse{Results: make([]resultJSON, len(results)), Stats: stats}
 		for i, res := range results {
 			out.Results[i] = toJSON(res)
 		}
 		reply(w, out)
-	})
+	}
+	mux.HandleFunc("POST /batch", batch)
+	mux.HandleFunc("POST /check/batch", batch)
 	mux.HandleFunc("POST /check/stream", func(w http.ResponseWriter, r *http.Request) {
 		serveCheckStream(e, w, r)
 	})
-	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
+	complete := func(w http.ResponseWriter, r *http.Request) {
 		var req completeRequest
 		if !decode(w, r, &req) {
 			return
@@ -190,21 +255,91 @@ func NewServer(e *Engine) http.Handler {
 			}
 		}
 		withDiff := wantDiff(r) && (req.Diff == nil || *req.Diff)
+		if wantAsync(r) {
+			j, err := e.SubmitCompleteBatch(s, req.Documents, withDiff)
+			if err != nil {
+				submitError(w, err)
+				return
+			}
+			accepted(w, j)
+			return
+		}
 		results, stats := e.CompleteBatch(s, req.Documents, withDiff)
 		out := completeResponse{Results: make([]completeJSON, len(results)), Stats: stats}
 		for i, res := range results {
 			out.Results[i] = completeToJSON(res)
 		}
 		reply(w, out)
-	})
+	}
+	mux.HandleFunc("POST /complete", complete)
+	mux.HandleFunc("POST /complete/batch", complete)
 	mux.HandleFunc("POST /complete/stream", func(w http.ResponseWriter, r *http.Request) {
 		serveCompleteStream(e, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, map[string]any{"jobs": e.Jobs().List()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Jobs().Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job (unknown id, or reaped after its TTL)")
+			return
+		}
+		reply(w, j.Info())
+	})
+	mux.HandleFunc("GET /jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Jobs().Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job (unknown id, or reaped after its TTL)")
+			return
+		}
+		// A running job streams the prefix retained so far; poll
+		// GET /jobs/{id} to a terminal state first for the complete set.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if _, err := j.WriteResults(w); err != nil {
+			// Output may be half-written; the broken stream is the signal.
+			return
+		}
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Cancel an active job (queued: immediately; running: at its next
+		// chunk boundary, keeping partial results and the record until TTL
+		// reap); remove a finished one (its results become 404).
+		id := r.PathValue("id")
+		j, ok := e.Jobs().Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job (unknown id, or reaped after its TTL)")
+			return
+		}
+		remove := func() {
+			info := j.Info()
+			// Remove can lose a race against a concurrent DELETE or the TTL
+			// reaper — the loser answers 404 like any other missing job.
+			if !e.Jobs().Remove(id) {
+				httpError(w, http.StatusNotFound, "no such job (unknown id, or reaped after its TTL)")
+				return
+			}
+			reply(w, map[string]any{"removed": true, "job": info})
+		}
+		if j.State().Finished() {
+			remove()
+			return
+		}
+		canceled := j.Cancel()
+		if !canceled && j.State().Finished() {
+			// The job finished between the check above and Cancel: honor the
+			// finished-job contract (remove on the spot) rather than answer
+			// an undocumented {"canceled": false}.
+			remove()
+			return
+		}
+		reply(w, map[string]any{"canceled": canceled, "job": j.Info()})
 	})
 	mux.HandleFunc("GET /schemas", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, map[string]any{"schemas": e.Store().Schemas()})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, statsResponse{Registry: e.Store().Stats(), Engine: e.Stats()})
+		reply(w, statsResponse{Registry: e.Store().Stats(), Engine: e.Stats(), Jobs: e.Jobs().Stats()})
 	})
 	return mux
 }

@@ -1,0 +1,829 @@
+// Package jobs is the async ingest layer's job-queue machinery: a bounded
+// queue of submitted jobs, a worker pool that drains it, a per-job state
+// machine (queued → running → done|failed|canceled), per-job progress
+// counters, and result retention with an in-memory cap, optional disk
+// spill, and TTL-based reaping of finished jobs.
+//
+// The package is deliberately engine-agnostic: a job is "total inputs plus
+// a Runner that turns a contiguous chunk of them into encoded NDJSON
+// lines". The engine layer supplies runners that close over CheckBatch or
+// CompleteBatch; tests supply runners that block, fail, or count. Chunked
+// execution is what makes progress reporting and cancel-while-running
+// possible without teaching the batch workers about jobs: the manager
+// checks for cancellation between chunks, so a canceled job stops within
+// one chunk's worth of work and keeps the results it already produced.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// State is one point in the job lifecycle. The machine is
+// queued → running → done|failed|canceled, with one shortcut: a job
+// canceled while still queued goes straight to canceled without running.
+type State int32
+
+// The job lifecycle states.
+const (
+	// Queued: accepted, waiting for a job worker.
+	Queued State = iota
+	// Running: a worker is draining the job's chunks.
+	Running
+	// Done: every input processed; results complete.
+	Done
+	// Failed: a chunk returned an error; results up to that chunk are kept.
+	Failed
+	// Canceled: canceled before or during execution; partial results kept.
+	Canceled
+)
+
+// String names the state for wire and log use.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Finished reports whether the state is terminal.
+func (s State) Finished() bool { return s == Done || s == Failed || s == Canceled }
+
+// Runner produces the results for one contiguous chunk [lo, hi) of a job's
+// inputs: one encoded NDJSON line per input, in input order. A non-nil
+// error fails the whole job (results of earlier chunks are retained).
+type Runner func(lo, hi int) ([][]byte, error)
+
+// ErrQueueFull rejects a submission when the job queue is at capacity —
+// the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("jobs: queue is full")
+
+// ErrClosed rejects a submission after the manager has been closed.
+var ErrClosed = errors.New("jobs: manager is closed")
+
+// Defaults for Config zero values.
+const (
+	// DefaultWorkers is the default number of concurrent jobs.
+	DefaultWorkers = 2
+	// DefaultQueueDepth is the default bound on jobs accepted but not yet
+	// running.
+	DefaultQueueDepth = 64
+	// DefaultResultTTL is how long a finished job and its results are
+	// retained by default.
+	DefaultResultTTL = 15 * time.Minute
+	// DefaultChunk is the default number of inputs per Runner call — the
+	// granularity of progress updates and cancellation.
+	DefaultChunk = 64
+	// DefaultBufferedResults is the default per-job count of encoded result
+	// lines held in memory before spilling to disk (when a spill directory
+	// is configured).
+	DefaultBufferedResults = 4096
+)
+
+// Config parameterizes a Manager. The zero value selects the defaults
+// above with no disk spill.
+type Config struct {
+	// Workers bounds how many jobs execute concurrently; <=0 selects
+	// DefaultWorkers. Each job's chunks still run through whatever
+	// concurrency its Runner provides (for the engine: the engine-wide
+	// worker semaphore), so this bounds job-level parallelism, not CPU use.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet claimed by a worker; a
+	// full queue makes Submit fail with ErrQueueFull. <=0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+	// ResultTTL is how long a finished job (and its buffered results) is
+	// retained before the reaper removes it; <=0 selects DefaultResultTTL.
+	ResultTTL time.Duration
+	// Chunk is the number of inputs per Runner call; <=0 selects
+	// DefaultChunk.
+	Chunk int
+	// BufferedResults caps the encoded result lines a job holds in memory;
+	// past the cap, results spill to a file under SpillDir. <=0 selects
+	// DefaultBufferedResults. Without a SpillDir the buffer simply keeps
+	// growing (bounded by the submitted batch size).
+	BufferedResults int
+	// SpillDir, when non-empty, is the spill root: each manager writes one
+	// NDJSON file per overflowing job under SpillDir/<pid> (created lazily,
+	// removed at reap/delete). The per-pid namespace lets processes share a
+	// root (instances sharing a cache directory) without the startup sweep
+	// of a new process destroying a live sibling's files.
+	SpillDir string
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = DefaultWorkers
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = DefaultQueueDepth
+	}
+	if out.ResultTTL <= 0 {
+		out.ResultTTL = DefaultResultTTL
+	}
+	if out.Chunk <= 0 {
+		out.Chunk = DefaultChunk
+	}
+	if out.BufferedResults <= 0 {
+		out.BufferedResults = DefaultBufferedResults
+	}
+	return out
+}
+
+// Manager owns the job table, the bounded queue and the worker pool.
+// Workers and the reaper start lazily on the first Submit, so constructing
+// a Manager (every engine carries one) costs nothing until async ingest is
+// actually used. All methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+	// spillDir is this process's namespace under cfg.SpillDir ("" when
+	// spilling is disabled).
+	spillDir string
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers: pending grew, or closed
+	jobs    map[string]*Job
+	pending []*Job // submitted, not yet claimed by a worker; bounded by QueueDepth
+	closed  bool
+
+	start sync.Once
+	stop  chan struct{}
+
+	// Lifetime counters (gauges are derived from the job table).
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+	reaped    atomic.Int64
+}
+
+// NewManager builds a manager; workers start on first use.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:  cfg,
+		jobs: map[string]*Job{},
+		stop: make(chan struct{}),
+	}
+	if cfg.SpillDir != "" {
+		m.spillDir = filepath.Join(cfg.SpillDir, strconv.Itoa(os.Getpid()))
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Close stops the worker pool and the reaper. Queued jobs are finalized
+// as Canceled (their Done channels close — no waiter is left hanging);
+// running jobs finish their current chunk and then observe the shutdown
+// as a cancellation. Submissions after Close fail with ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	// The closed flag (flipped exactly once, above) makes Close idempotent
+	// without ever starting a pool that no Submit asked for.
+	close(m.stop)
+	m.cond.Broadcast()
+	for _, j := range pending {
+		// cancelQueued loses only to a worker that claimed the job before
+		// the pending queue was emptied (it will self-cancel between
+		// chunks) or to a concurrent Cancel — either way the job still
+		// terminates.
+		if j.cancelQueued() {
+			m.canceled.Add(1)
+		}
+	}
+}
+
+// startPool sweeps orphaned spill files, then launches the worker pool
+// and the reaper (under m.start).
+func (m *Manager) startPool() {
+	m.sweepSpillDir()
+	for i := 0; i < m.cfg.Workers; i++ {
+		go m.worker()
+	}
+	go m.reaper()
+}
+
+// sweepSpillDir reclaims spill namespaces orphaned by dead processes:
+// job state dies with its process, so the files under a dead pid's
+// directory are unreachable by Reap/Remove and would otherwise accumulate
+// across restarts. Only directories whose owning pid is confirmed gone
+// are removed — instances sharing a spill root (a shared cache directory)
+// never touch each other's live files. Runs once, at pool start.
+func (m *Manager) sweepSpillDir() {
+	if m.cfg.SpillDir == "" {
+		return
+	}
+	ents, err := os.ReadDir(m.cfg.SpillDir)
+	if err != nil {
+		return // no dir yet (or unreadable): nothing to reclaim
+	}
+	self := os.Getpid()
+	for _, ent := range ents {
+		pid, err := strconv.Atoi(ent.Name())
+		if err != nil || !ent.IsDir() || pid == self {
+			continue
+		}
+		if pidDead(pid) {
+			_ = os.RemoveAll(filepath.Join(m.cfg.SpillDir, ent.Name()))
+		}
+	}
+}
+
+// pidDead reports whether no process with the given pid exists anymore.
+// False negatives (a recycled pid) only postpone reclamation.
+func pidDead(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return true
+	}
+	return errors.Is(p.Signal(syscall.Signal(0)), os.ErrProcessDone)
+}
+
+// newID draws a 128-bit random hex job id.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues a job over total inputs executed by run, in chunks. It
+// fails with ErrQueueFull when the queue is at capacity and ErrClosed
+// after Close; otherwise the job is Queued and will be claimed by a
+// worker. A zero-input job completes without ever invoking run.
+func (m *Manager) Submit(kind string, total int, run Runner) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.mu.Unlock()
+	m.start.Do(m.startPool)
+	j := &Job{
+		m:       m,
+		id:      newID(),
+		kind:    kind,
+		total:   total,
+		run:     run,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	j.state.Store(int32(Queued))
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.cond.Signal()
+	m.submitted.Add(1)
+	return j, nil
+}
+
+// Get returns the job with the given id, if it is still retained.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every retained job, newest submission first.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]Info, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Info()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
+			return out[i].CreatedAt.After(out[k].CreatedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel requests cancellation of the job with the given id. A queued job
+// becomes Canceled immediately and never runs; a running job stops at its
+// next chunk boundary, keeping the results produced so far; a finished job
+// is left untouched (Cancel then reports false). The boolean is whether a
+// cancellation was actually delivered; unknown ids return ErrNotFound.
+func (m *Manager) Cancel(id string) (bool, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return false, ErrNotFound
+	}
+	return j.Cancel(), nil
+}
+
+// Remove drops a finished job from the table right now (freeing its
+// buffered results and spill file) — the DELETE-a-finished-job semantics.
+// Active jobs are not removable; cancel them first. It reports whether the
+// job was removed.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || !State(j.state.Load()).Finished() {
+		m.mu.Unlock()
+		return false
+	}
+	delete(m.jobs, id)
+	m.mu.Unlock()
+	j.cleanup()
+	m.reaped.Add(1)
+	return true
+}
+
+// ErrNotFound reports an unknown (or already reaped) job id — the HTTP
+// layer maps it to 404.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// nl terminates one NDJSON line.
+var nl = []byte{'\n'}
+
+// Reap sweeps finished jobs whose retention TTL has expired, returning how
+// many were removed. The background reaper calls it periodically; tests
+// (and operators wanting immediate reclamation) may call it directly.
+func (m *Manager) Reap() int {
+	cutoff := time.Now().Add(-m.cfg.ResultTTL)
+	var expired []*Job
+	m.mu.Lock()
+	for id, j := range m.jobs {
+		if fin, ok := j.finishedAt(); ok && fin.Before(cutoff) {
+			delete(m.jobs, id)
+			expired = append(expired, j)
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range expired {
+		j.cleanup()
+	}
+	m.reaped.Add(int64(len(expired)))
+	return len(expired)
+}
+
+// reaper periodically sweeps expired jobs until Close.
+func (m *Manager) reaper() {
+	period := m.cfg.ResultTTL / 4
+	if period < 100*time.Millisecond {
+		period = 100 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Reap()
+		}
+	}
+}
+
+// worker claims jobs off the pending queue until Close. Jobs canceled
+// while queued are removed from pending by Cancel itself, so they never
+// hold a queue slot against the QueueDepth bound.
+func (m *Manager) worker() {
+	for {
+		m.mu.Lock()
+		for !m.closed && len(m.pending) == 0 {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending[0] = nil
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job through its chunks, honoring cancellation between
+// chunks and recording the terminal state exactly once.
+func (m *Manager) runJob(j *Job) {
+	now := time.Now()
+	j.mu.Lock()
+	if !j.state.CompareAndSwap(int32(Queued), int32(Running)) {
+		j.mu.Unlock()
+		return // canceled while queued; Cancel already finalized it
+	}
+	// The claim and its timestamp commit under one j.mu hold, so Info can
+	// never observe state "running" without startedAt (same for the
+	// terminal transitions below).
+	j.started = &now
+	j.mu.Unlock()
+	for lo := 0; lo < j.total; lo += m.cfg.Chunk {
+		canceled := j.cancelReq.Load()
+		select {
+		case <-m.stop:
+			canceled = true
+		default:
+		}
+		if canceled {
+			j.finish(Canceled, "")
+			m.canceled.Add(1)
+			return
+		}
+		hi := lo + m.cfg.Chunk
+		if hi > j.total {
+			hi = j.total
+		}
+		lines, err := j.run(lo, hi)
+		if err == nil {
+			err = j.appendResults(lines)
+		}
+		if err != nil {
+			j.finish(Failed, err.Error())
+			m.failed.Add(1)
+			return
+		}
+		j.doneDocs.Add(int64(hi - lo))
+	}
+	// A cancellation that lands during the final chunk would otherwise be
+	// acknowledged yet end "done"; this narrows that window — a Cancel
+	// racing the line below can still lose, which the API documents.
+	if j.cancelReq.Load() {
+		j.finish(Canceled, "")
+		m.canceled.Add(1)
+		return
+	}
+	j.finish(Done, "")
+	m.completed.Add(1)
+}
+
+// Stats is a snapshot of the manager's gauges and lifetime counters —
+// surfaced as the "jobs" block of GET /stats.
+type Stats struct {
+	// Gauges over the currently retained job table.
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Retained int `json:"retained"`
+	// Lifetime counters.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	Reaped    int64 `json:"reaped"`
+	// Configuration echoes, so dashboards can plot queue pressure against
+	// its bound.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queueDepth"`
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Submitted:  m.submitted.Load(),
+		Completed:  m.completed.Load(),
+		Failed:     m.failed.Load(),
+		Canceled:   m.canceled.Load(),
+		Rejected:   m.rejected.Load(),
+		Reaped:     m.reaped.Load(),
+		Workers:    m.cfg.Workers,
+		QueueDepth: m.cfg.QueueDepth,
+	}
+	m.mu.Lock()
+	s.Retained = len(m.jobs)
+	for _, j := range m.jobs {
+		switch State(j.state.Load()) {
+		case Queued:
+			s.Queued++
+		case Running:
+			s.Running++
+		}
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// Job is one submitted batch: identity, lifecycle state, progress
+// counters and the retained results. All methods are safe for concurrent
+// use.
+type Job struct {
+	m     *Manager
+	id    string
+	kind  string
+	total int
+	run   Runner
+
+	state     atomic.Int32 // State
+	cancelReq atomic.Bool
+	doneDocs  atomic.Int64
+	created   time.Time
+	done      chan struct{} // closed exactly once, on reaching a terminal state
+
+	mu          sync.Mutex
+	started     *time.Time
+	finished    *time.Time
+	errMsg      string
+	lines       [][]byte // buffered encoded NDJSON result lines
+	resultBytes int64
+	spillPath   string
+	spill       *os.File // append handle while spilled; nil otherwise
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Done returns a channel closed when the job reaches a terminal state —
+// the no-polling alternative to watching Info.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation: immediate for a queued job, at the next
+// chunk boundary for a running one, a no-op (false) for a finished one.
+func (j *Job) Cancel() bool {
+	j.cancelReq.Store(true)
+	if j.cancelQueued() {
+		// The job never ran; free its queue slot so canceled-while-queued
+		// jobs don't count against QueueDepth. (If a worker claimed it
+		// first, it is already out of pending and the worker's own
+		// queued→running CAS won instead.)
+		j.m.removePending(j)
+		j.m.canceled.Add(1)
+		return true
+	}
+	return State(j.state.Load()) == Running
+}
+
+// cancelQueued finalizes a still-queued job as Canceled — the CAS
+// arbitrates against a worker's queued→running claim. Reports whether
+// this call won the job.
+func (j *Job) cancelQueued() bool {
+	now := time.Now()
+	j.mu.Lock()
+	if !j.state.CompareAndSwap(int32(Queued), int32(Canceled)) {
+		j.mu.Unlock()
+		return false
+	}
+	j.finished = &now
+	j.run = nil
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// removePending drops j from the pending queue, if it is still there.
+func (m *Manager) removePending(j *Job) {
+	m.mu.Lock()
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// finish moves a running job to its terminal state: state, finish time
+// and error commit under one j.mu hold (Info can never see a terminal
+// state without finishedAt), the spill append handle closes, the Runner
+// closure is released (it pins the submitted inputs — for the engine, the
+// whole docs slice — which must not stay live for the retention TTL), and
+// Done is signaled.
+func (j *Job) finish(s State, errMsg string) {
+	now := time.Now()
+	j.mu.Lock()
+	j.state.Store(int32(s))
+	j.finished = &now
+	j.errMsg = errMsg
+	j.run = nil
+	if j.spill != nil {
+		_ = j.spill.Close()
+		j.spill = nil
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// finishedAt returns the finish time when the job is terminal.
+func (j *Job) finishedAt() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished == nil {
+		return time.Time{}, false
+	}
+	return *j.finished, true
+}
+
+// appendResults retains one chunk's encoded lines: in memory up to the
+// configured buffer, then (with a spill directory) in a per-job NDJSON
+// file on disk.
+func (j *Job) appendResults(lines [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.spill == nil && j.spillPath == "" &&
+		len(j.lines)+len(lines) > j.m.cfg.BufferedResults && j.m.cfg.SpillDir != "" {
+		if err := j.openSpillLocked(); err != nil {
+			return err
+		}
+	}
+	if j.spill != nil {
+		for _, ln := range lines {
+			if _, err := j.spill.Write(ln); err != nil {
+				return fmt.Errorf("jobs: writing spill file: %w", err)
+			}
+			if _, err := j.spill.Write(nl); err != nil {
+				return fmt.Errorf("jobs: writing spill file: %w", err)
+			}
+			j.resultBytes += int64(len(ln)) + 1
+		}
+		return nil
+	}
+	for _, ln := range lines {
+		j.lines = append(j.lines, ln)
+		j.resultBytes += int64(len(ln)) + 1
+	}
+	return nil
+}
+
+// openSpillLocked moves the buffered lines to a fresh spill file and keeps
+// the handle open for subsequent appends. Called with j.mu held.
+func (j *Job) openSpillLocked() error {
+	if err := os.MkdirAll(j.m.spillDir, 0o755); err != nil {
+		return fmt.Errorf("jobs: creating spill dir: %w", err)
+	}
+	path := filepath.Join(j.m.spillDir, j.id+".ndjson")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: creating spill file: %w", err)
+	}
+	for _, ln := range j.lines {
+		_, err := f.Write(ln)
+		if err == nil {
+			_, err = f.Write(nl)
+		}
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(path)
+			return fmt.Errorf("jobs: writing spill file: %w", err)
+		}
+	}
+	j.lines = nil
+	j.spillPath = path
+	j.spill = f
+	return nil
+}
+
+// WriteResults streams the job's retained results — one NDJSON line per
+// processed input, in input order — into w, returning the bytes written.
+// For a job that is still running, the stream is the prefix accumulated so
+// far; poll until the state is terminal for the complete set.
+func (j *Job) WriteResults(w io.Writer) (int64, error) {
+	// Snapshot under j.mu, then write with the lock released: w may be a
+	// slow client connection, and holding the lock across the copy would
+	// stall the job's appends and every Info poll.
+	j.mu.Lock()
+	if j.spillPath != "" {
+		f, err := os.Open(j.spillPath)
+		if err != nil {
+			j.mu.Unlock()
+			return 0, fmt.Errorf("jobs: reading spill file: %w", err)
+		}
+		// Bound the copy at the bytes appended so far: a concurrent append
+		// can grow the file, but never past the resultBytes snapshot.
+		limit := j.resultBytes
+		j.mu.Unlock()
+		defer f.Close()
+		return io.Copy(w, io.LimitReader(f, limit))
+	}
+	// The lines slice is append-only while the job lives (cleanup replaces
+	// the header, never the retained elements), so the snapshot stays valid.
+	lines := j.lines
+	j.mu.Unlock()
+	var n int64
+	for _, ln := range lines {
+		wn, err := w.Write(ln)
+		n += int64(wn)
+		if err != nil {
+			return n, err
+		}
+		wn, err = w.Write(nl)
+		n += int64(wn)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// cleanup releases a removed job's retained results.
+func (j *Job) cleanup() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lines = nil
+	if j.spill != nil {
+		_ = j.spill.Close()
+		j.spill = nil
+	}
+	if j.spillPath != "" {
+		_ = os.Remove(j.spillPath)
+		j.spillPath = ""
+	}
+}
+
+// Info is a job snapshot: the wire form of GET /jobs and GET /jobs/{id}.
+type Info struct {
+	// ID is the job identifier handed back by the 202 submission response.
+	ID string `json:"id"`
+	// Kind is the workload ("check" or "complete" for the engine's jobs).
+	Kind string `json:"kind"`
+	// State is the lifecycle state name.
+	State string `json:"state"`
+	// Total and Done are the progress counters: inputs submitted and inputs
+	// processed so far.
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// ResultBytes is the size of the retained NDJSON results; Spilled
+	// reports whether they live on disk.
+	ResultBytes int64 `json:"resultBytes"`
+	Spilled     bool  `json:"spilled,omitempty"`
+	// Error explains a Failed state.
+	Error string `json:"error,omitempty"`
+	// CreatedAt/StartedAt/FinishedAt are the lifecycle timestamps.
+	CreatedAt  time.Time  `json:"createdAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// Info snapshots the job. State, progress and timestamps are read under
+// j.mu — the same hold every transition commits under — so a terminal
+// state always appears together with its finish time and full progress
+// count.
+func (j *Job) Info() Info {
+	info := Info{
+		ID:        j.id,
+		Kind:      j.kind,
+		Total:     j.total,
+		CreatedAt: j.created,
+	}
+	j.mu.Lock()
+	info.State = State(j.state.Load()).String()
+	info.Done = int(j.doneDocs.Load())
+	info.ResultBytes = j.resultBytes
+	info.Spilled = j.spillPath != ""
+	info.Error = j.errMsg
+	if j.started != nil {
+		t := *j.started
+		info.StartedAt = &t
+	}
+	if j.finished != nil {
+		t := *j.finished
+		info.FinishedAt = &t
+	}
+	j.mu.Unlock()
+	return info
+}

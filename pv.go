@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/complete"
 	"repro/internal/core"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/dtd"
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/reach"
 	"repro/internal/validator"
 	"repro/internal/xsd"
@@ -462,6 +464,16 @@ type EngineConfig struct {
 	// PVOnly skips the full-validity bit, which needs a tree parse of each
 	// potentially valid document — the fastest mode for firehose filtering.
 	PVOnly bool
+	// JobWorkers bounds how many async jobs (SubmitBatch /
+	// SubmitCompleteBatch) execute concurrently; each job's chunks still
+	// share the engine-wide Workers bound. <=0 selects 2.
+	JobWorkers int
+	// JobQueueDepth bounds async jobs accepted but not yet running; a full
+	// queue makes submission fail with ErrJobQueueFull. <=0 selects 64.
+	JobQueueDepth int
+	// JobResultTTL is how long a finished async job and its buffered
+	// results are retained before reaping; <=0 selects 15 minutes.
+	JobResultTTL time.Duration
 }
 
 // Doc is one batch input: an identifier (path, queue key, anything) plus
@@ -502,11 +514,14 @@ func NewEngine(cfg EngineConfig) *Engine {
 // directory that cannot be created or opened as an error.
 func OpenEngine(cfg EngineConfig) (*Engine, error) {
 	e, err := engine.Open(engine.Config{
-		Workers:   cfg.Workers,
-		CacheSize: cfg.SchemaCacheSize,
-		Shards:    cfg.SchemaCacheShards,
-		CacheDir:  cfg.SchemaCacheDir,
-		PVOnly:    cfg.PVOnly,
+		Workers:       cfg.Workers,
+		CacheSize:     cfg.SchemaCacheSize,
+		Shards:        cfg.SchemaCacheShards,
+		CacheDir:      cfg.SchemaCacheDir,
+		PVOnly:        cfg.PVOnly,
+		JobWorkers:    cfg.JobWorkers,
+		JobQueueDepth: cfg.JobQueueDepth,
+		JobResultTTL:  cfg.JobResultTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -595,6 +610,71 @@ func engSchema(s *Schema) *engine.Schema {
 	return s.eng
 }
 
+// Job is one asynchronously submitted batch: identity, lifecycle state
+// (queued → running → done|failed|canceled), progress counters and the
+// retained NDJSON results. See internal/jobs for the machinery.
+type Job = jobs.Job
+
+// JobInfo is a job snapshot (state, progress, timestamps) — the wire form
+// of GET /jobs/{id}.
+type JobInfo = jobs.Info
+
+// JobStats snapshots the engine's job queue: queued/running gauges plus
+// submitted/completed/failed/canceled/rejected/reaped lifetime counters.
+type JobStats = jobs.Stats
+
+// ErrJobQueueFull rejects SubmitBatch/SubmitCompleteBatch when the job
+// queue is at capacity (HTTP 429 on the wire).
+var ErrJobQueueFull = engine.ErrJobQueueFull
+
+// ErrJobNotFound reports an unknown — or already reaped — job id from
+// CancelJob (HTTP 404 on the wire).
+var ErrJobNotFound = jobs.ErrNotFound
+
+// SubmitBatch enqueues docs for asynchronous checking and returns the
+// accepted job without waiting for any verdict — the async twin of
+// CheckBatch, with identical per-document verdicts. Poll Job.Info (or wait
+// on Job.Done) for progress; stream the verdicts with Job.WriteResults
+// once it finishes. s is the default schema for documents without a
+// SchemaRef and may be nil when every document routes itself. Fails with
+// ErrJobQueueFull when the queue is at capacity. The docs slice is
+// retained until the job reaches a terminal state (then released, not
+// held for the retention TTL); do not mutate it after submission.
+func (e *Engine) SubmitBatch(s *Schema, docs []Doc) (*Job, error) {
+	return e.e.SubmitCheckBatch(engSchema(s), docs)
+}
+
+// SubmitCompleteBatch enqueues docs for asynchronous completion — the
+// async twin of CompleteBatch. Each retained NDJSON line is a /complete
+// result object.
+func (e *Engine) SubmitCompleteBatch(s *Schema, docs []Doc, withDiff bool) (*Job, error) {
+	return e.e.SubmitCompleteBatch(engSchema(s), docs, withDiff)
+}
+
+// Job returns a submitted job by id, while it is retained (finished jobs
+// are reaped after EngineConfig.JobResultTTL).
+func (e *Engine) Job(id string) (*Job, bool) { return e.e.Jobs().Get(id) }
+
+// JobList snapshots every retained job, newest submission first.
+func (e *Engine) JobList() []JobInfo { return e.e.Jobs().List() }
+
+// CancelJob cancels a queued or running job (partial results are kept).
+// It reports whether a cancellation was delivered; unknown or reaped ids
+// return ErrJobNotFound.
+func (e *Engine) CancelJob(id string) (bool, error) { return e.e.Jobs().Cancel(id) }
+
+// RemoveJob drops a finished job right now — freeing its buffered results
+// and spill file without waiting for the TTL reaper. Active jobs are not
+// removable (cancel first); it reports whether the job was removed.
+func (e *Engine) RemoveJob(id string) bool { return e.e.Jobs().Remove(id) }
+
+// JobStats snapshots the job queue's gauges and lifetime counters.
+func (e *Engine) JobStats() JobStats { return e.e.Jobs().Stats() }
+
+// Close stops the engine's async job workers and reaper; synchronous
+// checking and completion remain usable.
+func (e *Engine) Close() { e.e.Close() }
+
 // Stats returns the engine's lifetime counters.
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }
 
@@ -602,6 +682,7 @@ func (e *Engine) Stats() EngineStats { return e.e.Stats() }
 // disk-tier activity when a cache directory is configured).
 func (e *Engine) CacheStats() RegistryStats { return e.e.Store().Stats() }
 
-// Handler returns the engine's HTTP API (the pvserve surface: POST /check,
-// POST /batch, GET /schemas, GET /stats), for embedding in a larger server.
+// Handler returns the engine's HTTP API (the full pvserve surface:
+// POST /check, POST /batch (+?async=1), the NDJSON streams, the /jobs
+// routes, GET /schemas, GET /stats), for embedding in a larger server.
 func (e *Engine) Handler() http.Handler { return engine.NewServer(e.e) }

@@ -1,9 +1,12 @@
 package pv
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -111,5 +114,60 @@ func TestEngineCheckAllAndStats(t *testing.T) {
 	}
 	if e.Handler() == nil {
 		t.Error("Handler() returned nil")
+	}
+}
+
+// TestEngineSubmitBatch exercises the public async job API: submit, wait,
+// stream NDJSON results, and compare verdict counts with the synchronous
+// batch.
+func TestEngineSubmitBatch(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 4, JobWorkers: 2})
+	defer e.Close()
+	schema, err := e.CompileDTD(Figure1DTD, "r", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]Doc, 150)
+	for i := range docs {
+		content := `<r><a><c>x</c><d></d></a></r>`
+		if i%3 == 1 {
+			content = `<r><a><b>text</b></a></r>` // potentially valid only
+		}
+		if i%3 == 2 {
+			content = `<r><a>` // malformed
+		}
+		docs[i] = Doc{ID: fmt.Sprintf("d%d", i), Content: content}
+	}
+	job, err := e.SubmitBatch(schema, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Job(job.ID()); !ok || got != job {
+		t.Fatalf("Job(%q) lookup failed", job.ID())
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job stuck: %+v", job.Info())
+	}
+	info := job.Info()
+	if info.State != "done" || info.Done != len(docs) {
+		t.Fatalf("info = %+v", info)
+	}
+	var buf bytes.Buffer
+	if _, err := job.WriteResults(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(docs) {
+		t.Fatalf("results = %d lines, want %d", lines, len(docs))
+	}
+	if list := e.JobList(); len(list) != 1 || list[0].ID != job.ID() {
+		t.Fatalf("JobList = %+v", list)
+	}
+	if st := e.JobStats(); st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("JobStats = %+v", st)
+	}
+	if _, err := e.CancelJob("nope"); err == nil {
+		t.Fatal("CancelJob on unknown id must error")
 	}
 }
