@@ -1,15 +1,15 @@
-// Command pvbench regenerates the experiment tables X1-X11: the empirical
+// Command pvbench regenerates the experiment tables X1-X12: the empirical
 // counterparts of the paper's analytical claims (X1-X6) plus the service
 // layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
 // path, X9 completion throughput, X10 sharded two-tier schema store,
-// X11 async job-queue ingest).
+// X11 async job-queue ingest, X12 durable-job write-ahead log).
 //
 // Usage:
 //
-//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest]
+//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability]
 //
 // -json emits the selected tables as a JSON array (the format committed
-// under bench/, e.g. bench/X9.json, bench/X10.json and bench/X11.json).
+// under bench/, e.g. bench/X9.json, bench/X11.json and bench/X12.json).
 package main
 
 import (
@@ -80,6 +80,7 @@ func main() {
 		{"completion", func() *bench.Table { return bench.CompletionThroughput(workerCounts, corpus, tputBudget) }},
 		{"schemastore", func() *bench.Table { return bench.SchemaStore(shardCounts, schemaCount, corpus, tputBudget) }},
 		{"asyncingest", func() *bench.Table { return bench.AsyncIngest(workerCounts, corpus, tputBudget) }},
+		{"durability", func() *bench.Table { return bench.Durability(corpus, tputBudget) }},
 	}
 
 	var tables []*bench.Table

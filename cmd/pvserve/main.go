@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pvserve [-addr :8080] [-workers N] [-cache N] [-shards N] [-cache-dir DIR] [-pvonly]
-//	        [-job-workers N] [-job-queue N] [-job-ttl DUR]
+//	        [-job-workers N] [-job-queue N] [-job-ttl DUR] [-job-volatile] [-job-wal-nosync]
+//	        [-drain DUR]
 //
 // Routes (all JSON; full wire spec in docs/http-api.md, async jobs in
 // docs/jobs-api.md):
@@ -25,8 +26,20 @@
 // Async jobs decouple document arrival from verdict production: a huge
 // corpus is accepted in one 202 round trip, checked by -job-workers jobs
 // draining through the shared worker pool, and its results are retained
-// for -job-ttl after completion (spilling to <cache-dir>/jobs/<pid> past
-// the in-memory buffer when a cache directory is configured).
+// for -job-ttl after completion (spilling past the in-memory buffer when a
+// cache directory is configured).
+//
+// With -cache-dir set, jobs are durable by default: every submission is
+// recorded in a write-ahead log under <cache-dir>/jobs before it is
+// accepted, so a restarted pvserve re-serves finished jobs and re-runs (or
+// resumes) interrupted ones — GET /jobs/{id} keeps answering across
+// restarts. -job-volatile opts out; -job-wal-nosync trades the per-submit
+// fsync for throughput (a process kill still loses nothing, only a machine
+// crash can). See docs/operations.md, "Durability & restart".
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, in-
+// flight requests and running jobs drain for up to -drain, and the WAL is
+// closed cleanly before the process exits 0.
 //
 // The schema travels inline with each request; the store dedupes by
 // content hash, so resending it costs a hash, not a compilation. The store
@@ -42,9 +55,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -60,6 +78,9 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (0 = default 2)")
 	jobQueue := flag.Int("job-queue", 0, "async jobs queued beyond the running ones before 429 (0 = default 64)")
 	jobTTL := flag.Duration("job-ttl", 0, "retention of finished async jobs and their results (0 = default 15m)")
+	jobVolatile := flag.Bool("job-volatile", false, "keep async jobs in memory even when -cache-dir is set (no write-ahead log)")
+	jobWALNoSync := flag.Bool("job-wal-nosync", false, "skip the per-submission fsync of the job write-ahead log")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
 	flag.Parse()
 
 	e, err := engine.Open(engine.Config{
@@ -71,9 +92,19 @@ func main() {
 		JobWorkers:    *jobWorkers,
 		JobQueueDepth: *jobQueue,
 		JobResultTTL:  *jobTTL,
+		VolatileJobs:  *jobVolatile,
+		JobWALNoSync:  *jobWALNoSync,
 	})
 	if err != nil {
 		log.Fatalf("pvserve: %v", err)
+	}
+	if rec, ok := e.JobRecovery(); ok {
+		if n := rec.Total(); n > 0 {
+			log.Printf("pvserve: recovered %d job(s) from the write-ahead log (requeued=%d resumed=%d served=%d failed=%d)",
+				n, rec.Requeued, rec.Resumed, rec.Served, rec.Failed)
+		} else {
+			log.Printf("pvserve: job write-ahead log replayed clean (no jobs to recover)")
+		}
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -87,7 +118,31 @@ func main() {
 	}
 	st := e.Store().Stats()
 	js := e.Jobs().Stats()
-	log.Printf("pvserve listening on %s (workers=%d, cache=%d over %d shards, cache-dir=%q, pvonly=%v, job-workers=%d, job-queue=%d)",
-		*addr, e.Workers(), st.Capacity, st.Shards, *cacheDir, *pvOnly, js.Workers, js.QueueDepth)
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("pvserve listening on %s (workers=%d, cache=%d over %d shards, cache-dir=%q, pvonly=%v, job-workers=%d, job-queue=%d, durable-jobs=%v)",
+		*addr, e.Workers(), st.Capacity, st.Shards, *cacheDir, *pvOnly, js.Workers, js.QueueDepth, js.Durable)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("pvserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("pvserve: shutting down (drain budget %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("pvserve: http drain: %v", err)
+	}
+	// Let running jobs reach a chunk boundary (or finish) before the WAL
+	// closes; anything still in flight is recorded as interrupted and
+	// re-run on the next start.
+	if err := e.Shutdown(dctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("pvserve: job drain: %v (interrupted jobs will recover on restart)", err)
+	}
+	e.Close()
+	log.Printf("pvserve: bye")
 }

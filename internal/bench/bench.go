@@ -1,15 +1,16 @@
 // Package bench implements the experiment harness: one function per
-// experiment (X1-X11), each regenerating the corresponding table. The
+// experiment (X1-X12), each regenerating the corresponding table. The
 // paper (ICDE 2006) has no empirical tables — its evaluation is
 // analytical — so X1-X6 measure the paper's complexity claims: linearity
 // in document size (Theorem 4), the impracticality of generic Earley
 // parsing on G' (Section 3.3), the k^D depth factor for PV-strong
 // recursive DTDs, and the O(1) incremental update checks (Theorem 2,
-// Proposition 3). X7-X11 measure the service layer: checking throughput
+// Proposition 3). X7-X12 measure the service layer: checking throughput
 // vs workers, the zero-copy byte path, completion throughput vs workers,
 // the sharded two-tier schema store (lock-stripe scaling + disk-cache
-// cold start), and the async job-queue ingest (submit latency + job
-// throughput vs the synchronous batch).
+// cold start), the async job-queue ingest (submit latency + job
+// throughput vs the synchronous batch), and the job write-ahead log
+// (submit latency across in-memory / unsynced-WAL / fsynced-WAL stores).
 package bench
 
 import (
@@ -872,6 +873,105 @@ func AsyncIngest(workerCounts []int, corpusSize int, budget time.Duration) *Tabl
 	return t
 }
 
+// Durability is experiment X12 (durable jobs): async submit latency and
+// end-to-end job throughput across the three job-store modes — in-memory
+// (the zero-config default), write-ahead log without the per-submit fsync,
+// and the WAL with fsync-on-submit (the disk-backed default). The fsync is
+// the price of a crash-safe 202: a submission is on disk before the client
+// hears "accepted", so a killed process re-runs it on restart. The
+// unsynced WAL shows what that fsync costs in isolation — it still
+// survives a process kill (the page cache outlives the process), only a
+// machine crash can drop its tail.
+func Durability(corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(12))
+	docs := make([]engine.Doc, corpusSize)
+	for i := range docs {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+		if i%3 == 1 {
+			gen.Strip(rng, doc, 0.3)
+		}
+		docs[i] = engine.Doc{ID: fmt.Sprint(i), Content: doc.String()}
+	}
+	t := &Table{
+		Name: "durability",
+		Caption: "X12 / durable jobs — async submit latency and job throughput " +
+			"across job-store modes (in-memory, WAL unsynced, WAL fsync-on-submit)",
+		Header: []string{"store", "corpus_docs", "jobs", "submit_us",
+			"docs_per_sec", "submit_vs_mem"},
+	}
+	modes := []struct {
+		name         string
+		volatileJobs bool
+		noSync       bool
+	}{
+		{"mem", true, false},
+		{"wal-nosync", false, true},
+		{"wal-fsync", false, false},
+	}
+	var memSubmitUs float64
+	for _, m := range modes {
+		dir, err := os.MkdirTemp("", "pvbench-x12-*")
+		if err != nil {
+			panic(err)
+		}
+		// Every mode gets the same cache dir treatment so only the job
+		// store varies; the schema disk tier is constant.
+		e, err := engine.Open(engine.Config{
+			JobWorkers:    2,
+			JobQueueDepth: 16,
+			CacheDir:      dir,
+			VolatileJobs:  m.volatileJobs,
+			JobWALNoSync:  m.noSync,
+		})
+		if err != nil {
+			panic(err)
+		}
+		s, err := e.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+		if err != nil {
+			panic(err)
+		}
+		runJob := func() time.Duration {
+			t0 := time.Now()
+			job, err := e.SubmitCheckBatch(s, docs)
+			if err != nil {
+				panic(err)
+			}
+			submit := time.Since(t0)
+			<-job.Done()
+			if job.State() != jobs.Done {
+				panic(fmt.Sprintf("async job ended %v", job.State()))
+			}
+			e.Jobs().Remove(job.ID())
+			return submit
+		}
+		runJob() // warm up (pools, page cache, WAL segment)
+
+		var submitNs int64
+		runs := 0
+		start := time.Now()
+		for time.Since(start) < budget || runs == 0 {
+			submitNs += runJob().Nanoseconds()
+			runs++
+		}
+		dps := float64(runs*len(docs)) / time.Since(start).Seconds()
+		e.Close()
+		os.RemoveAll(dir)
+
+		submitUs := float64(submitNs) / float64(runs) / 1e3
+		if m.name == "mem" {
+			memSubmitUs = submitUs
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name, fmt.Sprint(len(docs)), fmt.Sprint(runs),
+			fmt.Sprintf("%.1f", submitUs),
+			fmt.Sprintf("%.0f", dps),
+			fmt.Sprintf("%.2fx", submitUs/memSubmitUs),
+		})
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -913,5 +1013,6 @@ func All(quick bool) []*Table {
 		CompletionThroughput(workerCounts, corpus, tputBudget),
 		SchemaStore([]int{1, 2, 4, 8}, schemaCount, corpus, tputBudget),
 		AsyncIngest(workerCounts, corpus, tputBudget),
+		Durability(corpus, tputBudget),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 11 {
-		t.Fatalf("want 11 tables, got %d", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("want 12 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -157,6 +157,23 @@ func TestAllQuick(t *testing.T) {
 			if float64(submitNs) > corpusNs/2 {
 				t.Errorf("submit latency %dns not decoupled from corpus pass %.0fns: %v", submitNs, corpusNs, row)
 			}
+		}
+	}
+	// X12: all three store modes move documents; the fsynced WAL cannot
+	// beat the in-memory submit (submit_vs_mem >= 1) — absolute latencies
+	// are disk dependent, so only the ordering is asserted.
+	if rows := byName["durability"].Rows; len(rows) != 3 {
+		t.Errorf("durability rows: %v", rows)
+	} else {
+		for _, row := range rows {
+			dps, err := strconv.ParseFloat(row[4], 64)
+			if err != nil || dps <= 0 {
+				t.Errorf("durability row has no progress: %v", row)
+			}
+		}
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(rows[2][5], "x"), 64)
+		if err != nil || ratio < 1 {
+			t.Errorf("fsynced WAL submit faster than memory: %v", rows[2])
 		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.

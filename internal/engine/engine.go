@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -14,6 +15,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/jobs"
+	"repro/internal/jobs/jobstore"
+	"repro/internal/jobs/walstore"
 	"repro/internal/schemastore"
 	"repro/internal/validator"
 )
@@ -149,6 +152,20 @@ type Config struct {
 	// results are retained before reaping (a reaped job answers 404); <=0
 	// selects 15 minutes.
 	JobResultTTL time.Duration
+	// VolatileJobs opts out of job durability: with a CacheDir the engine
+	// defaults to a write-ahead submission log under <CacheDir>/jobs (jobs
+	// survive a restart: finished ones are re-served, interrupted ones
+	// re-run); setting this keeps job state in-process only.
+	VolatileJobs bool
+	// JobWALNoSync disables the fsync-on-submit of the job WAL, trading
+	// the machine-crash guarantee for submit latency (a process crash
+	// alone loses nothing either way — the page cache survives it).
+	JobWALNoSync bool
+	// JobStore overrides the job-event store entirely (a custom
+	// jobstore.Store implementation — e.g. a shared store in tests, or a
+	// future database backend). When set, CacheDir/VolatileJobs do not
+	// influence job persistence. The engine owns the store and closes it.
+	JobStore jobstore.Store
 }
 
 // Engine is the concurrent checking front end: a sharded schema store plus
@@ -159,6 +176,10 @@ type Engine struct {
 	jobs    *jobs.Manager
 	workers int
 	pvOnly  bool
+	// recovery holds the replay outcome when the engine recovered jobs
+	// from a persistent store at Open (recovered reports whether it did).
+	recovery  jobs.RecoveryStats
+	recovered bool
 	// sem bounds checking concurrency engine-wide, not per batch: N
 	// concurrent CheckBatch calls (pvserve requests) share the same
 	// `workers` slots instead of multiplying them.
@@ -206,7 +227,18 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.CacheDir != "" {
 		spill = filepath.Join(cfg.CacheDir, "jobs")
 	}
-	return &Engine{
+	// Job persistence: an explicit JobStore wins; otherwise a disk tier
+	// implies the write-ahead log under <CacheDir>/jobs (unless opted out),
+	// and a memory-only engine keeps the in-process default.
+	store := cfg.JobStore
+	if store == nil && cfg.CacheDir != "" && !cfg.VolatileJobs {
+		ws, err := walstore.Open(spill, walstore.Options{NoSync: cfg.JobWALNoSync})
+		if err != nil {
+			return nil, fmt.Errorf("engine: opening job WAL: %w", err)
+		}
+		store = ws
+	}
+	e := &Engine{
 		store: reg,
 		reg:   reg,
 		jobs: jobs.NewManager(jobs.Config{
@@ -214,18 +246,45 @@ func Open(cfg Config) (*Engine, error) {
 			QueueDepth: cfg.JobQueueDepth,
 			ResultTTL:  cfg.JobResultTTL,
 			SpillDir:   spill,
+			Store:      store,
 		}),
 		workers: w,
 		pvOnly:  cfg.PVOnly,
 		sem:     make(chan struct{}, w),
-	}, nil
+	}
+	if store != nil {
+		// Replay whatever the store retained before accepting any new
+		// submission: finished jobs come back servable, interrupted ones
+		// re-queue (their runners rebuilt from the persisted payloads
+		// through the schema registry's refs).
+		stats, err := e.jobs.Recover(e.recoverRunner)
+		if err != nil {
+			return nil, fmt.Errorf("engine: recovering jobs: %w", err)
+		}
+		e.recovery = stats
+		e.recovered = true
+	}
+	return e, nil
 }
 
 // Close stops the engine's async job workers and reaper. Running jobs
-// finish their current chunk; queued jobs stop being picked up. Batch and
+// finish their current chunk; queued jobs stop being picked up (on a
+// durable store they replay as interrupted after a restart). Batch and
 // single-document checking remain usable (they never go through the job
-// layer).
+// layer). Close does not wait for running jobs — use Shutdown for a
+// bounded drain.
 func (e *Engine) Close() { e.jobs.Close() }
+
+// Shutdown closes the engine and waits — bounded by ctx — for running
+// jobs to finalize and the job store to be released. It returns ctx.Err()
+// when the drain outlives the context.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.jobs.Shutdown(ctx) }
+
+// JobRecovery reports the job-replay outcome of Open: the counts of
+// re-queued, resumed, re-served and unrecoverable jobs, and whether a
+// recovery pass ran at all (it does whenever the engine has a persistent
+// job store).
+func (e *Engine) JobRecovery() (jobs.RecoveryStats, bool) { return e.recovery, e.recovered }
 
 // Store returns the engine's schema store.
 func (e *Engine) Store() SchemaStore { return e.store }

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 
 	"repro/internal/jobs"
 )
@@ -17,6 +19,13 @@ import (
 // synchronous routes use, so async verdicts are identical to synchronous
 // ones (the end-to-end test pins this), progress advances once per chunk,
 // and cancellation takes effect at chunk boundaries.
+//
+// When the job store is durable, every submission also persists a payload
+// — the documents plus schema references — from which recoverRunner
+// rebuilds the runner on a fresh process: per-document SchemaRefs and the
+// default schema's registry ref resolve through the store (the disk tier
+// resurrects compiled schemas across restarts), so a replayed job produces
+// byte-identical verdicts without the submitting process.
 
 // ErrJobQueueFull rejects an async submission when the job queue is at
 // capacity — the HTTP layer maps it to 429.
@@ -25,18 +34,102 @@ var ErrJobQueueFull = jobs.ErrQueueFull
 // Jobs returns the engine's async job manager (queue, state, results).
 func (e *Engine) Jobs() *jobs.Manager { return e.jobs }
 
-// SubmitCheckBatch enqueues docs for asynchronous checking and returns
-// the accepted job without waiting for any verdict. The job's workers
-// drain the documents through CheckBatch in chunks — identical verdicts,
-// SchemaRef routing and lifetime accounting as the synchronous call — and
-// retain one NDJSON verdict line per document. s is the default schema
-// for documents without a SchemaRef and may be nil when every document
-// routes itself. Fails with ErrJobQueueFull when the queue is at
-// capacity. The docs slice is retained until the job reaches a terminal
-// state (it is released at finish, not held for the retention TTL);
-// callers must not mutate it after submission.
-func (e *Engine) SubmitCheckBatch(s *Schema, docs []Doc) (*jobs.Job, error) {
-	return e.jobs.Submit("check", len(docs), func(lo, hi int) ([][]byte, error) {
+// jobPayload is the persisted submission: everything recoverRunner needs
+// to rebuild the job on a fresh process. Documents carry their content
+// inline (Bytes base64-encoded by encoding/json); schemas travel as
+// registry refs, never as compiled artifacts.
+type jobPayload struct {
+	Op     string       `json:"op"`               // "check" or "complete"
+	Schema string       `json:"schema,omitempty"` // default schema's registry ref
+	// HasDefault distinguishes "submitted without a default schema" (docs
+	// route themselves; errors reproduce faithfully) from "the default
+	// schema had no registry ref to persist" (unrecoverable).
+	HasDefault bool         `json:"hasDefault,omitempty"`
+	Diff       bool         `json:"diff,omitempty"` // completion: emit per-insertion records
+	Docs       []payloadDoc `json:"docs"`
+}
+
+// payloadDoc is one persisted batch input. Doc.Bytes is json:"-" on the
+// wire type (the HTTP layer must never echo raw documents), so the
+// payload needs its own encodable shape.
+type payloadDoc struct {
+	ID      string `json:"id,omitempty"`
+	Ref     string `json:"ref,omitempty"` // per-document SchemaRef
+	Content string `json:"c,omitempty"`
+	Bytes   []byte `json:"b,omitempty"`
+}
+
+// encodeJobPayload serializes a submission for the write-ahead log — nil
+// (skip the cost) when the job store is volatile and nothing would replay
+// it anyway.
+func (e *Engine) encodeJobPayload(op string, s *Schema, docs []Doc, diff bool) ([]byte, error) {
+	if !e.jobs.Durable() {
+		return nil, nil
+	}
+	p := jobPayload{Op: op, Diff: diff, Docs: make([]payloadDoc, len(docs))}
+	if s != nil {
+		// A schema compiled outside the registry has no ref to persist; the
+		// job still runs now, but a restart cannot rebuild it — recovery
+		// will fail the job with a clear error instead of guessing.
+		p.Schema = s.Ref
+		p.HasDefault = true
+	}
+	for i := range docs {
+		p.Docs[i] = payloadDoc{
+			ID:      docs[i].ID,
+			Ref:     docs[i].SchemaRef,
+			Content: docs[i].Content,
+			Bytes:   docs[i].Bytes,
+		}
+	}
+	return json.Marshal(p)
+}
+
+// recoverRunner is the jobs.RunnerResolver the engine hands to
+// Manager.Recover: it decodes a persisted payload and rebuilds the same
+// chunk runner Submit would have built, resolving schemas by ref through
+// the (disk-tier-backed) registry. Errors mark the job Failed — a
+// terminal answer for pollers — rather than losing it.
+func (e *Engine) recoverRunner(sub jobs.Submission) (jobs.Runner, error) {
+	if len(sub.Payload) == 0 {
+		return nil, errors.New("submission has no persisted payload")
+	}
+	var p jobPayload
+	if err := json.Unmarshal(sub.Payload, &p); err != nil {
+		return nil, fmt.Errorf("decoding persisted payload: %w", err)
+	}
+	if len(p.Docs) != sub.Total {
+		return nil, fmt.Errorf("persisted payload has %d documents, submission recorded %d", len(p.Docs), sub.Total)
+	}
+	var def *Schema
+	if p.HasDefault {
+		if p.Schema == "" {
+			return nil, errors.New("default schema was not registry-backed; cannot rebuild")
+		}
+		s, err := e.store.ResolveRef(p.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("resolving default schema %s: %w", p.Schema, err)
+		}
+		def = s
+	}
+	docs := make([]Doc, len(p.Docs))
+	for i, pd := range p.Docs {
+		docs[i] = Doc{ID: pd.ID, Content: pd.Content, Bytes: pd.Bytes, SchemaRef: pd.Ref}
+	}
+	switch p.Op {
+	case "check":
+		return e.checkRunner(def, docs), nil
+	case "complete":
+		return e.completeRunner(def, docs, p.Diff), nil
+	}
+	return nil, fmt.Errorf("unknown persisted job op %q", p.Op)
+}
+
+// checkRunner builds the chunk runner for an async check job: each call
+// drains docs[lo:hi] through CheckBatch and encodes one verdict line per
+// document.
+func (e *Engine) checkRunner(s *Schema, docs []Doc) jobs.Runner {
+	return func(lo, hi int) ([][]byte, error) {
 		results, _ := e.CheckBatch(s, docs[lo:hi])
 		lines := make([][]byte, len(results))
 		for i := range results {
@@ -48,15 +141,13 @@ func (e *Engine) SubmitCheckBatch(s *Schema, docs []Doc) (*jobs.Job, error) {
 			lines[i] = b
 		}
 		return lines, nil
-	})
+	}
 }
 
-// SubmitCompleteBatch enqueues docs for asynchronous completion — the
-// CompleteBatch twin of SubmitCheckBatch. Each retained NDJSON line is a
-// /complete result object (completed output, inserted count, and the
-// per-insertion records when withDiff is set).
-func (e *Engine) SubmitCompleteBatch(s *Schema, docs []Doc, withDiff bool) (*jobs.Job, error) {
-	return e.jobs.Submit("complete", len(docs), func(lo, hi int) ([][]byte, error) {
+// completeRunner builds the chunk runner for an async completion job —
+// the CompleteBatch twin of checkRunner.
+func (e *Engine) completeRunner(s *Schema, docs []Doc, withDiff bool) jobs.Runner {
+	return func(lo, hi int) ([][]byte, error) {
 		results, _ := e.CompleteBatch(s, docs[lo:hi], withDiff)
 		lines := make([][]byte, len(results))
 		for i := range results {
@@ -68,5 +159,37 @@ func (e *Engine) SubmitCompleteBatch(s *Schema, docs []Doc, withDiff bool) (*job
 			lines[i] = b
 		}
 		return lines, nil
-	})
+	}
+}
+
+// SubmitCheckBatch enqueues docs for asynchronous checking and returns
+// the accepted job without waiting for any verdict. The job's workers
+// drain the documents through CheckBatch in chunks — identical verdicts,
+// SchemaRef routing and lifetime accounting as the synchronous call — and
+// retain one NDJSON verdict line per document. s is the default schema
+// for documents without a SchemaRef and may be nil when every document
+// routes itself. Fails with ErrJobQueueFull when the queue is at
+// capacity. The docs slice is retained until the job reaches a terminal
+// state (it is released at finish, not held for the retention TTL);
+// callers must not mutate it after submission. On a durable store the
+// submission is logged write-ahead (documents and schema refs persisted),
+// so the job survives a process restart.
+func (e *Engine) SubmitCheckBatch(s *Schema, docs []Doc) (*jobs.Job, error) {
+	payload, err := e.encodeJobPayload("check", s, docs, false)
+	if err != nil {
+		return nil, err
+	}
+	return e.jobs.Submit("check", len(docs), payload, e.checkRunner(s, docs))
+}
+
+// SubmitCompleteBatch enqueues docs for asynchronous completion — the
+// CompleteBatch twin of SubmitCheckBatch. Each retained NDJSON line is a
+// /complete result object (completed output, inserted count, and the
+// per-insertion records when withDiff is set).
+func (e *Engine) SubmitCompleteBatch(s *Schema, docs []Doc, withDiff bool) (*jobs.Job, error) {
+	payload, err := e.encodeJobPayload("complete", s, docs, withDiff)
+	if err != nil {
+		return nil, err
+	}
+	return e.jobs.Submit("complete", len(docs), payload, e.completeRunner(s, docs, withDiff))
 }

@@ -250,7 +250,7 @@ func TestAsyncQueueFull429(t *testing.T) {
 
 	block := make(chan struct{})
 	started := make(chan struct{})
-	if _, err := e.Jobs().Submit("test", 1, func(lo, hi int) ([][]byte, error) {
+	if _, err := e.Jobs().Submit("test", 1, nil, func(lo, hi int) ([][]byte, error) {
 		close(started)
 		<-block
 		return [][]byte{[]byte("{}")}, nil
@@ -258,7 +258,7 @@ func TestAsyncQueueFull429(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	if _, err := e.Jobs().Submit("test", 1, func(lo, hi int) ([][]byte, error) {
+	if _, err := e.Jobs().Submit("test", 1, nil, func(lo, hi int) ([][]byte, error) {
 		return [][]byte{[]byte("{}")}, nil
 	}); err != nil {
 		t.Fatal(err)
@@ -291,7 +291,7 @@ func TestAsyncCancelWhileRunning(t *testing.T) {
 	firstChunk := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	j, err := e.Jobs().Submit("check", 200, func(lo, hi int) ([][]byte, error) {
+	j, err := e.Jobs().Submit("check", 200, nil, func(lo, hi int) ([][]byte, error) {
 		once.Do(func() { close(firstChunk) })
 		<-release
 		lines := make([][]byte, hi-lo)

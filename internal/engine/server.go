@@ -149,6 +149,9 @@ type statsResponse struct {
 	Registry RegistryStats `json:"registry"`
 	Engine   Stats         `json:"engine"`
 	Jobs     jobs.Stats    `json:"jobs"`
+	// Recovery is the job-replay outcome of this process's boot — present
+	// only when the engine runs on a persistent job store.
+	Recovery *jobs.RecoveryStats `json:"recovery,omitempty"`
 }
 
 // jobAccepted is the 202 response of an async submission.
@@ -293,6 +296,17 @@ func NewServer(e *Engine) http.Handler {
 			httpError(w, http.StatusNotFound, "no such job (unknown id, or reaped after its TTL)")
 			return
 		}
+		// The body alone cannot distinguish "every verdict" from "the
+		// prefix a running/failed/canceled job retained", so the state
+		// rides along: X-Job-State on every response, and ?require=done
+		// turns anything but a complete set into a 409 for strict clients.
+		state := j.State()
+		w.Header().Set("X-Job-State", state.String())
+		if r.URL.Query().Get("require") == "done" && state != jobs.Done {
+			httpError(w, http.StatusConflict,
+				"job is "+state.String()+", not done; results would be a partial set (drop require=done to fetch them)")
+			return
+		}
 		// A running job streams the prefix retained so far; poll
 		// GET /jobs/{id} to a terminal state first for the complete set.
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -339,7 +353,11 @@ func NewServer(e *Engine) http.Handler {
 		reply(w, map[string]any{"schemas": e.Store().Schemas()})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, statsResponse{Registry: e.Store().Stats(), Engine: e.Stats(), Jobs: e.Jobs().Stats()})
+		out := statsResponse{Registry: e.Store().Stats(), Engine: e.Stats(), Jobs: e.Jobs().Stats()}
+		if rec, ok := e.JobRecovery(); ok {
+			out.Recovery = &rec
+		}
+		reply(w, out)
 	})
 	return mux
 }

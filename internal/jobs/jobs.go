@@ -12,9 +12,18 @@
 // possible without teaching the batch workers about jobs: the manager
 // checks for cancellation between chunks, so a canceled job stops within
 // one chunk's worth of work and keeps the results it already produced.
+//
+// Job state is persisted through a jobstore.Store: every lifecycle
+// transition appends an event, with the Submitted event written ahead of
+// queueing. With a durable store (internal/jobs/walstore) a restarted
+// manager calls Recover to replay the log — re-serving finished jobs and
+// re-queueing interrupted ones from their last durable chunk boundary —
+// so jobs outlive the process. The default in-memory store
+// (internal/jobs/memstore) preserves the zero-config in-process behavior.
 package jobs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -24,10 +33,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/jobs/jobstore"
+	"repro/internal/jobs/memstore"
 )
 
 // State is one point in the job lifecycle. The machine is
@@ -69,10 +82,68 @@ func (s State) String() string {
 // Finished reports whether the state is terminal.
 func (s State) Finished() bool { return s == Done || s == Failed || s == Canceled }
 
+// parseState maps a wire/log name back to a State — the inverse of
+// String, used when replaying persisted terminal records.
+func parseState(s string) (State, bool) {
+	switch s {
+	case "queued":
+		return Queued, true
+	case "running":
+		return Running, true
+	case "done":
+		return Done, true
+	case "failed":
+		return Failed, true
+	case "canceled":
+		return Canceled, true
+	}
+	return 0, false
+}
+
 // Runner produces the results for one contiguous chunk [lo, hi) of a job's
 // inputs: one encoded NDJSON line per input, in input order. A non-nil
 // error fails the whole job (results of earlier chunks are retained).
 type Runner func(lo, hi int) ([][]byte, error)
+
+// Submission describes a persisted job submission replayed from the
+// store: the identity and shape of the job plus the submitter-owned
+// payload from which its Runner can be rebuilt.
+type Submission struct {
+	// ID is the persisted job id.
+	ID string
+	// Kind is the workload kind the job was submitted with.
+	Kind string
+	// Total is the submitted input count.
+	Total int
+	// Chunk is the chunk size the job was submitted with.
+	Chunk int
+	// Payload is the opaque blob the submitter persisted alongside the
+	// submission (for the engine: serialized documents + schema refs).
+	Payload []byte
+}
+
+// RunnerResolver rebuilds a Runner from a persisted submission during
+// Recover. An error marks the job Failed (with the error message) rather
+// than losing it — the poller sees a terminal state, not a 404.
+type RunnerResolver func(sub Submission) (Runner, error)
+
+// RecoveryStats summarizes one Recover pass.
+type RecoveryStats struct {
+	// Requeued counts interrupted jobs put back on the queue (including
+	// the Resumed ones).
+	Requeued int `json:"requeued"`
+	// Resumed counts requeued jobs restarting from a durable mid-job
+	// chunk boundary rather than from input zero.
+	Resumed int `json:"resumed"`
+	// Served counts finished jobs re-registered for result serving.
+	Served int `json:"served"`
+	// Failed counts jobs whose Runner could not be rebuilt; they are
+	// registered in state failed.
+	Failed int `json:"failed"`
+}
+
+// Total returns how many persisted jobs the pass brought back.
+func (r RecoveryStats) Total() int { return r.Requeued + r.Served + r.Failed }
 
 // ErrQueueFull rejects a submission when the job queue is at capacity —
 // the HTTP layer maps it to 429.
@@ -80,6 +151,11 @@ var ErrQueueFull = errors.New("jobs: queue is full")
 
 // ErrClosed rejects a submission after the manager has been closed.
 var ErrClosed = errors.New("jobs: manager is closed")
+
+// ErrRecoverAfterStart rejects a Recover call after the worker pool has
+// started: replay must finish before the first Submit, or recovered ids
+// could collide with the startup sweep and live submissions.
+var ErrRecoverAfterStart = errors.New("jobs: Recover must be called before the first Submit")
 
 // Defaults for Config zero values.
 const (
@@ -98,10 +174,15 @@ const (
 	// lines held in memory before spilling to disk (when a spill directory
 	// is configured).
 	DefaultBufferedResults = 4096
+	// DefaultSpillOrphanAge is how stale another instance's spill
+	// namespace must be before the startup sweep reclaims it. Live
+	// managers refresh their namespace's mtime from the reaper loop (every
+	// ≤30s), so an hour of staleness means the owner is gone.
+	DefaultSpillOrphanAge = time.Hour
 )
 
 // Config parameterizes a Manager. The zero value selects the defaults
-// above with no disk spill.
+// above with no disk spill and in-process-only job state.
 type Config struct {
 	// Workers bounds how many jobs execute concurrently; <=0 selects
 	// DefaultWorkers. Each job's chunks still run through whatever
@@ -121,14 +202,28 @@ type Config struct {
 	// BufferedResults caps the encoded result lines a job holds in memory;
 	// past the cap, results spill to a file under SpillDir. <=0 selects
 	// DefaultBufferedResults. Without a SpillDir the buffer simply keeps
-	// growing (bounded by the submitted batch size).
+	// growing (bounded by the submitted batch size). Jobs on a durable
+	// store ignore the cap and write results through to disk as produced,
+	// so a restart can re-serve or resume them.
 	BufferedResults int
-	// SpillDir, when non-empty, is the spill root: each manager writes one
-	// NDJSON file per overflowing job under SpillDir/<pid> (created lazily,
-	// removed at reap/delete). The per-pid namespace lets processes share a
-	// root (instances sharing a cache directory) without the startup sweep
-	// of a new process destroying a live sibling's files.
+	// SpillDir, when non-empty, is the spill root. A manager on a volatile
+	// store writes one NDJSON file per overflowing job under a private
+	// SpillDir/<instance-id> namespace (created lazily, removed at
+	// reap/delete); instance ids — not pids, which containers recycle —
+	// plus an age-based sweep let processes share a root without a new
+	// process destroying a live sibling's files or leaking a dead one's.
+	// A manager on a durable store instead writes every job's results
+	// under SpillDir/results, where a restarted manager finds them.
 	SpillDir string
+	// SpillOrphanAge overrides how stale a foreign spill namespace must be
+	// before the startup sweep removes it; <=0 selects
+	// DefaultSpillOrphanAge.
+	SpillOrphanAge time.Duration
+	// Store is the job-event log. nil selects an in-memory store
+	// (today's zero-config behavior: job state dies with the process).
+	// A durable store — internal/jobs/walstore — makes Submit write-ahead
+	// and Recover meaningful.
+	Store jobstore.Store
 }
 
 func (c *Config) withDefaults() Config {
@@ -148,6 +243,12 @@ func (c *Config) withDefaults() Config {
 	if out.BufferedResults <= 0 {
 		out.BufferedResults = DefaultBufferedResults
 	}
+	if out.SpillOrphanAge <= 0 {
+		out.SpillOrphanAge = DefaultSpillOrphanAge
+	}
+	if out.Store == nil {
+		out.Store = memstore.New()
+	}
 	return out
 }
 
@@ -156,19 +257,30 @@ func (c *Config) withDefaults() Config {
 // a Manager (every engine carries one) costs nothing until async ingest is
 // actually used. All methods are safe for concurrent use.
 type Manager struct {
-	cfg Config
-	// spillDir is this process's namespace under cfg.SpillDir ("" when
-	// spilling is disabled).
+	cfg     Config
+	store   jobstore.Store
+	durable bool
+	// instance is this process's random namespace id ("i-" + 12 hex).
+	instance string
+	// spillDir is this instance's private namespace under cfg.SpillDir
+	// (volatile store only; "" when spilling is disabled).
 	spillDir string
+	// resultsDir is the stable write-through results directory under
+	// cfg.SpillDir (durable store only).
+	resultsDir string
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signals workers: pending grew, or closed
-	jobs    map[string]*Job
-	pending []*Job // submitted, not yet claimed by a worker; bounded by QueueDepth
-	closed  bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: pending grew, or closed
+	jobs     map[string]*Job
+	pending  []*Job // submitted, not yet claimed by a worker; bounded by QueueDepth
+	reserved int    // queue slots held across an in-flight Submit's WAL append
+	closed   bool
 
-	start sync.Once
-	stop  chan struct{}
+	start       sync.Once
+	poolStarted atomic.Bool
+	stop        chan struct{}
+	runWG       sync.WaitGroup // running jobs; Add under m.mu while claiming
+	storeOnce   sync.Once      // closes the store once, after running jobs drain
 
 	// Lifetime counters (gauges are derived from the job table).
 	submitted atomic.Int64
@@ -177,27 +289,44 @@ type Manager struct {
 	canceled  atomic.Int64
 	rejected  atomic.Int64
 	reaped    atomic.Int64
+	recovered atomic.Int64
 }
 
 // NewManager builds a manager; workers start on first use.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:  cfg,
-		jobs: map[string]*Job{},
-		stop: make(chan struct{}),
+		cfg:      cfg,
+		store:    cfg.Store,
+		durable:  cfg.Store.Durable(),
+		instance: newInstanceID(),
+		jobs:     map[string]*Job{},
+		stop:     make(chan struct{}),
 	}
 	if cfg.SpillDir != "" {
-		m.spillDir = filepath.Join(cfg.SpillDir, strconv.Itoa(os.Getpid()))
+		if m.durable {
+			m.resultsDir = filepath.Join(cfg.SpillDir, "results")
+		} else {
+			m.spillDir = filepath.Join(cfg.SpillDir, m.instance)
+		}
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
+// Durable reports whether the manager's store survives the process — i.e.
+// whether submissions are written ahead and Recover can bring jobs back.
+func (m *Manager) Durable() bool { return m.durable }
+
 // Close stops the worker pool and the reaper. Queued jobs are finalized
 // as Canceled (their Done channels close — no waiter is left hanging);
 // running jobs finish their current chunk and then observe the shutdown
 // as a cancellation. Submissions after Close fail with ErrClosed.
+//
+// Close does not wait for running jobs and does not persist terminal
+// records for the jobs it interrupts: on a durable store they replay as
+// interrupted and a restarted manager re-runs them, which is exactly the
+// crash-safety contract. Use Shutdown to wait for the drain.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -216,16 +345,60 @@ func (m *Manager) Close() {
 		// cancelQueued loses only to a worker that claimed the job before
 		// the pending queue was emptied (it will self-cancel between
 		// chunks) or to a concurrent Cancel — either way the job still
-		// terminates.
-		if j.cancelQueued() {
+		// terminates. persist=false: a shutdown is not a user cancel; on a
+		// durable store the job must replay as interrupted.
+		if j.cancelQueued(false) {
 			m.canceled.Add(1)
 		}
 	}
+	// Release the store once the in-flight jobs have observed the stop
+	// signal and finalized — their terminal appends must not race Close.
+	go func() {
+		m.runWG.Wait()
+		m.closeStore()
+	}()
 }
 
-// startPool sweeps orphaned spill files, then launches the worker pool
+// Shutdown closes the manager and waits — bounded by ctx — until running
+// jobs have finalized and the store has been released. It returns
+// ctx.Err() if the drain outlives the context (the background drain keeps
+// going; the store still closes once it completes).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.Close()
+	done := make(chan struct{})
+	go func() {
+		m.runWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.closeStore()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeStore releases the store exactly once.
+func (m *Manager) closeStore() {
+	m.storeOnce.Do(func() { _ = m.store.Close() })
+}
+
+// append stamps and appends one event, best-effort: transition records
+// after the write-ahead Submitted append must not fail the job over a log
+// hiccup (the in-memory state machine is still authoritative for this
+// process's lifetime).
+func (m *Manager) append(ev *jobstore.Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	_ = m.store.Append(ev)
+}
+
+// startPool sweeps orphaned spill state, then launches the worker pool
 // and the reaper (under m.start).
 func (m *Manager) startPool() {
+	m.poolStarted.Store(true)
 	m.sweepSpillDir()
 	for i := 0; i < m.cfg.Workers; i++ {
 		go m.worker()
@@ -233,34 +406,81 @@ func (m *Manager) startPool() {
 	go m.reaper()
 }
 
-// sweepSpillDir reclaims spill namespaces orphaned by dead processes:
-// job state dies with its process, so the files under a dead pid's
-// directory are unreachable by Reap/Remove and would otherwise accumulate
-// across restarts. Only directories whose owning pid is confirmed gone
-// are removed — instances sharing a spill root (a shared cache directory)
-// never touch each other's live files. Runs once, at pool start.
+// sweepSpillDir reclaims spill state orphaned by dead instances: job
+// state a restart cannot reach would otherwise accumulate across
+// restarts. Runs once, at pool start.
 func (m *Manager) sweepSpillDir() {
 	if m.cfg.SpillDir == "" {
 		return
 	}
+	m.sweepNamespaces()
+	if m.durable {
+		m.sweepResults()
+	}
+}
+
+// sweepNamespaces removes foreign per-instance spill namespaces (and
+// legacy pid-keyed ones) that are provably or probably dead. Instance
+// namespaces are reclaimed purely by age: a live owner refreshes its
+// directory mtime from the reaper loop far more often than the orphan
+// age, so staleness means the owner is gone — no pid liveness guesswork,
+// which containers break by recycling pids. Legacy numeric directories
+// (pre-instance-id layout) are removed when their pid is dead or the
+// directory has gone stale; the age fallback is what reclaims them when
+// a recycled pid makes the liveness probe lie.
+func (m *Manager) sweepNamespaces() {
 	ents, err := os.ReadDir(m.cfg.SpillDir)
 	if err != nil {
 		return // no dir yet (or unreadable): nothing to reclaim
 	}
+	cutoff := time.Now().Add(-m.cfg.SpillOrphanAge)
 	self := os.Getpid()
 	for _, ent := range ents {
-		pid, err := strconv.Atoi(ent.Name())
-		if err != nil || !ent.IsDir() || pid == self {
+		if !ent.IsDir() {
 			continue
 		}
-		if pidDead(pid) {
-			_ = os.RemoveAll(filepath.Join(m.cfg.SpillDir, ent.Name()))
+		name := ent.Name()
+		stale := false
+		if pid, err := strconv.Atoi(name); err == nil {
+			stale = pid != self && (pidDead(pid) || olderThan(ent, cutoff))
+		} else if strings.HasPrefix(name, "i-") && name != m.instance {
+			stale = olderThan(ent, cutoff)
+		}
+		if stale {
+			_ = os.RemoveAll(filepath.Join(m.cfg.SpillDir, name))
 		}
 	}
 }
 
+// sweepResults prunes write-through result files whose job is no longer
+// in the table — leftovers of jobs the log has already retired. It runs
+// after Recover has registered every replayable job (enforced by
+// ErrRecoverAfterStart), so a recovered job's results are never swept.
+func (m *Manager) sweepResults() {
+	ents, err := os.ReadDir(m.resultsDir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		id := strings.TrimSuffix(ent.Name(), ".ndjson")
+		m.mu.Lock()
+		_, live := m.jobs[id]
+		m.mu.Unlock()
+		if !live {
+			_ = os.Remove(filepath.Join(m.resultsDir, ent.Name()))
+		}
+	}
+}
+
+// olderThan reports whether the entry's mtime is before the cutoff.
+func olderThan(ent os.DirEntry, cutoff time.Time) bool {
+	fi, err := ent.Info()
+	return err == nil && fi.ModTime().Before(cutoff)
+}
+
 // pidDead reports whether no process with the given pid exists anymore.
-// False negatives (a recycled pid) only postpone reclamation.
+// False negatives (a recycled pid) only postpone reclamation until the
+// age-based sweep catches the directory.
 func pidDead(pid int) bool {
 	p, err := os.FindProcess(pid)
 	if err != nil {
@@ -278,11 +498,30 @@ func newID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Submit enqueues a job over total inputs executed by run, in chunks. It
+// newInstanceID draws the process-lifetime spill namespace id. The "i-"
+// prefix keeps instance directories distinguishable from legacy pid
+// directories and from the fixed "results"/"wal"/"payload" names sharing
+// a durable root.
+func newInstanceID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random instance id: %v", err))
+	}
+	return "i-" + hex.EncodeToString(b[:])
+}
+
+// Submit enqueues a job over total inputs executed by run, in chunks. The
+// payload is the submitter-owned blob persisted with the submission, from
+// which a RunnerResolver can rebuild the Runner after a restart; nil is
+// fine when the store is volatile (or the job is acceptable to lose).
+//
+// The submission is written ahead: the store append — durable before
+// return on a durable store — happens before the job becomes visible or
+// runnable, so a crash after Submit returns can never lose the job. It
 // fails with ErrQueueFull when the queue is at capacity and ErrClosed
 // after Close; otherwise the job is Queued and will be claimed by a
 // worker. A zero-input job completes without ever invoking run.
-func (m *Manager) Submit(kind string, total int, run Runner) (*Job, error) {
+func (m *Manager) Submit(kind string, total int, payload []byte, run Runner) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -295,20 +534,49 @@ func (m *Manager) Submit(kind string, total int, run Runner) (*Job, error) {
 		id:      newID(),
 		kind:    kind,
 		total:   total,
+		chunk:   m.cfg.Chunk,
 		run:     run,
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
 	j.state.Store(int32(Queued))
+	// Reserve the queue slot before the store append so the QueueDepth
+	// bound stays exact, but run the append — an fsync on a durable store
+	// — outside m.mu so it never stalls Get/List/Stats.
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if len(m.pending) >= m.cfg.QueueDepth {
+	if len(m.pending)+m.reserved >= m.cfg.QueueDepth {
 		m.mu.Unlock()
 		m.rejected.Add(1)
 		return nil, ErrQueueFull
+	}
+	m.reserved++
+	m.mu.Unlock()
+	err := m.store.Append(&jobstore.Event{
+		Type:    jobstore.Submitted,
+		Job:     j.id,
+		Time:    j.created,
+		Kind:    kind,
+		Total:   total,
+		Chunk:   j.chunk,
+		Payload: payload,
+	})
+	m.mu.Lock()
+	m.reserved--
+	if err != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: persisting submission: %w", err)
+	}
+	if m.closed {
+		m.mu.Unlock()
+		// The write-ahead record exists but the job will never run here;
+		// retire it so a restart does not resurrect a submission whose
+		// caller got an error.
+		m.append(&jobstore.Event{Type: jobstore.Removed, Job: j.id})
+		return nil, ErrClosed
 	}
 	m.pending = append(m.pending, j)
 	m.jobs[j.id] = j
@@ -316,6 +584,232 @@ func (m *Manager) Submit(kind string, total int, run Runner) (*Job, error) {
 	m.cond.Signal()
 	m.submitted.Add(1)
 	return j, nil
+}
+
+// Recover replays the store and rebuilds the job table: finished jobs are
+// re-registered for result serving (with their persisted results, when
+// intact), interrupted jobs are re-queued — resuming from the last
+// durable chunk boundary when their partial results survived — and jobs
+// whose Runner cannot be rebuilt are registered as Failed so pollers get
+// a terminal answer instead of a 404.
+//
+// Recover must run before the first Submit (it returns
+// ErrRecoverAfterStart otherwise): the startup sweep and id namespace
+// assume replay happens on a quiet manager. On a fresh or volatile store
+// it is a cheap no-op.
+func (m *Manager) Recover(resolve RunnerResolver) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if m.poolStarted.Load() {
+		return stats, ErrRecoverAfterStart
+	}
+	// Fold the log into one history per job.
+	type history struct {
+		sub         *jobstore.Event
+		done        int
+		resultBytes int64
+		fin         *jobstore.Event
+	}
+	hists := map[string]*history{}
+	var order []string
+	err := m.store.Replay(func(ev *jobstore.Event) error {
+		h := hists[ev.Job]
+		if h == nil {
+			if ev.Type != jobstore.Submitted {
+				return nil // orphan transition (its Submitted record was lost)
+			}
+			h = &history{}
+			hists[ev.Job] = h
+			order = append(order, ev.Job)
+		}
+		switch ev.Type {
+		case jobstore.Submitted:
+			if h.sub == nil {
+				e := *ev
+				h.sub = &e
+			}
+		case jobstore.Progress:
+			if ev.Done >= h.done {
+				h.done, h.resultBytes = ev.Done, ev.ResultBytes
+			}
+		case jobstore.Finished:
+			e := *ev
+			h.fin = &e
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, fmt.Errorf("jobs: replaying store: %w", err)
+	}
+	now := time.Now()
+	var recovered []*Job
+	var requeue []*Job
+	for _, id := range order {
+		h := hists[id]
+		chunk := h.sub.Chunk
+		if chunk <= 0 {
+			chunk = m.cfg.Chunk
+		}
+		j := &Job{
+			m:         m,
+			id:        id,
+			kind:      h.sub.Kind,
+			total:     h.sub.Total,
+			chunk:     chunk,
+			created:   h.sub.Time,
+			recovered: true,
+			done:      make(chan struct{}),
+		}
+		switch {
+		case h.fin != nil:
+			m.recoverFinished(j, h.fin)
+			stats.Served++
+		default:
+			run, rerr := resolve(Submission{
+				ID:      id,
+				Kind:    h.sub.Kind,
+				Total:   h.sub.Total,
+				Chunk:   chunk,
+				Payload: h.sub.Payload,
+			})
+			if rerr != nil {
+				// Unrecoverable submission: fail it terminally — and persist
+				// the verdict, so the next restart serves the failure instead
+				// of retrying a resolve that cannot succeed.
+				j.state.Store(int32(Failed))
+				j.errMsg = fmt.Sprintf("recovering job: %v", rerr)
+				t := now
+				j.finished = &t
+				close(j.done)
+				m.append(&jobstore.Event{
+					Type:  jobstore.Finished,
+					Job:   id,
+					State: Failed.String(),
+					Error: j.errMsg,
+				})
+				m.failed.Add(1)
+				stats.Failed++
+			} else {
+				resume := m.recoverResume(j, h.done, h.resultBytes)
+				j.run = run
+				j.resume = resume
+				j.doneDocs.Store(int64(resume))
+				j.state.Store(int32(Queued))
+				requeue = append(requeue, j)
+				stats.Requeued++
+				if resume > 0 {
+					stats.Resumed++
+				}
+			}
+		}
+		recovered = append(recovered, j)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return RecoveryStats{}, ErrClosed
+	}
+	for _, j := range recovered {
+		m.jobs[j.id] = j
+	}
+	m.pending = append(m.pending, requeue...)
+	m.mu.Unlock()
+	m.recovered.Add(int64(len(recovered)))
+	if len(requeue) > 0 {
+		// Replay found runnable work: the pool must start now, not on some
+		// future Submit that may never come.
+		m.start.Do(m.startPool)
+		m.cond.Broadcast()
+	}
+	return stats, nil
+}
+
+// recoverFinished re-registers a finished job from its terminal record,
+// re-attaching the persisted results when they are intact. A done job
+// whose result file went missing or came up short degrades to failed —
+// never a 200 that silently serves a truncated verdict set as complete.
+func (m *Manager) recoverFinished(j *Job, fin *jobstore.Event) {
+	st, ok := parseState(fin.State)
+	if !ok || !st.Finished() {
+		st = Failed
+		j.errMsg = fmt.Sprintf("recovered terminal record has invalid state %q", fin.State)
+	}
+	j.errMsg = firstNonEmpty(j.errMsg, fin.Error)
+	j.doneDocs.Store(int64(fin.Done))
+	if fin.ResultBytes > 0 {
+		path := m.resultsPath(j.id)
+		fi, err := os.Stat(path)
+		switch {
+		case path != "" && err == nil && fi.Size() >= fin.ResultBytes:
+			// Intact (possibly with a torn tail past the recorded bytes —
+			// results are written before the record, so the file is only
+			// ever longer). Trim to the durable prefix.
+			_ = os.Truncate(path, fin.ResultBytes)
+			j.spillPath = path
+			j.resultBytes = fin.ResultBytes
+		case path != "" && err == nil && st != Done:
+			// A failed/canceled job's results were partial anyway; keep the
+			// shorter-than-recorded remnant rather than dropping it.
+			j.spillPath = path
+			j.resultBytes = fi.Size()
+		default:
+			if st == Done {
+				st = Failed
+				j.errMsg = "recovered results incomplete"
+			}
+		}
+	}
+	j.state.Store(int32(st))
+	t := fin.Time
+	j.finished = &t
+	close(j.done)
+}
+
+// recoverResume validates an interrupted job's durable progress and
+// returns the input offset to resume from: the recorded chunk boundary
+// when the write-through results file covers it, zero (full re-run, file
+// removed) otherwise. Results are written to the file before the progress
+// record is appended, so a file at least as long as the recorded bytes is
+// guaranteed intact up to them; truncating to the recorded length drops
+// any torn tail from the interrupted chunk and keeps the replayed output
+// byte-identical to an uninterrupted run.
+func (m *Manager) recoverResume(j *Job, done int, resultBytes int64) int {
+	path := m.resultsPath(j.id)
+	if done <= 0 || path == "" {
+		if path != "" {
+			_ = os.Remove(path)
+		}
+		return 0
+	}
+	if resultBytes > 0 {
+		fi, err := os.Stat(path)
+		if err != nil || fi.Size() < resultBytes {
+			_ = os.Remove(path)
+			return 0
+		}
+		_ = os.Truncate(path, resultBytes)
+		j.spillPath = path
+		j.resultBytes = resultBytes
+	} else {
+		_ = os.Remove(path)
+	}
+	return done - done%j.chunk
+}
+
+// resultsPath is the write-through results file for a job id ("" when the
+// manager has no durable results directory).
+func (m *Manager) resultsPath(id string) string {
+	if m.resultsDir == "" {
+		return ""
+	}
+	return filepath.Join(m.resultsDir, id+".ndjson")
+}
+
+// firstNonEmpty returns the first non-empty string.
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // Get returns the job with the given id, if it is still retained.
@@ -361,9 +855,9 @@ func (m *Manager) Cancel(id string) (bool, error) {
 }
 
 // Remove drops a finished job from the table right now (freeing its
-// buffered results and spill file) — the DELETE-a-finished-job semantics.
-// Active jobs are not removable; cancel them first. It reports whether the
-// job was removed.
+// buffered results and spill file, and retiring its log history) — the
+// DELETE-a-finished-job semantics. Active jobs are not removable; cancel
+// them first. It reports whether the job was removed.
 func (m *Manager) Remove(id string) bool {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -374,6 +868,7 @@ func (m *Manager) Remove(id string) bool {
 	delete(m.jobs, id)
 	m.mu.Unlock()
 	j.cleanup()
+	m.append(&jobstore.Event{Type: jobstore.Removed, Job: id})
 	m.reaped.Add(1)
 	return true
 }
@@ -401,12 +896,15 @@ func (m *Manager) Reap() int {
 	m.mu.Unlock()
 	for _, j := range expired {
 		j.cleanup()
+		m.append(&jobstore.Event{Type: jobstore.Removed, Job: j.id})
 	}
 	m.reaped.Add(int64(len(expired)))
 	return len(expired)
 }
 
-// reaper periodically sweeps expired jobs until Close.
+// reaper periodically sweeps expired jobs until Close, and keeps this
+// instance's spill namespace visibly alive (mtime refresh) so sibling
+// sweeps never mistake it for an orphan.
 func (m *Manager) reaper() {
 	period := m.cfg.ResultTTL / 4
 	if period < 100*time.Millisecond {
@@ -423,7 +921,20 @@ func (m *Manager) reaper() {
 			return
 		case <-t.C:
 			m.Reap()
+			m.touchSpillDir()
 		}
+	}
+}
+
+// touchSpillDir refreshes the instance namespace's mtime — the liveness
+// signal the age-based orphan sweep keys on.
+func (m *Manager) touchSpillDir() {
+	if m.spillDir == "" {
+		return
+	}
+	if _, err := os.Stat(m.spillDir); err == nil {
+		now := time.Now()
+		_ = os.Chtimes(m.spillDir, now, now)
 	}
 }
 
@@ -443,13 +954,19 @@ func (m *Manager) worker() {
 		j := m.pending[0]
 		m.pending[0] = nil
 		m.pending = m.pending[1:]
+		// The Add happens under m.mu, before the closed flag could have
+		// been observed set — so Close's Wait never races an Add.
+		m.runWG.Add(1)
 		m.mu.Unlock()
 		m.runJob(j)
+		m.runWG.Done()
 	}
 }
 
-// runJob drives one job through its chunks, honoring cancellation between
-// chunks and recording the terminal state exactly once.
+// runJob drives one job through its chunks (from its resume offset, for a
+// recovered job), honoring cancellation between chunks and recording the
+// terminal state exactly once — in memory and, for transitions a restart
+// must know about, in the store.
 func (m *Manager) runJob(j *Job) {
 	now := time.Now()
 	j.mu.Lock()
@@ -462,42 +979,57 @@ func (m *Manager) runJob(j *Job) {
 	// terminal transitions below).
 	j.started = &now
 	j.mu.Unlock()
-	for lo := 0; lo < j.total; lo += m.cfg.Chunk {
-		canceled := j.cancelReq.Load()
+	m.append(&jobstore.Event{Type: jobstore.Started, Job: j.id})
+	for lo := j.resume; lo < j.total; lo += j.chunk {
+		reqCancel := j.cancelReq.Load()
+		shutdown := false
 		select {
 		case <-m.stop:
-			canceled = true
+			shutdown = true
 		default:
 		}
-		if canceled {
-			j.finish(Canceled, "")
+		if reqCancel || shutdown {
+			// A user cancel is a terminal verdict and persists; a shutdown
+			// is not — the job must replay as interrupted so a restarted
+			// manager finishes it.
+			j.finish(Canceled, "", reqCancel)
 			m.canceled.Add(1)
 			return
 		}
-		hi := lo + m.cfg.Chunk
+		hi := lo + j.chunk
 		if hi > j.total {
 			hi = j.total
 		}
 		lines, err := j.run(lo, hi)
+		var rb int64
 		if err == nil {
-			err = j.appendResults(lines)
+			rb, err = j.appendResults(lines)
 		}
 		if err != nil {
-			j.finish(Failed, err.Error())
+			j.finish(Failed, err.Error(), true)
 			m.failed.Add(1)
 			return
 		}
-		j.doneDocs.Add(int64(hi - lo))
+		done := j.doneDocs.Add(int64(hi - lo))
+		// Results first, then the progress record: recovery trusts a
+		// progress record only as far as the bytes already on disk, so this
+		// ordering is what makes resume truncation safe.
+		m.append(&jobstore.Event{
+			Type:        jobstore.Progress,
+			Job:         j.id,
+			Done:        int(done),
+			ResultBytes: rb,
+		})
 	}
 	// A cancellation that lands during the final chunk would otherwise be
 	// acknowledged yet end "done"; this narrows that window — a Cancel
 	// racing the line below can still lose, which the API documents.
 	if j.cancelReq.Load() {
-		j.finish(Canceled, "")
+		j.finish(Canceled, "", true)
 		m.canceled.Add(1)
 		return
 	}
-	j.finish(Done, "")
+	j.finish(Done, "", true)
 	m.completed.Add(1)
 }
 
@@ -508,17 +1040,20 @@ type Stats struct {
 	Queued   int `json:"queued"`
 	Running  int `json:"running"`
 	Retained int `json:"retained"`
-	// Lifetime counters.
+	// Lifetime counters. Recovered counts jobs replayed from the store by
+	// a restarted manager.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
 	Rejected  int64 `json:"rejected"`
 	Reaped    int64 `json:"reaped"`
+	Recovered int64 `json:"recovered"`
 	// Configuration echoes, so dashboards can plot queue pressure against
-	// its bound.
-	Workers    int `json:"workers"`
-	QueueDepth int `json:"queueDepth"`
+	// its bound. Durable reports whether job state survives a restart.
+	Workers    int  `json:"workers"`
+	QueueDepth int  `json:"queueDepth"`
+	Durable    bool `json:"durable"`
 }
 
 // Stats snapshots the manager.
@@ -530,8 +1065,10 @@ func (m *Manager) Stats() Stats {
 		Canceled:   m.canceled.Load(),
 		Rejected:   m.rejected.Load(),
 		Reaped:     m.reaped.Load(),
+		Recovered:  m.recovered.Load(),
 		Workers:    m.cfg.Workers,
 		QueueDepth: m.cfg.QueueDepth,
+		Durable:    m.durable,
 	}
 	m.mu.Lock()
 	s.Retained = len(m.jobs)
@@ -555,7 +1092,12 @@ type Job struct {
 	id    string
 	kind  string
 	total int
+	chunk int
 	run   Runner
+	// resume is the input offset execution starts from — non-zero only for
+	// a recovered job resuming past its durable chunks.
+	resume    int
+	recovered bool
 
 	state     atomic.Int32 // State
 	cancelReq atomic.Bool
@@ -579,6 +1121,10 @@ func (j *Job) ID() string { return j.id }
 // State returns the job's current lifecycle state.
 func (j *Job) State() State { return State(j.state.Load()) }
 
+// Recovered reports whether this job was replayed from the store by a
+// restarted manager rather than submitted to this process.
+func (j *Job) Recovered() bool { return j.recovered }
+
 // Done returns a channel closed when the job reaches a terminal state —
 // the no-polling alternative to watching Info.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -587,7 +1133,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // chunk boundary for a running one, a no-op (false) for a finished one.
 func (j *Job) Cancel() bool {
 	j.cancelReq.Store(true)
-	if j.cancelQueued() {
+	if j.cancelQueued(true) {
 		// The job never ran; free its queue slot so canceled-while-queued
 		// jobs don't count against QueueDepth. (If a worker claimed it
 		// first, it is already out of pending and the worker's own
@@ -600,9 +1146,11 @@ func (j *Job) Cancel() bool {
 }
 
 // cancelQueued finalizes a still-queued job as Canceled — the CAS
-// arbitrates against a worker's queued→running claim. Reports whether
-// this call won the job.
-func (j *Job) cancelQueued() bool {
+// arbitrates against a worker's queued→running claim. persist records the
+// cancellation in the store (true for a user cancel, false for a shutdown,
+// where the job must replay as interrupted). Reports whether this call won
+// the job.
+func (j *Job) cancelQueued(persist bool) bool {
 	now := time.Now()
 	j.mu.Lock()
 	if !j.state.CompareAndSwap(int32(Queued), int32(Canceled)) {
@@ -611,8 +1159,19 @@ func (j *Job) cancelQueued() bool {
 	}
 	j.finished = &now
 	j.run = nil
+	done := j.doneDocs.Load()
+	rb := j.resultBytes
 	j.mu.Unlock()
 	close(j.done)
+	if persist {
+		j.m.append(&jobstore.Event{
+			Type:        jobstore.Finished,
+			Job:         j.id,
+			Done:        int(done),
+			ResultBytes: rb,
+			State:       Canceled.String(),
+		})
+	}
 	return true
 }
 
@@ -633,8 +1192,10 @@ func (m *Manager) removePending(j *Job) {
 // state without finishedAt), the spill append handle closes, the Runner
 // closure is released (it pins the submitted inputs — for the engine, the
 // whole docs slice — which must not stay live for the retention TTL), and
-// Done is signaled.
-func (j *Job) finish(s State, errMsg string) {
+// Done is signaled. persist appends the terminal record to the store;
+// shutdown-interrupted jobs pass false so a durable log replays them as
+// interrupted instead of canceled.
+func (j *Job) finish(s State, errMsg string, persist bool) {
 	now := time.Now()
 	j.mu.Lock()
 	j.state.Store(int32(s))
@@ -645,8 +1206,20 @@ func (j *Job) finish(s State, errMsg string) {
 		_ = j.spill.Close()
 		j.spill = nil
 	}
+	done := j.doneDocs.Load()
+	rb := j.resultBytes
 	j.mu.Unlock()
 	close(j.done)
+	if persist {
+		j.m.append(&jobstore.Event{
+			Type:        jobstore.Finished,
+			Job:         j.id,
+			Done:        int(done),
+			ResultBytes: rb,
+			State:       s.String(),
+			Error:       errMsg,
+		})
+	}
 }
 
 // finishedAt returns the finish time when the job is terminal.
@@ -659,44 +1232,67 @@ func (j *Job) finishedAt() (time.Time, bool) {
 	return *j.finished, true
 }
 
-// appendResults retains one chunk's encoded lines: in memory up to the
-// configured buffer, then (with a spill directory) in a per-job NDJSON
-// file on disk.
-func (j *Job) appendResults(lines [][]byte) error {
+// appendResults retains one chunk's encoded lines and returns the total
+// retained bytes. Jobs on a durable store write through to their results
+// file as produced (so a restart can re-serve or resume them); volatile
+// jobs buffer in memory up to the configured cap, then (with a spill
+// directory) spill to a per-job NDJSON file.
+func (j *Job) appendResults(lines [][]byte) (int64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.spill == nil && j.spillPath == "" &&
-		len(j.lines)+len(lines) > j.m.cfg.BufferedResults && j.m.cfg.SpillDir != "" {
-		if err := j.openSpillLocked(); err != nil {
-			return err
+	if j.spill == nil {
+		writeThrough := j.m.durable && j.m.resultsDir != ""
+		overflow := j.spillPath == "" && j.m.spillDir != "" &&
+			len(j.lines)+len(lines) > j.m.cfg.BufferedResults
+		if writeThrough || overflow {
+			if err := j.openSpillLocked(); err != nil {
+				return j.resultBytes, err
+			}
 		}
 	}
 	if j.spill != nil {
 		for _, ln := range lines {
 			if _, err := j.spill.Write(ln); err != nil {
-				return fmt.Errorf("jobs: writing spill file: %w", err)
+				return j.resultBytes, fmt.Errorf("jobs: writing spill file: %w", err)
 			}
 			if _, err := j.spill.Write(nl); err != nil {
-				return fmt.Errorf("jobs: writing spill file: %w", err)
+				return j.resultBytes, fmt.Errorf("jobs: writing spill file: %w", err)
 			}
 			j.resultBytes += int64(len(ln)) + 1
 		}
-		return nil
+		return j.resultBytes, nil
 	}
 	for _, ln := range lines {
 		j.lines = append(j.lines, ln)
 		j.resultBytes += int64(len(ln)) + 1
 	}
-	return nil
+	return j.resultBytes, nil
 }
 
-// openSpillLocked moves the buffered lines to a fresh spill file and keeps
-// the handle open for subsequent appends. Called with j.mu held.
+// openSpillLocked opens the job's on-disk results file and keeps the
+// handle for subsequent appends: a fresh file absorbing the buffered
+// lines in the usual case, or — for a recovered job resuming past durable
+// results — an append handle onto the already-truncated prefix. Called
+// with j.mu held.
 func (j *Job) openSpillLocked() error {
-	if err := os.MkdirAll(j.m.spillDir, 0o755); err != nil {
+	if j.spillPath != "" {
+		// Recovery validated and truncated the file; continue where the
+		// durable prefix ends.
+		f, err := os.OpenFile(j.spillPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("jobs: reopening results file: %w", err)
+		}
+		j.spill = f
+		return nil
+	}
+	dir := j.m.spillDir
+	if j.m.durable {
+		dir = j.m.resultsDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("jobs: creating spill dir: %w", err)
 	}
-	path := filepath.Join(j.m.spillDir, j.id+".ndjson")
+	path := filepath.Join(dir, j.id+".ndjson")
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("jobs: creating spill file: %w", err)
@@ -791,6 +1387,9 @@ type Info struct {
 	// reports whether they live on disk.
 	ResultBytes int64 `json:"resultBytes"`
 	Spilled     bool  `json:"spilled,omitempty"`
+	// Recovered marks a job replayed from the durable store by a restarted
+	// process rather than submitted to this one.
+	Recovered bool `json:"recovered,omitempty"`
 	// Error explains a Failed state.
 	Error string `json:"error,omitempty"`
 	// CreatedAt/StartedAt/FinishedAt are the lifecycle timestamps.
@@ -808,6 +1407,7 @@ func (j *Job) Info() Info {
 		ID:        j.id,
 		Kind:      j.kind,
 		Total:     j.total,
+		Recovered: j.recovered,
 		CreatedAt: j.created,
 	}
 	j.mu.Lock()

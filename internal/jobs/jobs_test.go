@@ -37,7 +37,7 @@ func waitDone(t *testing.T, j *Job) {
 func TestJobLifecycle(t *testing.T) {
 	m := NewManager(Config{Workers: 1, Chunk: 8})
 	defer m.Close()
-	j, err := m.Submit("check", 20, countingRunner(t))
+	j, err := m.Submit("check", 20, nil, countingRunner(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestJobLifecycle(t *testing.T) {
 func TestZeroInputJobCompletes(t *testing.T) {
 	m := NewManager(Config{Workers: 1})
 	defer m.Close()
-	j, err := m.Submit("check", 0, func(lo, hi int) ([][]byte, error) {
+	j, err := m.Submit("check", 0, nil, func(lo, hi int) ([][]byte, error) {
 		t.Error("runner invoked for a zero-input job")
 		return nil, nil
 	})
@@ -90,7 +90,7 @@ func TestQueueFull(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{})
 	// Job A occupies the single worker.
-	a, err := m.Submit("check", 1, func(lo, hi int) ([][]byte, error) {
+	a, err := m.Submit("check", 1, nil, func(lo, hi int) ([][]byte, error) {
 		close(started)
 		<-block
 		return [][]byte{[]byte("a")}, nil
@@ -100,11 +100,11 @@ func TestQueueFull(t *testing.T) {
 	}
 	<-started
 	// Job B fills the queue.
-	if _, err := m.Submit("check", 1, countingRunner(t)); err != nil {
+	if _, err := m.Submit("check", 1, nil, countingRunner(t)); err != nil {
 		t.Fatal(err)
 	}
 	// Job C must be rejected.
-	if _, err := m.Submit("check", 1, countingRunner(t)); err != ErrQueueFull {
+	if _, err := m.Submit("check", 1, nil, countingRunner(t)); err != ErrQueueFull {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if st := m.Stats(); st.Rejected != 1 {
@@ -119,7 +119,7 @@ func TestCancelQueued(t *testing.T) {
 	defer m.Close()
 	block := make(chan struct{})
 	started := make(chan struct{})
-	a, err := m.Submit("check", 1, func(lo, hi int) ([][]byte, error) {
+	a, err := m.Submit("check", 1, nil, func(lo, hi int) ([][]byte, error) {
 		close(started)
 		<-block
 		return [][]byte{[]byte("a")}, nil
@@ -128,7 +128,7 @@ func TestCancelQueued(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	b, err := m.Submit("check", 5, countingRunner(t))
+	b, err := m.Submit("check", 5, nil, countingRunner(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestCancelWhileRunning(t *testing.T) {
 	firstChunk := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	j, err := m.Submit("check", 10, func(lo, hi int) ([][]byte, error) {
+	j, err := m.Submit("check", 10, nil, func(lo, hi int) ([][]byte, error) {
 		once.Do(func() { close(firstChunk) })
 		<-release
 		lines := make([][]byte, hi-lo)
@@ -194,7 +194,7 @@ func TestCancelWhileRunning(t *testing.T) {
 func TestFailedJobKeepsEarlierChunks(t *testing.T) {
 	m := NewManager(Config{Workers: 1, Chunk: 3})
 	defer m.Close()
-	j, err := m.Submit("check", 9, func(lo, hi int) ([][]byte, error) {
+	j, err := m.Submit("check", 9, nil, func(lo, hi int) ([][]byte, error) {
 		if lo >= 3 {
 			return nil, fmt.Errorf("boom at %d", lo)
 		}
@@ -214,7 +214,7 @@ func TestSpillToDisk(t *testing.T) {
 	dir := t.TempDir()
 	m := NewManager(Config{Workers: 1, Chunk: 4, BufferedResults: 6, SpillDir: dir})
 	defer m.Close()
-	j, err := m.Submit("check", 25, countingRunner(t))
+	j, err := m.Submit("check", 25, nil, countingRunner(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestSpillToDisk(t *testing.T) {
 	if !info.Spilled {
 		t.Fatalf("job did not spill: %+v", info)
 	}
-	spill := filepath.Join(dir, strconv.Itoa(os.Getpid()), j.ID()+".ndjson")
+	spill := filepath.Join(m.spillDir, j.ID()+".ndjson")
 	if _, err := os.Stat(spill); err != nil {
 		t.Fatalf("spill file: %v", err)
 	}
@@ -254,7 +254,7 @@ func TestSpillToDisk(t *testing.T) {
 func TestReapTTL(t *testing.T) {
 	m := NewManager(Config{Workers: 1, ResultTTL: time.Millisecond})
 	defer m.Close()
-	j, err := m.Submit("check", 2, countingRunner(t))
+	j, err := m.Submit("check", 2, nil, countingRunner(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestReapSkipsActiveJobs(t *testing.T) {
 	defer m.Close()
 	block := make(chan struct{})
 	started := make(chan struct{})
-	j, err := m.Submit("check", 1, func(lo, hi int) ([][]byte, error) {
+	j, err := m.Submit("check", 1, nil, func(lo, hi int) ([][]byte, error) {
 		close(started)
 		<-block
 		return [][]byte{[]byte("x")}, nil
@@ -304,7 +304,7 @@ func TestCanceledQueuedJobFreesSlot(t *testing.T) {
 	defer m.Close()
 	block := make(chan struct{})
 	started := make(chan struct{})
-	a, err := m.Submit("check", 1, func(lo, hi int) ([][]byte, error) {
+	a, err := m.Submit("check", 1, nil, func(lo, hi int) ([][]byte, error) {
 		close(started)
 		<-block
 		return [][]byte{[]byte("a")}, nil
@@ -313,17 +313,17 @@ func TestCanceledQueuedJobFreesSlot(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	b, err := m.Submit("check", 1, countingRunner(t)) // fills the queue
+	b, err := m.Submit("check", 1, nil, countingRunner(t)) // fills the queue
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit("check", 1, countingRunner(t)); err != ErrQueueFull {
+	if _, err := m.Submit("check", 1, nil, countingRunner(t)); err != ErrQueueFull {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if ok := b.Cancel(); !ok {
 		t.Fatal("Cancel of queued job returned false")
 	}
-	c, err := m.Submit("check", 1, countingRunner(t))
+	c, err := m.Submit("check", 1, nil, countingRunner(t))
 	if err != nil {
 		t.Fatalf("submit after canceling the queued job: %v (slot not freed)", err)
 	}
@@ -362,9 +362,34 @@ func TestSweepOrphanedSpillFiles(t *testing.T) {
 	if err := os.WriteFile(live, []byte("{}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// A legacy pid namespace whose pid was recycled by a live process (pid
+	// 1 stands in) but whose directory has gone stale: the age fallback —
+	// the fix for the pid-recycling leak — must reclaim it even though the
+	// liveness probe says "alive".
+	stale := time.Now().Add(-2 * time.Hour)
+	recycledDir := filepath.Join(dir, "1")
+	if err := os.MkdirAll(recycledDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(recycledDir, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	// Instance namespaces: a stale one is an orphan, a fresh one is a live
+	// sibling mid-heartbeat.
+	staleInst := filepath.Join(dir, "i-000000000001")
+	if err := os.MkdirAll(staleInst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(staleInst, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	freshInst := filepath.Join(dir, "i-000000000002")
+	if err := os.MkdirAll(freshInst, 0o755); err != nil {
+		t.Fatal(err)
+	}
 	m := NewManager(Config{Workers: 1, SpillDir: dir})
 	defer m.Close()
-	j, err := m.Submit("check", 1, countingRunner(t)) // first Submit starts the pool
+	j, err := m.Submit("check", 1, nil, countingRunner(t)) // first Submit starts the pool
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,6 +400,15 @@ func TestSweepOrphanedSpillFiles(t *testing.T) {
 	if _, err := os.Stat(live); err != nil {
 		t.Fatalf("live process's spill file was swept: %v", err)
 	}
+	if _, err := os.Stat(recycledDir); !os.IsNotExist(err) {
+		t.Fatalf("stale recycled-pid namespace survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(staleInst); !os.IsNotExist(err) {
+		t.Fatalf("stale instance namespace survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(freshInst); err != nil {
+		t.Fatalf("fresh sibling instance namespace was swept: %v", err)
+	}
 }
 
 // TestCloseFinalizesQueuedJobs pins that Close cancels still-queued jobs
@@ -383,7 +417,7 @@ func TestCloseFinalizesQueuedJobs(t *testing.T) {
 	m := NewManager(Config{Workers: 1, QueueDepth: 4})
 	block := make(chan struct{})
 	started := make(chan struct{})
-	a, err := m.Submit("check", 1, func(lo, hi int) ([][]byte, error) {
+	a, err := m.Submit("check", 1, nil, func(lo, hi int) ([][]byte, error) {
 		close(started)
 		<-block
 		return [][]byte{[]byte("a")}, nil
@@ -392,7 +426,7 @@ func TestCloseFinalizesQueuedJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	b, err := m.Submit("check", 1, countingRunner(t)) // stays queued
+	b, err := m.Submit("check", 1, nil, countingRunner(t)) // stays queued
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +447,7 @@ func TestCloseFinalizesQueuedJobs(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	m := NewManager(Config{Workers: 1})
 	m.Close()
-	if _, err := m.Submit("check", 1, countingRunner(t)); err != ErrClosed {
+	if _, err := m.Submit("check", 1, nil, countingRunner(t)); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	m.Close() // idempotent
@@ -433,7 +467,7 @@ func TestConcurrentSubmitCancelPoll(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < jobs/4; i++ {
-				j, err := m.Submit("check", 32, countingRunner(t))
+				j, err := m.Submit("check", 32, nil, countingRunner(t))
 				if err != nil {
 					t.Errorf("submit: %v", err)
 					return

@@ -1,0 +1,109 @@
+// Package memstore is the in-memory jobstore.Store: an event log that
+// lives and dies with the process. It preserves the job layer's
+// zero-config behavior — no disk, no fsync, nothing to clean up — while
+// exercising exactly the same append/replay contract as the durable
+// backends, so replay logic can be tested without touching a filesystem.
+package memstore
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/jobs/jobstore"
+)
+
+// Store is an in-memory append-only event log. The zero value is not
+// usable; construct with New.
+type Store struct {
+	mu      sync.Mutex
+	events  []jobstore.Event
+	live    map[string]bool // job id -> history not yet Removed
+	removed int             // events belonging to removed jobs (compaction trigger)
+	closed  bool
+}
+
+// ErrClosed rejects appends after Close.
+var ErrClosed = errors.New("memstore: store is closed")
+
+// New builds an empty in-memory store.
+func New() *Store {
+	return &Store{live: map[string]bool{}}
+}
+
+// Append records one event. Payloads are referenced, not copied — the
+// manager never mutates a submitted payload.
+func (s *Store) Append(ev *jobstore.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	switch ev.Type {
+	case jobstore.Submitted:
+		s.live[ev.Job] = true
+	case jobstore.Removed:
+		if s.live[ev.Job] {
+			delete(s.live, ev.Job)
+			for i := range s.events {
+				if s.events[i].Job == ev.Job {
+					s.removed++
+				}
+			}
+			s.compactLocked()
+		}
+		return nil // removal retires the history; nothing to retain
+	}
+	s.events = append(s.events, *ev)
+	return nil
+}
+
+// compactLocked rewrites the event slice without removed jobs' records
+// once they dominate it, so a long-lived manager's reaped jobs do not
+// accumulate forever. Called with s.mu held.
+func (s *Store) compactLocked() {
+	if s.removed*2 < len(s.events) {
+		return
+	}
+	kept := s.events[:0]
+	for _, ev := range s.events {
+		if s.live[ev.Job] {
+			kept = append(kept, ev)
+		}
+	}
+	// Release the tail so dropped payload references are collectable.
+	for i := len(kept); i < len(s.events); i++ {
+		s.events[i] = jobstore.Event{}
+	}
+	s.events = kept
+	s.removed = 0
+}
+
+// Replay invokes fn for every retained event of every live job, in
+// append order.
+func (s *Store) Replay(fn func(ev *jobstore.Event) error) error {
+	s.mu.Lock()
+	events := make([]jobstore.Event, 0, len(s.events))
+	for _, ev := range s.events {
+		if s.live[ev.Job] {
+			events = append(events, ev)
+		}
+	}
+	s.mu.Unlock()
+	for i := range events {
+		if err := fn(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Durable reports false: the log dies with the process.
+func (s *Store) Durable() bool { return false }
+
+// Close marks the store closed; subsequent appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

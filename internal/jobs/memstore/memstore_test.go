@@ -1,0 +1,102 @@
+package memstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/jobs/jobstore"
+)
+
+func TestRoundtripAndRemoval(t *testing.T) {
+	s := New()
+	if s.Durable() {
+		t.Fatal("memstore must report volatile")
+	}
+	events := []jobstore.Event{
+		{Type: jobstore.Submitted, Job: "a", Kind: "check", Total: 3},
+		{Type: jobstore.Started, Job: "a"},
+		{Type: jobstore.Submitted, Job: "b", Kind: "check", Total: 1},
+		{Type: jobstore.Finished, Job: "a", Done: 3, State: "done"},
+	}
+	for i := range events {
+		if err := s.Append(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []jobstore.Event
+	collect := func(ev *jobstore.Event) error { got = append(got, *ev); return nil }
+	if err := s.Replay(collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0].Job != "a" || got[2].Job != "b" || got[3].State != "done" {
+		t.Fatalf("replay = %+v", got)
+	}
+	// Removal retires a's whole history.
+	if err := s.Append(&jobstore.Event{Type: jobstore.Removed, Job: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if err := s.Replay(collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Job != "b" {
+		t.Fatalf("replay after removal = %+v", got)
+	}
+}
+
+func TestCompactionBoundsRetention(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if err := s.Append(&jobstore.Event{Type: jobstore.Submitted, Job: id}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(&jobstore.Event{Type: jobstore.Finished, Job: id, State: "done"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(&jobstore.Event{Type: jobstore.Removed, Job: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	retained := len(s.events)
+	s.mu.Unlock()
+	if retained != 0 {
+		t.Fatalf("fully-removed log retains %d events", retained)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("g%d-%d", g, i)
+				_ = s.Append(&jobstore.Event{Type: jobstore.Submitted, Job: id})
+				_ = s.Append(&jobstore.Event{Type: jobstore.Finished, Job: id, State: "done"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	if err := s.Replay(func(ev *jobstore.Event) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 8*50*2 {
+		t.Fatalf("replayed %d events, want %d", n, 8*50*2)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	s := New()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(&jobstore.Event{Type: jobstore.Submitted, Job: "a"}); err != ErrClosed {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,408 @@
+// Package walstore is the local-disk jobstore.Store: a segmented NDJSON
+// write-ahead log of job-lifecycle events plus out-of-band payload blobs.
+// A Submitted event is fsynced before Append returns (the write-ahead
+// guarantee), so a job accepted with a 202 survives the process; progress
+// and terminal records are appended without sync — a crash loses at most
+// the tail transitions, and replay then re-runs the job from its last
+// durable chunk boundary.
+//
+// Layout under the store root:
+//
+//	wal/seg-00000001.ndjson   log segments, one JSON record per line
+//	payload/<jobID>.pay       submission payloads (runner reconstruction)
+//
+// Each process opens a fresh segment (existing segments are never
+// appended to, so a torn tail can only be the previous process's last
+// line, which replay tolerates). Segments rotate at a size bound, and a
+// prefix of fully-reaped segments — every job with records in them has a
+// Removed marker — is deleted at open and after removals: retention is
+// TTL-driven and roughly FIFO, so prefix compaction reclaims the log in
+// practice. Payload blobs are deleted as soon as the job reaches a
+// terminal state (they exist only to re-run interrupted jobs).
+package walstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/jobs/jobstore"
+)
+
+// DefaultSegmentBytes is the default segment rotation bound.
+const DefaultSegmentBytes = 4 << 20
+
+// Options parameterizes Open. The zero value selects the defaults:
+// fsync on submission, 4MB segments.
+type Options struct {
+	// NoSync disables the fsync of Submitted (and Finished) records —
+	// faster submits at the cost of the write-ahead guarantee across
+	// machine crashes (a process kill still loses nothing: the records are
+	// written before Append returns). Bench X12 quantifies the gap.
+	NoSync bool
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// <=0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// ErrClosed rejects appends after Close.
+var ErrClosed = errors.New("walstore: store is closed")
+
+// record is the on-disk line form of an event: the event fields plus the
+// out-of-band payload reference.
+type record struct {
+	jobstore.Event
+	// PayloadRef is the payload blob's file name under payload/, recorded
+	// on Submitted events that carried one.
+	PayloadRef string `json:"payload,omitempty"`
+}
+
+// segment is one sealed (or active) log file and the set of jobs with
+// records in it — the unit of compaction.
+type segment struct {
+	index int
+	path  string
+	jobs  map[string]struct{}
+}
+
+// Store is the write-ahead log. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segments []*segment // oldest first; the last one is active
+	active   *os.File
+	activeN  int64           // bytes written to the active segment
+	live     map[string]bool // job id -> submitted and not Removed
+	replayed []record        // the on-disk history as of Open, for Replay
+	closed   bool
+
+	appends  int64
+	syncs    int64
+	badLines int64
+}
+
+// Stats is a snapshot of the store's counters, for tests and operators.
+type Stats struct {
+	// Segments is the current log segment count (including the active one).
+	Segments int `json:"segments"`
+	// LiveJobs counts jobs whose history is retained (not Removed).
+	LiveJobs int `json:"liveJobs"`
+	// Appends and Syncs count records written and fsync calls issued.
+	Appends int64 `json:"appends"`
+	Syncs   int64 `json:"syncs"`
+	// BadLines counts undecodable log lines skipped during open (a torn
+	// tail from a crashed process is the expected source).
+	BadLines int64 `json:"badLines"`
+}
+
+// Open opens (creating if needed) the write-ahead log rooted at dir: it
+// scans the existing segments, compacts the fully-reaped prefix, removes
+// orphaned payload blobs, and opens a fresh active segment.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	s := &Store{dir: dir, opts: opts, live: map[string]bool{}}
+	for _, sub := range []string{s.walDir(), s.payloadDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("walstore: creating %s: %w", sub, err)
+		}
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.compactLocked()
+	s.sweepPayloads()
+	if err := s.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) walDir() string     { return filepath.Join(s.dir, "wal") }
+func (s *Store) payloadDir() string { return filepath.Join(s.dir, "payload") }
+
+// payloadPath is where a job's submission payload blob lives.
+func (s *Store) payloadPath(job string) string {
+	return filepath.Join(s.payloadDir(), job+".pay")
+}
+
+// segmentPath names the segment file with the given index.
+func (s *Store) segmentPath(index int) string {
+	return filepath.Join(s.walDir(), fmt.Sprintf("seg-%08d.ndjson", index))
+}
+
+// scan reads every existing segment in index order, building the
+// live-job set, the per-segment job sets, and the replay buffer.
+func (s *Store) scan() error {
+	ents, err := os.ReadDir(s.walDir())
+	if err != nil {
+		return fmt.Errorf("walstore: reading wal dir: %w", err)
+	}
+	var indices []int
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".ndjson") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".ndjson"))
+		if err != nil {
+			continue
+		}
+		indices = append(indices, n)
+	}
+	sort.Ints(indices)
+	for _, idx := range indices {
+		seg := &segment{index: idx, path: s.segmentPath(idx), jobs: map[string]struct{}{}}
+		if err := s.scanSegment(seg); err != nil {
+			return err
+		}
+		s.segments = append(s.segments, seg)
+	}
+	return nil
+}
+
+// scanSegment parses one segment's lines into the replay buffer.
+// Undecodable lines (a torn tail from a killed process) are counted and
+// skipped.
+func (s *Store) scanSegment(seg *segment) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("walstore: opening segment: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Job == "" {
+			s.badLines++
+			continue
+		}
+		seg.jobs[rec.Job] = struct{}{}
+		switch rec.Type {
+		case jobstore.Submitted:
+			s.live[rec.Job] = true
+		case jobstore.Removed:
+			delete(s.live, rec.Job)
+		}
+		s.replayed = append(s.replayed, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("walstore: scanning segment %s: %w", seg.path, err)
+	}
+	return nil
+}
+
+// Append records one event; see the jobstore.Store contract. Submitted
+// records (and their payload blobs) are synced before return unless
+// NoSync is set.
+func (s *Store) Append(ev *jobstore.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := record{Event: *ev}
+	switch ev.Type {
+	case jobstore.Submitted:
+		if len(ev.Payload) > 0 {
+			if err := s.writePayload(ev.Job, ev.Payload); err != nil {
+				return err
+			}
+			rec.PayloadRef = ev.Job + ".pay"
+		}
+		s.live[ev.Job] = true
+	case jobstore.Finished:
+		// The payload exists to re-run an interrupted job; a terminal job
+		// will never run again.
+		_ = os.Remove(s.payloadPath(ev.Job))
+	case jobstore.Removed:
+		_ = os.Remove(s.payloadPath(ev.Job))
+		delete(s.live, ev.Job)
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("walstore: encoding record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.active.Write(line); err != nil {
+		return fmt.Errorf("walstore: appending record: %w", err)
+	}
+	s.activeN += int64(len(line))
+	s.appends++
+	seg := s.segments[len(s.segments)-1]
+	seg.jobs[ev.Job] = struct{}{}
+	if !s.opts.NoSync && (ev.Type == jobstore.Submitted || ev.Type == jobstore.Finished) {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("walstore: syncing segment: %w", err)
+		}
+		s.syncs++
+	}
+	if ev.Type == jobstore.Removed {
+		s.compactLocked()
+	}
+	if s.activeN >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePayload persists one submission payload blob (synced unless
+// NoSync), called with s.mu held.
+func (s *Store) writePayload(job string, payload []byte) error {
+	path := s.payloadPath(job)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("walstore: creating payload blob: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("walstore: writing payload blob: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("walstore: syncing payload blob: %w", err)
+		}
+		s.syncs++
+	}
+	return f.Close()
+}
+
+// rotateLocked seals the active segment (if any) and opens the next one.
+// Called with s.mu held.
+func (s *Store) rotateLocked() error {
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("walstore: sealing segment: %w", err)
+		}
+	}
+	next := 1
+	if len(s.segments) > 0 {
+		next = s.segments[len(s.segments)-1].index + 1
+	}
+	seg := &segment{index: next, path: s.segmentPath(next), jobs: map[string]struct{}{}}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("walstore: creating segment: %w", err)
+	}
+	s.segments = append(s.segments, seg)
+	s.active = f
+	s.activeN = 0
+	return nil
+}
+
+// compactLocked deletes the longest prefix of sealed segments whose jobs
+// are all Removed. Oldest-first order is what makes this safe: a job's
+// Submitted record always precedes its Removed marker, so the marker can
+// only be deleted together with — or after — every record it retires.
+// Called with s.mu held.
+func (s *Store) compactLocked() {
+	for len(s.segments) > 0 {
+		seg := s.segments[0]
+		if s.active != nil && seg == s.segments[len(s.segments)-1] {
+			return // never compact the active segment
+		}
+		for job := range seg.jobs {
+			if s.live[job] {
+				return
+			}
+		}
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			return
+		}
+		s.segments = s.segments[1:]
+	}
+}
+
+// sweepPayloads removes payload blobs that no live job references
+// (orphans of jobs finished or removed by a previous process).
+func (s *Store) sweepPayloads() {
+	ents, err := os.ReadDir(s.payloadDir())
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		job := strings.TrimSuffix(ent.Name(), ".pay")
+		if job == ent.Name() || s.live[job] {
+			continue
+		}
+		_ = os.Remove(filepath.Join(s.payloadDir(), ent.Name()))
+	}
+}
+
+// Replay invokes fn for every live job's events as of Open, in append
+// order, loading Submitted payload blobs back into the events.
+func (s *Store) Replay(fn func(ev *jobstore.Event) error) error {
+	s.mu.Lock()
+	records := make([]record, 0, len(s.replayed))
+	for _, rec := range s.replayed {
+		if s.live[rec.Job] {
+			records = append(records, rec)
+		}
+	}
+	s.mu.Unlock()
+	for i := range records {
+		rec := &records[i]
+		if rec.Type == jobstore.Submitted && rec.PayloadRef != "" {
+			data, err := os.ReadFile(filepath.Join(s.payloadDir(), rec.PayloadRef))
+			if err == nil {
+				rec.Payload = data
+			}
+			// A missing blob is not fatal here: the manager fails the one
+			// job it cannot reconstruct, not the whole recovery.
+		}
+		if err := fn(&rec.Event); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Durable reports true: the log survives the process.
+func (s *Store) Durable() bool { return true }
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Segments: len(s.segments),
+		LiveJobs: len(s.live),
+		Appends:  s.appends,
+		Syncs:    s.syncs,
+		BadLines: s.badLines,
+	}
+}
+
+// Close seals the active segment. Idempotent; appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.active != nil {
+		err := s.active.Close()
+		s.active = nil
+		return err
+	}
+	return nil
+}

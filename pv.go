@@ -33,6 +33,7 @@
 package pv
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -474,6 +475,15 @@ type EngineConfig struct {
 	// JobResultTTL is how long a finished async job and its buffered
 	// results are retained before reaping; <=0 selects 15 minutes.
 	JobResultTTL time.Duration
+	// VolatileJobs keeps async jobs in memory even when SchemaCacheDir is
+	// set. By default a disk-backed engine records every submission in a
+	// write-ahead log under <SchemaCacheDir>/jobs, so a restarted engine
+	// re-serves finished jobs and re-runs interrupted ones.
+	VolatileJobs bool
+	// JobWALNoSync skips the per-submission fsync of the job write-ahead
+	// log: faster accepts, and a process kill still loses nothing — only a
+	// machine crash can drop the un-synced tail.
+	JobWALNoSync bool
 }
 
 // Doc is one batch input: an identifier (path, queue key, anything) plus
@@ -522,6 +532,8 @@ func OpenEngine(cfg EngineConfig) (*Engine, error) {
 		JobWorkers:    cfg.JobWorkers,
 		JobQueueDepth: cfg.JobQueueDepth,
 		JobResultTTL:  cfg.JobResultTTL,
+		VolatileJobs:  cfg.VolatileJobs,
+		JobWALNoSync:  cfg.JobWALNoSync,
 	})
 	if err != nil {
 		return nil, err
@@ -623,6 +635,11 @@ type JobInfo = jobs.Info
 // submitted/completed/failed/canceled/rejected/reaped lifetime counters.
 type JobStats = jobs.Stats
 
+// JobRecoveryStats is the outcome of a job write-ahead-log replay: how
+// many interrupted jobs were re-queued from scratch, resumed at a chunk
+// boundary, re-served as already finished, or found unrecoverable.
+type JobRecoveryStats = jobs.RecoveryStats
+
 // ErrJobQueueFull rejects SubmitBatch/SubmitCompleteBatch when the job
 // queue is at capacity (HTTP 429 on the wire).
 var ErrJobQueueFull = engine.ErrJobQueueFull
@@ -671,9 +688,22 @@ func (e *Engine) RemoveJob(id string) bool { return e.e.Jobs().Remove(id) }
 // JobStats snapshots the job queue's gauges and lifetime counters.
 func (e *Engine) JobStats() JobStats { return e.e.Jobs().Stats() }
 
+// JobRecovery reports the write-ahead-log replay outcome of OpenEngine
+// and whether a recovery pass ran at all (it does whenever the engine has
+// a persistent job store — SchemaCacheDir set and VolatileJobs false).
+func (e *Engine) JobRecovery() (JobRecoveryStats, bool) { return e.e.JobRecovery() }
+
 // Close stops the engine's async job workers and reaper; synchronous
-// checking and completion remain usable.
+// checking and completion remain usable. Running jobs are interrupted
+// without waiting (a durable engine re-runs them on the next open); use
+// Shutdown to drain them first.
 func (e *Engine) Close() { e.e.Close() }
+
+// Shutdown closes the engine and waits — bounded by ctx — for running
+// jobs to finalize and the job write-ahead log to be released. It returns
+// ctx.Err() when the drain outlives the context; the interrupted jobs
+// recover on the next open.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.e.Shutdown(ctx) }
 
 // Stats returns the engine's lifetime counters.
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }
