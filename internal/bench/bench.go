@@ -761,12 +761,15 @@ func SchemaStore(shardCounts []int, schemaCount, corpusSize int, budget time.Dur
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	seed, err := engine.Open(engine.Config{Workers: 4, CacheDir: dir})
+	// VolatileJobs: only the schema tier is measured here, and the seed
+	// engine stays open next to the warm one — the job WAL's single-writer
+	// lock would refuse the second Open.
+	seed, err := engine.Open(engine.Config{Workers: 4, CacheDir: dir, VolatileJobs: true})
 	if err != nil {
 		panic(err)
 	}
 	compileAll(seed) // populate the disk tier
-	warm, err := engine.Open(engine.Config{Workers: 4, CacheDir: dir})
+	warm, err := engine.Open(engine.Config{Workers: 4, CacheDir: dir, VolatileJobs: true})
 	if err != nil {
 		panic(err)
 	}

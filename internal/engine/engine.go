@@ -164,7 +164,11 @@ type Config struct {
 	// JobStore overrides the job-event store entirely (a custom
 	// jobstore.Store implementation — e.g. a shared store in tests, or a
 	// future database backend). When set, CacheDir/VolatileJobs do not
-	// influence job persistence. The engine owns the store and closes it.
+	// influence job persistence, but a durable JobStore still requires a
+	// CacheDir: recovered results are re-served from write-through files
+	// under <CacheDir>/jobs/results, and without that directory every
+	// replayed done job would degrade to failed (Open rejects the
+	// combination). The engine owns the store and closes it.
 	JobStore jobstore.Store
 }
 
@@ -209,6 +213,13 @@ func New(cfg Config) *Engine {
 // Open builds an engine, reporting a disk-tier cache directory that cannot
 // be created or opened as an error.
 func Open(cfg Config) (*Engine, error) {
+	if cfg.JobStore != nil && cfg.JobStore.Durable() && cfg.CacheDir == "" {
+		// Fail fast: without the write-through results directory a durable
+		// store's recovery degrades every replayed done job to failed
+		// ("recovered results incomplete") and re-runs interrupted ones
+		// from scratch — durability the caller asked for but would not get.
+		return nil, errors.New("engine: a durable JobStore requires CacheDir (recovered results are re-served from <CacheDir>/jobs/results)")
+	}
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/jobs/walstore"
 )
 
 // The engine-level restart suite: two engines opened over the same cache
@@ -16,10 +19,17 @@ import (
 // double as integration coverage for the registry/jobs layering.
 
 // openDurable builds an engine whose cache dir (schema tier + job WAL)
-// is rooted at dir.
+// is rooted at dir. The WAL is opened without its single-writer lock and
+// injected as the JobStore: these tests simulate a killed pvserve by
+// abandoning a live engine, and the "dead" predecessor's lock would
+// otherwise refuse the restarted one.
 func openDurable(t *testing.T, dir string) *Engine {
 	t.Helper()
-	e, err := Open(Config{Workers: 2, JobWorkers: 1, CacheDir: dir})
+	ws, err := walstore.Open(filepath.Join(dir, "jobs"), walstore.Options{NoLock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(Config{Workers: 2, JobWorkers: 1, CacheDir: dir, JobStore: ws})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,6 +136,21 @@ func TestInterruptedJobRecoversToTerminal(t *testing.T) {
 		if g != w {
 			t.Fatalf("result %d after recovery: %+v != sync %+v", i, g, w)
 		}
+	}
+}
+
+// TestDurableJobStoreRequiresCacheDir pins the fail-fast: a durable
+// custom JobStore without a CacheDir has no write-through directory to
+// re-serve recovered results from — every replayed done job would degrade
+// to failed — so Open refuses the combination outright.
+func TestDurableJobStoreRequiresCacheDir(t *testing.T) {
+	ws, err := walstore.Open(filepath.Join(t.TempDir(), "jobs"), walstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if _, err := Open(Config{Workers: 1, JobStore: ws}); err == nil {
+		t.Fatal("Open accepted a durable JobStore without a CacheDir")
 	}
 }
 

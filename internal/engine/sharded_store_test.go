@@ -12,6 +12,12 @@ import (
 	"repro/internal/gen"
 )
 
+// The tests in this file keep several engines open over one cache
+// directory at the same time (the differential comparisons need the cold
+// engine alive next to the warm one). That is exactly what the job WAL's
+// single-writer lock forbids, and none of these tests exercise jobs —
+// hence VolatileJobs on every Open.
+
 // TestDiskTierWarmStart pins the tentpole's cold-start contract: a first
 // engine compiles and persists its schemas; a second engine over the same
 // cache directory rehydrates every one of them with zero source
@@ -32,7 +38,7 @@ func TestDiskTierWarmStart(t *testing.T) {
 		{dtd.TEILite, "TEI", CompileOptions{}},
 	}
 
-	e1, err := Open(Config{Workers: 2, CacheDir: dir, Shards: 4})
+	e1, err := Open(Config{Workers: 2, CacheDir: dir, Shards: 4, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +59,7 @@ func TestDiskTierWarmStart(t *testing.T) {
 	}
 
 	// Second start, warm directory: every Compile must rehydrate.
-	e2, err := Open(Config{Workers: 2, CacheDir: dir, Shards: 4})
+	e2, err := Open(Config{Workers: 2, CacheDir: dir, Shards: 4, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +103,7 @@ func TestDiskTierWarmStart(t *testing.T) {
 	}
 
 	// Third start: resolve a ref with no source ever submitted.
-	e3, err := Open(Config{Workers: 2, CacheDir: dir, Shards: 4})
+	e3, err := Open(Config{Workers: 2, CacheDir: dir, Shards: 4, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +130,7 @@ func TestDiskTierWarmStart(t *testing.T) {
 // routing error, not a crash.
 func TestDiskTierCorruptionFallsBack(t *testing.T) {
 	dir := t.TempDir()
-	e1, err := Open(Config{Workers: 2, CacheDir: dir})
+	e1, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +143,7 @@ func TestDiskTierCorruptionFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e2, err := Open(Config{Workers: 2, CacheDir: dir})
+	e2, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +159,7 @@ func TestDiskTierCorruptionFallsBack(t *testing.T) {
 		t.Fatalf("fallback stats = %+v", st)
 	}
 	// The recompile re-persisted a good blob; a fresh engine loads it.
-	e3, err := Open(Config{Workers: 2, CacheDir: dir})
+	e3, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +174,7 @@ func TestDiskTierCorruptionFallsBack(t *testing.T) {
 	if err := os.WriteFile(blobPath, []byte("garbage again"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	e4, err := Open(Config{Workers: 2, CacheDir: dir})
+	e4, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
 	if err != nil {
 		t.Fatal(err)
 	}

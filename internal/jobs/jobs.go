@@ -222,7 +222,11 @@ type Config struct {
 	// Store is the job-event log. nil selects an in-memory store
 	// (today's zero-config behavior: job state dies with the process).
 	// A durable store — internal/jobs/walstore — makes Submit write-ahead
-	// and Recover meaningful.
+	// and Recover meaningful. A durable store requires a SpillDir: results
+	// are re-served and resumed from the write-through files under
+	// SpillDir/results, so without one every recovered done job degrades
+	// to failed ("recovered results incomplete") and interrupted jobs
+	// restart from input zero.
 	Store jobstore.Store
 }
 
@@ -278,6 +282,7 @@ type Manager struct {
 
 	start       sync.Once
 	poolStarted atomic.Bool
+	recoverRan  atomic.Bool // a Recover pass replayed the store (gates the results sweep)
 	stop        chan struct{}
 	runWG       sync.WaitGroup // running jobs; Add under m.mu while claiming
 	storeOnce   sync.Once      // closes the store once, after running jobs drain
@@ -414,7 +419,7 @@ func (m *Manager) sweepSpillDir() {
 		return
 	}
 	m.sweepNamespaces()
-	if m.durable {
+	if m.durable && m.recoverRan.Load() {
 		m.sweepResults()
 	}
 }
@@ -454,8 +459,12 @@ func (m *Manager) sweepNamespaces() {
 
 // sweepResults prunes write-through result files whose job is no longer
 // in the table — leftovers of jobs the log has already retired. It runs
-// after Recover has registered every replayable job (enforced by
-// ErrRecoverAfterStart), so a recovered job's results are never swept.
+// only when a Recover pass has replayed the store (the recoverRan gate)
+// and after that pass registered every replayable job (enforced by
+// ErrRecoverAfterStart), so a recovered job's results are never swept. A
+// manager whose caller skips Recover leaves prior jobs' result files in
+// place — the log still retains their histories, and deleting the files
+// would degrade those jobs to failed on the next Recover.
 func (m *Manager) sweepResults() {
 	ents, err := os.ReadDir(m.resultsDir)
 	if err != nil {
@@ -602,12 +611,21 @@ func (m *Manager) Recover(resolve RunnerResolver) (RecoveryStats, error) {
 	if m.poolStarted.Load() {
 		return stats, ErrRecoverAfterStart
 	}
-	// Fold the log into one history per job.
+	// Fold the log into one history per job. Resume decisions trust only
+	// chunk-aligned Progress records (alignedDone/alignedBytes): the final
+	// chunk of a job whose total is not a chunk multiple commits a
+	// non-aligned record, and resuming from "done rounded down" while the
+	// results file already covers all done inputs would re-run that chunk
+	// and duplicate its lines. The newest record overall (done/resultBytes)
+	// still matters: when it covers every input, the job finished and only
+	// its terminal record was lost.
 	type history struct {
-		sub         *jobstore.Event
-		done        int
-		resultBytes int64
-		fin         *jobstore.Event
+		sub          *jobstore.Event
+		done         int
+		resultBytes  int64
+		alignedDone  int
+		alignedBytes int64
+		fin          *jobstore.Event
 	}
 	hists := map[string]*history{}
 	var order []string
@@ -631,6 +649,13 @@ func (m *Manager) Recover(resolve RunnerResolver) (RecoveryStats, error) {
 			if ev.Done >= h.done {
 				h.done, h.resultBytes = ev.Done, ev.ResultBytes
 			}
+			chunk := h.sub.Chunk
+			if chunk <= 0 {
+				chunk = m.cfg.Chunk
+			}
+			if ev.Done%chunk == 0 && ev.Done >= h.alignedDone {
+				h.alignedDone, h.alignedBytes = ev.Done, ev.ResultBytes
+			}
 		case jobstore.Finished:
 			e := *ev
 			h.fin = &e
@@ -640,6 +665,10 @@ func (m *Manager) Recover(resolve RunnerResolver) (RecoveryStats, error) {
 	if err != nil {
 		return stats, fmt.Errorf("jobs: replaying store: %w", err)
 	}
+	// The replay succeeded: the job table (populated below) is now
+	// authoritative for which result files are live, so the startup sweep
+	// may prune the rest.
+	m.recoverRan.Store(true)
 	now := time.Now()
 	var recovered []*Job
 	var requeue []*Job
@@ -662,6 +691,26 @@ func (m *Manager) Recover(resolve RunnerResolver) (RecoveryStats, error) {
 		switch {
 		case h.fin != nil:
 			m.recoverFinished(j, h.fin)
+			stats.Served++
+		case h.sub.Total > 0 && h.done >= h.sub.Total && m.resultsIntact(id, h.resultBytes):
+			// Every input completed and its results are durable — the crash
+			// only lost the terminal record (the final chunk of a total that
+			// is not a chunk multiple commits a non-aligned Progress record,
+			// so this is the common shape of that crash window). Finalize as
+			// Done rather than re-queue: resuming from the last aligned
+			// boundary would re-run the final chunk and append lines the
+			// results file already holds. The synthesized terminal record is
+			// persisted so the next restart replays it as finished outright.
+			fin := &jobstore.Event{
+				Type:        jobstore.Finished,
+				Job:         id,
+				State:       Done.String(),
+				Done:        h.done,
+				ResultBytes: h.resultBytes,
+				Time:        now,
+			}
+			m.recoverFinished(j, fin)
+			m.append(fin)
 			stats.Served++
 		default:
 			run, rerr := resolve(Submission{
@@ -689,7 +738,7 @@ func (m *Manager) Recover(resolve RunnerResolver) (RecoveryStats, error) {
 				m.failed.Add(1)
 				stats.Failed++
 			} else {
-				resume := m.recoverResume(j, h.done, h.resultBytes)
+				resume := m.recoverResume(j, h.alignedDone, h.alignedBytes)
 				j.run = run
 				j.resume = resume
 				j.doneDocs.Store(int64(resume))
@@ -767,14 +816,18 @@ func (m *Manager) recoverFinished(j *Job, fin *jobstore.Event) {
 // recoverResume validates an interrupted job's durable progress and
 // returns the input offset to resume from: the recorded chunk boundary
 // when the write-through results file covers it, zero (full re-run, file
-// removed) otherwise. Results are written to the file before the progress
-// record is appended, so a file at least as long as the recorded bytes is
-// guaranteed intact up to them; truncating to the recorded length drops
-// any torn tail from the interrupted chunk and keeps the replayed output
-// byte-identical to an uninterrupted run.
+// removed) otherwise. The caller passes only chunk-aligned progress (the
+// replay fold filters for it): truncating the file to a record's bytes is
+// only resume-safe when the record sits exactly on the boundary execution
+// restarts from — a non-aligned record's bytes cover inputs the resumed
+// run would produce again. Results are written to the file before the
+// progress record is appended, so a file at least as long as the recorded
+// bytes is guaranteed intact up to them; truncating to the recorded
+// length drops any torn tail from the interrupted chunk and keeps the
+// replayed output byte-identical to an uninterrupted run.
 func (m *Manager) recoverResume(j *Job, done int, resultBytes int64) int {
 	path := m.resultsPath(j.id)
-	if done <= 0 || path == "" {
+	if done <= 0 || done%j.chunk != 0 || path == "" {
 		if path != "" {
 			_ = os.Remove(path)
 		}
@@ -792,7 +845,22 @@ func (m *Manager) recoverResume(j *Job, done int, resultBytes int64) int {
 	} else {
 		_ = os.Remove(path)
 	}
-	return done - done%j.chunk
+	return done
+}
+
+// resultsIntact reports whether the write-through results file for id
+// holds at least n durable bytes — the precondition for serving a
+// recovered job's results as complete.
+func (m *Manager) resultsIntact(id string, n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	path := m.resultsPath(id)
+	if path == "" {
+		return false
+	}
+	fi, err := os.Stat(path)
+	return err == nil && fi.Size() >= n
 }
 
 // resultsPath is the write-through results file for a job id ("" when the

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -23,10 +25,13 @@ import (
 // manager instead of being lost, a resumed job's results are byte-equal
 // to an uninterrupted run's, and a finished job is re-served verbatim.
 
-// openWAL opens the write-ahead store rooted at dir.
+// openWAL opens the write-ahead store rooted at dir. NoLock: these tests
+// simulate a killed process by abandoning a live manager, so the
+// "crashed" predecessor still holds its store open and the single-writer
+// flock (pinned by the walstore tests) would refuse the successor.
 func openWAL(t *testing.T, dir string) *walstore.Store {
 	t.Helper()
-	st, err := walstore.Open(dir, walstore.Options{})
+	st, err := walstore.Open(dir, walstore.Options{NoLock: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,6 +321,206 @@ func TestRecoverUnresolvableJobFails(t *testing.T) {
 	}
 	if stats3.Served != 1 || stats3.Failed != 0 {
 		t.Fatalf("third incarnation stats = %+v", stats3)
+	}
+}
+
+// seedInterruptedAtFinalChunk fabricates the WAL of a process killed
+// after the final chunk's progress record went durable but before the
+// terminal record: total 10, chunk 4, so the last record (done=10) is NOT
+// chunk-aligned. withResults controls whether the write-through results
+// file (which covers all 10 inputs) survives too. Returns the job id.
+func seedInterruptedAtFinalChunk(t *testing.T, dir string, withResults bool) string {
+	t.Helper()
+	const id = "0123456789abcdef"
+	if withResults {
+		if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "results", id+".ndjson"), []byte(expectedResults(10)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := openWAL(t, dir)
+	bytesAt := func(n int) int64 { return int64(len(expectedResults(n))) }
+	for _, ev := range []jobstore.Event{
+		{Type: jobstore.Submitted, Job: id, Time: time.Now(), Kind: "check", Total: 10, Chunk: 4, Payload: []byte("payload-1")},
+		{Type: jobstore.Started, Job: id},
+		{Type: jobstore.Progress, Job: id, Done: 4, ResultBytes: bytesAt(4)},
+		{Type: jobstore.Progress, Job: id, Done: 8, ResultBytes: bytesAt(8)},
+		{Type: jobstore.Progress, Job: id, Done: 10, ResultBytes: bytesAt(10)},
+	} {
+		ev := ev
+		if err := st.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestRecoverFinalPartialChunkServesDone pins the crash window between
+// the final partial chunk's progress record and the terminal record: the
+// results file already covers every input, so the recovered job must be
+// finalized done and served verbatim — re-queueing it from the last
+// aligned boundary would re-run chunk [8,10) and append duplicate result
+// lines while still reporting state=done.
+func TestRecoverFinalPartialChunkServesDone(t *testing.T) {
+	dir := t.TempDir()
+	id := seedInterruptedAtFinalChunk(t, dir, true)
+	m := durableManager(t, dir, 4)
+	res := &resolveReal{}
+	stats, err := m.Recover(res.resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != 1 || stats.Requeued != 0 || stats.Failed != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	j, ok := m.Get(id)
+	if !ok {
+		t.Fatal("job not recovered")
+	}
+	if st := j.State(); st != Done {
+		t.Fatalf("recovered job state = %v (%+v)", st, j.Info())
+	}
+	if got := readResults(t, j); got != expectedResults(10) {
+		t.Fatalf("recovered results not byte-equal (duplicated final chunk?):\n%q\nwant\n%q", got, expectedResults(10))
+	}
+	if info := j.Info(); info.Done != 10 || !info.Recovered {
+		t.Fatalf("recovered info = %+v", info)
+	}
+	res.mu.Lock()
+	ran := len(res.los)
+	res.mu.Unlock()
+	if ran != 0 {
+		t.Fatalf("completed job re-ran chunks at offsets %v", res.los)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The synthesized terminal record went durable: the next incarnation
+	// replays a finished job outright, byte-equal again.
+	m2 := durableManager(t, dir, 4)
+	defer m2.Close()
+	stats2, err := m2.Recover(func(sub Submission) (Runner, error) {
+		t.Errorf("resolver called for finalized job %s", sub.ID)
+		return nil, errors.New("must not run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Served != 1 || stats2.Requeued != 0 {
+		t.Fatalf("second recovery stats = %+v", stats2)
+	}
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatal("finalized job not re-served")
+	}
+	if got := readResults(t, j2); got != expectedResults(10) {
+		t.Fatalf("re-served results not byte-equal: %q", got)
+	}
+}
+
+// TestRecoverFinalPartialChunkWithoutResultsReruns is the degraded twin:
+// same crash window, but the write-through results file did not survive.
+// With nothing to serve, the job must re-run from input zero (the
+// non-aligned final record is not a resume point) and still converge to
+// done with byte-equal results.
+func TestRecoverFinalPartialChunkWithoutResultsReruns(t *testing.T) {
+	dir := t.TempDir()
+	id := seedInterruptedAtFinalChunk(t, dir, false)
+	m := durableManager(t, dir, 4)
+	defer m.Close()
+	res := &resolveReal{}
+	stats, err := m.Recover(res.resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requeued != 1 || stats.Resumed != 0 || stats.Served != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	j, ok := m.Get(id)
+	if !ok {
+		t.Fatal("job not recovered")
+	}
+	waitDone(t, j)
+	if st := j.State(); st != Done {
+		t.Fatalf("re-run job state = %v (%+v)", st, j.Info())
+	}
+	if got := readResults(t, j); got != expectedResults(10) {
+		t.Fatalf("re-run results not byte-equal:\n%q\nwant\n%q", got, expectedResults(10))
+	}
+	res.mu.Lock()
+	los := append([]int(nil), res.los...)
+	res.mu.Unlock()
+	if len(los) == 0 || los[0] != 0 {
+		t.Fatalf("re-run did not restart from zero: offsets %v", los)
+	}
+}
+
+// TestSweepWaitsForRecover pins the sweep gate: a manager that starts
+// without a Recover pass (a library user submitting directly) must not
+// delete prior jobs' write-through results — the WAL still retains their
+// histories, and sweeping the files would degrade those jobs to failed
+// ("recovered results incomplete") on the next Recover.
+func TestSweepWaitsForRecover(t *testing.T) {
+	dir := t.TempDir()
+	m1 := durableManager(t, dir, 4)
+	j1, err := m1.Submit("check", 8, nil, func(lo, hi int) ([][]byte, error) { return mkLines(lo, hi), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resultsFile := filepath.Join(dir, "results", j1.ID()+".ndjson")
+	if _, err := os.Stat(resultsFile); err != nil {
+		t.Fatalf("finished job's write-through results missing: %v", err)
+	}
+	// Second incarnation skips Recover and submits directly.
+	m2 := durableManager(t, dir, 4)
+	j2, err := m2.Submit("check", 4, nil, func(lo, hi int) ([][]byte, error) { return mkLines(lo, hi), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	if _, err := os.Stat(resultsFile); err != nil {
+		t.Fatalf("no-Recover manager swept a prior job's results: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := m2.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	// The incarnation that does recover serves both finished jobs intact.
+	m3 := durableManager(t, dir, 4)
+	defer m3.Close()
+	stats, err := m3.Recover(func(sub Submission) (Runner, error) {
+		t.Errorf("resolver called for finished job %s", sub.ID)
+		return nil, errors.New("must not run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != 2 || stats.Failed != 0 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	jr, ok := m3.Get(j1.ID())
+	if !ok {
+		t.Fatal("prior job lost")
+	}
+	if info := jr.Info(); info.State != "done" {
+		t.Fatalf("prior job degraded: %+v", info)
+	}
+	if got := readResults(t, jr); got != expectedResults(8) {
+		t.Fatalf("prior job results not byte-equal: %q", got)
 	}
 }
 

@@ -8,8 +8,14 @@
 //
 // Layout under the store root:
 //
+//	LOCK                      single-writer flock (held while a process owns the store)
 //	wal/seg-00000001.ndjson   log segments, one JSON record per line
 //	payload/<jobID>.pay       submission payloads (runner reconstruction)
+//
+// One live process owns a store directory at a time: Open takes an
+// exclusive flock on LOCK and fails with ErrLocked while another holder
+// is alive. Process death releases the lock, so restart-after-crash — the
+// reason this package exists — is never blocked by it.
 //
 // Each process opens a fresh segment (existing segments are never
 // appended to, so a torn tail can only be the previous process's last
@@ -32,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"repro/internal/jobs/jobstore"
 )
@@ -50,10 +57,24 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size;
 	// <=0 selects DefaultSegmentBytes.
 	SegmentBytes int64
+	// NoLock skips the single-writer directory lock. The lock is what
+	// keeps a second live process from replaying and re-running the
+	// owner's in-flight jobs over a shared directory (and both from
+	// sweeping each other's state); disable it only in crash-simulation
+	// tests, where the "killed" predecessor is really still running in the
+	// same process.
+	NoLock bool
 }
 
 // ErrClosed rejects appends after Close.
 var ErrClosed = errors.New("walstore: store is closed")
+
+// ErrLocked reports that another live process owns the store directory.
+// The flock is released when its owner exits — however it exits — so a
+// crashed predecessor never wedges its successor; a live one refusing to
+// share is the point (two managers over one log would re-run each other's
+// jobs and sweep each other's state).
+var ErrLocked = errors.New("walstore: store directory is locked by another process")
 
 // record is the on-disk line form of an event: the event fields plus the
 // out-of-band payload reference.
@@ -76,6 +97,8 @@ type segment struct {
 type Store struct {
 	dir  string
 	opts Options
+
+	lock *os.File // holds the single-writer flock; nil with NoLock
 
 	mu       sync.Mutex
 	segments []*segment // oldest first; the last one is active
@@ -105,8 +128,10 @@ type Stats struct {
 }
 
 // Open opens (creating if needed) the write-ahead log rooted at dir: it
-// scans the existing segments, compacts the fully-reaped prefix, removes
-// orphaned payload blobs, and opens a fresh active segment.
+// takes the single-writer lock (failing with ErrLocked when another live
+// process owns the directory), scans the existing segments, compacts the
+// fully-reaped prefix, removes orphaned payload blobs, and opens a fresh
+// active segment.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
@@ -117,15 +142,49 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("walstore: creating %s: %w", sub, err)
 		}
 	}
+	if !opts.NoLock {
+		lock, err := lockDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+	}
 	if err := s.scan(); err != nil {
+		s.unlock()
 		return nil, err
 	}
 	s.compactLocked()
 	s.sweepPayloads()
 	if err := s.rotateLocked(); err != nil {
+		s.unlock()
 		return nil, err
 	}
 	return s, nil
+}
+
+// lockDir takes an exclusive flock on <dir>/LOCK. The lock is advisory
+// between walstore processes (which is all it needs to be) and held for
+// the store's lifetime: Close releases it, and so does process death —
+// the kernel drops flocks with their last open descriptor, so a SIGKILLed
+// owner never blocks its successor.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("walstore: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	return f, nil
+}
+
+// unlock releases the single-writer lock, if held.
+func (s *Store) unlock() {
+	if s.lock != nil {
+		_ = s.lock.Close()
+		s.lock = nil
+	}
 }
 
 func (s *Store) walDir() string     { return filepath.Join(s.dir, "wal") }
@@ -391,7 +450,8 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// Close seals the active segment. Idempotent; appends after Close fail.
+// Close seals the active segment and releases the single-writer lock.
+// Idempotent; appends after Close fail.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -399,10 +459,11 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	var err error
 	if s.active != nil {
-		err := s.active.Close()
+		err = s.active.Close()
 		s.active = nil
-		return err
 	}
-	return nil
+	s.unlock()
+	return err
 }

@@ -2,6 +2,7 @@ package walstore
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -216,6 +217,29 @@ func TestSyncAccounting(t *testing.T) {
 	}
 	if st := ns.Stats(); st.Syncs != 0 {
 		t.Fatalf("NoSync store issued %d syncs", st.Syncs)
+	}
+}
+
+func TestSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	// A second live opener is refused — two managers over one log would
+	// re-run each other's jobs.
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+	// NoLock is the crash-simulation escape hatch.
+	shared := mustOpen(t, dir, Options{NoLock: true})
+	if err := shared.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the lock; a successor opens cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
