@@ -1,15 +1,19 @@
-// Command pvbench regenerates the experiment tables X1-X12: the empirical
+// Command pvbench regenerates the experiment tables X1-X13: the empirical
 // counterparts of the paper's analytical claims (X1-X6) plus the service
 // layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
 // path, X9 completion throughput, X10 sharded two-tier schema store,
-// X11 async job-queue ingest, X12 durable-job write-ahead log).
+// X11 async job-queue ingest, X12 durable-job write-ahead log, X13
+// bounded-memory streaming checker).
 //
 // Usage:
 //
-//	pvbench [-quick] [-json] [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability]
+//	pvbench [-quick] [-json] [-stream-file-mb N]
+//	        [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability,streaming]
 //
 // -json emits the selected tables as a JSON array (the format committed
-// under bench/, e.g. bench/X9.json, bench/X11.json and bench/X12.json).
+// under bench/, e.g. bench/X9.json, bench/X12.json and bench/X13.json).
+// -stream-file-mb sizes X13's on-disk document (default 1024; the
+// committed artifact uses a multi-GB file per the experiment's brief).
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sizes, shorter timing budgets")
 	only := flag.String("only", "", "comma-separated table names to run (default: all)")
 	asJSON := flag.Bool("json", false, "emit the tables as a JSON array instead of text")
+	streamFileMB := flag.Int("stream-file-mb", 1024, "X13 on-disk document size in MB (quick mode shrinks it to 4)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -49,6 +54,7 @@ func main() {
 	bytePathCorpus := 1000 // X8's acceptance corpus size
 	schemaCount := 16      // X10's mixed-schema population
 	shardCounts := []int{1, 2, 4, 8}
+	streamMemMB := 8 // X13's in-cache document (the 15% acceptance bar)
 	tputBudget := 1 * time.Second
 	if *quick {
 		budget = 2 * time.Millisecond
@@ -63,6 +69,8 @@ func main() {
 		schemaCount = 6
 		shardCounts = []int{1, 4}
 		tputBudget = 25 * time.Millisecond
+		streamMemMB = 2
+		*streamFileMB = 4
 	}
 
 	experiments := []struct {
@@ -81,6 +89,7 @@ func main() {
 		{"schemastore", func() *bench.Table { return bench.SchemaStore(shardCounts, schemaCount, corpus, tputBudget) }},
 		{"asyncingest", func() *bench.Table { return bench.AsyncIngest(workerCounts, corpus, tputBudget) }},
 		{"durability", func() *bench.Table { return bench.Durability(corpus, tputBudget) }},
+		{"streaming", func() *bench.Table { return bench.StreamingMemory(streamMemMB, *streamFileMB, tputBudget) }},
 	}
 
 	var tables []*bench.Table

@@ -6,13 +6,23 @@
 //
 //	pvgen dtd   [-elements 10] [-class weak] [-seed 1]
 //	pvgen doc   -dtd schema.dtd [-root r] [-depth 8] [-seed 1] [-strip 0.3]
+//	pvgen doc   -dtd schema.dtd -stream -bytes 2G [-root r] [-depth 8] [-seed 1]
+//
+// -stream writes one valid document of at least -bytes bytes straight to
+// stdout in O(depth) memory — star and plus groups repeat until the
+// target is met — so multi-GB inputs for benchmarks and the streaming
+// checker never have to exist as a tree (or fit in RAM). Sizes accept
+// K/M/G suffixes.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/dtd"
 	"repro/internal/gen"
@@ -35,7 +45,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pvgen dtd [-elements N] [-class none|weak|strong] [-seed S]
-  pvgen doc -dtd schema.dtd [-root r] [-depth D] [-seed S] [-strip F]`)
+  pvgen doc -dtd schema.dtd [-root r] [-depth D] [-seed S] [-strip F]
+  pvgen doc -dtd schema.dtd -stream -bytes N[K|M|G] [-root r] [-depth D] [-seed S]`)
 	os.Exit(2)
 }
 
@@ -70,6 +81,8 @@ func genDoc(args []string) {
 	depth := fs.Int("depth", 8, "maximum nesting depth")
 	seed := fs.Int64("seed", 1, "random seed")
 	strip := fs.Float64("strip", 0, "fraction of elements to strip (0 = emit the valid document)")
+	stream := fs.Bool("stream", false, "stream one valid document of at least -bytes to stdout in O(depth) memory")
+	size := fs.String("bytes", "", "minimum document size for -stream (K/M/G suffixes, e.g. 64M, 2G)")
 	fs.Parse(args)
 
 	if *dtdPath == "" {
@@ -89,10 +102,56 @@ func genDoc(args []string) {
 		*root = d.Order[0]
 	}
 	rng := rand.New(rand.NewSource(*seed))
+	if *stream {
+		if *strip > 0 {
+			fmt.Fprintln(os.Stderr, "pvgen: -stream and -strip are mutually exclusive")
+			os.Exit(2)
+		}
+		minBytes, err := parseSize(*size)
+		if err != nil || minBytes <= 0 {
+			fmt.Fprintf(os.Stderr, "pvgen: -stream needs -bytes N[K|M|G] (got %q)\n", *size)
+			os.Exit(2)
+		}
+		out := bufio.NewWriterSize(os.Stdout, 256<<10)
+		n, err := gen.StreamValid(out, rng, d, *root, gen.DocOptions{MaxDepth: *depth}, minBytes)
+		if err == nil {
+			err = out.Flush()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d bytes (valid for root %s)\n", n, *root)
+		if n < minBytes {
+			fmt.Fprintf(os.Stderr, "pvgen: grammar admits no unbounded repetition from %s; stopped at %d of %d bytes\n", *root, n, minBytes)
+			os.Exit(1)
+		}
+		return
+	}
 	doc := gen.GenValid(rng, d, *root, gen.DocOptions{MaxDepth: *depth})
 	if *strip > 0 {
 		removed := gen.Strip(rng, doc, *strip)
 		fmt.Fprintf(os.Stderr, "stripped %d elements (result is potentially valid by Theorem 2)\n", removed)
 	}
 	fmt.Println(doc.String())
+}
+
+// parseSize parses a byte count with an optional K, M or G suffix
+// (powers of 1024).
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	shift := 0
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		shift, s = 10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		shift, s = 20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		shift, s = 30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n << shift, nil
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pvserve [-addr :8080] [-workers N] [-cache N] [-shards N] [-cache-dir DIR] [-pvonly]
+//	        [-max-doc-bytes N] [-stream-buf N]
 //	        [-job-workers N] [-job-queue N] [-job-ttl DUR] [-job-volatile] [-job-wal-nosync]
 //	        [-drain DUR]
 //
@@ -14,6 +15,7 @@
 //	POST /check             {"schema","kind","root","options","document"}  -> verdict
 //	POST /batch             {"schema","kind","root","options","documents"} -> verdicts + stats
 //	POST /batch?async=1     same body -> 202 {jobId}; poll /jobs/{id}
+//	POST /check/raw         one raw XML body (any size) -> one verdict
 //	POST /check/stream      NDJSON in (schema headers + documents), NDJSON out
 //	POST /complete          {"schema",...,"documents","diff"} -> completions + diffs + stats
 //	POST /complete?async=1  same body -> 202 {jobId}
@@ -50,8 +52,13 @@
 // "schemaRef" (see GET /schemas) to route a mixed multi-schema batch. The
 // *stream routes read documents incrementally (plain or gzip-encoded
 // bodies), keep a bounded number in flight, and flush one output line per
-// document — bodies of any size, with a 64MB cap per document (after
-// decompression), not per body.
+// document — bodies of any size, with a per-document cap (after
+// decompression; -max-doc-bytes, default 64MB), not per body.
+//
+// POST /check/raw has no document cap at all: the body is one raw XML
+// document (schema selected by X-Schema-Ref or ?schemaRef=), checked in a
+// single bounded-memory pass through a -stream-buf sized sliding window —
+// the route for the multi-GB documents the envelope routes cannot carry.
 package main
 
 import (
@@ -75,6 +82,8 @@ func main() {
 	shards := flag.Int("shards", 0, "schema store lock-stripe count (0 = default 8)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed compiled-schema cache directory (empty = memory only)")
 	pvOnly := flag.Bool("pvonly", false, "skip the full-validity bit (fastest)")
+	maxDocBytes := flag.Int("max-doc-bytes", 0, "per-document cap on the NDJSON stream routes in bytes (0 = default 64MB; /check/raw is never capped)")
+	streamBuf := flag.Int("stream-buf", 0, "sliding-window size of the /check/raw bounded-memory checker in bytes (0 = default 256KB)")
 	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (0 = default 2)")
 	jobQueue := flag.Int("job-queue", 0, "async jobs queued beyond the running ones before 429 (0 = default 64)")
 	jobTTL := flag.Duration("job-ttl", 0, "retention of finished async jobs and their results (0 = default 15m)")
@@ -84,16 +93,18 @@ func main() {
 	flag.Parse()
 
 	e, err := engine.Open(engine.Config{
-		Workers:       *workers,
-		CacheSize:     *cache,
-		Shards:        *shards,
-		CacheDir:      *cacheDir,
-		PVOnly:        *pvOnly,
-		JobWorkers:    *jobWorkers,
-		JobQueueDepth: *jobQueue,
-		JobResultTTL:  *jobTTL,
-		VolatileJobs:  *jobVolatile,
-		JobWALNoSync:  *jobWALNoSync,
+		Workers:        *workers,
+		CacheSize:      *cache,
+		Shards:         *shards,
+		CacheDir:       *cacheDir,
+		PVOnly:         *pvOnly,
+		MaxDocBytes:    *maxDocBytes,
+		StreamBufBytes: *streamBuf,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobResultTTL:   *jobTTL,
+		VolatileJobs:   *jobVolatile,
+		JobWALNoSync:   *jobWALNoSync,
 	})
 	if err != nil {
 		log.Fatalf("pvserve: %v", err)

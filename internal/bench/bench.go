@@ -1,19 +1,22 @@
 // Package bench implements the experiment harness: one function per
-// experiment (X1-X12), each regenerating the corresponding table. The
+// experiment (X1-X13), each regenerating the corresponding table. The
 // paper (ICDE 2006) has no empirical tables — its evaluation is
 // analytical — so X1-X6 measure the paper's complexity claims: linearity
 // in document size (Theorem 4), the impracticality of generic Earley
 // parsing on G' (Section 3.3), the k^D depth factor for PV-strong
 // recursive DTDs, and the O(1) incremental update checks (Theorem 2,
-// Proposition 3). X7-X12 measure the service layer: checking throughput
+// Proposition 3). X7-X13 measure the service layer: checking throughput
 // vs workers, the zero-copy byte path, completion throughput vs workers,
 // the sharded two-tier schema store (lock-stripe scaling + disk-cache
 // cold start), the async job-queue ingest (submit latency + job
-// throughput vs the synchronous batch), and the job write-ahead log
-// (submit latency across in-memory / unsynced-WAL / fsynced-WAL stores).
+// throughput vs the synchronous batch), the job write-ahead log
+// (submit latency across in-memory / unsynced-WAL / fsynced-WAL stores),
+// and the bounded-memory streaming checker (chunked sliding window vs
+// whole-buffer throughput and peak heap).
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -975,6 +978,157 @@ func Durability(corpusSize int, budget time.Duration) *Table {
 	return t
 }
 
+// streamDTD is X13's grammar: the unbounded-log shape the streaming
+// checker exists for (one star group directly under the root).
+const streamDTD = `<!ELEMENT log (entry)*>
+<!ELEMENT entry (msg, code)>
+<!ELEMENT msg (#PCDATA)>
+<!ELEMENT code (#PCDATA)>`
+
+// StreamingMemory is experiment X13 (the bounded-memory streaming
+// checker): potential-validity checking of one large document through the
+// chunked sliding-window lexer vs the whole-buffer byte lexer. The
+// in-memory input prices the pure lexing overhead of window refills at
+// several window sizes (the acceptance bar: chunked within 15% of
+// whole-buffer); the on-disk input prices the end-to-end story — RunReader
+// straight off the file against read-everything-then-check — where the
+// peak-heap column is the point: O(window) instead of O(document).
+// peak_extra_mb is the sampled high-water HeapAlloc over the pre-run
+// floor; total_alloc_mb is cumulative allocation during the measured
+// passes.
+func StreamingMemory(inMemMB, fileMB int, budget time.Duration) *Table {
+	d := dtd.MustParse(streamDTD)
+	s, err := core.Compile(d, "log", core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var memBuf bytes.Buffer
+	if _, err := gen.StreamValid(&memBuf, rng, d, "log", gen.DocOptions{}, int64(inMemMB)<<20); err != nil {
+		panic(err)
+	}
+	doc := memBuf.Bytes()
+
+	f, err := os.CreateTemp("", "pv-x13-*.xml")
+	if err != nil {
+		panic(err)
+	}
+	defer os.Remove(f.Name())
+	fileBytes, err := gen.StreamValid(f, rng, d, "log", gen.DocOptions{}, int64(fileMB)<<20)
+	if err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		panic(err)
+	}
+
+	t := &Table{
+		Name: "streaming",
+		Caption: fmt.Sprintf("X13 / bounded-memory streaming — chunked sliding window vs whole buffer (log grammar, %dMB in-memory + %dMB file)",
+			inMemMB, fileMB),
+		Header: []string{"input", "mode", "window_kb", "mb_per_sec", "peak_extra_mb", "total_alloc_mb", "vs_whole_buffer"},
+	}
+
+	checker := s.NewStreamChecker()
+	// measure runs fn repeatedly under the budget (at least once), sampling
+	// the heap high-water mark against a GC'd pre-run floor.
+	measure := func(inputMB float64, fn func()) (mbps, peakExtraMB, allocMB float64) {
+		fn() // warm: pools, lexer buffers, page cache
+		var ms0, ms1, ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		floor := ms0.HeapAlloc
+		var peak atomic.Uint64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		passes := 0
+		start := time.Now()
+		for time.Since(start) < budget || passes == 0 {
+			fn()
+			passes++
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		runtime.ReadMemStats(&ms1)
+		extra := 0.0
+		if p := peak.Load(); p > floor {
+			extra = float64(p-floor) / (1 << 20)
+		}
+		return inputMB * float64(passes) / elapsed.Seconds(), extra,
+			float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20)
+	}
+
+	addRow := func(input, mode, window string, inputMB float64, base *float64, fn func()) {
+		mbps, extra, alloc := measure(inputMB, fn)
+		vs := "baseline"
+		if *base == 0 {
+			*base = mbps
+		} else {
+			vs = fmt.Sprintf("%.0f%%", 100*mbps / *base)
+		}
+		t.Rows = append(t.Rows, []string{input, mode, window,
+			fmt.Sprintf("%.0f", mbps), fmt.Sprintf("%.2f", extra), fmt.Sprintf("%.1f", alloc), vs})
+	}
+
+	memInput := fmt.Sprintf("mem-%dMB", inMemMB)
+	memMB := float64(len(doc)) / (1 << 20)
+	var memBase float64
+	addRow(memInput, "whole-buffer", "-", memMB, &memBase, func() {
+		if err := checker.RunBytes(doc); err != nil {
+			panic(err)
+		}
+	})
+	for _, winKB := range []int{64, 256, 1024} {
+		win := winKB << 10
+		addRow(memInput, "chunked", fmt.Sprint(winKB), memMB, &memBase, func() {
+			if err := checker.RunReaderBuffer(bytes.NewReader(doc), win); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	fileInput := fmt.Sprintf("file-%dMB", fileMB)
+	fileMBf := float64(fileBytes) / (1 << 20)
+	var fileBase float64
+	addRow(fileInput, "read-then-check", "-", fileMBf, &fileBase, func() {
+		data, err := os.ReadFile(f.Name())
+		if err == nil {
+			err = checker.RunBytes(data)
+		}
+		if err != nil {
+			panic(err)
+		}
+	})
+	addRow(fileInput, "streamed", "256", fileMBf, &fileBase, func() {
+		r, err := os.Open(f.Name())
+		if err == nil {
+			err = checker.RunReader(r)
+			r.Close()
+		}
+		if err != nil {
+			panic(err)
+		}
+	})
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -989,6 +1143,7 @@ func All(quick bool) []*Table {
 	workerCounts := []int{1, 2, 4, 8}
 	corpus := 256
 	tputBudget := 250 * time.Millisecond
+	streamMemMB, streamFileMB := 8, 32
 	if quick {
 		budget = 2 * time.Millisecond
 		linSizes = []int{500, 2000, 8000}
@@ -999,6 +1154,7 @@ func All(quick bool) []*Table {
 		trials = 5
 		corpus = 48
 		tputBudget = 10 * time.Millisecond
+		streamMemMB, streamFileMB = 2, 4
 	}
 	schemaCount := 16
 	if quick {
@@ -1017,5 +1173,6 @@ func All(quick bool) []*Table {
 		SchemaStore([]int{1, 2, 4, 8}, schemaCount, corpus, tputBudget),
 		AsyncIngest(workerCounts, corpus, tputBudget),
 		Durability(corpus, tputBudget),
+		StreamingMemory(streamMemMB, streamFileMB, tputBudget),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 12 {
-		t.Fatalf("want 12 tables, got %d", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("want 13 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -174,6 +174,37 @@ func TestAllQuick(t *testing.T) {
 		ratio, err := strconv.ParseFloat(strings.TrimSuffix(rows[2][5], "x"), 64)
 		if err != nil || ratio < 1 {
 			t.Errorf("fsynced WAL submit faster than memory: %v", rows[2])
+		}
+	}
+	// X13: every streaming row makes progress; the streamed file row's
+	// peak heap must stay well under the read-then-check row's, which
+	// carries the whole file (the bound the experiment exists to show).
+	// Throughput ratios are hardware dependent and asserted only at full
+	// scale (the committed bench/X13.json).
+	{
+		rows := byName["streaming"].Rows
+		if len(rows) != 6 {
+			t.Fatalf("streaming rows: %v", rows)
+		}
+		var readPeak, streamPeak float64
+		for _, row := range rows {
+			mbps, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || mbps <= 0 {
+				t.Errorf("streaming row has no progress: %v", row)
+			}
+			peak, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Errorf("streaming row peak unparsable: %v", row)
+			}
+			switch row[1] {
+			case "read-then-check":
+				readPeak = peak
+			case "streamed":
+				streamPeak = peak
+			}
+		}
+		if streamPeak >= readPeak/2 {
+			t.Errorf("streamed peak heap %.2fMB not bounded vs read-then-check %.2fMB", streamPeak, readPeak)
 		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.

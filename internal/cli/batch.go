@@ -29,6 +29,7 @@ func Batch(args []string, stdout, stderr io.Writer) int {
 	root := fs.String("root", "", "root element (required)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	mmapAt := fs.Int64("mmap", mmapio.DefaultThreshold, "memory-map files at least this many bytes large (0 maps every non-empty file, <0 always reads)")
+	streamAt := fs.Int64("stream-at", 64<<20, "check files at least this many bytes large through the bounded-memory reader path instead of loading them (PV-only verdict, <0 never)")
 	cacheDir := fs.String("cache-dir", "", "disk-backed compiled-schema cache (skips recompiling across runs)")
 	pvOnly := fs.Bool("pvonly", false, "skip the full-validity bit (fastest)")
 	async := fs.Bool("async", false, "submit through the engine's async job queue and poll to completion")
@@ -84,7 +85,15 @@ func Batch(args []string, stdout, stderr io.Writer) int {
 	exit := 0
 	mapped := 0
 	var releases []func()
+	var streamPaths []string
 	for _, path := range paths {
+		// Files past the streaming threshold never get slurped or mapped:
+		// they take the bounded-memory reader path after the batch, so a
+		// multi-GB outlier in the corpus cannot blow up peak RSS.
+		if streamSized(path, *streamAt) {
+			streamPaths = append(streamPaths, path)
+			continue
+		}
 		// One read per file, checked on the zero-copy byte path: the bytes
 		// are never round-tripped through a string. Files at or above the
 		// mmap threshold are memory-mapped straight into the checker (the
@@ -116,6 +125,9 @@ func Batch(args []string, stdout, stderr io.Writer) int {
 		if exit < code {
 			exit = code
 		}
+		if code, _ := checkStreamedFiles(eng, schema, streamPaths, *quiet, stdout, stderr); exit < code {
+			exit = code
+		}
 		return exit
 	}
 	results, stats := eng.CheckBatch(schema, docs)
@@ -132,14 +144,58 @@ func Batch(args []string, stdout, stderr io.Writer) int {
 			exit = code
 		}
 	}
+	code, streamStats := checkStreamedFiles(eng, schema, streamPaths, *quiet, stdout, stderr)
+	if exit < code {
+		exit = code
+	}
+	stats.Docs += streamStats.Docs
+	stats.Bytes += streamStats.Bytes
+	stats.PotentiallyValid += streamStats.PotentiallyValid
+	stats.Malformed += streamStats.Malformed
 	perFileBytes := 0.0
 	if stats.Docs > 0 {
 		perFileBytes = float64(stats.Bytes) / float64(stats.Docs)
 	}
-	fmt.Fprintf(stderr, "checked %d documents (%d workers, %d mmapped): %d potentially valid, %d valid, %d malformed — %.0f docs/sec, %.2f MB/sec, %.0f bytes/sec (%.0f bytes/file avg)\n",
-		stats.Docs, stats.Workers, mapped, stats.PotentiallyValid, stats.Valid, stats.Malformed,
+	fmt.Fprintf(stderr, "checked %d documents (%d workers, %d mmapped, %d streamed): %d potentially valid, %d valid, %d malformed — %.0f docs/sec, %.2f MB/sec, %.0f bytes/sec (%.0f bytes/file avg)\n",
+		stats.Docs, stats.Workers, mapped, len(streamPaths), stats.PotentiallyValid, stats.Valid, stats.Malformed,
 		stats.DocsPerSec, stats.MBPerSec, stats.DocsPerSec*perFileBytes, perFileBytes)
 	return exit
+}
+
+// checkStreamedFiles checks the over-threshold files one at a time through
+// the engine's bounded-memory reader path and prints their verdicts (after
+// the batch's, in sorted path order). The reader path never computes the
+// full-validity bit, so verdict lines render in the PV-only form.
+func checkStreamedFiles(eng *pv.Engine, schema *pv.Schema, paths []string, quiet bool, stdout, stderr io.Writer) (int, pv.BatchStats) {
+	exit := 0
+	var stats pv.BatchStats
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "pvcheck batch: %v\n", err)
+			exit = 2
+			continue
+		}
+		r := eng.CheckReader(schema, path, f)
+		f.Close()
+		stats.Docs++
+		stats.Bytes += int64(r.Bytes)
+		errMsg := ""
+		if r.Err != nil {
+			errMsg = r.Err.Error()
+		}
+		switch {
+		case errMsg != "":
+			stats.Malformed++
+		case r.PotentiallyValid:
+			stats.PotentiallyValid++
+		}
+		code := printVerdict(stdout, r.ID, errMsg, false, r.PotentiallyValid, r.Detail, quiet, true)
+		if exit < code {
+			exit = code
+		}
+	}
+	return exit, stats
 }
 
 // printVerdict renders one per-document verdict line and returns its exit

@@ -63,7 +63,7 @@ func TestBatchDirectory(t *testing.T) {
 		t.Errorf("non-XML file was checked:\n%s", text)
 	}
 	summary := errOut.String()
-	if !strings.Contains(summary, "checked 5 documents (4 workers, 0 mmapped): 3 potentially valid, 2 valid, 1 malformed") {
+	if !strings.Contains(summary, "checked 5 documents (4 workers, 0 mmapped, 0 streamed): 3 potentially valid, 2 valid, 1 malformed") {
 		t.Errorf("summary:\n%s", summary)
 	}
 	// The byte-path batch reports per-file throughput.
@@ -118,6 +118,37 @@ func TestBatchMmapAndPlainPaths(t *testing.T) {
 	}
 	if !strings.Contains(pSummary, "0 mmapped") {
 		t.Errorf("plain summary should report 0 mapped files:\n%s", pSummary)
+	}
+}
+
+// TestBatchStreamAt routes the whole corpus through the bounded-memory
+// reader path with a 1-byte threshold: verdicts keep their exit-code
+// semantics, render PV-only (no full-validity claim), and the summary
+// accounts the streamed files.
+func TestBatchStreamAt(t *testing.T) {
+	dtdPath, docsDir := writeBatchDir(t)
+	var out, errOut strings.Builder
+	code := Batch([]string{"-dtd", dtdPath, "-root", "r", "-stream-at", "1", docsDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"valid1.xml: potentially valid",
+		"pv.xml: potentially valid",
+		"notpv.xml: NOT potentially valid",
+		"broken.xml: malformed",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stdout missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "encoding incomplete") || strings.Contains(text, ": valid\n") {
+		t.Errorf("reader path must not claim the full-validity bit:\n%s", text)
+	}
+	summary := errOut.String()
+	if !strings.Contains(summary, "5 streamed") || !strings.Contains(summary, "checked 5 documents") {
+		t.Errorf("summary should account streamed files:\n%s", summary)
 	}
 }
 

@@ -28,6 +28,7 @@ func PVCheck(args []string, stdout, stderr io.Writer) int {
 	xsdPath := fs.String("xsd", "", "path to an XML Schema file (subset; alternative to -dtd)")
 	root := fs.String("root", "", "root element (required)")
 	stream := fs.Bool("stream", false, "use the single-pass streaming checker")
+	streamAt := fs.Int64("stream-at", 64<<20, "stream files at least this many bytes large through the bounded-memory checker even without -stream (<0 never)")
 	completeFlag := fs.Bool("complete", false, "print a synthesized valid extension for potentially valid documents")
 	ws := fs.Bool("ws", false, "ignore whitespace-only text nodes")
 	anyRoot := fs.Bool("anyroot", false, "accept any declared element as document root")
@@ -70,15 +71,21 @@ func PVCheck(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	for _, path := range fs.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(stderr, "pvcheck: %v\n", err)
-			fail(2)
-			continue
-		}
-		src := string(data)
-		if *stream {
-			if err := schema.CheckStream(src); err != nil {
+		// -stream (or any file past the -stream-at threshold) takes the
+		// bounded-memory reader path: the document is checked straight off
+		// the file in O(depth + window) memory, never loaded whole — the
+		// only way through for documents larger than RAM. The verdict is
+		// potential validity only.
+		if *stream || streamSized(path, *streamAt) {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "pvcheck: %v\n", err)
+				fail(2)
+				continue
+			}
+			err = schema.CheckReader(f)
+			f.Close()
+			if err != nil {
 				fmt.Fprintf(stdout, "%s: NOT potentially valid: %v\n", path, err)
 				fail(1)
 			} else {
@@ -86,6 +93,13 @@ func PVCheck(args []string, stdout, stderr io.Writer) int {
 			}
 			continue
 		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "pvcheck: %v\n", err)
+			fail(2)
+			continue
+		}
+		src := string(data)
 		res, err := schema.CheckString(src)
 		if err != nil {
 			fmt.Fprintf(stderr, "pvcheck: %s: %v\n", path, err)
@@ -113,6 +127,17 @@ func PVCheck(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exit
+}
+
+// streamSized reports whether path is at or above the auto-streaming
+// threshold (negative disables; stat errors defer to the read path, which
+// reports them properly).
+func streamSized(path string, threshold int64) bool {
+	if threshold < 0 {
+		return false
+	}
+	info, err := os.Stat(path)
+	return err == nil && info.Size() >= threshold
 }
 
 // DTDInfo runs the dtdinfo command: analyze a DTD with the paper's

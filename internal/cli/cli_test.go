@@ -76,6 +76,38 @@ func TestPVCheckStream(t *testing.T) {
 	}
 }
 
+// TestPVCheckStreamAt pins the auto-streaming threshold: with -stream-at 1
+// every file takes the bounded-memory reader path (PV-only verdicts, no
+// "valid" line even for fully valid documents), and the verdicts match the
+// in-memory checker's.
+func TestPVCheckStreamAt(t *testing.T) {
+	dtdPath, wPath, sPath := writeFixtures(t)
+	var out, errOut strings.Builder
+	code := PVCheck([]string{"-dtd", dtdPath, "-root", "r", "-stream-at", "1", wPath, sPath}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (w is not PV)\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "s.xml: potentially valid") {
+		t.Errorf("streamed verdicts:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "w.xml: NOT potentially valid") {
+		t.Errorf("streamed verdicts:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "encoding incomplete") {
+		t.Errorf("reader path must not claim the full-validity bit:\n%s", out.String())
+	}
+
+	// A negative threshold disables auto-streaming: the full checker runs
+	// and the valid document gets its "valid" verdict back.
+	out.Reset()
+	if code := PVCheck([]string{"-dtd", dtdPath, "-root", "r", "-stream-at", "-1", sPath}, &out, &errOut); code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "s.xml: potentially valid (encoding incomplete)") {
+		t.Errorf("non-streamed verdict:\n%s", out.String())
+	}
+}
+
 func TestPVCheckValidVerdict(t *testing.T) {
 	dtdPath, _, _ := writeFixtures(t)
 	dir := t.TempDir()

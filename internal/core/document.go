@@ -23,6 +23,8 @@ type Violation struct {
 	Reason string
 }
 
+// String renders the violation's reason; a nil violation reads
+// "potentially valid".
 func (v *Violation) String() string {
 	if v == nil {
 		return "potentially valid"

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/xmltext"
 )
@@ -17,6 +18,7 @@ import (
 // IsViolation.
 type ViolationError struct{ Reason string }
 
+// Error implements the error interface with the violation's reason.
 func (e *ViolationError) Error() string { return e.Reason }
 
 // IsViolation reports whether err is a potential-validity violation, as
@@ -45,6 +47,9 @@ type StreamChecker struct {
 	// scratch) popped by EndElement, so a pooled checker's steady state
 	// creates no recognizer state at all for repeated element kinds.
 	free []*Recognizer
+	// clx is the reader-path chunked lexer, created on first RunReader and
+	// reused (with its sliding window) across documents by pooled checkers.
+	clx *xmltext.ChunkedLexer
 }
 
 // NewStreamChecker returns a fresh streaming checker.
@@ -303,6 +308,56 @@ func (c *StreamChecker) RunBytes(src []byte) error {
 		}
 	}
 }
+
+// RunReader is Run over an io.Reader: the document is lexed through a
+// sliding window (xmltext.ChunkedLexer) and never held in memory, so peak
+// usage is O(element depth + window), independent of document size — the
+// external-memory streaming formulation. Verdicts and error messages are
+// identical to RunBytes over the same bytes. The reader-path verdict is
+// potential validity only; full validity additionally needs the tree pass.
+func (c *StreamChecker) RunReader(r io.Reader) error {
+	return c.RunReaderBuffer(r, 0)
+}
+
+// RunReaderBuffer is RunReader with an explicit window size in bytes
+// (xmltext.DefaultChunkSize if bufSize <= 0). The window is retained on the
+// checker across runs; a run asking for a larger window than the retained
+// one re-allocates it once.
+func (c *StreamChecker) RunReaderBuffer(r io.Reader, bufSize int) error {
+	c.Reset()
+	if c.clx == nil || (bufSize > 0 && c.clx.BufSize() < bufSize) {
+		c.clx = xmltext.NewChunkedLexer(r, bufSize)
+	} else {
+		c.clx.Reset(r)
+	}
+	for {
+		tok, err := c.clx.Next()
+		if err != nil {
+			return err
+		}
+		if tok == nil {
+			return c.Close()
+		}
+		switch tok.Kind {
+		case xmltext.StartTag:
+			if err := c.StartElementBytes(tok.Name); err != nil {
+				return err
+			}
+		case xmltext.EndTag:
+			if err := c.EndElementBytes(tok.Name); err != nil {
+				return err
+			}
+		case xmltext.Text:
+			if err := c.TextBytes(tok.Data); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// CheckReader is CheckStream over an io.Reader: one bounded-memory pass,
+// O(element depth + window) peak usage regardless of document size.
+func (s *Schema) CheckReader(r io.Reader) error { return s.NewStreamChecker().RunReader(r) }
 
 // isSpace reports whether the text is entirely XML whitespace; shared by
 // the string and byte event paths (and by Δ_T via isWhitespace).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"runtime"
 	"strconv"
@@ -161,6 +162,15 @@ type Config struct {
 	// the machine-crash guarantee for submit latency (a process crash
 	// alone loses nothing either way — the page cache survives it).
 	JobWALNoSync bool
+	// MaxDocBytes caps one document on the NDJSON stream routes (/stream,
+	// /complete/stream, async job chunks share the same line-length bound);
+	// <=0 keeps the MaxDocumentBytes default (64MB). The /check/raw route is
+	// never capped — it exists precisely for documents beyond any cap.
+	MaxDocBytes int
+	// StreamBufBytes is the sliding-window size of the bounded-memory reader
+	// path (CheckReader, /check/raw); <=0 selects xmltext.DefaultChunkSize
+	// (256KB). X13 (bench.StreamingMemory) prices this knob.
+	StreamBufBytes int
 	// JobStore overrides the job-event store entirely (a custom
 	// jobstore.Store implementation — e.g. a shared store in tests, or a
 	// future database backend). When set, CacheDir/VolatileJobs do not
@@ -175,11 +185,13 @@ type Config struct {
 // Engine is the concurrent checking front end: a sharded schema store plus
 // a worker pool configuration and lifetime counters.
 type Engine struct {
-	store   SchemaStore
-	reg     *Registry // the built-in store, when store is one
-	jobs    *jobs.Manager
-	workers int
-	pvOnly  bool
+	store       SchemaStore
+	reg         *Registry // the built-in store, when store is one
+	jobs        *jobs.Manager
+	workers     int
+	pvOnly      bool
+	maxDocBytes int // per-document cap on the NDJSON stream routes
+	streamBuf   int // CheckReader sliding-window size; 0 = xmltext default
 	// recovery holds the replay outcome when the engine recovered jobs
 	// from a persistent store at Open (recovered reports whether it did).
 	recovery  jobs.RecoveryStats
@@ -259,9 +271,14 @@ func Open(cfg Config) (*Engine, error) {
 			SpillDir:   spill,
 			Store:      store,
 		}),
-		workers: w,
-		pvOnly:  cfg.PVOnly,
-		sem:     make(chan struct{}, w),
+		workers:     w,
+		pvOnly:      cfg.PVOnly,
+		maxDocBytes: cfg.MaxDocBytes,
+		streamBuf:   cfg.StreamBufBytes,
+		sem:         make(chan struct{}, w),
+	}
+	if e.maxDocBytes <= 0 {
+		e.maxDocBytes = MaxDocumentBytes
 	}
 	if store != nil {
 		// Replay whatever the store retained before accepting any new
@@ -456,6 +473,54 @@ func (e *Engine) Check(s *Schema, d Doc) Result {
 	e.account(&res)
 	return res
 }
+
+// countReader counts the bytes an io.Reader delivers, for result accounting
+// on the streamed path.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// CheckReader checks one document streamed from r in bounded memory —
+// O(element depth + sliding window), independent of document size, with no
+// cap. The verdict is potential validity only: the full-validity bit needs
+// a tree parse, which is exactly the O(document) cost this path exists to
+// avoid (Valid is always false here). Like Check, it counts against the
+// engine-wide worker bound and the lifetime counters.
+func (e *Engine) CheckReader(s *Schema, id string, r io.Reader) Result {
+	if s == nil {
+		res := Result{ID: id, Err: errNoSchema}
+		e.account(&res)
+		return res
+	}
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	c := s.checkers.Get().(*core.StreamChecker)
+	cr := &countReader{r: r}
+	err := c.RunReaderBuffer(cr, e.streamBuf)
+	s.checkers.Put(c)
+	res := Result{ID: id, Bytes: int(cr.n)}
+	switch {
+	case err == nil:
+		res.PotentiallyValid = true
+	case core.IsViolation(err):
+		res.Detail = err.Error()
+	default:
+		res.Err = err
+	}
+	e.account(&res)
+	return res
+}
+
+// MaxDocBytes returns the per-document cap enforced on the NDJSON stream
+// routes (Config.MaxDocBytes, defaulted).
+func (e *Engine) MaxDocBytes() int { return e.maxDocBytes }
 
 // runBatch is the shared worker-pool core of CheckBatch and CompleteBatch:
 // workers claim documents through an atomic cursor (cheap work stealing:

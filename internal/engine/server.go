@@ -16,6 +16,7 @@ import (
 //	POST /check             one document           -> one verdict
 //	POST /batch             many documents         -> verdicts + batch stats
 //	POST /batch?async=1     many documents         -> 202 {jobId} (async job)
+//	POST /check/raw         one raw XML body       -> one verdict (no size cap)
 //	POST /check/stream      NDJSON document stream -> NDJSON verdict stream
 //	POST /complete          many documents         -> completions + stats
 //	POST /complete?async=1  many documents         -> 202 {jobId} (async job)
@@ -44,9 +45,16 @@ import (
 // batches). A line with "schema"/"root" fields (re)sets the default
 // schema for subsequent documents; other lines are documents
 // {"id","content","schemaRef"}. The response ends with a {"stats":...}
-// line. Each document is capped at MaxDocumentBytes, enforced on
-// decompressed bytes (the request body as a whole is uncapped — that is
-// the point of streaming).
+// line. Each document is capped per engine (Config.MaxDocBytes, default
+// MaxDocumentBytes), enforced on decompressed bytes (the request body as a
+// whole is uncapped — that is the point of streaming).
+//
+// POST /check/raw escapes the per-document cap entirely: the body is one
+// raw XML document — no JSON envelope, optionally gzip-encoded — checked in
+// bounded memory (O(element depth + sliding window)) no matter its size.
+// The schema comes from an X-Schema-Ref header or ?schemaRef= query
+// parameter; the verdict is potential validity only (the full-validity bit
+// needs a tree, which is what this route avoids building).
 //
 // The /complete* routes answer with the completed document (a valid
 // extension of a potentially valid input, per the paper's Definition 3)
@@ -242,6 +250,9 @@ func NewServer(e *Engine) http.Handler {
 	}
 	mux.HandleFunc("POST /batch", batch)
 	mux.HandleFunc("POST /check/batch", batch)
+	mux.HandleFunc("POST /check/raw", func(w http.ResponseWriter, r *http.Request) {
+		serveCheckRaw(e, w, r)
+	})
 	mux.HandleFunc("POST /check/stream", func(w http.ResponseWriter, r *http.Request) {
 		serveCheckStream(e, w, r)
 	})

@@ -14,10 +14,12 @@ import (
 	"time"
 )
 
-// MaxDocumentBytes caps one document on the streaming endpoints. Unlike
+// MaxDocumentBytes is the default per-document cap on the NDJSON streaming
+// endpoints (Config.MaxDocBytes overrides it per engine). Unlike
 // MaxRequestBytes (which bounds whole /check, /batch and /complete bodies),
 // this is a per-document bound: a stream may carry terabytes as long as
-// each document fits.
+// each document fits. POST /check/raw has no cap at all — it checks a
+// single document of any size in bounded memory.
 const MaxDocumentBytes = 64 << 20
 
 // streamLine is one NDJSON request line: either a schema header (Schema or
@@ -158,7 +160,7 @@ func serveDocStream(e *Engine, w http.ResponseWriter, r *http.Request, run strea
 	// A JSON-escaped document inflates by at most 2x for sane inputs; the
 	// slack keeps a cap-sized document scannable while still bounding one
 	// line's buffer.
-	sc.Buffer(make([]byte, 64<<10), 2*MaxDocumentBytes+(64<<10))
+	sc.Buffer(make([]byte, 64<<10), 2*e.maxDocBytes+(64<<10))
 
 	inflight := 2 * e.workers
 	queue := make(chan streamJob, inflight)
@@ -271,9 +273,9 @@ func serveDocStream(e *Engine, w http.ResponseWriter, r *http.Request, run strea
 			cur = s
 			continue
 		}
-		if len(ln.Content) > MaxDocumentBytes {
+		if len(ln.Content) > e.maxDocBytes {
 			terminal(http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("line %d: document %q is %d bytes; the per-document cap is %d", lineNo, ln.ID, len(ln.Content), MaxDocumentBytes))
+				fmt.Sprintf("line %d: document %q is %d bytes; the per-document cap is %d", lineNo, ln.ID, len(ln.Content), e.maxDocBytes))
 			break
 		}
 		j := streamJob{res: make(chan streamOut, 1)}
@@ -291,7 +293,7 @@ func serveDocStream(e *Engine, w http.ResponseWriter, r *http.Request, run strea
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
 			terminal(http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("line %d: document line exceeds the per-document cap of %d bytes", lineNo+1, MaxDocumentBytes))
+				fmt.Sprintf("line %d: document line exceeds the per-document cap of %d bytes", lineNo+1, e.maxDocBytes))
 		} else {
 			// Most commonly a client disconnect mid-stream.
 			terminal(http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
@@ -300,4 +302,39 @@ func serveDocStream(e *Engine, w http.ResponseWriter, r *http.Request, run strea
 	close(queue)
 	wg.Wait()
 	e.busyNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// serveCheckRaw implements POST /check/raw: the body is one raw XML
+// document (no JSON envelope), checked in bounded memory with no size cap —
+// the route for documents past MaxDocumentBytes. The schema is selected by
+// reference only (X-Schema-Ref header or ?schemaRef=, against a schema
+// previously compiled via /schemas or a stream header): 400 without a ref,
+// 404 when it resolves to nothing. gzip Content-Encoding is honored (415
+// otherwise, like the stream routes) and the check sees inflated bytes.
+// The verdict is potential validity only; Valid is always false here.
+func serveCheckRaw(e *Engine, w http.ResponseWriter, r *http.Request) {
+	ref := r.Header.Get("X-Schema-Ref")
+	if ref == "" {
+		ref = r.URL.Query().Get("schemaRef")
+	}
+	if ref == "" {
+		httpError(w, http.StatusBadRequest, "missing schema reference (X-Schema-Ref header or ?schemaRef=)")
+		return
+	}
+	s, err := e.store.ResolveRef(ref)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	body, closeBody := streamBody(w, r)
+	if body == nil {
+		return
+	}
+	defer closeBody()
+	// An unbounded body can legitimately take longer than the server's
+	// ReadTimeout; lift it for this request like the stream routes do.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	res := e.CheckReader(s, r.URL.Query().Get("id"), body)
+	reply(w, toJSON(res))
 }

@@ -1,0 +1,284 @@
+package gen
+
+import (
+	"bufio"
+	"io"
+	"math/rand"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/dtd"
+)
+
+// StreamValid writes one document, valid w.r.t. d and root, directly to w,
+// stretching * and + repetitions until at least minBytes bytes have been
+// emitted. Memory stays O(MaxDepth): repetitions of a pumped group are
+// generated one at a time, serialized, and dropped — the document never
+// exists as a tree, so multi-GB inputs for benchmarks and acceptance tests
+// cost a fixed few hundred KB to produce. Deterministic in rng, like
+// GenValid.
+//
+// The stretch happens at the pumpable spot nearest the root: a star or
+// plus group (or mixed content) reachable through the sequence/choice
+// structure within the depth budget. If the grammar admits no unbounded
+// repetition from root, the output is an ordinary small valid document and
+// the returned count falls short of minBytes — callers should compare.
+func StreamValid(w io.Writer, rng *rand.Rand, d *dtd.DTD, root string, opts DocOptions, minBytes int64) (int64, error) {
+	opts.defaults()
+	g := &docGen{rng: rng, dtd: d, opts: opts, minH: minHeights(d)}
+	cw := &countWriter{w: w}
+	s := &streamGen{
+		g:      g,
+		pump:   pumpables(d),
+		cw:     cw,
+		bw:     bufio.NewWriterSize(cw, 64<<10),
+		target: minBytes,
+	}
+	s.element(root, opts.MaxDepth, s.pump[root])
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	return cw.n, s.err
+}
+
+// countWriter counts bytes on their way to the underlying writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// streamGen drives a single streamed expansion. Small subtrees (one
+// repetition of a pumped group, one forced child) are still built with
+// docGen and serialized through a reusable scratch buffer; only the spine
+// from the root to the pump is streamed structurally.
+type streamGen struct {
+	g       *docGen
+	pump    map[string]bool
+	cw      *countWriter
+	bw      *bufio.Writer
+	target  int64
+	scratch []byte
+	err     error
+}
+
+// written is the document size so far, including bytes parked in the
+// bufio layer.
+func (s *streamGen) written() int64 { return s.cw.n + int64(s.bw.Buffered()) }
+
+func (s *streamGen) done() bool { return s.written() >= s.target }
+
+func (s *streamGen) str(v string) {
+	if s.err != nil {
+		return
+	}
+	if _, err := s.bw.WriteString(v); err != nil {
+		s.err = err
+	}
+}
+
+// emitTree serializes a docGen-built subtree through the scratch buffer.
+func (s *streamGen) emitTree(n *dom.Node) {
+	if s.err != nil {
+		return
+	}
+	s.scratch = n.AppendXML(s.scratch[:0])
+	if _, err := s.bw.Write(s.scratch); err != nil {
+		s.err = err
+	}
+}
+
+// emitNodes serializes an expanded child sequence.
+func (s *streamGen) emitNodes(nodes []*dom.Node) {
+	for _, n := range nodes {
+		s.emitTree(n)
+	}
+}
+
+// element streams one element. With stretch set (and the element
+// pumpable), its content model is expanded structurally so a star, plus
+// or mixed group inside can repeat until the byte target is met;
+// otherwise the subtree is generated and serialized the ordinary way.
+func (s *streamGen) element(name string, budget int, stretch bool) {
+	if s.err != nil {
+		return
+	}
+	if !stretch {
+		s.emitTree(s.g.element(name, budget))
+		return
+	}
+	s.str("<")
+	s.str(name)
+	s.str(">")
+	decl := s.g.dtd.Elements[name]
+	switch decl.Category {
+	case dtd.Empty:
+	case dtd.Any:
+		s.pumpText()
+	case dtd.Mixed:
+		s.pumpMixed(decl.Model, budget)
+	default:
+		s.expand(decl.Model, budget, true)
+	}
+	s.str("</")
+	s.str(name)
+	s.str(">")
+}
+
+// expand streams a content-model expansion, mirroring docGen.expand but
+// with repetition counts driven by the byte target wherever stretch
+// holds. Choices prefer pumpable alternatives; sequences hand the stretch
+// to every pumpable part (the first to reach the target turns the rest
+// into minimal expansions).
+func (s *streamGen) expand(e *contentmodel.Expr, budget int, stretch bool) {
+	if s.err != nil {
+		return
+	}
+	if !stretch {
+		s.emitNodes(s.g.expand(e, budget))
+		return
+	}
+	switch e.Kind {
+	case contentmodel.KindPCDATA:
+		s.text()
+	case contentmodel.KindName:
+		s.element(e.Name, budget-1, s.pump[e.Name] && !s.done())
+	case contentmodel.KindSeq:
+		for _, c := range e.Children {
+			s.expand(c, budget, exprPumpable(c, s.pump))
+		}
+	case contentmodel.KindChoice:
+		// Prefer a pumpable alternative that fits the budget.
+		var fits []*contentmodel.Expr
+		for _, c := range e.Children {
+			if exprPumpable(c, s.pump) && exprMinHeight(c, s.g.minH) <= budget-1 {
+				fits = append(fits, c)
+			}
+		}
+		if len(fits) == 0 {
+			s.emitNodes(s.g.expand(e, budget))
+			return
+		}
+		s.expand(fits[s.g.rng.Intn(len(fits))], budget, true)
+	case contentmodel.KindStar, contentmodel.KindPlus:
+		s.pumpRepeat(e, budget)
+	case contentmodel.KindOpt:
+		if exprPumpable(e.Children[0], s.pump) && exprMinHeight(e.Children[0], s.g.minH) <= budget-1 {
+			s.expand(e.Children[0], budget, true)
+			return
+		}
+		s.emitNodes(s.g.expand(e, budget))
+	}
+}
+
+// pumpRepeat is the stretch engine: repeat a * or + group until the
+// target is met. Each repetition is an ordinary small expansion, so depth
+// stays within budget while width grows. A nullable group may expand to
+// nothing; a run of empty repetitions aborts the pump rather than spin.
+func (s *streamGen) pumpRepeat(e *contentmodel.Expr, budget int) {
+	child := e.Children[0]
+	if e.Kind == contentmodel.KindPlus {
+		s.emitNodes(s.g.expand(child, budget))
+	}
+	if exprMinHeight(child, s.g.minH) > budget-1 {
+		return
+	}
+	empty := 0
+	for !s.done() && empty < 16 && s.err == nil {
+		before := s.written()
+		s.emitNodes(s.g.expand(child, budget))
+		if s.written() == before {
+			empty++
+		} else {
+			empty = 0
+		}
+	}
+}
+
+// pumpMixed repeats the (#PCDATA | e1 | ...)* body of a mixed or ANY
+// declaration; text alone always makes progress, so this pump cannot
+// stall.
+func (s *streamGen) pumpMixed(model *contentmodel.Expr, budget int) {
+	names := model.ElementNames()
+	s.text()
+	for !s.done() && s.err == nil {
+		if len(names) > 0 {
+			child := names[s.g.rng.Intn(len(names))]
+			if budget-1 >= s.g.minH[child] {
+				s.emitTree(s.g.element(child, budget-1))
+			}
+		}
+		s.text()
+	}
+}
+
+// pumpText fills an ANY element with plain text up to the target.
+func (s *streamGen) pumpText() {
+	s.text()
+	for !s.done() && s.err == nil {
+		s.str(" ")
+		s.text()
+	}
+}
+
+// text writes 1-4 random words (always at least one byte, never needing
+// escapes).
+func (s *streamGen) text() { s.str(RandText(s.g.rng)) }
+
+// pumpables computes, per element, whether its content admits an
+// unbounded repetition point: a star/plus (or mixed/ANY content)
+// reachable through the content-model structure, possibly via child
+// elements. The fixpoint mirrors minHeights. A star over an
+// uninstantiable body still counts — pumpRepeat's height guard simply
+// declines to pump there and the element stays small.
+func pumpables(d *dtd.DTD) map[string]bool {
+	p := make(map[string]bool, len(d.Order))
+	for changed := true; changed; {
+		changed = false
+		for _, n := range d.Order {
+			if p[n] {
+				continue
+			}
+			decl := d.Elements[n]
+			var ok bool
+			switch decl.Category {
+			case dtd.Mixed, dtd.Any:
+				ok = true
+			case dtd.Empty:
+			default:
+				ok = exprPumpable(decl.Model, p)
+			}
+			if ok {
+				p[n] = true
+				changed = true
+			}
+		}
+	}
+	return p
+}
+
+// exprPumpable reports whether e contains an unbounded repetition point,
+// given the pumpability of referenced elements.
+func exprPumpable(e *contentmodel.Expr, p map[string]bool) bool {
+	switch e.Kind {
+	case contentmodel.KindStar, contentmodel.KindPlus:
+		return true
+	case contentmodel.KindName:
+		return p[e.Name]
+	case contentmodel.KindSeq, contentmodel.KindChoice:
+		for _, c := range e.Children {
+			if exprPumpable(c, p) {
+				return true
+			}
+		}
+		return false
+	case contentmodel.KindOpt:
+		return exprPumpable(e.Children[0], p)
+	}
+	return false
+}

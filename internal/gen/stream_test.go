@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/validator"
+)
+
+// TestStreamValidIsValid streams documents for random DTDs of every class
+// past a byte target and checks the result against the tree validator —
+// the same oracle as GenValid.
+func TestStreamValidIsValid(t *testing.T) {
+	const target = 32 << 10
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, class := range []DTDClass{ClassNonRecursive, ClassWeak, ClassStrong} {
+			d := RandDTD(rng, DTDOptions{Elements: 10, Class: class})
+			var buf bytes.Buffer
+			n, err := StreamValid(&buf, rng, d, "e0", DocOptions{MaxDepth: 8}, target)
+			if err != nil {
+				t.Fatalf("seed %d class %v: %v", seed, class, err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("seed %d class %v: reported %d bytes, wrote %d", seed, class, n, buf.Len())
+			}
+			doc, err := dom.ParseRoot(buf.String())
+			if err != nil {
+				t.Fatalf("seed %d class %v: streamed document does not parse: %v", seed, class, err)
+			}
+			if err := validator.MustNew(d, "e0").Validate(doc); err != nil {
+				t.Errorf("seed %d class %v: streamed document invalid: %v\n%s", seed, class, err, d)
+			}
+			// When the grammar admits a pump from the root, the stream
+			// must meet the target (some roots reference only EMPTY
+			// leaves — those legitimately stay small).
+			if pumpables(d)["e0"] && n < target {
+				t.Errorf("seed %d class %v: streamed %d bytes, want >= %d\n%s", seed, class, n, target, d)
+			}
+		}
+	}
+}
+
+// TestStreamValidFixtures covers hand-written grammars: a pump directly
+// under the root, a pump one element down, mixed content, and a grammar
+// with no pump at all (which must still emit a small valid document).
+func TestStreamValidFixtures(t *testing.T) {
+	const target = 16 << 10
+	cases := []struct {
+		name     string
+		dtd      string
+		root     string
+		pumpable bool
+	}{
+		{"star-at-root", `<!ELEMENT log (entry)*>
+<!ELEMENT entry (msg, code)>
+<!ELEMENT msg (#PCDATA)>
+<!ELEMENT code (#PCDATA)>`, "log", true},
+		{"star-one-down", `<!ELEMENT feed (head, body)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT body (item+)>
+<!ELEMENT item (#PCDATA)>`, "feed", true},
+		{"mixed-root", `<!ELEMENT p (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>`, "p", true},
+		{"no-pump", `<!ELEMENT pair (a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>`, "pair", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, err := dtd.Parse(c.dtd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			rng := rand.New(rand.NewSource(7))
+			n, err := StreamValid(&buf, rng, d, c.root, DocOptions{}, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := dom.ParseRoot(buf.String())
+			if err != nil {
+				t.Fatalf("streamed document does not parse: %v (%.120q)", err, buf.String())
+			}
+			if err := validator.MustNew(d, c.root).Validate(doc); err != nil {
+				t.Errorf("streamed document invalid: %v", err)
+			}
+			if c.pumpable && n < target {
+				t.Errorf("streamed %d bytes, want >= %d", n, target)
+			}
+			if !c.pumpable && n >= target {
+				t.Errorf("unpumpable grammar streamed %d bytes past the target %d", n, target)
+			}
+		})
+	}
+}
+
+// TestStreamValidDeterministic pins determinism in the seed.
+func TestStreamValidDeterministic(t *testing.T) {
+	d, err := dtd.Parse(`<!ELEMENT log (entry)*>
+<!ELEMENT entry (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := StreamValid(&a, rand.New(rand.NewSource(42)), d, "log", DocOptions{}, 8<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StreamValid(&b, rand.New(rand.NewSource(42)), d, "log", DocOptions{}, 8<<10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("StreamValid is not deterministic in the seed")
+	}
+}

@@ -67,6 +67,26 @@ type ByteLexer struct {
 	scratch   []byte // entity-resolved text and attribute values
 	pendTok   ByteToken
 	havePend  bool // a synthetic EndTag follows a self-closing StartTag
+	streaming bool // src is a window, not the whole document; see errNeedMore
+}
+
+// errNeedMore is returned (in streaming mode only) when the window ends in
+// the middle of a token: the condition that reads as a syntax error on a
+// whole document may resolve once more bytes arrive. ChunkedLexer reacts by
+// refilling the window and re-lexing from the last consumed position; the
+// sentinel never escapes to ChunkedLexer callers. Sites that can hit the end
+// of input funnel through (*ByteLexer).more so the streaming and
+// whole-buffer paths stay in lockstep.
+var errNeedMore = fmt.Errorf("xmltext: need more input")
+
+// more converts an at-end-of-input condition into either the retryable
+// refill sentinel (streaming mode) or the definitive syntax error
+// (whole-buffer mode, or streaming mode after the final refill).
+func (l *ByteLexer) more(pos Pos, format string, args ...any) error {
+	if l.streaming {
+		return errNeedMore
+	}
+	return l.errf(pos, format, args...)
 }
 
 // NewByteLexer returns a lexer over src.
@@ -145,6 +165,17 @@ func (l *ByteLexer) Next() (*ByteToken, error) {
 		return l.lexText(start)
 	}
 	rest := l.src[l.pos:]
+	if l.streaming && len(rest) < len(bCDATA) {
+		// The window may end inside a markup marker ("<!", "<![CD", …): the
+		// dispatch below would mis-lex the fragment as a start tag. Refill
+		// before deciding. rest always begins with '<', so a prefix match
+		// here is a genuine split marker, never plain text.
+		for _, m := range [][]byte{bComment, bCDATA, bDoctype, bPI, bEndOpen} {
+			if len(rest) < len(m) && bytes.HasPrefix(m, rest) {
+				return nil, errNeedMore
+			}
+		}
+	}
 	switch {
 	case bytes.HasPrefix(rest, bComment):
 		return l.lexComment(start)
@@ -167,6 +198,9 @@ func (l *ByteLexer) lexText(start Pos) (*ByteToken, error) {
 		l.advance(1)
 	}
 	if l.pos >= len(l.src) || l.src[l.pos] == '<' {
+		if l.streaming && l.pos >= len(l.src) {
+			return nil, errNeedMore // the text run may continue past the window
+		}
 		// Fast path: no entity references, the text is a pure subslice.
 		l.tok = ByteToken{Kind: Text, Data: l.src[from:l.pos], Pos: start, End: l.pos}
 		return &l.tok, nil
@@ -182,6 +216,9 @@ func (l *ByteLexer) lexText(start Pos) (*ByteToken, error) {
 		l.scratch = append(l.scratch, l.src[l.pos])
 		l.advance(1)
 	}
+	if l.streaming && l.pos >= len(l.src) {
+		return nil, errNeedMore
+	}
 	l.tok = ByteToken{Kind: Text, Data: l.scratch, Pos: start, End: l.pos}
 	return &l.tok, nil
 }
@@ -191,6 +228,13 @@ func (l *ByteLexer) appendEntity() error {
 	start := l.position()
 	semi := bytes.IndexByte(l.src[l.pos:], ';')
 	if semi < 0 || semi > 12 {
+		// Streaming: the ';' may sit just past the window, but only while
+		// fewer than 13 bytes ('&' plus the longest legal reference body)
+		// have been scanned; beyond that the reference is unterminated no
+		// matter what follows.
+		if l.streaming && semi < 0 && len(l.src)-l.pos <= 12 {
+			return errNeedMore
+		}
 		return l.errf(start, "unterminated entity reference")
 	}
 	name := l.src[l.pos+1 : l.pos+semi]
@@ -232,7 +276,7 @@ func (l *ByteLexer) lexComment(start Pos) (*ByteToken, error) {
 	l.advance(4) // <!--
 	end := bytes.Index(l.src[l.pos:], []byte("-->"))
 	if end < 0 {
-		return nil, l.errf(start, "unterminated comment")
+		return nil, l.more(start, "unterminated comment")
 	}
 	data := l.src[l.pos : l.pos+end]
 	l.advance(end + 3)
@@ -244,7 +288,7 @@ func (l *ByteLexer) lexCDATA(start Pos) (*ByteToken, error) {
 	l.advance(9) // <![CDATA[
 	end := bytes.Index(l.src[l.pos:], []byte("]]>"))
 	if end < 0 {
-		return nil, l.errf(start, "unterminated CDATA section")
+		return nil, l.more(start, "unterminated CDATA section")
 	}
 	data := l.src[l.pos : l.pos+end]
 	l.advance(end + 3)
@@ -278,14 +322,14 @@ func (l *ByteLexer) lexDoctype(start Pos) (*ByteToken, error) {
 		}
 		l.advance(1)
 	}
-	return nil, l.errf(start, "unterminated DOCTYPE declaration")
+	return nil, l.more(start, "unterminated DOCTYPE declaration")
 }
 
 func (l *ByteLexer) lexPI(start Pos) (*ByteToken, error) {
 	l.advance(2) // <?
 	end := bytes.Index(l.src[l.pos:], []byte("?>"))
 	if end < 0 {
-		return nil, l.errf(start, "unterminated processing instruction")
+		return nil, l.more(start, "unterminated processing instruction")
 	}
 	body := l.src[l.pos : l.pos+end]
 	l.advance(end + 2)
@@ -305,7 +349,10 @@ func (l *ByteLexer) lexEndTag(start Pos) (*ByteToken, error) {
 		return nil, err
 	}
 	l.skipSpace()
-	if l.pos >= len(l.src) || l.src[l.pos] != '>' {
+	if l.pos >= len(l.src) {
+		return nil, l.more(start, "malformed end tag </%s", name)
+	}
+	if l.src[l.pos] != '>' {
 		return nil, l.errf(start, "malformed end tag </%s", name)
 	}
 	l.advance(1)
@@ -323,7 +370,7 @@ func (l *ByteLexer) lexStartTag(start Pos) (*ByteToken, error) {
 	for {
 		l.skipSpace()
 		if l.pos >= len(l.src) {
-			return nil, l.errf(start, "unterminated start tag <%s", name)
+			return nil, l.more(start, "unterminated start tag <%s", name)
 		}
 		switch l.src[l.pos] {
 		case '>':
@@ -332,6 +379,9 @@ func (l *ByteLexer) lexStartTag(start Pos) (*ByteToken, error) {
 			return &l.tok, nil
 		case '/':
 			if !bytes.HasPrefix(l.src[l.pos:], bSelfEnd) {
+				if l.streaming && l.pos+1 >= len(l.src) {
+					return nil, errNeedMore // "/" may be the start of "/>"
+				}
 				return nil, l.errf(l.position(), "expected '/>' in tag <%s", name)
 			}
 			l.advance(2)
@@ -362,12 +412,18 @@ func (l *ByteLexer) lexAttr() (ByteAttr, error) {
 		return ByteAttr{}, err
 	}
 	l.skipSpace()
-	if l.pos >= len(l.src) || l.src[l.pos] != '=' {
+	if l.pos >= len(l.src) {
+		return ByteAttr{}, l.more(l.position(), "attribute %q missing '='", name)
+	}
+	if l.src[l.pos] != '=' {
 		return ByteAttr{}, l.errf(l.position(), "attribute %q missing '='", name)
 	}
 	l.advance(1)
 	l.skipSpace()
-	if l.pos >= len(l.src) || (l.src[l.pos] != '"' && l.src[l.pos] != '\'') {
+	if l.pos >= len(l.src) {
+		return ByteAttr{}, l.more(l.position(), "attribute %q value must be quoted", name)
+	}
+	if l.src[l.pos] != '"' && l.src[l.pos] != '\'' {
 		return ByteAttr{}, l.errf(l.position(), "attribute %q value must be quoted", name)
 	}
 	q := l.src[l.pos]
@@ -381,6 +437,9 @@ func (l *ByteLexer) lexAttr() (ByteAttr, error) {
 		val := l.src[from:l.pos]
 		l.advance(1)
 		return ByteAttr{Name: name, Value: val}, nil
+	}
+	if l.streaming && l.pos >= len(l.src) {
+		return ByteAttr{}, errNeedMore
 	}
 	valStart := len(l.scratch)
 	l.scratch = append(l.scratch, l.src[from:l.pos]...)
@@ -398,7 +457,7 @@ func (l *ByteLexer) lexAttr() (ByteAttr, error) {
 		l.advance(1)
 	}
 	if l.pos >= len(l.src) {
-		return ByteAttr{}, l.errf(l.position(), "unterminated attribute value for %q", name)
+		return ByteAttr{}, l.more(l.position(), "unterminated attribute value for %q", name)
 	}
 	l.advance(1)
 	return ByteAttr{Name: name, Value: l.scratch[valStart:len(l.scratch):len(l.scratch)]}, nil
@@ -408,15 +467,33 @@ func (l *ByteLexer) lexName() ([]byte, error) {
 	start := l.pos
 	r, size := utf8.DecodeRune(l.src[l.pos:])
 	if size == 0 || !(r == '_' || r == ':' || unicode.IsLetter(r)) {
+		// Streaming: an empty window, or a RuneError from what may be a
+		// multi-byte rune truncated by the window edge, can both resolve
+		// after a refill. A RuneError with utf8.UTFMax bytes in hand is a
+		// genuinely invalid byte and stays an error.
+		if l.streaming && (size == 0 || (r == utf8.RuneError && size == 1 && len(l.src)-l.pos < utf8.UTFMax)) {
+			return nil, errNeedMore
+		}
+		if l.streaming && len(l.src)-l.pos < 10 {
+			// The error message quotes up to 10 bytes of context; refill so
+			// the streamed message matches the whole-buffer one exactly.
+			return nil, errNeedMore
+		}
 		return nil, l.errf(l.position(), "expected a name, found %q", l.src[l.pos:min(l.pos+10, len(l.src))])
 	}
 	l.advance(size)
 	for l.pos < len(l.src) {
 		r, size = utf8.DecodeRune(l.src[l.pos:])
+		if r == utf8.RuneError && size == 1 && l.streaming && len(l.src)-l.pos < utf8.UTFMax {
+			return nil, errNeedMore // possibly a name rune split by the window edge
+		}
 		if !(r == '_' || r == ':' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
 			break
 		}
 		l.advance(size)
+	}
+	if l.streaming && l.pos >= len(l.src) {
+		return nil, errNeedMore // the name may continue past the window
 	}
 	return l.src[start:l.pos], nil
 }

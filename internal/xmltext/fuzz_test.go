@@ -2,6 +2,7 @@ package xmltext
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -28,6 +29,39 @@ func FuzzLexBytes(f *testing.F) {
 		}
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("token mismatch on %q\n  string: %#v\n  bytes:  %#v", src, want, got)
+		}
+	})
+}
+
+// FuzzChunkedLexer asserts that on arbitrary input the sliding-window
+// streaming lexer agrees exactly with the whole-buffer byte lexer at every
+// window size — same token stream with global positions on acceptance, same
+// error text on rejection. Tiny windows make every marker, char-ref and
+// multi-byte rune straddle refill boundaries; this equivalence is what lets
+// RunReader and /check/raw claim whole-buffer semantics on unbounded input.
+func FuzzChunkedLexer(f *testing.F) {
+	for _, seed := range differentialInputs {
+		f.Add(seed)
+	}
+	for _, seed := range straddleInputs() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		want, wantErr := TokenizeBytes([]byte(src))
+		for _, size := range []int{3, 7, 64, 4096} {
+			got, gotErr := tokenizeChunked(strings.NewReader(src), size)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("buf=%d: error mismatch on %q\n  whole:   %v\n  chunked: %v", size, src, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("buf=%d: error text mismatch on %q\n  whole:   %v\n  chunked: %v", size, src, wantErr, gotErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("buf=%d: token mismatch on %q\n  whole:   %#v\n  chunked: %#v", size, src, want, got)
+			}
 		}
 	})
 }

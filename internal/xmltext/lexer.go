@@ -69,6 +69,8 @@ type Pos struct {
 	Col    int // 1-based, in bytes
 }
 
+// String renders the position in the "line L, col C" form used by
+// SyntaxError messages.
 func (p Pos) String() string { return fmt.Sprintf("line %d, col %d", p.Line, p.Col) }
 
 // Token is a single lexical token.
@@ -88,6 +90,7 @@ type SyntaxError struct {
 	Msg string
 }
 
+// Error implements the error interface: "xml: line L, col C: msg".
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("xml: %s: %s", e.Pos, e.Msg)
 }

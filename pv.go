@@ -255,6 +255,15 @@ func (s *Schema) CheckStream(xml string) error { return s.core.CheckStream(xml) 
 // pooled buffer.
 func (s *Schema) CheckStreamBytes(xml []byte) error { return s.core.CheckStreamBytes(xml) }
 
+// CheckReader is CheckStream over an io.Reader: the document is lexed
+// through a fixed sliding window and never held in memory, so peak usage is
+// O(element depth + window) — typically a few hundred KB — no matter the
+// document size. Multi-GB files check at near-disk speed (bench X13); the
+// verdict is identical to CheckStreamBytes over the same bytes. It returns
+// nil when the document is potentially valid; the error otherwise explains
+// the violation, well-formedness failure or read problem.
+func (s *Schema) CheckReader(r io.Reader) error { return s.core.CheckReader(r) }
+
 // Ref returns the schema's registry reference (a hex digest of source,
 // kind, root and options) when the schema was compiled through an Engine,
 // and "" otherwise. Documents in a mixed batch select their schema by this
@@ -465,6 +474,13 @@ type EngineConfig struct {
 	// PVOnly skips the full-validity bit, which needs a tree parse of each
 	// potentially valid document — the fastest mode for firehose filtering.
 	PVOnly bool
+	// MaxDocBytes caps one document on the HTTP NDJSON stream routes
+	// (/check/stream, /complete/stream); <=0 keeps the 64MB default. The
+	// /check/raw route and CheckReader are never capped.
+	MaxDocBytes int
+	// StreamBufBytes is the sliding-window size of the bounded-memory
+	// reader path (CheckReader, /check/raw); <=0 selects the 256KB default.
+	StreamBufBytes int
 	// JobWorkers bounds how many async jobs (SubmitBatch /
 	// SubmitCompleteBatch) execute concurrently; each job's chunks still
 	// share the engine-wide Workers bound. <=0 selects 2.
@@ -524,16 +540,18 @@ func NewEngine(cfg EngineConfig) *Engine {
 // directory that cannot be created or opened as an error.
 func OpenEngine(cfg EngineConfig) (*Engine, error) {
 	e, err := engine.Open(engine.Config{
-		Workers:       cfg.Workers,
-		CacheSize:     cfg.SchemaCacheSize,
-		Shards:        cfg.SchemaCacheShards,
-		CacheDir:      cfg.SchemaCacheDir,
-		PVOnly:        cfg.PVOnly,
-		JobWorkers:    cfg.JobWorkers,
-		JobQueueDepth: cfg.JobQueueDepth,
-		JobResultTTL:  cfg.JobResultTTL,
-		VolatileJobs:  cfg.VolatileJobs,
-		JobWALNoSync:  cfg.JobWALNoSync,
+		Workers:        cfg.Workers,
+		CacheSize:      cfg.SchemaCacheSize,
+		Shards:         cfg.SchemaCacheShards,
+		CacheDir:       cfg.SchemaCacheDir,
+		PVOnly:         cfg.PVOnly,
+		MaxDocBytes:    cfg.MaxDocBytes,
+		StreamBufBytes: cfg.StreamBufBytes,
+		JobWorkers:     cfg.JobWorkers,
+		JobQueueDepth:  cfg.JobQueueDepth,
+		JobResultTTL:   cfg.JobResultTTL,
+		VolatileJobs:   cfg.VolatileJobs,
+		JobWALNoSync:   cfg.JobWALNoSync,
 	})
 	if err != nil {
 		return nil, err
@@ -595,6 +613,16 @@ func (e *Engine) CheckAll(s *Schema, xmls []string) ([]BatchResult, BatchStats) 
 // Check runs one document synchronously on the caller's goroutine. s may
 // be nil when the document routes itself by SchemaRef.
 func (e *Engine) Check(s *Schema, d Doc) BatchResult { return e.e.Check(engSchema(s), d) }
+
+// CheckReader checks one document streamed from r in bounded memory —
+// O(element depth + sliding window) regardless of size, with no cap; the
+// engine-side twin of Schema.CheckReader (HTTP: POST /check/raw). The
+// verdict is potential validity only: the full-validity bit would need a
+// tree parse, which is exactly the O(document) cost this path avoids. It
+// counts against the engine's worker bound and lifetime stats.
+func (e *Engine) CheckReader(s *Schema, id string, r io.Reader) BatchResult {
+	return e.e.CheckReader(engSchema(s), id, r)
+}
 
 // CompleteBatch fans docs out over the engine's worker pool, completing
 // each potentially valid document into a valid one, and returns one
