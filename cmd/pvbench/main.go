@@ -1,14 +1,14 @@
-// Command pvbench regenerates the experiment tables X1-X13: the empirical
+// Command pvbench regenerates the experiment tables X1-X14: the empirical
 // counterparts of the paper's analytical claims (X1-X6) plus the service
 // layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
 // path, X9 completion throughput, X10 sharded two-tier schema store,
 // X11 async job-queue ingest, X12 durable-job write-ahead log, X13
-// bounded-memory streaming checker).
+// bounded-memory streaming checker, X14 verdict-receipt overhead).
 //
 // Usage:
 //
 //	pvbench [-quick] [-json] [-stream-file-mb N]
-//	        [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability,streaming]
+//	        [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability,streaming,receipt]
 //
 // -json emits the selected tables as a JSON array (the format committed
 // under bench/, e.g. bench/X9.json, bench/X12.json and bench/X13.json).
@@ -90,6 +90,7 @@ func main() {
 		{"asyncingest", func() *bench.Table { return bench.AsyncIngest(workerCounts, corpus, tputBudget) }},
 		{"durability", func() *bench.Table { return bench.Durability(corpus, tputBudget) }},
 		{"streaming", func() *bench.Table { return bench.StreamingMemory(streamMemMB, *streamFileMB, tputBudget) }},
+		{"receipt", func() *bench.Table { return bench.ReceiptOverhead(corpus, tputBudget) }},
 	}
 
 	var tables []*bench.Table

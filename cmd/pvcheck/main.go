@@ -7,6 +7,13 @@
 //	pvcheck (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] doc.xml...
 //	pvcheck batch (-dtd schema.dtd | -xsd schema.xsd) -root r [flags] dir...
 //	pvcheck complete (-dtd schema.dtd | -xsd schema.xsd) -root r [-diff] [-in-place] [flags] dir...
+//	pvcheck verify -receipt receipt.json [-root pvr1:...] [-id doc | -index N] [-content doc.xml]
+//
+// The verify form audits a verdict receipt (the ?receipt=1 response of
+// pvserve's /batch and /complete routes, or the /jobs/{id}/receipt body)
+// completely offline: no schema, engine or server is involved — only the
+// Merkle inclusion proofs inside the file, checked against the receipt's
+// root or a trusted -root override.
 //
 // The batch form fans a directory of documents out over the concurrent
 // checking engine (see -workers); with -async it submits the corpus as one
@@ -34,6 +41,8 @@ func main() {
 			os.Exit(cli.Batch(args[1:], os.Stdout, os.Stderr))
 		case "complete":
 			os.Exit(cli.Complete(args[1:], os.Stdout, os.Stderr))
+		case "verify":
+			os.Exit(cli.Verify(args[1:], os.Stdout, os.Stderr))
 		}
 	}
 	os.Exit(cli.PVCheck(args, os.Stdout, os.Stderr))

@@ -1129,6 +1129,76 @@ func StreamingMemory(inMemMB, fileMB int, budget time.Duration) *Table {
 	return t
 }
 
+// ReceiptOverhead is experiment X14 (verifiable verdict receipts):
+// CheckBatch versus CheckBatchReceipt over the same mixed play corpus, on
+// a memory-only engine (no anchor log — the pure commitment cost: leaf
+// hashing, tree build, one proof per document). The acceptance bar for
+// the feature is <=5% docs/sec overhead with receipts on; receipts are
+// off by default, so the baseline row is also the no-regression witness
+// for existing callers.
+func ReceiptOverhead(corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(14))
+	docs := make([]engine.Doc, corpusSize)
+	var corpusBytes int64
+	for i := range docs {
+		doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+		switch i % 3 {
+		case 1:
+			gen.Strip(rng, doc, 0.3)
+		case 2:
+			gen.Corrupt(rng, d, doc)
+		}
+		docs[i] = engine.Doc{ID: fmt.Sprint(i), Content: doc.String()}
+		corpusBytes += int64(len(docs[i].Content))
+	}
+	t := &Table{
+		Name:    "receipt",
+		Caption: "X14 / verdict receipts — CheckBatch vs CheckBatchReceipt (mixed play corpus, memory-only engine)",
+		Header:  []string{"mode", "corpus_docs", "batches", "docs_per_sec", "mb_per_sec", "overhead_pct"},
+	}
+	e := engine.New(engine.Config{})
+	s, err := e.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// The two modes alternate batch for batch across one shared budget
+	// window, so machine drift (thermal, noisy neighbors) hits both
+	// equally instead of whichever phase ran second.
+	e.CheckBatch(s, docs) // warm up (pools, page cache)
+	var batches [2]int
+	var spent [2]time.Duration
+	start := time.Now()
+	for time.Since(start) < 2*budget {
+		for mode := 0; mode < 2; mode++ {
+			t0 := time.Now()
+			if mode == 1 {
+				if _, _, rec, err := e.CheckBatchReceipt(s, docs); err != nil || rec == nil {
+					panic(fmt.Sprintf("receipt batch: rec=%v err=%v", rec, err))
+				}
+			} else {
+				e.CheckBatch(s, docs)
+			}
+			spent[mode] += time.Since(t0)
+			batches[mode]++
+		}
+	}
+	var dps [2]float64
+	for mode, name := range []string{"off", "on"} {
+		dps[mode] = float64(batches[mode]*len(docs)) / spent[mode].Seconds()
+		mbps := float64(batches[mode]) * float64(corpusBytes) / (1 << 20) / spent[mode].Seconds()
+		overhead := "0.00"
+		if mode == 1 {
+			overhead = fmt.Sprintf("%.2f", (dps[0]-dps[1])/dps[0]*100)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(len(docs)), fmt.Sprint(batches[mode]),
+			fmt.Sprintf("%.0f", dps[mode]), fmt.Sprintf("%.2f", mbps), overhead,
+		})
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -1174,5 +1244,6 @@ func All(quick bool) []*Table {
 		AsyncIngest(workerCounts, corpus, tputBudget),
 		Durability(corpus, tputBudget),
 		StreamingMemory(streamMemMB, streamFileMB, tputBudget),
+		ReceiptOverhead(corpus, tputBudget),
 	}
 }

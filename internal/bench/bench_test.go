@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 13 {
-		t.Fatalf("want 13 tables, got %d", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("want 14 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -205,6 +205,22 @@ func TestAllQuick(t *testing.T) {
 		}
 		if streamPeak >= readPeak/2 {
 			t.Errorf("streamed peak heap %.2fMB not bounded vs read-then-check %.2fMB", streamPeak, readPeak)
+		}
+	}
+	// X14: both modes move documents; the overhead percentage is machine
+	// dependent (the <=5% bar is pinned by the committed bench/X14.json),
+	// so only progress and row shape are asserted here.
+	if rows := byName["receipt"].Rows; len(rows) != 2 {
+		t.Errorf("receipt rows: %v", rows)
+	} else {
+		if rows[0][0] != "off" || rows[1][0] != "on" {
+			t.Errorf("receipt mode rows out of order: %v", rows)
+		}
+		for _, row := range rows {
+			dps, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || dps <= 0 {
+				t.Errorf("receipt row has no progress: %v", row)
+			}
 		}
 	}
 	// X2: Earley must be slower than the ECRecognizer on the largest input.

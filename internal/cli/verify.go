@@ -1,0 +1,130 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/receipt"
+)
+
+// receiptFile is the subset of a served receipt the verifier needs: the
+// root, the committed leaves and their proofs. It decodes both the
+// ?receipt=1 response object and the GET /jobs/{id}/receipt body.
+type receiptFile struct {
+	Root   string `json:"root"`
+	Count  int    `json:"count"`
+	Kind   string `json:"kind"`
+	Proofs []struct {
+		Index int          `json:"index"`
+		Leaf  receipt.Leaf `json:"leaf"`
+		Proof string       `json:"proof"`
+	} `json:"proofs"`
+}
+
+// Verify runs the `pvcheck verify` subcommand: check a verdict receipt's
+// inclusion proofs completely offline. It is pure computation over the
+// receipt file — no engine, no schema, no cache directory — so an auditor
+// holding only the receipt (and optionally the trusted root and original
+// document) can validate what the server claimed. Exit codes: 0 every
+// checked proof verifies, 1 verification failure, 2 usage or input
+// errors.
+func Verify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pvcheck verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("receipt", "", "receipt JSON file (the ?receipt=1 response object or the /jobs/{id}/receipt body; required)")
+	rootOverride := fs.String("root", "", "trusted root record to verify against (default: the receipt's own root)")
+	docID := fs.String("id", "", "verify only the entry whose leaf carries this document id")
+	index := fs.Int("index", -1, "verify only the entry at this batch index")
+	contentPath := fs.String("content", "", "original document file; its digest must match the selected entry's leaf")
+	quiet := fs.Bool("q", false, "print only failures")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *path == "" || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: pvcheck verify -receipt receipt.json [-root pvr1:...] [-id docID | -index N] [-content doc.xml]")
+		fs.PrintDefaults()
+		return 2
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintf(stderr, "pvcheck verify: %v\n", err)
+		return 2
+	}
+	var rec receiptFile
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fmt.Fprintf(stderr, "pvcheck verify: parsing receipt: %v\n", err)
+		return 2
+	}
+	root := rec.Root
+	if *rootOverride != "" {
+		root = *rootOverride
+	}
+	if root == "" {
+		fmt.Fprintln(stderr, "pvcheck verify: receipt has no root (pass a trusted one with -root)")
+		return 2
+	}
+	if len(rec.Proofs) == 0 {
+		fmt.Fprintln(stderr, "pvcheck verify: receipt carries no proofs")
+		return 2
+	}
+
+	// Select the entries to check: one by -id/-index, else all of them.
+	selected := make([]int, 0, len(rec.Proofs))
+	for i := range rec.Proofs {
+		if *docID != "" && rec.Proofs[i].Leaf.DocID != *docID {
+			continue
+		}
+		if *index >= 0 && rec.Proofs[i].Index != *index {
+			continue
+		}
+		selected = append(selected, i)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(stderr, "pvcheck verify: no receipt entry matches the selection")
+		return 2
+	}
+	if *contentPath != "" && len(selected) != 1 {
+		fmt.Fprintln(stderr, "pvcheck verify: -content needs exactly one selected entry (use -id or -index)")
+		return 2
+	}
+
+	failures := 0
+	for _, i := range selected {
+		p := &rec.Proofs[i]
+		ok := receipt.Verify(root, p.Leaf, p.Proof)
+		if *contentPath != "" && ok {
+			content, rerr := os.ReadFile(*contentPath)
+			if rerr != nil {
+				fmt.Fprintf(stderr, "pvcheck verify: %v\n", rerr)
+				return 2
+			}
+			if got := receipt.DigestContent(content); got != p.Leaf.ContentDigest {
+				fmt.Fprintf(stdout, "FAIL  index=%d id=%s: content digest mismatch (file %s, leaf %s)\n",
+					p.Index, p.Leaf.DocID, got, p.Leaf.ContentDigest)
+				failures++
+				continue
+			}
+		}
+		if !ok {
+			fmt.Fprintf(stdout, "FAIL  index=%d id=%s verdict=%s: proof does not verify against %s\n",
+				p.Index, p.Leaf.DocID, p.Leaf.Verdict, root)
+			failures++
+			continue
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "ok    index=%d id=%s verdict=%s insertions=%d\n",
+				p.Index, p.Leaf.DocID, p.Leaf.Verdict, p.Leaf.Insertions)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "verify: %d of %d checked proofs FAILED against %s\n", failures, len(selected), root)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "verify: %d proofs verified against %s\n", len(selected), root)
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// writeReceiptFixture generates a real receipt through the engine and
+// writes it — plus one of the original documents — to disk, returning
+// both paths. The engine is closed before returning: everything after is
+// offline.
+func writeReceiptFixture(t *testing.T) (receiptPath, docPath string, rec *pv.Receipt) {
+	t.Helper()
+	eng, err := pv.OpenEngine(pv.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	schema := pv.MustCompileDTD(`<!ELEMENT a (x*)><!ELEMENT x (#PCDATA)>`, "a", pv.Options{})
+	docs := []pv.Doc{
+		{ID: "good", Content: `<a><x>one</x></a>`},
+		{ID: "empty", Content: `<a></a>`},
+		{ID: "broken", Content: `<a><x>`},
+	}
+	_, _, rec, err = eng.CheckBatchReceipt(schema, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	receiptPath = filepath.Join(dir, "receipt.json")
+	if err := os.WriteFile(receiptPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docPath = filepath.Join(dir, "good.xml")
+	if err := os.WriteFile(docPath, []byte(docs[0].Content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return receiptPath, docPath, rec
+}
+
+// TestVerifyAllProofs pins the happy path: every proof in a served
+// receipt verifies offline, exit 0.
+func TestVerifyAllProofs(t *testing.T) {
+	receiptPath, _, _ := writeReceiptFixture(t)
+	var out, errb strings.Builder
+	if code := Verify([]string{"-receipt", receiptPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "3 proofs verified") {
+		t.Fatalf("summary missing: %s", out.String())
+	}
+}
+
+// TestVerifySelection pins -id and -index single-entry selection and the
+// -content digest cross-check against the original document.
+func TestVerifySelection(t *testing.T) {
+	receiptPath, docPath, _ := writeReceiptFixture(t)
+	var out, errb strings.Builder
+	if code := Verify([]string{"-receipt", receiptPath, "-id", "good", "-content", docPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	if code := Verify([]string{"-receipt", receiptPath, "-index", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "id=broken") || !strings.Contains(out.String(), "verdict=malformed") {
+		t.Fatalf("index selection output: %s", out.String())
+	}
+	// A different document's content must not pass the digest check.
+	wrong := filepath.Join(t.TempDir(), "wrong.xml")
+	if err := os.WriteFile(wrong, []byte(`<a><x>two</x></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := Verify([]string{"-receipt", receiptPath, "-id", "good", "-content", wrong}, &out, &errb); code != 1 {
+		t.Fatalf("digest mismatch exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "content digest mismatch") {
+		t.Fatalf("digest failure output: %s", out.String())
+	}
+}
+
+// TestVerifyTamperedReceipt pins that any mutation of a stored receipt —
+// leaf field, proof record or root — exits 1.
+func TestVerifyTamperedReceipt(t *testing.T) {
+	receiptPath, _, rec := writeReceiptFixture(t)
+	data, err := os.ReadFile(receiptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"verdict":"malformed"`, `"verdict":"valid"`, 1)
+	if tampered == string(data) {
+		t.Fatal("fixture receipt has no malformed verdict to tamper with")
+	}
+	badPath := filepath.Join(t.TempDir(), "tampered.json")
+	if err := os.WriteFile(badPath, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := Verify([]string{"-receipt", badPath}, &out, &errb); code != 1 {
+		t.Fatalf("tampered receipt exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("no FAIL line: %s", out.String())
+	}
+	// A wrong trusted root fails even an untampered receipt.
+	rb := []byte(rec.Root)
+	if rb[5] == '0' {
+		rb[5] = '1'
+	} else {
+		rb[5] = '0'
+	}
+	otherRoot := string(rb)
+	out.Reset()
+	if code := Verify([]string{"-receipt", receiptPath, "-root", otherRoot}, &out, &errb); code != 1 {
+		t.Fatalf("wrong -root exited %d: %s", code, out.String())
+	}
+}
+
+// TestVerifyUsageErrors pins the exit-2 paths: missing -receipt, missing
+// file, unmatched selection, -content over multiple entries.
+func TestVerifyUsageErrors(t *testing.T) {
+	receiptPath, docPath, _ := writeReceiptFixture(t)
+	var out, errb strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"-receipt", filepath.Join(t.TempDir(), "absent.json")},
+		{"-receipt", receiptPath, "-id", "nobody"},
+		{"-receipt", receiptPath, "-content", docPath}, // 3 entries selected
+		{"-receipt", receiptPath, "stray-positional"},
+	} {
+		out.Reset()
+		errb.Reset()
+		if code := Verify(args, &out, &errb); code != 2 {
+			t.Fatalf("args %v exited %d\nstderr: %s", args, code, errb.String())
+		}
+	}
+}

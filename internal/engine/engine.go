@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/jobs/jobstore"
 	"repro/internal/jobs/walstore"
+	"repro/internal/receipt"
 	"repro/internal/schemastore"
 	"repro/internal/validator"
 )
@@ -201,6 +204,14 @@ type Engine struct {
 	// `workers` slots instead of multiplying them.
 	sem chan struct{}
 
+	// cacheDir is Config.CacheDir; the receipt anchor log lives under it
+	// (lazily opened on the first receipt build).
+	cacheDir    string
+	instanceID  string
+	anchorsOnce sync.Once
+	anchors     *receipt.AnchorLog
+	anchorsErr  error
+
 	docs      atomic.Int64
 	pv        atomic.Int64
 	valid     atomic.Int64
@@ -209,6 +220,9 @@ type Engine struct {
 	inserted  atomic.Int64
 	bytes     atomic.Int64
 	busyNanos atomic.Int64 // wall-clock spent inside CheckBatch calls
+
+	receiptsBuilt    atomic.Int64
+	receiptsAnchored atomic.Int64
 }
 
 // New builds an engine. It panics when Config.CacheDir is set but cannot
@@ -276,6 +290,8 @@ func Open(cfg Config) (*Engine, error) {
 		maxDocBytes: cfg.MaxDocBytes,
 		streamBuf:   cfg.StreamBufBytes,
 		sem:         make(chan struct{}, w),
+		cacheDir:    cfg.CacheDir,
+		instanceID:  newInstanceID(),
 	}
 	if e.maxDocBytes <= 0 {
 		e.maxDocBytes = MaxDocumentBytes
@@ -295,18 +311,40 @@ func Open(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// newInstanceID draws the engine's metrics instance label: a short random
+// hex tag distinguishing this engine's series from a restarted successor
+// scraping into the same Prometheus.
+func newInstanceID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// InstanceID returns the engine's metrics instance label — a random hex
+// tag drawn at Open.
+func (e *Engine) InstanceID() string { return e.instanceID }
+
 // Close stops the engine's async job workers and reaper. Running jobs
 // finish their current chunk; queued jobs stop being picked up (on a
 // durable store they replay as interrupted after a restart). Batch and
 // single-document checking remain usable (they never go through the job
 // layer). Close does not wait for running jobs — use Shutdown for a
 // bounded drain.
-func (e *Engine) Close() { e.jobs.Close() }
+func (e *Engine) Close() {
+	e.jobs.Close()
+	e.closeAnchors()
+}
 
 // Shutdown closes the engine and waits — bounded by ctx — for running
 // jobs to finalize and the job store to be released. It returns ctx.Err()
 // when the drain outlives the context.
-func (e *Engine) Shutdown(ctx context.Context) error { return e.jobs.Shutdown(ctx) }
+func (e *Engine) Shutdown(ctx context.Context) error {
+	err := e.jobs.Shutdown(ctx)
+	e.closeAnchors()
+	return err
+}
 
 // JobRecovery reports the job-replay outcome of Open: the counts of
 // re-queued, resumed, re-served and unrecoverable jobs, and whether a
@@ -662,6 +700,10 @@ type Stats struct {
 	Inserted         int64 `json:"inserted"`
 	Bytes            int64 `json:"bytes"`
 	BusyNanos        int64 `json:"busyNanos"`
+	// ReceiptsBuilt and ReceiptsAnchored count verdict receipts committed
+	// and anchor-log records written.
+	ReceiptsBuilt    int64 `json:"receiptsBuilt"`
+	ReceiptsAnchored int64 `json:"receiptsAnchored"`
 }
 
 // Stats returns the engine's lifetime counters.
@@ -676,5 +718,7 @@ func (e *Engine) Stats() Stats {
 		Inserted:         e.inserted.Load(),
 		Bytes:            e.bytes.Load(),
 		BusyNanos:        e.busyNanos.Load(),
+		ReceiptsBuilt:    e.receiptsBuilt.Load(),
+		ReceiptsAnchored: e.receiptsAnchored.Load(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/jobs"
+	"repro/internal/receipt"
 )
 
 // The async ingest path: instead of holding an HTTP connection open while
@@ -46,6 +47,7 @@ type jobPayload struct {
 	// schema had no registry ref to persist" (unrecoverable).
 	HasDefault bool         `json:"hasDefault,omitempty"`
 	Diff       bool         `json:"diff,omitempty"` // completion: emit per-insertion records
+	Receipt    bool         `json:"receipt,omitempty"`
 	Docs       []payloadDoc `json:"docs"`
 }
 
@@ -62,11 +64,11 @@ type payloadDoc struct {
 // encodeJobPayload serializes a submission for the write-ahead log — nil
 // (skip the cost) when the job store is volatile and nothing would replay
 // it anyway.
-func (e *Engine) encodeJobPayload(op string, s *Schema, docs []Doc, diff bool) ([]byte, error) {
+func (e *Engine) encodeJobPayload(op string, s *Schema, docs []Doc, diff, withReceipt bool) ([]byte, error) {
 	if !e.jobs.Durable() {
 		return nil, nil
 	}
-	p := jobPayload{Op: op, Diff: diff, Docs: make([]payloadDoc, len(docs))}
+	p := jobPayload{Op: op, Diff: diff, Receipt: withReceipt, Docs: make([]payloadDoc, len(docs))}
 	if s != nil {
 		// A schema compiled outside the registry has no ref to persist; the
 		// job still runs now, but a restart cannot rebuild it — recovery
@@ -116,19 +118,42 @@ func (e *Engine) recoverRunner(sub jobs.Submission) (jobs.Runner, error) {
 	for i, pd := range p.Docs {
 		docs[i] = Doc{ID: pd.ID, Content: pd.Content, Bytes: pd.Bytes, SchemaRef: pd.Ref}
 	}
+	// Receipt-bearing jobs rebuild their collector too: a recovered job
+	// re-run from input zero commits the same leaves the original would
+	// have, so the replayed receipt root matches a byte-identical re-run.
+	// (A *resumed* job skips its durable chunks; its collector never fills
+	// and no fresh receipt is built — the root persisted with the terminal
+	// event, when one exists, still serves.) Delivery resolves the job
+	// handle by id: recovery registers every job before the worker pool
+	// starts, so the handle exists before any chunk can run.
+	var col *receiptCollector
+	if p.Receipt {
+		col = &receiptCollector{
+			e: e, kind: p.Op, batch: sub.ID,
+			leaves: make([]receipt.Leaf, len(docs)),
+			deliver: func(rec *Receipt) {
+				if j, ok := e.jobs.Get(sub.ID); ok {
+					applyReceipt(j, rec)
+				}
+			},
+		}
+	}
 	switch p.Op {
 	case "check":
-		return e.checkRunner(def, docs), nil
+		return e.checkRunner(def, docs, col), nil
 	case "complete":
-		return e.completeRunner(def, docs, p.Diff), nil
+		return e.completeRunner(def, docs, p.Diff, col), nil
 	}
 	return nil, fmt.Errorf("unknown persisted job op %q", p.Op)
 }
 
 // checkRunner builds the chunk runner for an async check job: each call
 // drains docs[lo:hi] through CheckBatch and encodes one verdict line per
-// document.
-func (e *Engine) checkRunner(s *Schema, docs []Doc) jobs.Runner {
+// document. A non-nil collector additionally commits each chunk's leaves
+// toward the job's verdict receipt; the manager runs a job's chunks
+// sequentially on one worker, so the collector is touched by one
+// goroutine at a time.
+func (e *Engine) checkRunner(s *Schema, docs []Doc, col *receiptCollector) jobs.Runner {
 	return func(lo, hi int) ([][]byte, error) {
 		results, _ := e.CheckBatch(s, docs[lo:hi])
 		lines := make([][]byte, len(results))
@@ -140,13 +165,20 @@ func (e *Engine) checkRunner(s *Schema, docs []Doc) jobs.Runner {
 			}
 			lines[i] = b
 		}
+		if col != nil {
+			leaves := make([]receipt.Leaf, len(results))
+			for i := range results {
+				leaves[i] = docLeaf(&docs[lo+i], s, checkVerdict(&results[i]), 0)
+			}
+			col.add(lo, leaves)
+		}
 		return lines, nil
 	}
 }
 
 // completeRunner builds the chunk runner for an async completion job —
 // the CompleteBatch twin of checkRunner.
-func (e *Engine) completeRunner(s *Schema, docs []Doc, withDiff bool) jobs.Runner {
+func (e *Engine) completeRunner(s *Schema, docs []Doc, withDiff bool, col *receiptCollector) jobs.Runner {
 	return func(lo, hi int) ([][]byte, error) {
 		results, _ := e.CompleteBatch(s, docs[lo:hi], withDiff)
 		lines := make([][]byte, len(results))
@@ -157,6 +189,13 @@ func (e *Engine) completeRunner(s *Schema, docs []Doc, withDiff bool) jobs.Runne
 				return nil, err
 			}
 			lines[i] = b
+		}
+		if col != nil {
+			leaves := make([]receipt.Leaf, len(results))
+			for i := range results {
+				leaves[i] = docLeaf(&docs[lo+i], s, completeVerdict(&results[i]), int64(results[i].Inserted))
+			}
+			col.add(lo, leaves)
 		}
 		return lines, nil
 	}
@@ -175,11 +214,11 @@ func (e *Engine) completeRunner(s *Schema, docs []Doc, withDiff bool) jobs.Runne
 // submission is logged write-ahead (documents and schema refs persisted),
 // so the job survives a process restart.
 func (e *Engine) SubmitCheckBatch(s *Schema, docs []Doc) (*jobs.Job, error) {
-	payload, err := e.encodeJobPayload("check", s, docs, false)
+	payload, err := e.encodeJobPayload("check", s, docs, false, false)
 	if err != nil {
 		return nil, err
 	}
-	return e.jobs.Submit("check", len(docs), payload, e.checkRunner(s, docs))
+	return e.jobs.Submit("check", len(docs), payload, e.checkRunner(s, docs, nil))
 }
 
 // SubmitCompleteBatch enqueues docs for asynchronous completion — the
@@ -187,9 +226,9 @@ func (e *Engine) SubmitCheckBatch(s *Schema, docs []Doc) (*jobs.Job, error) {
 // /complete result object (completed output, inserted count, and the
 // per-insertion records when withDiff is set).
 func (e *Engine) SubmitCompleteBatch(s *Schema, docs []Doc, withDiff bool) (*jobs.Job, error) {
-	payload, err := e.encodeJobPayload("complete", s, docs, withDiff)
+	payload, err := e.encodeJobPayload("complete", s, docs, withDiff, false)
 	if err != nil {
 		return nil, err
 	}
-	return e.jobs.Submit("complete", len(docs), payload, e.completeRunner(s, docs, withDiff))
+	return e.jobs.Submit("complete", len(docs), payload, e.completeRunner(s, docs, withDiff, nil))
 }

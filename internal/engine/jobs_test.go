@@ -72,7 +72,11 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.Res
 // job id.
 func submitAsync(t *testing.T, h http.Handler, path string, docs []Doc) string {
 	t.Helper()
-	rec := postJSON(t, h, path+"?async=1", map[string]any{"documents": docs})
+	sep := "?"
+	if strings.Contains(path, "?") {
+		sep = "&"
+	}
+	rec := postJSON(t, h, path+sep+"async=1", map[string]any{"documents": docs})
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body)
 	}

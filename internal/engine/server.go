@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/diff"
 	"repro/internal/jobs"
+	"repro/internal/receipt"
 )
 
 // The HTTP front end (cmd/pvserve) speaks JSON over these routes:
@@ -24,9 +25,19 @@ import (
 //	GET  /jobs              retained async jobs (newest first)
 //	GET  /jobs/{id}         one job's state + progress
 //	GET  /jobs/{id}/results one job's verdicts as NDJSON
+//	GET  /jobs/{id}/receipt one job's verdict receipt (root + proofs)
 //	DELETE /jobs/{id}       cancel an active job / remove a finished one
 //	GET  /schemas           cached compiled schemas (MRU first)
 //	GET  /stats             registry + engine + job-queue lifetime counters
+//	GET  /metrics           the same counters as a Prometheus exposition
+//	POST /verify            check a receipt proof offline (no engine state)
+//	GET  /receipts          anchored receipt roots, oldest first
+//
+// ?receipt=1 on /batch and /complete (sync or async) additionally commits
+// every verdict into a Merkle tree (see internal/receipt): the response —
+// or GET /jobs/{id}/receipt once an async job finishes — carries the root
+// and one inclusion proof per document, verifiable offline with
+// POST /verify or `pvcheck verify`.
 //
 // POST /check/batch and POST /complete/batch are aliases of /batch and
 // /complete (async-capable spellings that name the workload explicitly).
@@ -116,6 +127,9 @@ func toJSON(r Result) resultJSON {
 type batchResponse struct {
 	Results []resultJSON `json:"results"`
 	Stats   BatchStats   `json:"stats"`
+	// Receipt carries the batch's verdict commitment when the request asked
+	// for one (?receipt=1).
+	Receipt *Receipt `json:"receipt,omitempty"`
 }
 
 // completeJSON is the wire form of CompleteResult.
@@ -151,6 +165,9 @@ func completeToJSON(r CompleteResult) completeJSON {
 type completeResponse struct {
 	Results []completeJSON `json:"results"`
 	Stats   BatchStats     `json:"stats"`
+	// Receipt carries the batch's verdict commitment when the request asked
+	// for one (?receipt=1).
+	Receipt *Receipt `json:"receipt,omitempty"`
 }
 
 type statsResponse struct {
@@ -174,6 +191,16 @@ type jobAccepted struct {
 // (?async=1, true or yes).
 func wantAsync(r *http.Request) bool {
 	switch strings.ToLower(r.URL.Query().Get("async")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// wantReceipt reports whether the request asks for a verdict receipt
+// (?receipt=1, true or yes).
+func wantReceipt(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("receipt")) {
 	case "1", "true", "yes":
 		return true
 	}
@@ -232,8 +259,15 @@ func NewServer(e *Engine) http.Handler {
 				return
 			}
 		}
+		withReceipt := wantReceipt(r)
 		if wantAsync(r) {
-			j, err := e.SubmitCheckBatch(s, req.Documents)
+			var j *jobs.Job
+			var err error
+			if withReceipt {
+				j, err = e.SubmitCheckBatchReceipt(s, req.Documents)
+			} else {
+				j, err = e.SubmitCheckBatch(s, req.Documents)
+			}
 			if err != nil {
 				submitError(w, err)
 				return
@@ -241,8 +275,19 @@ func NewServer(e *Engine) http.Handler {
 			accepted(w, j)
 			return
 		}
-		results, stats := e.CheckBatch(s, req.Documents)
-		out := batchResponse{Results: make([]resultJSON, len(results)), Stats: stats}
+		var results []Result
+		var stats BatchStats
+		var rec *Receipt
+		if withReceipt {
+			var err error
+			if results, stats, rec, err = e.CheckBatchReceipt(s, req.Documents); err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+		} else {
+			results, stats = e.CheckBatch(s, req.Documents)
+		}
+		out := batchResponse{Results: make([]resultJSON, len(results)), Stats: stats, Receipt: rec}
 		for i, res := range results {
 			out.Results[i] = toJSON(res)
 		}
@@ -269,8 +314,15 @@ func NewServer(e *Engine) http.Handler {
 			}
 		}
 		withDiff := wantDiff(r) && (req.Diff == nil || *req.Diff)
+		withReceipt := wantReceipt(r)
 		if wantAsync(r) {
-			j, err := e.SubmitCompleteBatch(s, req.Documents, withDiff)
+			var j *jobs.Job
+			var err error
+			if withReceipt {
+				j, err = e.SubmitCompleteBatchReceipt(s, req.Documents, withDiff)
+			} else {
+				j, err = e.SubmitCompleteBatch(s, req.Documents, withDiff)
+			}
 			if err != nil {
 				submitError(w, err)
 				return
@@ -278,8 +330,19 @@ func NewServer(e *Engine) http.Handler {
 			accepted(w, j)
 			return
 		}
-		results, stats := e.CompleteBatch(s, req.Documents, withDiff)
-		out := completeResponse{Results: make([]completeJSON, len(results)), Stats: stats}
+		var results []CompleteResult
+		var stats BatchStats
+		var rec *Receipt
+		if withReceipt {
+			var err error
+			if results, stats, rec, err = e.CompleteBatchReceipt(s, req.Documents, withDiff); err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+		} else {
+			results, stats = e.CompleteBatch(s, req.Documents, withDiff)
+		}
+		out := completeResponse{Results: make([]completeJSON, len(results)), Stats: stats, Receipt: rec}
 		for i, res := range results {
 			out.Results[i] = completeToJSON(res)
 		}
@@ -326,6 +389,39 @@ func NewServer(e *Engine) http.Handler {
 			return
 		}
 	})
+	mux.HandleFunc("GET /jobs/{id}/receipt", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Jobs().Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job (unknown id, or reaped after its TTL)")
+			return
+		}
+		if !j.State().Finished() {
+			httpError(w, http.StatusConflict,
+				"job is "+j.State().String()+"; the receipt is committed when the job finishes")
+			return
+		}
+		root, data := j.Receipt()
+		switch {
+		case len(data) > 0:
+			// The full receipt (root + per-document proofs) built by this
+			// process.
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+			if len(data) == 0 || data[len(data)-1] != '\n' {
+				_, _ = w.Write([]byte("\n"))
+			}
+		case root != "":
+			// Only the root survived a restart (proofs are recomputable from
+			// the inputs but are not persisted); serve the root-only form.
+			reply(w, map[string]any{
+				"root": root,
+				"note": "proofs were not retained across a restart; re-run the batch with ?receipt=1 to re-derive them",
+			})
+		default:
+			httpError(w, http.StatusNotFound,
+				"job has no receipt (submit with ?receipt=1 to commit one)")
+		}
+	})
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		// Cancel an active job (queued: immediately; running: at its next
 		// chunk boundary, keeping partial results and the record until TTL
@@ -370,7 +466,60 @@ func NewServer(e *Engine) http.Handler {
 		}
 		reply(w, out)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A write error here means the scraper hung up; there is no one
+		// left to report it to.
+		_ = e.WriteMetrics(w)
+	})
+	mux.HandleFunc("POST /verify", func(w http.ResponseWriter, r *http.Request) {
+		// Stateless by design: verification touches no engine state, so a
+		// receipt from any engine — or any epoch — checks here.
+		var req verifyRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		switch {
+		case req.Receipt != nil:
+			failed := req.Receipt.Verify()
+			reply(w, verifyResponse{OK: len(failed) == 0, Checked: req.Receipt.Count, Failed: failed})
+		case req.Root != "" && req.Leaf != nil && req.Proof != "":
+			ok := receipt.Verify(req.Root, *req.Leaf, req.Proof)
+			reply(w, verifyResponse{OK: ok, Checked: 1})
+		default:
+			httpError(w, http.StatusBadRequest,
+				"body must carry either {receipt} or {root, leaf, proof}")
+		}
+	})
+	mux.HandleFunc("GET /receipts", func(w http.ResponseWriter, r *http.Request) {
+		anchors, err := e.Anchors()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if anchors == nil {
+			anchors = []receipt.Anchor{}
+		}
+		reply(w, map[string]any{"anchors": anchors})
+	})
 	return mux
+}
+
+// verifyRequest is the POST /verify body: either one (root, leaf, proof)
+// triple or a whole receipt.
+type verifyRequest struct {
+	Root    string        `json:"root,omitempty"`
+	Leaf    *receipt.Leaf `json:"leaf,omitempty"`
+	Proof   string        `json:"proof,omitempty"`
+	Receipt *Receipt      `json:"receipt,omitempty"`
+}
+
+// verifyResponse is the POST /verify answer: whether every checked proof
+// verified, how many were checked, and the batch indices that failed.
+type verifyResponse struct {
+	OK      bool  `json:"ok"`
+	Checked int   `json:"checked"`
+	Failed  []int `json:"failed,omitempty"`
 }
 
 // MaxRequestBytes bounds /check and /batch request bodies; a batch larger

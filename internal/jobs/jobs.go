@@ -783,6 +783,7 @@ func (m *Manager) recoverFinished(j *Job, fin *jobstore.Event) {
 		j.errMsg = fmt.Sprintf("recovered terminal record has invalid state %q", fin.State)
 	}
 	j.errMsg = firstNonEmpty(j.errMsg, fin.Error)
+	j.receiptRoot = fin.Root
 	j.doneDocs.Store(int64(fin.Done))
 	if fin.ResultBytes > 0 {
 		path := m.resultsPath(j.id)
@@ -1181,6 +1182,12 @@ type Job struct {
 	resultBytes int64
 	spillPath   string
 	spill       *os.File // append handle while spilled; nil otherwise
+	// receiptRoot/receiptData carry the job's verdict receipt when the
+	// submitter attached one: the root record (persisted in the terminal
+	// event, so it survives restarts) and the full receipt document with
+	// per-document proofs (in-memory only; recomputable, never persisted).
+	receiptRoot string
+	receiptData []byte
 }
 
 // ID returns the job's identifier.
@@ -1276,6 +1283,7 @@ func (j *Job) finish(s State, errMsg string, persist bool) {
 	}
 	done := j.doneDocs.Load()
 	rb := j.resultBytes
+	root := j.receiptRoot
 	j.mu.Unlock()
 	close(j.done)
 	if persist {
@@ -1286,8 +1294,50 @@ func (j *Job) finish(s State, errMsg string, persist bool) {
 			ResultBytes: rb,
 			State:       s.String(),
 			Error:       errMsg,
+			Root:        root,
 		})
 	}
+}
+
+// SetReceipt attaches the job's verdict receipt: the root record and the
+// encoded receipt document (root + per-document inclusion proofs). Called
+// by the submitter's runner when the last chunk completes. The root rides
+// the terminal store record; when the receipt arrives after the job
+// already finalized (the runner can outrun the Submit return), a
+// supplementary terminal record re-persists the state with the root so a
+// restart still recovers it.
+func (j *Job) SetReceipt(root string, data []byte) {
+	j.mu.Lock()
+	j.receiptRoot = root
+	j.receiptData = data
+	finished := j.finished != nil
+	st := State(j.state.Load())
+	done := j.doneDocs.Load()
+	rb := j.resultBytes
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	if finished && st.Finished() {
+		j.m.append(&jobstore.Event{
+			Type:        jobstore.Finished,
+			Job:         j.id,
+			Done:        int(done),
+			ResultBytes: rb,
+			State:       st.String(),
+			Error:       errMsg,
+			Root:        root,
+		})
+	}
+}
+
+// Receipt returns the job's verdict receipt: the root record and the full
+// encoded receipt document. A job recovered from the store after a
+// restart keeps its root (persisted in the terminal record) but not the
+// proof document; data is then nil. Both are empty for jobs submitted
+// without receipts.
+func (j *Job) Receipt() (root string, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.receiptRoot, j.receiptData
 }
 
 // finishedAt returns the finish time when the job is terminal.
@@ -1458,6 +1508,11 @@ type Info struct {
 	// Recovered marks a job replayed from the durable store by a restarted
 	// process rather than submitted to this one.
 	Recovered bool `json:"recovered,omitempty"`
+	// ReceiptRoot is the job's verdict-receipt root record, for jobs
+	// submitted with receipts on. The full receipt (with per-document
+	// proofs) is served separately (GET /jobs/{id}/receipt); only the root
+	// survives a restart.
+	ReceiptRoot string `json:"receiptRoot,omitempty"`
 	// Error explains a Failed state.
 	Error string `json:"error,omitempty"`
 	// CreatedAt/StartedAt/FinishedAt are the lifecycle timestamps.
@@ -1483,6 +1538,7 @@ func (j *Job) Info() Info {
 	info.Done = int(j.doneDocs.Load())
 	info.ResultBytes = j.resultBytes
 	info.Spilled = j.spillPath != ""
+	info.ReceiptRoot = j.receiptRoot
 	info.Error = j.errMsg
 	if j.started != nil {
 		t := *j.started

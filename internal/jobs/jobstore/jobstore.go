@@ -79,6 +79,12 @@ type Event struct {
 	State string `json:"state,omitempty"`
 	// Error explains a failed job (Finished only).
 	Error string `json:"error,omitempty"`
+	// Root is the job's verdict-receipt root record (Finished only, and
+	// only for jobs submitted with receipts on). The root — a commitment
+	// to every verdict the job produced — survives restarts through this
+	// field; the per-document proofs are recomputable from the inputs and
+	// are not persisted.
+	Root string `json:"root,omitempty"`
 }
 
 // Store is an append-only event log with replay. Implementations must be

@@ -1,0 +1,337 @@
+// Package metrics is a dependency-free Prometheus text-format
+// (version 0.0.4) exposition writer and parser. The engine's GET /metrics
+// endpoint writes its counter and gauge families through Writer — one
+// HELP/TYPE header per family, escaped label values, const labels (the
+// engine-instance label) merged into every sample — and the parity tests
+// read expositions back through Parse. Nothing here imports outside the
+// standard library: the package exists precisely so the repo can expose
+// first-class Prometheus metrics without adopting the client library.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Counter and Gauge are the two metric types the engine exports (the
+// subset of Prometheus types a snapshot-based exporter needs).
+const (
+	Counter = "counter"
+	Gauge   = "gauge"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	// Name is the label name ([a-zA-Z_][a-zA-Z0-9_]*).
+	Name string
+	// Value is the label value (arbitrary UTF-8; escaped on the wire).
+	Value string
+}
+
+// Writer emits one exposition: families in the order first written, each
+// with a single HELP/TYPE header, every sample carrying the writer's
+// const labels. Writer is not safe for concurrent use; build one per
+// scrape.
+type Writer struct {
+	w      io.Writer
+	consts []Label
+	seen   map[string]string // family -> type already emitted
+	err    error
+}
+
+// NewWriter returns a Writer over w whose const labels are appended to
+// every sample (the engine passes instance="<id>").
+func NewWriter(w io.Writer, constLabels ...Label) *Writer {
+	return &Writer{w: w, consts: constLabels, seen: map[string]string{}}
+}
+
+// Counter writes one counter sample, emitting the family's HELP/TYPE
+// header on first use.
+func (w *Writer) Counter(name, help string, value float64, labels ...Label) {
+	w.sample(name, help, Counter, value, labels)
+}
+
+// Gauge writes one gauge sample, emitting the family's HELP/TYPE header
+// on first use.
+func (w *Writer) Gauge(name, help string, value float64, labels ...Label) {
+	w.sample(name, help, Gauge, value, labels)
+}
+
+// Err returns the first underlying write or validation error; once set,
+// further writes are dropped.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) sample(name, help, typ string, value float64, labels []Label) {
+	if w.err != nil {
+		return
+	}
+	if !validName(name) {
+		w.err = fmt.Errorf("metrics: invalid metric name %q", name)
+		return
+	}
+	if prev, ok := w.seen[name]; !ok {
+		// HELP must not contain a newline (it would terminate the comment
+		// early); escape like the exposition format prescribes.
+		h := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help)
+		if _, err := fmt.Fprintf(w.w, "# HELP %s %s\n# TYPE %s %s\n", name, h, name, typ); err != nil {
+			w.err = err
+			return
+		}
+		w.seen[name] = typ
+	} else if prev != typ {
+		w.err = fmt.Errorf("metrics: family %s written as both %s and %s", name, prev, typ)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	all := make([]Label, 0, len(labels)+len(w.consts))
+	all = append(all, w.consts...)
+	all = append(all, labels...)
+	if len(all) > 0 {
+		b.WriteByte('{')
+		for i, l := range all {
+			if !validName(l.Name) {
+				w.err = fmt.Errorf("metrics: invalid label name %q on %s", l.Name, name)
+				return
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w.w, b.String()); err != nil {
+		w.err = err
+	}
+}
+
+// formatValue renders a sample value: integral values print without an
+// exponent or fraction so int64 counters survive a parse round trip.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return strings.NewReplacer("\\", `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// validName reports whether s is a legal metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Sample is one parsed series value.
+type Sample struct {
+	// Name is the metric family name.
+	Name string
+	// Labels are the sample's label pairs (unescaped values).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Exposition is one parsed scrape.
+type Exposition struct {
+	// Types maps each family name to its TYPE ("counter"/"gauge"/...).
+	Types map[string]string
+	// Help maps each family name to its HELP text.
+	Help map[string]string
+	// Samples holds every series in document order.
+	Samples []Sample
+}
+
+// One returns the single sample of a family, regardless of its labels;
+// ok is false when the family is absent or has several samples.
+func (e *Exposition) One(name string) (Sample, bool) {
+	var found Sample
+	count := 0
+	for _, s := range e.Samples {
+		if s.Name == name {
+			found = s
+			count++
+		}
+	}
+	return found, count == 1
+}
+
+// Value returns One's value, with ok false when the family is absent or
+// ambiguous.
+func (e *Exposition) Value(name string) (float64, bool) {
+	s, ok := e.One(name)
+	return s.Value, ok
+}
+
+// Parse reads a text-format exposition — the counterpart of Writer, used
+// by the /stats-parity tests and by any client that wants typed access
+// to a scrape.
+func Parse(data []byte) (*Exposition, error) {
+	e := &Exposition{Types: map[string]string{}, Help: map[string]string{}}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("metrics: line %d: malformed TYPE comment", lineNo)
+				}
+				e.Types[fields[2]] = fields[3]
+			} else if len(fields) >= 3 && fields[1] == "HELP" {
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				e.Help[fields[2]] = help
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseSample parses one `name{a="b",...} value` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ", ")
+			if rest == "" {
+				return s, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			name := rest[:eq]
+			if !validName(name) {
+				return s, fmt.Errorf("invalid label name %q", name)
+			}
+			value, n, err := unescapeLabel(rest[eq+2:])
+			if err != nil {
+				return s, fmt.Errorf("label %s in %q: %w", name, line, err)
+			}
+			s.Labels[name] = value
+			rest = rest[eq+2+n:]
+		}
+	}
+	valueText := strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valueText)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// unescapeLabel consumes an escaped label value up to its closing quote,
+// returning the value and the bytes consumed (including the quote).
+func unescapeLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// SeriesKey renders a sample's identity as name{a="b",...} with labels
+// sorted by name — a stable map key for comparing two expositions.
+func (s *Sample) SeriesKey() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWriterFormat pins the exposition wire format: HELP/TYPE once per
+// family, const labels merged before per-sample labels, escaped values.
+func TestWriterFormat(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, Label{Name: "instance", Value: "e1"})
+	w.Counter("pv_docs_total", "Documents processed.", 42)
+	w.Counter("pv_docs_total", "Documents processed.", 7, Label{Name: "kind", Value: "check"})
+	w.Gauge("pv_workers", "Worker pool size.", 8)
+	w.Gauge("pv_odd", `value with "quotes", \backslash and
+newline`, 1.5, Label{Name: "note", Value: "a\"b\\c\nd"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pv_docs_total Documents processed.
+# TYPE pv_docs_total counter
+pv_docs_total{instance="e1"} 42
+pv_docs_total{instance="e1",kind="check"} 7
+# HELP pv_workers Worker pool size.
+# TYPE pv_workers gauge
+pv_workers{instance="e1"} 8
+# HELP pv_odd value with "quotes", \\backslash and\nnewline
+# TYPE pv_odd gauge
+pv_odd{instance="e1",note="a\"b\\c\nd"} 1.5
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", b.String(), want)
+	}
+}
+
+// TestWriterRejectsBadNames pins name validation for metrics and labels.
+func TestWriterRejectsBadNames(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Counter("1bad", "", 1)
+	if w.Err() == nil {
+		t.Fatal("leading-digit metric name accepted")
+	}
+	w2 := NewWriter(&b)
+	w2.Counter("ok_total", "", 1, Label{Name: "bad-name", Value: "x"})
+	if w2.Err() == nil {
+		t.Fatal("hyphenated label name accepted")
+	}
+	w3 := NewWriter(&b)
+	w3.Counter("mixed", "", 1)
+	w3.Gauge("mixed", "", 2)
+	if w3.Err() == nil {
+		t.Fatal("family written as both counter and gauge accepted")
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	e.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriterStickyError pins that the first write error sticks and
+// suppresses later writes.
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&errWriter{n: 10})
+	w.Counter("a_total", "help text long enough to overflow", 1)
+	w.Counter("b_total", "more", 2)
+	if w.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+// TestParseRoundTrip writes an exposition and parses it back, checking
+// types, help, label values, and numeric fidelity.
+func TestParseRoundTrip(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, Label{Name: "instance", Value: "e1"})
+	w.Counter("pv_docs_total", "Documents processed.", 1234567890123)
+	w.Gauge("pv_busy_seconds", "Busy time.", 0.125)
+	w.Gauge("pv_odd", "odd chars", 3, Label{Name: "note", Value: "a\"b\\c\nd"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Parse([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Types["pv_docs_total"] != Counter || e.Types["pv_busy_seconds"] != Gauge {
+		t.Fatalf("types: %+v", e.Types)
+	}
+	if e.Help["pv_docs_total"] != "Documents processed." {
+		t.Fatalf("help: %+v", e.Help)
+	}
+	if v, ok := e.Value("pv_docs_total"); !ok || v != 1234567890123 {
+		t.Fatalf("pv_docs_total = %v, %v", v, ok)
+	}
+	if v, ok := e.Value("pv_busy_seconds"); !ok || v != 0.125 {
+		t.Fatalf("pv_busy_seconds = %v, %v", v, ok)
+	}
+	s, ok := e.One("pv_odd")
+	if !ok {
+		t.Fatal("pv_odd missing")
+	}
+	if s.Labels["note"] != "a\"b\\c\nd" {
+		t.Fatalf("label round trip: %q", s.Labels["note"])
+	}
+	if s.Labels["instance"] != "e1" {
+		t.Fatalf("const label lost: %+v", s.Labels)
+	}
+	if got := s.SeriesKey(); got != `pv_odd{instance="e1",note="a\"b\\c\nd"}` {
+		t.Fatalf("series key %q", got)
+	}
+}
+
+// TestParseErrors pins rejection of malformed lines.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"pv_x\n",
+		"pv_x{a=\"b\" 1\n",
+		"pv_x{a=b} 1\n",
+		"pv_x{1a=\"b\"} 1\n",
+		"pv_x{a=\"b\\q\"} 1\n",
+		"pv_x notanumber\n",
+		"# TYPE pv_x\n",
+		"{a=\"b\"} 1\n",
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Fatalf("parsed %q without error", bad)
+		}
+	}
+	// Ambiguity: One must refuse when two series share a family.
+	e, err := Parse([]byte("pv_x{a=\"1\"} 1\npv_x{a=\"2\"} 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.One("pv_x"); ok {
+		t.Fatal("One accepted an ambiguous family")
+	}
+	if _, ok := e.Value("pv_missing"); ok {
+		t.Fatal("Value reported a missing family")
+	}
+}

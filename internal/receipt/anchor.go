@@ -1,0 +1,202 @@
+package receipt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The anchor log makes receipt roots outlive the process that issued
+// them: every batch root is appended as one framed record to
+// <dir>/anchors.log, and a restarted engine re-serves the full root
+// history from the same file. Proofs are not logged — they are derivable
+// only at execution time and belong to the caller — but a proof plus a
+// re-served root is exactly what the cross-restart verification story
+// needs: the root a verifier fetches after a restart is byte-equal to the
+// one the receipt was issued under.
+//
+// Record framing is size-signed and checksummed: uvarint payload length,
+// JSON payload, little-endian CRC32 (IEEE) of the payload. A torn tail —
+// the one failure an append-only local log must tolerate — fails either
+// the length or the checksum and is truncated away at open; everything
+// before it replays intact. One process writes at a time (the log lives
+// under the engine's cache directory, whose job WAL already enforces a
+// single durable owner).
+
+// anchorFile is the log's file name under the receipts directory.
+const anchorFile = "anchors.log"
+
+// Anchor is one logged root record.
+type Anchor struct {
+	// Seq is the record's sequence number in this log, starting at 1.
+	Seq int64 `json:"seq"`
+	// Time is when the root was anchored.
+	Time time.Time `json:"time"`
+	// Kind is the workload that produced the batch ("check" or
+	// "complete").
+	Kind string `json:"kind"`
+	// Batch identifies the batch: the async job id, or empty for a
+	// synchronous request.
+	Batch string `json:"batch,omitempty"`
+	// Leaves is the batch size the root commits to.
+	Leaves int `json:"leaves"`
+	// Root is the versioned root record ("pvr1:<hex>").
+	Root string `json:"root"`
+}
+
+// AnchorLog is an append-only, crash-tolerant log of receipt roots.
+// Append and List are safe for concurrent use within one process.
+type AnchorLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  int64
+	n    int
+}
+
+// OpenAnchorLog opens (creating if needed) the root log under dir,
+// replays it to find the next sequence number, and truncates any torn
+// tail left by a crash mid-append.
+func OpenAnchorLog(dir string) (*AnchorLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("receipt: %w", err)
+	}
+	path := filepath.Join(dir, anchorFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("receipt: %w", err)
+	}
+	l := &AnchorLog{f: f, path: path}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("receipt: reading anchor log: %w", err)
+	}
+	good := 0
+	for pos := 0; pos < len(data); {
+		a, next, ok := decodeRecord(data, pos)
+		if !ok {
+			break
+		}
+		l.seq = a.Seq
+		l.n++
+		good = next
+		pos = next
+	}
+	if good < len(data) {
+		// Torn or corrupt tail: keep the intact prefix, drop the rest.
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("receipt: truncating torn anchor log tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("receipt: %w", err)
+	}
+	return l, nil
+}
+
+// decodeRecord parses one framed record at pos, returning the record, the
+// offset past it, and whether the frame was intact.
+func decodeRecord(data []byte, pos int) (Anchor, int, bool) {
+	var a Anchor
+	size, n := binary.Uvarint(data[pos:])
+	if n <= 0 || size == 0 || size > 1<<20 {
+		return a, pos, false
+	}
+	pos += n
+	end := pos + int(size)
+	if end+4 > len(data) {
+		return a, pos, false
+	}
+	payload := data[pos:end]
+	want := binary.LittleEndian.Uint32(data[end : end+4])
+	if crc32.ChecksumIEEE(payload) != want {
+		return a, pos, false
+	}
+	if err := json.Unmarshal(payload, &a); err != nil {
+		return a, pos, false
+	}
+	return a, end + 4, true
+}
+
+// Append logs one root. Seq and Time are assigned by the log (the passed
+// values are ignored); the completed record is returned. The write is
+// flushed to the file before Append returns; like the job WAL's
+// non-submission records it is not fsynced — a process crash loses
+// nothing (the page cache survives it), and a machine crash costs at most
+// the newest anchors, each of which is also embedded in the receipts
+// already handed to callers.
+func (l *AnchorLog) Append(a Anchor) (Anchor, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return a, fmt.Errorf("receipt: anchor log is closed")
+	}
+	l.seq++
+	a.Seq = l.seq
+	if a.Time.IsZero() {
+		a.Time = time.Now().UTC()
+	}
+	payload, err := json.Marshal(a)
+	if err != nil {
+		l.seq--
+		return a, err
+	}
+	buf := make([]byte, 0, len(payload)+binary.MaxVarintLen64+4)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(buf); err != nil {
+		l.seq--
+		return a, fmt.Errorf("receipt: appending anchor: %w", err)
+	}
+	l.n++
+	return a, nil
+}
+
+// List re-reads the log and returns every intact record in append order.
+func (l *AnchorLog) List() ([]Anchor, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("receipt: %w", err)
+	}
+	var out []Anchor
+	for pos := 0; pos < len(data); {
+		a, next, ok := decodeRecord(data, pos)
+		if !ok {
+			break
+		}
+		out = append(out, a)
+		pos = next
+	}
+	return out, nil
+}
+
+// Len returns the number of intact records (replayed plus appended).
+func (l *AnchorLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Close releases the log file. Appends after Close fail.
+func (l *AnchorLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

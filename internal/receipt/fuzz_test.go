@@ -1,0 +1,57 @@
+package receipt
+
+import (
+	"testing"
+)
+
+// FuzzReceiptVerify throws arbitrary bytes at the whole verification
+// surface — root decode, proof decode, leaf hashing, path walk — and
+// enforces two invariants: Verify never panics, and no fuzzed (root,
+// leaf, proof) triple verifies unless it reproduces a genuine one. The
+// second check anchors on a real four-leaf tree: a proof for the genuine
+// leaf must keep verifying, and the same proof must reject any fuzz
+// variation of that leaf.
+func FuzzReceiptVerify(f *testing.F) {
+	tree, err := Build(testLeaves(4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuineRoot := tree.RootRecord()
+	genuineLeaf := testLeaf(1)
+	genuineProof, err := tree.Prove(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(genuineRoot, genuineProof, genuineLeaf.DocID, genuineLeaf.SchemaRef, genuineLeaf.Verdict, genuineLeaf.Insertions, genuineLeaf.ContentDigest)
+	f.Add("", "", "", "", "", int64(0), "")
+	f.Add("pvr1:zz", "pvp1:!!", "doc", "ref", "valid", int64(-1), "abc")
+	f.Add(genuineRoot, "pvp1:AAAA", "doc-001", "", "potentially-valid", int64(1), DigestContent([]byte("x")))
+	f.Add("pvr1:"+genuineRoot[5:], genuineProof+"=", genuineLeaf.DocID, genuineLeaf.SchemaRef, genuineLeaf.Verdict, int64(1<<40), genuineLeaf.ContentDigest)
+
+	f.Fuzz(func(t *testing.T, root, proof, docID, schemaRef, verdict string, insertions int64, digest string) {
+		leaf := Leaf{DocID: docID, SchemaRef: schemaRef, Verdict: verdict, Insertions: insertions, ContentDigest: digest}
+		// Must never panic, whatever the bytes.
+		_ = Verify(root, leaf, proof)
+
+		// A genuine proof must never accept a different leaf: any change
+		// the fuzzer makes to the leaf fields must flip the verdict to
+		// false (equality would require a SHA-256 collision).
+		if leaf != genuineLeaf {
+			if Verify(genuineRoot, leaf, genuineProof) {
+				t.Fatalf("mutated leaf %+v verified under a genuine proof", leaf)
+			}
+		} else if !Verify(genuineRoot, leaf, genuineProof) {
+			t.Fatal("genuine triple stopped verifying")
+		}
+
+		// Decoders must be canonical: anything DecodeProof accepts must
+		// re-encode to the exact input string.
+		if p, err := DecodeProof(proof); err == nil && p.Encode() != proof {
+			t.Fatalf("non-canonical proof accepted: %q", proof)
+		}
+		if h, err := DecodeRoot(root); err == nil && EncodeRoot(h) != root {
+			t.Fatalf("non-canonical root accepted: %q", root)
+		}
+	})
+}

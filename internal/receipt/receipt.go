@@ -1,0 +1,400 @@
+// Package receipt turns a batch of checking verdicts into a verifiable
+// audit artifact: the verdicts become the leaves of a deterministic
+// Merkle tree, the tree's root is the batch *receipt root*, and every
+// document gets an inclusion proof that binds its exact verdict — and the
+// exact bytes that were checked, via a content digest — to that root.
+// Anyone holding the root can later verify "this document, with this
+// content, was checked with this verdict in that batch" with nothing but
+// this package: Verify is stateless and needs no engine, schema or cache
+// directory.
+//
+// Construction. Each leaf hash is a domain-separated SHA-256 over a
+// canonical length-prefixed encoding of the leaf fields (document id,
+// schema ref, verdict, insertion count, content digest); interior nodes
+// hash a distinct domain byte over the concatenated children, so a leaf
+// can never be reinterpreted as an interior node (second-preimage
+// structure attacks). Levels with an odd node count promote the odd node
+// unchanged — no duplication — so the tree shape is a pure function of
+// the leaf count. Roots and proofs travel in versioned textual encodings
+// ("pvr1:" / "pvp1:" prefixes) whose decoders insist on canonical bytes:
+// any single-byte variation of an encoded root or proof either fails to
+// decode or changes the hash walk, and is rejected either way.
+//
+// The companion AnchorLog (anchor.go) appends root records to a
+// crash-tolerant local log so roots survive process restarts
+// independently of the receipts handed to callers.
+package receipt
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the byte length of every node hash (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one Merkle node value.
+type Hash = [HashSize]byte
+
+// Domain-separation prefixes: the first byte hashed for a leaf, an
+// interior node and the size-committed root. Distinct bytes make the
+// three hash domains disjoint.
+const (
+	domainLeaf  = 0x00
+	domainInner = 0x01
+	domainRoot  = 0x02
+)
+
+// Wire-encoding prefixes. The digit is the format version; decoders
+// reject prefixes (and versions) they do not know.
+const (
+	rootPrefix  = "pvr1:"
+	proofPrefix = "pvp1:"
+)
+
+// leafEncodingVersion versions the canonical leaf byte encoding that gets
+// hashed; bumping it changes every leaf hash, so it is part of the hashed
+// bytes.
+const leafEncodingVersion = 1
+
+// Leaf is one document's verdict record — the preimage of one Merkle
+// leaf. The fields are exactly what a verifier must know (and an issuer
+// must disclose) to check an inclusion proof: the verdict binds to the
+// document id, the schema it was checked against, the verdict string, the
+// completion insertion count, and a SHA-256 digest of the document bytes.
+type Leaf struct {
+	// DocID is the submitter-chosen document identifier.
+	DocID string `json:"docId"`
+	// SchemaRef is the registry reference of the schema the document was
+	// checked against (empty when the schema was not registry-backed).
+	SchemaRef string `json:"schemaRef,omitempty"`
+	// Verdict is the outcome string ("valid", "potentially-valid",
+	// "not-potentially-valid", "completed", "already-valid", "malformed",
+	// "routing-error").
+	Verdict string `json:"verdict"`
+	// Insertions is the number of elements a completion inserted (zero on
+	// the checking path).
+	Insertions int64 `json:"insertions,omitempty"`
+	// ContentDigest is the lowercase hex SHA-256 of the exact document
+	// bytes that were checked.
+	ContentDigest string `json:"contentDigest"`
+}
+
+// DigestContent returns the lowercase hex SHA-256 of content — the value
+// a Leaf.ContentDigest must carry for those bytes.
+func DigestContent(content []byte) string {
+	sum := sha256.Sum256(content)
+	return hex.EncodeToString(sum[:])
+}
+
+// appendField appends one length-prefixed field to the canonical leaf
+// encoding.
+func appendField(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Hash computes the leaf's Merkle hash: SHA-256 over the leaf domain
+// byte, the encoding version and the length-prefixed fields. It fails
+// when ContentDigest is not a lowercase hex SHA-256 — a malformed digest
+// must never silently hash into a valid-looking leaf.
+func (l *Leaf) Hash() (Hash, error) {
+	if err := checkDigest(l.ContentDigest); err != nil {
+		return Hash{}, err
+	}
+	buf := make([]byte, 0, 2+len(l.DocID)+len(l.SchemaRef)+len(l.Verdict)+len(l.ContentDigest)+5*binary.MaxVarintLen64)
+	buf = append(buf, domainLeaf, leafEncodingVersion)
+	buf = appendField(buf, l.DocID)
+	buf = appendField(buf, l.SchemaRef)
+	buf = appendField(buf, l.Verdict)
+	buf = binary.AppendUvarint(buf, uint64(l.Insertions))
+	buf = appendField(buf, l.ContentDigest)
+	return sha256.Sum256(buf), nil
+}
+
+// checkDigest validates a lowercase hex SHA-256 string.
+func checkDigest(s string) error {
+	if len(s) != 2*HashSize {
+		return fmt.Errorf("receipt: content digest must be %d hex characters, got %d", 2*HashSize, len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("receipt: content digest is not lowercase hex at byte %d", i)
+		}
+	}
+	return nil
+}
+
+// innerHash combines two children into their parent node.
+func innerHash(left, right Hash) Hash {
+	var buf [1 + 2*HashSize]byte
+	buf[0] = domainInner
+	copy(buf[1:], left[:])
+	copy(buf[1+HashSize:], right[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Tree is a built Merkle tree over a batch's leaf hashes. levels[0] is
+// the leaf level; each higher level halves (odd nodes promote unchanged)
+// until levels[len-1] holds the single root.
+type Tree struct {
+	levels [][]Hash
+}
+
+// BuildHashes assembles the tree over precomputed leaf hashes. It fails
+// on an empty batch — an empty tree has no meaningful root.
+func BuildHashes(leaves []Hash) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, errors.New("receipt: cannot build a tree over zero leaves")
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	t := &Tree{levels: [][]Hash{level}}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, innerHash(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			// Odd node: promoted unchanged to the next level.
+			next = append(next, level[len(level)-1])
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Build hashes the leaves and assembles the tree over them.
+func Build(leaves []Leaf) (*Tree, error) {
+	hashes := make([]Hash, len(leaves))
+	for i := range leaves {
+		h, err := leaves[i].Hash()
+		if err != nil {
+			return nil, fmt.Errorf("receipt: leaf %d: %w", i, err)
+		}
+		hashes[i] = h
+	}
+	return BuildHashes(hashes)
+}
+
+// Leaves returns the number of leaves the tree was built over.
+func (t *Tree) Leaves() int { return len(t.levels[0]) }
+
+// bindRoot commits the batch size into the published root: without this
+// binding, a proof whose leaf-count field is inflated to a size with the
+// same promotion geometry along its path (12 -> 16 for index 0, say)
+// would still walk to the bare Merkle top. Hashing the count into the
+// root makes any single-byte size mutation — in the root record or in a
+// proof — fail verification.
+func bindRoot(top Hash, leaves int) Hash {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+HashSize)
+	buf = append(buf, domainRoot)
+	buf = binary.AppendUvarint(buf, uint64(leaves))
+	buf = append(buf, top[:]...)
+	return sha256.Sum256(buf)
+}
+
+// Root returns the tree's published root: the size-committed hash over
+// the leaf count and the bare Merkle top.
+func (t *Tree) Root() Hash { return bindRoot(t.levels[len(t.levels)-1][0], t.Leaves()) }
+
+// RootRecord returns the versioned textual encoding of the root
+// ("pvr1:<64 lowercase hex>") — the form that travels on the wire, lands
+// in the anchor log and feeds Verify.
+func (t *Tree) RootRecord() string { return EncodeRoot(t.Root()) }
+
+// EncodeRoot renders a root hash in the versioned textual form.
+func EncodeRoot(h Hash) string { return rootPrefix + hex.EncodeToString(h[:]) }
+
+// DecodeRoot parses a versioned root record, insisting on the canonical
+// form: the exact prefix and exactly 64 lowercase hex digits.
+func DecodeRoot(s string) (Hash, error) {
+	var h Hash
+	if len(s) != len(rootPrefix)+2*HashSize || s[:len(rootPrefix)] != rootPrefix {
+		return h, fmt.Errorf("receipt: not a %q root record", rootPrefix)
+	}
+	hexPart := s[len(rootPrefix):]
+	if err := checkDigest(hexPart); err != nil {
+		return h, fmt.Errorf("receipt: root record is not canonical lowercase hex")
+	}
+	b, err := hex.DecodeString(hexPart)
+	if err != nil {
+		return h, err
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Proof is one leaf's decoded inclusion proof: the batch size and leaf
+// index (which together determine the promotion pattern and sibling
+// directions at every level) plus the sibling hashes bottom-up.
+type Proof struct {
+	// Leaves is the batch size of the tree the proof was issued from.
+	Leaves int
+	// Index is the leaf's position in the batch.
+	Index int
+	// Siblings are the sibling hashes on the path to the root, leaf level
+	// first. Levels where the node was promoted (odd tail) contribute no
+	// sibling.
+	Siblings []Hash
+}
+
+// siblingCount returns how many siblings a proof for index idx in a tree
+// of n leaves must carry — the walk of Verify, counting.
+func siblingCount(n, idx int) int {
+	count := 0
+	for n > 1 {
+		if idx%2 == 0 && idx+1 >= n {
+			// Promoted odd tail: no sibling at this level.
+		} else {
+			count++
+		}
+		idx /= 2
+		n = (n + 1) / 2
+	}
+	return count
+}
+
+// Prove returns the versioned textual inclusion proof for leaf i.
+func (t *Tree) Prove(i int) (string, error) {
+	n := t.Leaves()
+	if i < 0 || i >= n {
+		return "", fmt.Errorf("receipt: leaf index %d out of range [0,%d)", i, n)
+	}
+	p := Proof{Leaves: n, Index: i}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		var sib int
+		if idx%2 == 0 {
+			sib = idx + 1
+		} else {
+			sib = idx - 1
+		}
+		if sib < len(level) {
+			p.Siblings = append(p.Siblings, level[sib])
+		}
+		idx /= 2
+	}
+	return p.Encode(), nil
+}
+
+// Encode renders the proof in the versioned textual form
+// ("pvp1:<base64url>"): uvarint leaf count, uvarint index, then the raw
+// sibling hashes bottom-up.
+func (p *Proof) Encode() string {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(p.Siblings)*HashSize)
+	buf = binary.AppendUvarint(buf, uint64(p.Leaves))
+	buf = binary.AppendUvarint(buf, uint64(p.Index))
+	for _, s := range p.Siblings {
+		buf = append(buf, s[:]...)
+	}
+	return proofPrefix + base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// DecodeProof parses a versioned proof record. The decode is strict and
+// canonical: unknown prefixes, non-canonical base64, non-minimal varints,
+// out-of-range indices and sibling counts that disagree with the
+// (leaves, index) geometry all fail — so a proof string has exactly one
+// valid byte form.
+func DecodeProof(s string) (*Proof, error) {
+	if len(s) < len(proofPrefix) || s[:len(proofPrefix)] != proofPrefix {
+		return nil, fmt.Errorf("receipt: not a %q proof record", proofPrefix)
+	}
+	raw, err := base64.RawURLEncoding.Strict().DecodeString(s[len(proofPrefix):])
+	if err != nil {
+		return nil, fmt.Errorf("receipt: proof is not canonical base64url: %w", err)
+	}
+	pos := 0
+	leaves, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return nil, errors.New("receipt: truncated proof (leaf count)")
+	}
+	pos += n
+	index, n := binary.Uvarint(raw[pos:])
+	if n <= 0 {
+		return nil, errors.New("receipt: truncated proof (index)")
+	}
+	pos += n
+	// Bound before any arithmetic: a fuzzer-supplied 2^60 leaf count must
+	// not allocate or overflow anything.
+	const maxLeaves = 1 << 32
+	if leaves == 0 || leaves > maxLeaves {
+		return nil, fmt.Errorf("receipt: proof leaf count %d out of range", leaves)
+	}
+	if index >= leaves {
+		return nil, fmt.Errorf("receipt: proof index %d out of range for %d leaves", index, leaves)
+	}
+	p := &Proof{Leaves: int(leaves), Index: int(index)}
+	want := siblingCount(p.Leaves, p.Index)
+	if len(raw)-pos != want*HashSize {
+		return nil, fmt.Errorf("receipt: proof carries %d sibling bytes, geometry requires %d", len(raw)-pos, want*HashSize)
+	}
+	p.Siblings = make([]Hash, want)
+	for i := 0; i < want; i++ {
+		copy(p.Siblings[i][:], raw[pos:])
+		pos += HashSize
+	}
+	// Canonical-form check: re-encoding must reproduce the input exactly,
+	// so non-minimal varints (a second byte form of the same proof) are
+	// rejected and every accepted proof string is unique for its content.
+	if p.Encode() != s {
+		return nil, errors.New("receipt: proof encoding is not canonical")
+	}
+	return p, nil
+}
+
+// VerifyHash walks a decoded proof from a leaf hash up to the bare
+// Merkle top, binds the proof's leaf count into it, and reports whether
+// the result is root. Stateless.
+func VerifyHash(root Hash, leaf Hash, p *Proof) bool {
+	if p == nil || p.Index < 0 || p.Leaves <= 0 || p.Index >= p.Leaves {
+		return false
+	}
+	h := leaf
+	idx, n := p.Index, p.Leaves
+	sib := 0
+	for n > 1 {
+		if idx%2 == 0 && idx+1 >= n {
+			// Promoted odd tail: the node rises unchanged.
+		} else {
+			if sib >= len(p.Siblings) {
+				return false
+			}
+			if idx%2 == 0 {
+				h = innerHash(h, p.Siblings[sib])
+			} else {
+				h = innerHash(p.Siblings[sib], h)
+			}
+			sib++
+		}
+		idx /= 2
+		n = (n + 1) / 2
+	}
+	return sib == len(p.Siblings) && bindRoot(h, p.Leaves) == root
+}
+
+// Verify checks one encoded inclusion proof offline: it decodes the root
+// record and the proof, hashes the disclosed leaf, and walks the path.
+// It needs no state beyond its arguments and returns false — never an
+// error, never a panic — on any malformed or tampered input.
+func Verify(rootRecord string, leaf Leaf, proofRecord string) bool {
+	root, err := DecodeRoot(rootRecord)
+	if err != nil {
+		return false
+	}
+	p, err := DecodeProof(proofRecord)
+	if err != nil {
+		return false
+	}
+	lh, err := leaf.Hash()
+	if err != nil {
+		return false
+	}
+	return VerifyHash(root, lh, p)
+}

@@ -1,0 +1,280 @@
+package receipt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testLeaf builds a deterministic leaf for document i of a batch.
+func testLeaf(i int) Leaf {
+	return Leaf{
+		DocID:         fmt.Sprintf("doc-%03d", i),
+		SchemaRef:     "c0ffee1234abcd",
+		Verdict:       []string{"valid", "potentially-valid", "not-potentially-valid", "malformed"}[i%4],
+		Insertions:    int64(i % 7),
+		ContentDigest: DigestContent([]byte(fmt.Sprintf("<r>content %d</r>", i))),
+	}
+}
+
+func testLeaves(n int) []Leaf {
+	out := make([]Leaf, n)
+	for i := range out {
+		out[i] = testLeaf(i)
+	}
+	return out
+}
+
+// refRoot recomputes the root with an independent, straightforward
+// implementation (promote-odd, leaf/inner domains) so Build's tree shape
+// is pinned by something other than itself.
+func refRoot(t *testing.T, leaves []Leaf) Hash {
+	t.Helper()
+	var level []Hash
+	for i := range leaves {
+		h, err := leaves[i].Hash()
+		if err != nil {
+			t.Fatalf("leaf %d: %v", i, err)
+		}
+		level = append(level, h)
+	}
+	for len(level) > 1 {
+		var next []Hash
+		i := 0
+		for ; i+1 < len(level); i += 2 {
+			buf := append([]byte{domainInner}, level[i][:]...)
+			buf = append(buf, level[i+1][:]...)
+			next = append(next, sha256.Sum256(buf))
+		}
+		if i < len(level) {
+			next = append(next, level[i])
+		}
+		level = next
+	}
+	// The published root commits to the batch size on top of the bare
+	// Merkle top.
+	buf := []byte{domainRoot}
+	buf = binary.AppendUvarint(buf, uint64(len(leaves)))
+	buf = append(buf, level[0][:]...)
+	return sha256.Sum256(buf)
+}
+
+// TestProofBattery is the property battery over batch sizes 1..64
+// (including every non-power-of-2): the root matches an independent
+// reference construction, every document's proof verifies against the
+// root, and no proof verifies against another leaf or another index.
+func TestProofBattery(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		leaves := testLeaves(n)
+		tree, err := Build(leaves)
+		if err != nil {
+			t.Fatalf("n=%d: Build: %v", n, err)
+		}
+		if tree.Leaves() != n {
+			t.Fatalf("n=%d: tree reports %d leaves", n, tree.Leaves())
+		}
+		if got, want := tree.Root(), refRoot(t, leaves); got != want {
+			t.Fatalf("n=%d: root %x differs from reference %x", n, got, want)
+		}
+		root := tree.RootRecord()
+		for i := 0; i < n; i++ {
+			proof, err := tree.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: Prove: %v", n, i, err)
+			}
+			if !Verify(root, leaves[i], proof) {
+				t.Fatalf("n=%d i=%d: genuine proof did not verify", n, i)
+			}
+			// A proof must not verify any other document of the batch.
+			if n > 1 {
+				other := (i + 1) % n
+				if Verify(root, leaves[other], proof) {
+					t.Fatalf("n=%d: proof for leaf %d verified leaf %d", n, i, other)
+				}
+			}
+		}
+	}
+}
+
+// mutateString returns s with byte i xored by x.
+func mutateString(s string, i int, x byte) string {
+	b := []byte(s)
+	b[i] ^= x
+	return string(b)
+}
+
+// TestProofTamperRejected flips every single byte of the encoded root,
+// the encoded proof, and each leaf field — for every document of every
+// batch size 1..64 — and requires Verify to reject each mutation.
+func TestProofTamperRejected(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		leaves := testLeaves(n)
+		tree, err := Build(leaves)
+		if err != nil {
+			t.Fatalf("n=%d: Build: %v", n, err)
+		}
+		root := tree.RootRecord()
+		for i := 0; i < n; i++ {
+			proof, err := tree.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: Prove: %v", n, i, err)
+			}
+			// Every single-byte mutation of the root record.
+			for pos := 0; pos < len(root); pos++ {
+				if bad := mutateString(root, pos, 0x01); bad != root && Verify(bad, leaves[i], proof) {
+					t.Fatalf("n=%d i=%d: root mutated at byte %d still verified", n, i, pos)
+				}
+			}
+			// Every single-byte mutation of the proof record.
+			for pos := 0; pos < len(proof); pos++ {
+				if bad := mutateString(proof, pos, 0x01); bad != proof && Verify(root, leaves[i], bad) {
+					t.Fatalf("n=%d i=%d: proof mutated at byte %d still verified", n, i, pos)
+				}
+			}
+			// Every single-byte mutation of every leaf field, plus
+			// off-by-one insertion counts.
+			leaf := leaves[i]
+			for pos := 0; pos < len(leaf.DocID); pos++ {
+				bad := leaf
+				bad.DocID = mutateString(leaf.DocID, pos, 0x01)
+				if Verify(root, bad, proof) {
+					t.Fatalf("n=%d i=%d: DocID mutated at byte %d still verified", n, i, pos)
+				}
+			}
+			for pos := 0; pos < len(leaf.SchemaRef); pos++ {
+				bad := leaf
+				bad.SchemaRef = mutateString(leaf.SchemaRef, pos, 0x01)
+				if Verify(root, bad, proof) {
+					t.Fatalf("n=%d i=%d: SchemaRef mutated at byte %d still verified", n, i, pos)
+				}
+			}
+			for pos := 0; pos < len(leaf.Verdict); pos++ {
+				bad := leaf
+				bad.Verdict = mutateString(leaf.Verdict, pos, 0x01)
+				if Verify(root, bad, proof) {
+					t.Fatalf("n=%d i=%d: Verdict mutated at byte %d still verified", n, i, pos)
+				}
+			}
+			for pos := 0; pos < len(leaf.ContentDigest); pos++ {
+				bad := leaf
+				bad.ContentDigest = mutateString(leaf.ContentDigest, pos, 0x01)
+				if Verify(root, bad, proof) {
+					t.Fatalf("n=%d i=%d: ContentDigest mutated at byte %d still verified", n, i, pos)
+				}
+			}
+			for _, delta := range []int64{-1, 1, 64} {
+				bad := leaf
+				bad.Insertions += delta
+				if Verify(root, bad, proof) {
+					t.Fatalf("n=%d i=%d: Insertions%+d still verified", n, i, delta)
+				}
+			}
+		}
+	}
+}
+
+// TestFieldBoundariesAreUnambiguous pins the length-prefixed leaf
+// encoding: moving bytes between adjacent fields must change the hash.
+func TestFieldBoundariesAreUnambiguous(t *testing.T) {
+	a := Leaf{DocID: "ab", SchemaRef: "cd", Verdict: "valid", ContentDigest: DigestContent(nil)}
+	b := Leaf{DocID: "abc", SchemaRef: "d", Verdict: "valid", ContentDigest: DigestContent(nil)}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("shifting a byte across the DocID/SchemaRef boundary did not change the leaf hash")
+	}
+}
+
+// TestLeafDigestValidation rejects digests that are not lowercase hex
+// SHA-256 — including the uppercase alias of a valid digest, which would
+// otherwise give one leaf two accepted spellings.
+func TestLeafDigestValidation(t *testing.T) {
+	good := testLeaf(0)
+	if _, err := good.Hash(); err != nil {
+		t.Fatalf("valid leaf rejected: %v", err)
+	}
+	for _, digest := range []string{
+		"",
+		"abc",
+		strings.ToUpper(good.ContentDigest),
+		good.ContentDigest[:63] + "g",
+		good.ContentDigest + "00",
+	} {
+		bad := good
+		bad.ContentDigest = digest
+		if _, err := bad.Hash(); err == nil {
+			t.Fatalf("digest %q accepted", digest)
+		}
+	}
+}
+
+// TestDecodeCanonical pins the canonical-encoding guarantees the tamper
+// battery relies on: re-encoded proofs round-trip, and non-canonical
+// spellings (uppercase root hex, padded/non-minimal proof bytes) fail.
+func TestDecodeCanonical(t *testing.T) {
+	tree, err := Build(testLeaves(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.RootRecord()
+	if _, err := DecodeRoot(root); err != nil {
+		t.Fatalf("canonical root rejected: %v", err)
+	}
+	if _, err := DecodeRoot(strings.ToUpper(root)); err == nil {
+		t.Fatal("uppercase root accepted")
+	}
+	if _, err := DecodeRoot("pvr2:" + root[5:]); err == nil {
+		t.Fatal("unknown root version accepted")
+	}
+	proof, err := tree.Prove(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeProof(proof)
+	if err != nil {
+		t.Fatalf("canonical proof rejected: %v", err)
+	}
+	if p.Encode() != proof {
+		t.Fatalf("proof round trip: %q != %q", p.Encode(), proof)
+	}
+	if _, err := DecodeProof("pvp2:" + proof[5:]); err == nil {
+		t.Fatal("unknown proof version accepted")
+	}
+	if _, err := DecodeProof(proof + "A"); err == nil {
+		t.Fatal("lengthened proof accepted")
+	}
+	if _, err := DecodeProof(proof[:len(proof)-1]); err == nil {
+		t.Fatal("truncated proof accepted")
+	}
+}
+
+// TestBuildEmpty pins the zero-leaf error.
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("Build(nil) succeeded")
+	}
+	if _, err := BuildHashes(nil); err == nil {
+		t.Fatal("BuildHashes(nil) succeeded")
+	}
+}
+
+// TestProveRange pins out-of-range proving.
+func TestProveRange(t *testing.T) {
+	tree, err := Build(testLeaves(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 3, 64} {
+		if _, err := tree.Prove(i); err == nil {
+			t.Fatalf("Prove(%d) succeeded on a 3-leaf tree", i)
+		}
+	}
+}

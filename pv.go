@@ -48,6 +48,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/reach"
+	"repro/internal/receipt"
 	"repro/internal/validator"
 	"repro/internal/xsd"
 )
@@ -741,6 +742,73 @@ func (e *Engine) Stats() EngineStats { return e.e.Stats() }
 func (e *Engine) CacheStats() RegistryStats { return e.e.Store().Stats() }
 
 // Handler returns the engine's HTTP API (the full pvserve surface:
-// POST /check, POST /batch (+?async=1), the NDJSON streams, the /jobs
-// routes, GET /schemas, GET /stats), for embedding in a larger server.
+// POST /check, POST /batch (+?async=1&receipt=1), the NDJSON streams, the
+// /jobs routes, GET /schemas, GET /stats, GET /metrics, POST /verify),
+// for embedding in a larger server.
 func (e *Engine) Handler() http.Handler { return engine.NewServer(e.e) }
+
+// Receipt is a batch's verifiable verdict commitment: a Merkle root over
+// every (document, schema, verdict, insertions, content digest) tuple
+// plus one inclusion proof per document. Verify entries offline with
+// VerifyReceipt — no engine, schema or cache required.
+type Receipt = engine.Receipt
+
+// DocProof is one document's entry in a Receipt: the committed leaf and
+// the inclusion proof binding it to the root.
+type DocProof = engine.DocProof
+
+// ReceiptLeaf is the claim a receipt commits for one document.
+type ReceiptLeaf = receipt.Leaf
+
+// ReceiptAnchor is one anchored root record from the engine's durable
+// anchor log (ReceiptAnchors / GET /receipts).
+type ReceiptAnchor = receipt.Anchor
+
+// VerifyReceipt checks one document's inclusion proof against a receipt
+// root. It is pure computation over its arguments — stateless and
+// offline — so any holder of the root can audit a verdict.
+func VerifyReceipt(root string, leaf ReceiptLeaf, proof string) bool {
+	return receipt.Verify(root, leaf, proof)
+}
+
+// DigestContent returns the canonical content digest committed into
+// receipt leaves, for recomputing a leaf's ContentDigest from the
+// original document during an audit.
+func DigestContent(content []byte) string { return receipt.DigestContent(content) }
+
+// CheckBatchReceipt is CheckBatch plus a verdict receipt: identical
+// results and stats, and a Receipt committing every verdict (nil for an
+// empty batch). On a disk-backed engine the root is also anchored under
+// the cache directory and survives restarts (ReceiptAnchors).
+func (e *Engine) CheckBatchReceipt(s *Schema, docs []Doc) ([]BatchResult, BatchStats, *Receipt, error) {
+	return e.e.CheckBatchReceipt(engSchema(s), docs)
+}
+
+// CompleteBatchReceipt is CompleteBatch plus a verdict receipt — the
+// completion twin of CheckBatchReceipt.
+func (e *Engine) CompleteBatchReceipt(s *Schema, docs []Doc, withDiff bool) ([]CompleteResult, BatchStats, *Receipt, error) {
+	return e.e.CompleteBatchReceipt(engSchema(s), docs, withDiff)
+}
+
+// SubmitBatchReceipt is SubmitBatch with a verdict receipt: once the job
+// finishes, Job.Receipt carries the full receipt and the root is
+// persisted with the job's terminal record.
+func (e *Engine) SubmitBatchReceipt(s *Schema, docs []Doc) (*Job, error) {
+	return e.e.SubmitCheckBatchReceipt(engSchema(s), docs)
+}
+
+// SubmitCompleteBatchReceipt is SubmitCompleteBatch with a verdict
+// receipt — the completion twin of SubmitBatchReceipt.
+func (e *Engine) SubmitCompleteBatchReceipt(s *Schema, docs []Doc, withDiff bool) (*Job, error) {
+	return e.e.SubmitCompleteBatchReceipt(engSchema(s), docs, withDiff)
+}
+
+// ReceiptAnchors lists every receipt root the engine (and predecessors on
+// the same cache directory) anchored, oldest first; memory-only engines
+// return an empty list.
+func (e *Engine) ReceiptAnchors() ([]ReceiptAnchor, error) { return e.e.Anchors() }
+
+// WriteMetrics writes the engine's observable state — everything Stats,
+// CacheStats, JobStats and JobRecovery report — as a Prometheus
+// text-format exposition (the GET /metrics body).
+func (e *Engine) WriteMetrics(w io.Writer) error { return e.e.WriteMetrics(w) }
