@@ -1,14 +1,15 @@
-// Command pvbench regenerates the experiment tables X1-X14: the empirical
+// Command pvbench regenerates the experiment tables X1-X15: the empirical
 // counterparts of the paper's analytical claims (X1-X6) plus the service
 // layer's scaling experiments (X7 checking throughput, X8 zero-copy byte
 // path, X9 completion throughput, X10 sharded two-tier schema store,
 // X11 async job-queue ingest, X12 durable-job write-ahead log, X13
-// bounded-memory streaming checker, X14 verdict-receipt overhead).
+// bounded-memory streaming checker, X14 verdict-receipt overhead, X15
+// two-tier DFA fast path vs recognizer-only checking).
 //
 // Usage:
 //
 //	pvbench [-quick] [-json] [-stream-file-mb N]
-//	        [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability,streaming,receipt]
+//	        [-only linear,earley,depth,dtdsize,updates,closure,throughput,bytepath,completion,schemastore,asyncingest,durability,streaming,receipt,twotier]
 //
 // -json emits the selected tables as a JSON array (the format committed
 // under bench/, e.g. bench/X9.json, bench/X12.json and bench/X13.json).
@@ -91,6 +92,7 @@ func main() {
 		{"durability", func() *bench.Table { return bench.Durability(corpus, tputBudget) }},
 		{"streaming", func() *bench.Table { return bench.StreamingMemory(streamMemMB, *streamFileMB, tputBudget) }},
 		{"receipt", func() *bench.Table { return bench.ReceiptOverhead(corpus, tputBudget) }},
+		{"twotier", func() *bench.Table { return bench.TwoTierCheck(corpus, tputBudget) }},
 	}
 
 	var tables []*bench.Table

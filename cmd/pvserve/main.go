@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pvserve [-addr :8080] [-workers N] [-cache N] [-shards N] [-cache-dir DIR] [-pvonly]
-//	        [-max-doc-bytes N] [-stream-buf N]
+//	        [-disable-fast-path] [-max-doc-bytes N] [-stream-buf N]
 //	        [-job-workers N] [-job-queue N] [-job-ttl DUR] [-job-volatile] [-job-wal-nosync]
 //	        [-drain DUR]
 //
@@ -82,6 +82,7 @@ func main() {
 	shards := flag.Int("shards", 0, "schema store lock-stripe count (0 = default 8)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed compiled-schema cache directory (empty = memory only)")
 	pvOnly := flag.Bool("pvonly", false, "skip the full-validity bit (fastest)")
+	noFastPath := flag.Bool("disable-fast-path", false, "compile schemas without content-model DFA fast-path tables (recognizer-only checking; same verdicts, for benching and as an escape hatch)")
 	maxDocBytes := flag.Int("max-doc-bytes", 0, "per-document cap on the NDJSON stream routes in bytes (0 = default 64MB; /check/raw is never capped)")
 	streamBuf := flag.Int("stream-buf", 0, "sliding-window size of the /check/raw bounded-memory checker in bytes (0 = default 256KB)")
 	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (0 = default 2)")
@@ -93,18 +94,19 @@ func main() {
 	flag.Parse()
 
 	e, err := engine.Open(engine.Config{
-		Workers:        *workers,
-		CacheSize:      *cache,
-		Shards:         *shards,
-		CacheDir:       *cacheDir,
-		PVOnly:         *pvOnly,
-		MaxDocBytes:    *maxDocBytes,
-		StreamBufBytes: *streamBuf,
-		JobWorkers:     *jobWorkers,
-		JobQueueDepth:  *jobQueue,
-		JobResultTTL:   *jobTTL,
-		VolatileJobs:   *jobVolatile,
-		JobWALNoSync:   *jobWALNoSync,
+		Workers:         *workers,
+		CacheSize:       *cache,
+		Shards:          *shards,
+		CacheDir:        *cacheDir,
+		PVOnly:          *pvOnly,
+		DisableFastPath: *noFastPath,
+		MaxDocBytes:     *maxDocBytes,
+		StreamBufBytes:  *streamBuf,
+		JobWorkers:      *jobWorkers,
+		JobQueueDepth:   *jobQueue,
+		JobResultTTL:    *jobTTL,
+		VolatileJobs:    *jobVolatile,
+		JobWALNoSync:    *jobWALNoSync,
 	})
 	if err != nil {
 		log.Fatalf("pvserve: %v", err)

@@ -1199,6 +1199,99 @@ func ReceiptOverhead(corpusSize int, budget time.Duration) *Table {
 	return t
 }
 
+// TwoTierCheck is experiment X15 (two-tier checking): one engine with the
+// content-model DFA fast path against one compiled DisableFastPath, over
+// three document mixes — valid-heavy (90% fully valid: the strict-validity
+// shortcut also skips the tree pass), invalid-heavy (mostly corrupted:
+// checks die early in either tier), and mixed. The engines alternate batch
+// for batch within each mix so machine drift hits both equally. The
+// acceptance bar for the tentpole is >=2x docs/sec on the valid-heavy mix.
+func TwoTierCheck(corpusSize int, budget time.Duration) *Table {
+	d := dtd.MustParse(dtd.Play)
+	rng := rand.New(rand.NewSource(15))
+	mixes := []struct {
+		name    string
+		corrupt func(i int, doc *dom.Node) // mutates per the mix's ratio
+	}{
+		{"valid_heavy", func(i int, doc *dom.Node) {
+			if i%10 == 9 {
+				gen.Corrupt(rng, d, doc)
+			}
+		}},
+		{"invalid_heavy", func(i int, doc *dom.Node) {
+			if i%10 != 9 {
+				gen.Corrupt(rng, d, doc)
+			}
+		}},
+		{"mixed", func(i int, doc *dom.Node) {
+			switch i % 3 {
+			case 1:
+				gen.Strip(rng, doc, 0.3)
+			case 2:
+				gen.Corrupt(rng, d, doc)
+			}
+		}},
+	}
+	t := &Table{
+		Name:    "twotier",
+		Caption: "X15 / two-tier checking — DFA fast path vs recognizer-only (play corpus, full verdicts)",
+		Header:  []string{"mix", "mode", "corpus_docs", "batches", "docs_per_sec", "mb_per_sec", "speedup"},
+	}
+	fast := engine.New(engine.Config{})
+	slow := engine.New(engine.Config{DisableFastPath: true})
+	fs, err := fast.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+	if err != nil {
+		panic(err)
+	}
+	ss, err := slow.Compile(engine.DTDSource, dtd.Play, "play", engine.CompileOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, mix := range mixes {
+		docs := make([]engine.Doc, corpusSize)
+		var corpusBytes int64
+		for i := range docs {
+			doc := gen.GenValid(rng, d, "play", gen.DocOptions{MaxDepth: 8, MaxRepeat: 3})
+			mix.corrupt(i, doc)
+			docs[i] = engine.Doc{ID: fmt.Sprint(i), Content: doc.String()}
+			corpusBytes += int64(len(docs[i].Content))
+		}
+		fast.CheckBatch(fs, docs) // warm up both engines' pools
+		slow.CheckBatch(ss, docs)
+		var batches [2]int
+		var spent [2]time.Duration
+		start := time.Now()
+		for time.Since(start) < 2*budget {
+			for mode := 0; mode < 2; mode++ {
+				t0 := time.Now()
+				if mode == 0 {
+					fast.CheckBatch(fs, docs)
+				} else {
+					slow.CheckBatch(ss, docs)
+				}
+				spent[mode] += time.Since(t0)
+				batches[mode]++
+			}
+		}
+		var dps [2]float64
+		for mode := range dps {
+			dps[mode] = float64(batches[mode]*len(docs)) / spent[mode].Seconds()
+		}
+		for mode, name := range []string{"fast", "slow"} {
+			mbps := float64(batches[mode]) * float64(corpusBytes) / (1 << 20) / spent[mode].Seconds()
+			speedup := "1.00"
+			if mode == 0 {
+				speedup = fmt.Sprintf("%.2f", dps[0]/dps[1])
+			}
+			t.Rows = append(t.Rows, []string{
+				mix.name, name, fmt.Sprint(len(docs)), fmt.Sprint(batches[mode]),
+				fmt.Sprintf("%.0f", dps[mode]), fmt.Sprintf("%.2f", mbps), speedup,
+			})
+		}
+	}
+	return t
+}
+
 // All runs every experiment with defaults scaled by quick (smaller sizes
 // for tests).
 func All(quick bool) []*Table {
@@ -1245,5 +1338,6 @@ func All(quick bool) []*Table {
 		Durability(corpus, tputBudget),
 		StreamingMemory(streamMemMB, streamFileMB, tputBudget),
 		ReceiptOverhead(corpus, tputBudget),
+		TwoTierCheck(corpus, tputBudget),
 	}
 }

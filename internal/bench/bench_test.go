@@ -12,8 +12,8 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench harness smoke test is itself a micro-benchmark")
 	}
 	tables := All(true)
-	if len(tables) != 14 {
-		t.Fatalf("want 14 tables, got %d", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("want 15 tables, got %d", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tb := range tables {
@@ -220,6 +220,29 @@ func TestAllQuick(t *testing.T) {
 			dps, err := strconv.ParseFloat(row[3], 64)
 			if err != nil || dps <= 0 {
 				t.Errorf("receipt row has no progress: %v", row)
+			}
+		}
+	}
+	// X15: six rows (three mixes × fast/slow), every one making progress,
+	// and the fast mode must not lose to recognizer-only on any mix — the
+	// fast path is a strict optimization. The >=2x valid-heavy bar is
+	// machine dependent and pinned by the committed bench/X15.json; quick
+	// mode asserts ordering only.
+	if rows := byName["twotier"].Rows; len(rows) != 6 {
+		t.Errorf("twotier rows: %v", rows)
+	} else {
+		for i := 0; i < len(rows); i += 2 {
+			if rows[i][1] != "fast" || rows[i+1][1] != "slow" || rows[i][0] != rows[i+1][0] {
+				t.Errorf("twotier mode rows out of order: %v %v", rows[i], rows[i+1])
+				continue
+			}
+			fastDps, err1 := strconv.ParseFloat(rows[i][4], 64)
+			slowDps, err2 := strconv.ParseFloat(rows[i+1][4], 64)
+			if err1 != nil || err2 != nil || fastDps <= 0 || slowDps <= 0 {
+				t.Errorf("twotier rows have no progress: %v %v", rows[i], rows[i+1])
+			}
+			if fastDps < slowDps {
+				t.Errorf("twotier %s: fast path slower than recognizer-only: %v vs %v", rows[i][0], rows[i], rows[i+1])
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/contentmodel"
 	"repro/internal/dag"
+	"repro/internal/dfa"
 	"repro/internal/dtd"
 	"repro/internal/reach"
 )
@@ -26,8 +27,10 @@ import (
 
 // BinaryVersion is the current compiled-schema binary format version.
 // Decoders reject any other version; bump it whenever the encoded shape
-// of the schema (element tables, reach matrices, DAG nodes) changes.
-const BinaryVersion = 1
+// of the schema (element tables, reach matrices, DAG nodes, DFA tables)
+// changes. Version 2 added the content-model DFA fast-path tables and the
+// DisableFastPath option flag.
+const BinaryVersion = 2
 
 // binaryMagic brands a compiled-schema blob ("PV schema, compiled").
 var binaryMagic = [4]byte{'P', 'V', 'S', 'C'}
@@ -112,6 +115,9 @@ func (s *Schema) MarshalBinary() ([]byte, error) {
 	if s.opts.AllowAnyRoot {
 		flags |= 2
 	}
+	if s.opts.DisableFastPath {
+		flags |= 4
+	}
 	e.byteVal(flags)
 	e.count(s.opts.MaxDepth)
 	e.count(s.depth)
@@ -173,6 +179,27 @@ func (s *Schema) MarshalBinary() ([]byte, error) {
 		e.count(len(rd.Entry))
 		for _, id := range rd.Entry {
 			e.count(id)
+		}
+	}
+
+	// Content-model DFA tables (the two-tier fast path). Serialized even
+	// though they are derivable from the element table: warm restarts must
+	// load DFAs at deserialization speed, not re-run subset construction.
+	if s.fast == nil {
+		e.byteVal(0)
+	} else {
+		e.byteVal(1)
+		for _, mach := range s.fast.ByID {
+			if mach == nil { // element with no fast path (state cap)
+				e.byteVal(0)
+				continue
+			}
+			e.byteVal(1)
+			e.count(mach.States())
+			e.bitset(mach.Accept)
+			for _, v := range mach.Trans {
+				e.uvarint(uint64(v + 1)) // dfa.Dead (-1) encodes as 0
+			}
 		}
 	}
 	if e.err != nil {
@@ -328,7 +355,7 @@ func UnmarshalBinary(data []byte) (*Schema, error) {
 		return nil, err
 	}
 	d.names = make([]string, m)
-	interned := make(map[string]string, m)
+	seen := make(map[string]bool, m)
 	for i := range d.names {
 		name, err := d.stringVal()
 		if err != nil {
@@ -337,11 +364,11 @@ func UnmarshalBinary(data []byte) (*Schema, error) {
 		if name == "" {
 			return nil, fmt.Errorf("core: decode: empty element name in symbol table")
 		}
-		if _, dup := interned[name]; dup {
+		if seen[name] {
 			return nil, fmt.Errorf("core: decode: duplicate element %q in symbol table", name)
 		}
 		d.names[i] = name
-		interned[name] = name
+		seen[name] = true
 	}
 	root, err := d.symbol()
 	if err != nil {
@@ -351,7 +378,7 @@ func UnmarshalBinary(data []byte) (*Schema, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := Options{IgnoreWhitespaceText: flags&1 != 0, AllowAnyRoot: flags&2 != 0}
+	opts := Options{IgnoreWhitespaceText: flags&1 != 0, AllowAnyRoot: flags&2 != 0, DisableFastPath: flags&4 != 0}
 	if opts.MaxDepth, err = d.count(); err != nil {
 		return nil, err
 	}
@@ -473,17 +500,79 @@ func UnmarshalBinary(data []byte) (*Schema, error) {
 		}
 		g.ByElement[name] = ed
 	}
+
+	fast, err := d.fastTables(m)
+	if err != nil {
+		return nil, err
+	}
 	if d.pos != len(body) {
 		return nil, fmt.Errorf("core: decode: %d trailing bytes after compiled schema", len(body)-d.pos)
 	}
 
-	return &Schema{
-		DTD:      dd,
-		Root:     root,
-		LT:       lt,
-		DAG:      g,
-		opts:     opts,
-		depth:    depth,
-		interned: interned,
-	}, nil
+	s := &Schema{
+		DTD:   dd,
+		Root:  root,
+		LT:    lt,
+		DAG:   g,
+		opts:  opts,
+		depth: depth,
+		fast:  fast,
+	}
+	s.initSymbols()
+	return s, nil
+}
+
+// fastTables decodes the per-element DFA section written by MarshalBinary:
+// a presence byte, then per element another presence byte, state count,
+// accepting bitset and the dense transition table (values biased by one so
+// dfa.Dead encodes as 0).
+func (d *decoder) fastTables(m int) (*dfa.Set, error) {
+	present, err := d.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	stride := int32(m + 1)
+	set := &dfa.Set{Stride: stride, ByID: make([]*dfa.Machine, m)}
+	for i := 0; i < m; i++ {
+		has, err := d.byteVal()
+		if err != nil {
+			return nil, err
+		}
+		if has == 0 {
+			continue
+		}
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		// Each transition entry costs at least one byte, so a plausible
+		// state count is bounded by the remaining input.
+		if n == 0 || n*int(stride) > len(d.data)-d.pos {
+			return nil, fmt.Errorf("core: decode: implausible DFA state count %d", n)
+		}
+		accept, err := d.bitset(n)
+		if err != nil {
+			return nil, err
+		}
+		trans := make([]int32, n*int(stride))
+		for j := range trans {
+			v, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v > uint64(n) {
+				return nil, fmt.Errorf("core: decode: DFA transition target %d out of range (%d states)", int64(v)-1, n)
+			}
+			trans[j] = int32(v) - 1
+		}
+		mach, err := dfa.NewMachine(trans, accept, stride)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode: %w", err)
+		}
+		set.ByID[i] = mach
+	}
+	return set, nil
 }

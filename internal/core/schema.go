@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/dag"
+	"repro/internal/dfa"
 	"repro/internal/dtd"
 	"repro/internal/reach"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// AllowAnyRoot accepts documents whose root is any declared element,
 	// not just the schema root.
 	AllowAnyRoot bool
+	// DisableFastPath skips compiling the content-model DFA tables, so
+	// every element runs on the PV recognizer alone (the slow tier).
+	// Verdicts are identical either way; the knob exists for
+	// apples-to-apples benching (X15) and as an operational escape hatch.
+	DisableFastPath bool
 }
 
 // Schema is a DTD compiled for potential-validity checking: the parsed
@@ -49,12 +55,32 @@ type Schema struct {
 
 	opts  Options
 	depth int // effective top-level recognizer depth
-	// interned maps each declared element name to itself. The byte-path
-	// checker looks names up with a []byte key (map[string]T indexing with
-	// string(b) compiles to an allocation-free lookup), so start/end tags
-	// never materialize a string on the hot path, and the names the checker
-	// retains are the schema's own — they never alias a document buffer.
-	interned map[string]string
+	// interned maps each declared element name to its symbol-table row.
+	// The byte-path checker looks names up with a []byte key (map[string]T
+	// indexing with string(b) compiles to an allocation-free lookup), so
+	// start/end tags never materialize a string on the hot path, and the
+	// names the checker retains are the schema's own — they never alias a
+	// document buffer. The row also carries the element's interned symbol
+	// ID, so one lookup serves both the DFA fast path and the fallback.
+	interned map[string]internedName
+	// symNames maps a symbol ID back to its element name (index 0, σ, is
+	// empty) — the replay direction when a checker leaves its DFA lane.
+	symNames []string
+	// isEmpty marks symbol IDs of elements declared EMPTY, consulted by
+	// the strict-validity bookkeeping (an EMPTY element whose only content
+	// is checker-invisible text is still invalid to the full validator).
+	isEmpty []bool
+	// fast holds the per-element content-model DFAs (the fast path of the
+	// two-tier stream checker); nil when compiled with DisableFastPath.
+	fast *dfa.Set
+}
+
+// internedName is one symbol-table row: the schema's own copy of a
+// declared element name plus its DFA symbol ID (σ is ID 0; elements are
+// 1-based in declaration order).
+type internedName struct {
+	name string
+	id   int32
 }
 
 // Compile builds a Schema for checking potential validity w.r.t. d and
@@ -78,15 +104,15 @@ func Compile(d *dtd.DTD, root string, opts Options) (*Schema, error) {
 		opts.MaxDepth = DefaultMaxDepth
 	}
 	s := &Schema{
-		DTD:      d,
-		Root:     root,
-		LT:       lt,
-		DAG:      dag.Build(d),
-		opts:     opts,
-		interned: make(map[string]string, len(d.Order)),
+		DTD:  d,
+		Root: root,
+		LT:   lt,
+		DAG:  dag.Build(d),
+		opts: opts,
 	}
-	for _, name := range d.Order {
-		s.interned[name] = name
+	s.initSymbols()
+	if !opts.DisableFastPath {
+		s.fast = dfa.Compile(d, 0)
 	}
 	// For non-PV-strong DTDs nested recognizers implement missing
 	// intermediate elements along acyclic chains only, so a bound of
@@ -124,6 +150,56 @@ func unproductive(d *dtd.DTD, lt *reach.Table) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// initSymbols builds the symbol table (interned names, ID mappings and
+// the EMPTY-category bits) from the DTD; shared by Compile and the binary
+// decoder.
+func (s *Schema) initSymbols() {
+	m := len(s.DTD.Order)
+	s.interned = make(map[string]internedName, m)
+	s.symNames = make([]string, m+1)
+	s.isEmpty = make([]bool, m+1)
+	for i, name := range s.DTD.Order {
+		id := int32(i + 1)
+		s.interned[name] = internedName{name: name, id: id}
+		s.symNames[id] = name
+		s.isEmpty[id] = s.DTD.Elements[name].Category == dtd.Empty
+	}
+}
+
+// symbolOf maps an interned symbol ID back to its Δ_T symbol — the replay
+// direction when a stream checker abandons a DFA lane and hands the
+// buffered prefix to a recognizer.
+func (s *Schema) symbolOf(id int32) Symbol {
+	if id == 0 {
+		return Sigma
+	}
+	return Elem(s.symNames[id])
+}
+
+// fastMachine returns the content-model DFA for the element with the
+// given symbol ID, or nil when that element — or the whole schema — has
+// no fast path.
+func (s *Schema) fastMachine(id int32) *dfa.Machine {
+	if s.fast == nil {
+		return nil
+	}
+	return s.fast.Machine(id)
+}
+
+// FastPathEnabled reports whether the schema carries compiled DFA tables
+// (false when compiled with Options.DisableFastPath).
+func (s *Schema) FastPathEnabled() bool { return s.fast != nil }
+
+// FastPathStates returns the total DFA state count across all element
+// content models (0 without a fast path) — the pv_engine_dfa_states gauge
+// sums this over resident schemas.
+func (s *Schema) FastPathStates() int {
+	if s.fast == nil {
+		return 0
+	}
+	return s.fast.States()
 }
 
 // Class returns the DTD's recursion classification (Definitions 6-8).

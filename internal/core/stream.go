@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dfa"
 	"repro/internal/xmltext"
 )
 
@@ -28,21 +29,62 @@ func IsViolation(err error) bool {
 	return errors.As(err, &v)
 }
 
+// frame is one open element of the stream checker. An element starts on
+// its content model's DFA lane (mach + state) and buffers its child
+// symbols in the checker's shared prefix arena; the first symbol the DFA
+// cannot take lazily spawns the PV recognizer (rec), which replays the
+// buffered prefix and takes over for the rest of that element's content.
+// Ancestors keep their own lanes either way.
+type frame struct {
+	rec         *Recognizer  // nil while the element is on its DFA lane
+	mach        *dfa.Machine // nil once fallen back (or never fast-pathed)
+	name        string
+	id          int32 // interned symbol ID of the element
+	state       int32 // current DFA state while on the fast lane
+	prefixStart int32 // start of this frame's slice of the prefix arena
+	lastWasText bool  // collapses adjacent text events into one σ per δ_T
+}
+
 // StreamChecker checks whole-document potential validity in one pass over a
-// token stream, maintaining one ECRecognizer per open element — the
-// incremental formulation the paper recommends ("we can solve the potential
-// validity problem incrementally, for each document node, by considering
-// only node's children", Section 4). It is equivalent to CheckDocument and
-// is what the editor layer and the large-document benchmarks use.
+// token stream — the incremental formulation the paper recommends ("we can
+// solve the potential validity problem incrementally, for each document
+// node, by considering only node's children", Section 4). It is equivalent
+// to CheckDocument and is what the editor layer and the large-document
+// benchmarks use.
+//
+// Checking is two-tier: per open element the compiled content-model DFA
+// (internal/dfa) settles each child symbol with one table load and zero
+// allocations; the paper's ECRecognizer (Figure 5) — the machinery that
+// can hypothesize inserted elements — runs only from the first symbol the
+// DFA cannot take. A DFA-viable prefix is always completable, so the
+// switch can never change a verdict, only defer the expensive sweep to
+// the residue that needs it. The per-element buffered prefix holds
+// interned symbol IDs only, adding O(children on the open path) memory to
+// the checker's O(depth) frame stack.
 type StreamChecker struct {
 	schema *Schema
-	stack  []*Recognizer
-	names  []string
+	frames []frame
 	depth  int
 	err    error
 	seen   bool // a root element has been seen and closed
-	// lastWasText collapses adjacent text events into a single σ per δ_T.
-	lastWasText []bool
+	// strict tracks whether every closed element so far was settled
+	// entirely on its DFA lane in an accepting state (and nothing
+	// checker-invisible could make the full validator disagree): when it
+	// survives to Close, the document is strictly valid and the engine
+	// skips the tree pass.
+	strict bool
+	// prefix is the shared arena of buffered child-symbol IDs for frames
+	// still on their DFA lane; each frame owns prefix[f.prefixStart:] up
+	// to the next frame's start, and EndElement truncates its slice.
+	prefix []int32
+	// fastHits / fastFallbacks count elements fully settled on the DFA
+	// lane vs elements that fell back to a recognizer, since Reset.
+	fastHits      int64
+	fastFallbacks int64
+	// forceFallbackAt >= 0 abandons a frame's DFA lane as soon as that
+	// frame has buffered this many symbols — a test/bench knob that
+	// exercises the replay path; -1 (the default) disables it.
+	forceFallbackAt int
 	// free recycles per-element recognizers (with their arenas and visited
 	// scratch) popped by EndElement, so a pooled checker's steady state
 	// creates no recognizer state at all for repeated element kinds.
@@ -54,7 +96,7 @@ type StreamChecker struct {
 
 // NewStreamChecker returns a fresh streaming checker.
 func (s *Schema) NewStreamChecker() *StreamChecker {
-	return &StreamChecker{schema: s}
+	return &StreamChecker{schema: s, forceFallbackAt: -1}
 }
 
 // Err returns the first violation encountered, or nil.
@@ -69,16 +111,39 @@ func (c *StreamChecker) Depth() int { return c.depth }
 func (c *StreamChecker) Reset() {
 	// Clear through capacity, not length: EndElement pops truncate without
 	// clearing, so after a completed document the Recognizers (and name
-	// strings, which alias the document's backing array) linger beyond len.
-	clear(c.stack[:cap(c.stack)])
-	clear(c.names[:cap(c.names)])
-	c.stack = c.stack[:0]
-	c.names = c.names[:0]
-	c.lastWasText = c.lastWasText[:0]
+	// strings, which alias the schema) linger beyond len.
+	clear(c.frames[:cap(c.frames)])
+	c.frames = c.frames[:0]
+	c.prefix = c.prefix[:0]
 	c.depth = 0
 	c.err = nil
 	c.seen = false
+	c.strict = c.schema.fast != nil
+	c.fastHits = 0
+	c.fastFallbacks = 0
 }
+
+// ForceFallbackAfter makes every element abandon its DFA lane once it has
+// buffered n child symbols (n=0: before the first symbol), exercising the
+// recognizer replay path regardless of what the DFA would accept. A
+// negative n restores normal two-tier dispatch. Verdicts are identical in
+// every mode — the differential fuzz target pins this.
+func (c *StreamChecker) ForceFallbackAfter(n int) { c.forceFallbackAt = n }
+
+// FastPathStats returns the number of elements fully settled on the DFA
+// fast path and the number that fell back to a PV recognizer since the
+// last Reset.
+func (c *StreamChecker) FastPathStats() (hits, fallbacks int64) {
+	return c.fastHits, c.fastFallbacks
+}
+
+// StrictlyValid reports whether the last run proved the document fully
+// (strictly) valid on the DFA fast path alone: every element closed in an
+// accepting DFA state and nothing checker-invisible could change the full
+// validator's mind. Meaningful only after a run ended with no error;
+// false never means invalid — just "not proven", so the caller must fall
+// back to the tree pass for the full-validity bit.
+func (c *StreamChecker) StrictlyValid() bool { return c.err == nil && c.seen && c.strict }
 
 // fail records a well-formedness failure.
 func (c *StreamChecker) fail(format string, args ...any) error {
@@ -116,7 +181,7 @@ func startElement[S streamText](c *StreamChecker, name S) error {
 	if c.err != nil {
 		return c.err
 	}
-	if len(c.stack) == 0 {
+	if len(c.frames) == 0 {
 		if c.seen {
 			return c.fail("second root element <%s>", name)
 		}
@@ -124,7 +189,7 @@ func startElement[S streamText](c *StreamChecker, name S) error {
 			return c.violate("root element is <%s>, schema requires <%s>", name, c.schema.Root)
 		}
 	}
-	interned, declared := c.schema.interned[string(name)]
+	in, declared := c.schema.interned[string(name)]
 	if !declared {
 		return c.violate("element <%s> is not declared in the DTD", name)
 	}
@@ -132,18 +197,70 @@ func startElement[S streamText](c *StreamChecker, name S) error {
 	// aliases the document, and anything the checker retains (open-element
 	// names, recognizer elements — including freelisted recognizers that
 	// outlive Reset) must not pin the document buffer.
-	if len(c.stack) > 0 {
-		top := c.stack[len(c.stack)-1]
-		if !top.Validate(Elem(interned)) {
-			return c.violate("content of <%s> is not potentially valid at <%s>", c.names[len(c.names)-1], interned)
+	if len(c.frames) > 0 {
+		if !c.feedTop(in.id) {
+			return c.violate("content of <%s> is not potentially valid at <%s>", c.frames[len(c.frames)-1].name, in.name)
 		}
-		c.lastWasText[len(c.lastWasText)-1] = false
+		c.frames[len(c.frames)-1].lastWasText = false
+	} else if in.name != c.schema.Root {
+		c.strict = false // the full validator pins the root to the schema root
 	}
-	c.stack = append(c.stack, c.newRecognizer(interned))
-	c.names = append(c.names, interned)
-	c.lastWasText = append(c.lastWasText, false)
+	f := frame{name: in.name, id: in.id, prefixStart: int32(len(c.prefix))}
+	if mach := c.schema.fastMachine(in.id); mach != nil {
+		f.mach = mach
+	} else {
+		f.rec = c.newRecognizer(in.name)
+		c.strict = false
+	}
+	c.frames = append(c.frames, f)
 	c.depth++
 	return nil
+}
+
+// maxBufferedChildren caps how many child symbols one frame may buffer on
+// its DFA lane. An element exceeding the cap falls back to its recognizer
+// (O(1) state per element), so the checker's extra memory is a constant
+// per open element and the reader path keeps its O(depth + window) bound
+// even over pathologically flat documents.
+const maxBufferedChildren = 1024
+
+// feedTop advances the innermost open element by one child symbol. While
+// the frame is on its DFA lane this is one table load; the first symbol
+// the DFA cannot take (or the forced-fallback knob, or the buffering cap)
+// switches the frame to a PV recognizer via fallback. Returns whether the
+// symbol keeps the element's content potentially valid.
+func (c *StreamChecker) feedTop(sym int32) bool {
+	f := &c.frames[len(c.frames)-1]
+	if f.rec == nil {
+		buffered := int32(len(c.prefix)) - f.prefixStart
+		forced := c.forceFallbackAt >= 0 && buffered >= int32(c.forceFallbackAt)
+		if !forced && buffered < maxBufferedChildren {
+			if next := f.mach.Step(f.state, sym); next != dfa.Dead {
+				f.state = next
+				c.prefix = append(c.prefix, sym)
+				return true
+			}
+		}
+		c.fallback(f)
+	}
+	return f.rec.Validate(c.schema.symbolOf(sym))
+}
+
+// fallback abandons f's DFA lane: it spawns the element's recognizer and
+// replays the buffered child-symbol prefix into it. A DFA-viable prefix
+// is a viable prefix of the exact content language, hence completable,
+// hence potentially valid — so the replay cannot reject; the differential
+// fuzz target (FuzzDFAVsRecognizer) pins that invariant.
+func (c *StreamChecker) fallback(f *frame) {
+	rec := c.newRecognizer(f.name)
+	for _, id := range c.prefix[f.prefixStart:] {
+		rec.Validate(c.schema.symbolOf(id))
+	}
+	c.prefix = c.prefix[:f.prefixStart]
+	f.rec = rec
+	f.mach = nil
+	c.fastFallbacks++
+	c.strict = false
 }
 
 // newRecognizer takes a recognizer from the checker's freelist, falling
@@ -172,22 +289,29 @@ func text[S streamText](c *StreamChecker, data S) error {
 		return c.err
 	}
 	if len(data) == 0 || (c.schema.opts.IgnoreWhitespaceText && isSpace(data)) {
+		// Invisible to the checker — but not to the full validator, which
+		// rejects an EMPTY element containing any text node at all, so
+		// the strict-validity shortcut stands down and lets the tree pass
+		// decide.
+		if len(c.frames) > 0 && c.schema.isEmpty[c.frames[len(c.frames)-1].id] {
+			c.strict = false
+		}
 		return nil
 	}
-	if len(c.stack) == 0 {
+	if len(c.frames) == 0 {
 		if isSpace(data) {
 			return nil
 		}
 		return c.fail("character data outside the root element")
 	}
-	i := len(c.stack) - 1
-	if c.lastWasText[i] {
+	f := &c.frames[len(c.frames)-1]
+	if f.lastWasText {
 		return nil // same σ as the previous text event
 	}
-	if !c.stack[i].Validate(Sigma) {
-		return c.violate("content of <%s> is not potentially valid at character data", c.names[i])
+	if !c.feedTop(0) {
+		return c.violate("content of <%s> is not potentially valid at character data", f.name)
 	}
-	c.lastWasText[i] = true
+	f.lastWasText = true
 	return nil
 }
 
@@ -202,20 +326,30 @@ func endElement[S streamText](c *StreamChecker, name S) error {
 	if c.err != nil {
 		return c.err
 	}
-	if len(c.stack) == 0 {
+	if len(c.frames) == 0 {
 		return c.fail("unexpected end tag </%s>", name)
 	}
-	i := len(c.stack) - 1
-	if c.names[i] != string(name) {
-		return c.fail("end tag </%s> does not match open <%s>", name, c.names[i])
+	i := len(c.frames) - 1
+	f := &c.frames[i]
+	if f.name != string(name) {
+		return c.fail("end tag </%s> does not match open <%s>", name, f.name)
 	}
-	c.free = append(c.free, c.stack[i])
-	c.stack[i] = nil
-	c.stack = c.stack[:i]
-	c.names = c.names[:i]
-	c.lastWasText = c.lastWasText[:i]
+	// Closing never violates potential validity: PV allows completing the
+	// content with hypothesized elements after the close. On the DFA lane
+	// the accepting bit decides the cheaper question — whether the content
+	// as written is a complete word of the model (strict validity).
+	if f.rec == nil {
+		c.fastHits++
+		if !f.mach.Accepting(f.state) {
+			c.strict = false
+		}
+		c.prefix = c.prefix[:f.prefixStart]
+	} else {
+		c.free = append(c.free, f.rec)
+	}
+	c.frames = c.frames[:i]
 	c.depth--
-	if len(c.stack) == 0 {
+	if len(c.frames) == 0 {
 		c.seen = true
 	}
 	return nil
@@ -227,8 +361,8 @@ func (c *StreamChecker) Close() error {
 	if c.err != nil {
 		return c.err
 	}
-	if len(c.stack) > 0 {
-		return c.fail("unclosed element <%s>", c.names[len(c.names)-1])
+	if len(c.frames) > 0 {
+		return c.fail("unclosed element <%s>", c.frames[len(c.frames)-1].name)
 	}
 	if !c.seen {
 		return c.fail("no root element")
@@ -311,10 +445,11 @@ func (c *StreamChecker) RunBytes(src []byte) error {
 
 // RunReader is Run over an io.Reader: the document is lexed through a
 // sliding window (xmltext.ChunkedLexer) and never held in memory, so peak
-// usage is O(element depth + window), independent of document size — the
-// external-memory streaming formulation. Verdicts and error messages are
-// identical to RunBytes over the same bytes. The reader-path verdict is
-// potential validity only; full validity additionally needs the tree pass.
+// usage is O(element depth + buffered child symbols on the open path +
+// window), independent of document size — the external-memory streaming
+// formulation. Verdicts and error messages are identical to RunBytes over
+// the same bytes. The reader-path verdict is potential validity only;
+// full validity additionally needs the tree pass.
 func (c *StreamChecker) RunReader(r io.Reader) error {
 	return c.RunReaderBuffer(r, 0)
 }

@@ -1,0 +1,248 @@
+// Package dfa compiles DTD content models into dense deterministic
+// finite-automaton tables — the fast path of the two-tier streaming
+// checker. Each declared element gets one Machine over interned symbol
+// IDs (σ is ID 0, elements are 1-based in declaration order), built by
+// determinizing the content model's Glushkov position automaton. XML 1.0
+// content models are 1-unambiguous, so subset construction is linear in
+// practice; a state cap guards the rare ambiguous models found in the
+// wild, for which the element simply gets no fast path (a nil Machine) —
+// correctness never depends on a fast path existing, only speed does.
+//
+// A Machine step is one bounds-checked table load with zero allocations.
+// Glushkov automata are trim (every state lies on some accepting path),
+// so any live Machine state witnesses a viable prefix of the exact
+// content language: while an element stays on its DFA lane its content
+// is completable to strictly valid, and a fortiori potentially valid.
+// A Dead transition only means the exact model cannot continue — the PV
+// recognizer, which may hypothesize inserted elements, takes over from
+// there.
+//
+// Tables are immutable after Compile and safe to share across any number
+// of concurrent checkers.
+package dfa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// Dead is the transition-table entry meaning "no transition": the symbol
+// is not part of any continuation of the exact content model from this
+// state.
+const Dead = -1
+
+// DefaultMaxStates caps per-element subset construction. Deterministic
+// content models determinize to at most positions+1 states, so only a
+// pathologically ambiguous model can approach the cap; such an element
+// falls back to the PV recognizer for every document.
+const DefaultMaxStates = 512
+
+// Machine is one element's content-model DFA over interned symbol IDs.
+// State 0 is the start state; Trans is a dense row-major table indexed by
+// state*Stride()+symbol, holding the next state or Dead.
+type Machine struct {
+	// Trans is the dense transition table, len(Accept)*stride entries.
+	Trans []int32
+	// Accept marks states in which the symbols consumed so far form a
+	// complete word of the content model (the element may close strictly
+	// valid here).
+	Accept []bool
+
+	stride int32
+}
+
+// NewMachine assembles a Machine from raw decoded tables, validating the
+// shape (the codec path). trans must hold len(accept)*stride entries,
+// each either Dead or a valid state index.
+func NewMachine(trans []int32, accept []bool, stride int32) (*Machine, error) {
+	n := len(accept)
+	if n == 0 {
+		return nil, fmt.Errorf("dfa: machine with no states")
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("dfa: non-positive stride %d", stride)
+	}
+	if len(trans) != n*int(stride) {
+		return nil, fmt.Errorf("dfa: transition table has %d entries, want %d states x %d symbols", len(trans), n, stride)
+	}
+	for _, v := range trans {
+		if v < Dead || v >= int32(n) {
+			return nil, fmt.Errorf("dfa: transition target %d out of range (%d states)", v, n)
+		}
+	}
+	return &Machine{Trans: trans, Accept: accept, stride: stride}, nil
+}
+
+// Step returns the successor of state on symbol sym, or Dead.
+func (m *Machine) Step(state, sym int32) int32 {
+	return m.Trans[state*m.stride+sym]
+}
+
+// Accepting reports whether state accepts (a complete word of the model).
+func (m *Machine) Accepting(state int32) bool { return m.Accept[state] }
+
+// States returns the machine's state count.
+func (m *Machine) States() int { return len(m.Accept) }
+
+// Stride returns the symbol-alphabet size (σ plus every declared element).
+func (m *Machine) Stride() int32 { return m.stride }
+
+// Set holds the per-element machines of one compiled schema.
+type Set struct {
+	// Stride is the shared alphabet size: σ (ID 0) plus one ID per
+	// declared element in declaration order.
+	Stride int32
+	// ByID holds the machine for element ID i+1 (declaration order), nil
+	// for elements with no fast path (subset construction exceeded the
+	// state cap).
+	ByID []*Machine
+}
+
+// Machine returns the machine for the 1-based element symbol ID, or nil
+// when that element has no fast path.
+func (s *Set) Machine(id int32) *Machine { return s.ByID[id-1] }
+
+// States returns the total state count across all machines — the
+// pv_engine_dfa_states gauge.
+func (s *Set) States() int {
+	n := 0
+	for _, m := range s.ByID {
+		if m != nil {
+			n += m.States()
+		}
+	}
+	return n
+}
+
+// Compile builds the DFA set for every element of d. maxStates caps
+// per-element subset construction (<=0 selects DefaultMaxStates); an
+// element over the cap — or one whose model references an undeclared
+// element — gets a nil machine.
+func Compile(d *dtd.DTD, maxStates int) *Set {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	m := len(d.Order)
+	stride := int32(m + 1)
+	ids := make(map[string]int32, m)
+	for i, name := range d.Order {
+		ids[name] = int32(i + 1)
+	}
+	set := &Set{Stride: stride, ByID: make([]*Machine, m)}
+	for i, name := range d.Order {
+		set.ByID[i] = compileElement(d.Elements[name], ids, stride, maxStates)
+	}
+	return set
+}
+
+func compileElement(decl *dtd.ElementDecl, ids map[string]int32, stride int32, maxStates int) *Machine {
+	switch decl.Category {
+	case dtd.Empty:
+		// One accepting state, no transitions: any content leaves the
+		// fast path (and EMPTY content is beyond even the recognizer's
+		// repair, so the fallback promptly reports the violation).
+		trans := make([]int32, stride)
+		for i := range trans {
+			trans[i] = Dead
+		}
+		return &Machine{Trans: trans, Accept: []bool{true}, stride: stride}
+	case dtd.Any:
+		// One accepting state with self-loops on the whole alphabet:
+		// ANY admits text and every declared element in any order
+		// (undeclared names are rejected before the table is consulted).
+		return &Machine{Trans: make([]int32, stride), Accept: []bool{true}, stride: stride}
+	}
+	return determinize(contentmodel.CompileAutomaton(decl.Model), ids, stride, maxStates)
+}
+
+// determinize subset-constructs the DFA from a Glushkov automaton. DFA
+// states are sets of Glushkov positions; state 0 is the initial state
+// (its move candidates are the first set). Returns nil when the state
+// count would exceed maxStates or a position carries an unknown symbol.
+func determinize(a *contentmodel.Automaton, ids map[string]int32, stride int32, maxStates int) *Machine {
+	positions := a.Positions()
+	posSym := make([]int32, positions+1)
+	for p := 1; p <= positions; p++ {
+		sym := a.Symbol(p)
+		if sym == contentmodel.PCDATASymbol {
+			continue // posSym[p] = 0 = σ
+		}
+		id, ok := ids[sym]
+		if !ok {
+			return nil // undeclared reference; core.Compile rejects these upstream
+		}
+		posSym[p] = id
+	}
+
+	sets := [][]int{nil} // position set per DFA state; nil = initial
+	index := map[string]int32{}
+	accept := []bool{a.Nullable()}
+	overflow := false
+	intern := func(set []int) int32 {
+		k := fmt.Sprint(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		if len(sets) >= maxStates {
+			overflow = true
+			return Dead
+		}
+		id := int32(len(sets))
+		index[k] = id
+		sets = append(sets, set)
+		acc := false
+		for _, p := range set {
+			if a.Last(p) {
+				acc = true
+				break
+			}
+		}
+		accept = append(accept, acc)
+		return id
+	}
+
+	var trans []int32
+	for qi := 0; qi < len(sets); qi++ {
+		// Move candidates: the positions reachable in one step from any
+		// position of this state.
+		var cands []int
+		if qi == 0 {
+			cands = a.First()
+		} else {
+			seen := map[int]bool{}
+			for _, p := range sets[qi] {
+				for _, q := range a.Follow(p) {
+					seen[q] = true
+				}
+			}
+			cands = make([]int, 0, len(seen))
+			for p := range seen {
+				cands = append(cands, p)
+			}
+			sort.Ints(cands)
+		}
+		bySym := map[int32][]int{}
+		for _, p := range cands {
+			bySym[posSym[p]] = append(bySym[posSym[p]], p)
+		}
+		row := make([]int32, stride)
+		// Fixed symbol order keeps state numbering — and therefore the
+		// serialized tables — deterministic across builds.
+		for sym := int32(0); sym < stride; sym++ {
+			tgt, ok := bySym[sym]
+			if !ok {
+				row[sym] = Dead
+				continue
+			}
+			row[sym] = intern(tgt)
+			if overflow {
+				return nil
+			}
+		}
+		trans = append(trans, row...)
+	}
+	return &Machine{Trans: trans, Accept: accept, stride: stride}
+}

@@ -1,0 +1,182 @@
+package dfa
+
+import (
+	"testing"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// run drives the machine over a symbol sequence and returns the final
+// state, or Dead as soon as a transition is missing.
+func run(m *Machine, syms []int32) int32 {
+	state := int32(0)
+	for _, s := range syms {
+		state = m.Step(state, s)
+		if state == Dead {
+			return Dead
+		}
+	}
+	return state
+}
+
+func compileOne(t *testing.T, src, elem string) (*Set, *Machine, map[string]int32) {
+	t.Helper()
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	set := Compile(d, 0)
+	ids := map[string]int32{contentmodel.PCDATASymbol: 0}
+	for i, name := range d.Order {
+		ids[name] = int32(i + 1)
+	}
+	return set, set.Machine(ids[elem]), ids
+}
+
+func TestSequenceModel(t *testing.T) {
+	src := `<!ELEMENT r (a, b*, c?)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`
+	_, m, ids := compileOne(t, src, "r")
+	if m == nil {
+		t.Fatal("deterministic model got no machine")
+	}
+	a, b, c := ids["a"], ids["b"], ids["c"]
+	cases := []struct {
+		syms   []int32
+		alive  bool
+		accept bool
+	}{
+		{nil, true, false},
+		{[]int32{a}, true, true},
+		{[]int32{a, b}, true, true},
+		{[]int32{a, b, b, c}, true, true},
+		{[]int32{a, c}, true, true},
+		{[]int32{a, c, b}, false, false}, // b after c
+		{[]int32{b}, false, false},       // must start with a
+		{[]int32{a, 0}, false, false},    // σ in element content
+	}
+	for _, tc := range cases {
+		state := run(m, tc.syms)
+		if (state != Dead) != tc.alive {
+			t.Errorf("syms %v: alive = %v, want %v", tc.syms, state != Dead, tc.alive)
+			continue
+		}
+		if tc.alive && m.Accepting(state) != tc.accept {
+			t.Errorf("syms %v: accepting = %v, want %v", tc.syms, m.Accepting(state), tc.accept)
+		}
+	}
+}
+
+func TestMixedModel(t *testing.T) {
+	src := `<!ELEMENT p (#PCDATA | b | i)*> <!ELEMENT b EMPTY> <!ELEMENT i EMPTY>`
+	_, m, ids := compileOne(t, src, "p")
+	if m == nil {
+		t.Fatal("mixed model got no machine")
+	}
+	b, i := ids["b"], ids["i"]
+	for _, syms := range [][]int32{nil, {0}, {b}, {0, b, 0, i, b}, {i, i, 0}} {
+		state := run(m, syms)
+		if state == Dead || !m.Accepting(state) {
+			t.Errorf("mixed content %v should be accepted (state %d)", syms, state)
+		}
+	}
+}
+
+func TestEmptyAndAny(t *testing.T) {
+	src := `<!ELEMENT r (e, y)> <!ELEMENT e EMPTY> <!ELEMENT y ANY>`
+	set, _, ids := compileOne(t, src, "r")
+	e := set.Machine(ids["e"])
+	if !e.Accepting(0) {
+		t.Error("EMPTY start state must accept")
+	}
+	if e.Step(0, ids["y"]) != Dead || e.Step(0, 0) != Dead {
+		t.Error("EMPTY must have no transitions")
+	}
+	y := set.Machine(ids["y"])
+	if !y.Accepting(0) {
+		t.Error("ANY start state must accept")
+	}
+	for sym := int32(0); sym < set.Stride; sym++ {
+		if y.Step(0, sym) != 0 {
+			t.Errorf("ANY must self-loop on symbol %d", sym)
+		}
+	}
+}
+
+// TestMatchesGlushkov cross-checks the DFA against the Glushkov
+// automaton's own Match/MatchPrefix over every symbol string up to length
+// 4: the DFA must stay alive exactly on viable prefixes and accept
+// exactly the language.
+func TestMatchesGlushkov(t *testing.T) {
+	src := `<!ELEMENT r ((a, b) | ((a, c)*, d))> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>`
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	auto := contentmodel.CompileAutomaton(d.Elements["r"].Model)
+	set := Compile(d, 0)
+	m := set.Machine(1)
+	if m == nil {
+		t.Fatal("model got no machine (ambiguous models still determinize under the cap)")
+	}
+	alphabet := []string{"a", "b", "c", "d"}
+	var walk func(syms []string, idsyms []int32)
+	walk = func(syms []string, idsyms []int32) {
+		state := run(m, idsyms)
+		wantAlive := auto.MatchPrefix(syms) == len(syms)
+		if (state != Dead) != wantAlive {
+			t.Fatalf("syms %v: DFA alive=%v, Glushkov viable=%v", syms, state != Dead, wantAlive)
+		}
+		if state != Dead {
+			if got, want := m.Accepting(state), auto.Match(syms); got != want {
+				t.Fatalf("syms %v: DFA accept=%v, Glushkov match=%v", syms, got, want)
+			}
+		}
+		if len(syms) == 4 {
+			return
+		}
+		for i, a := range alphabet {
+			walk(append(syms, a), append(idsyms, int32(i+2))) // r=1, a..d = 2..5
+		}
+	}
+	walk(nil, nil)
+}
+
+func TestStateCapDisablesFastPath(t *testing.T) {
+	src := `<!ELEMENT r (a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	set := Compile(d, 2) // (a, b) needs 3 states
+	if set.Machine(1) != nil {
+		t.Error("over-cap model should have no machine")
+	}
+	if set.Machine(2) == nil || set.Machine(3) == nil {
+		t.Error("EMPTY machines are never capped")
+	}
+	if set.States() != 2 {
+		t.Errorf("States() = %d, want 2 (the two EMPTY machines)", set.States())
+	}
+}
+
+func TestNewMachineValidates(t *testing.T) {
+	if _, err := NewMachine([]int32{0, Dead}, []bool{true}, 2); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		trans  []int32
+		accept []bool
+		stride int32
+	}{
+		{nil, nil, 2},                     // no states
+		{[]int32{0}, []bool{true}, 2},     // short table
+		{[]int32{1, 0}, []bool{true}, 2},  // target out of range
+		{[]int32{-2, 0}, []bool{true}, 2}, // below Dead
+		{[]int32{0, 0}, []bool{true}, 0},  // bad stride
+	} {
+		if _, err := NewMachine(tc.trans, tc.accept, tc.stride); err == nil {
+			t.Errorf("NewMachine(%v, %v, %d) accepted invalid shape", tc.trans, tc.accept, tc.stride)
+		}
+	}
+}

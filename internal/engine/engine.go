@@ -145,6 +145,12 @@ type Config struct {
 	// PVOnly skips the full-validity bit (which needs a tree parse of every
 	// potentially valid document) — the fastest mode for firehose filtering.
 	PVOnly bool
+	// DisableFastPath makes every schema this engine compiles skip the
+	// content-model DFA fast path, running the PV recognizer for every
+	// element (engine-wide CompileOptions.DisableFastPath). Verdicts are
+	// identical; the knob exists for apples-to-apples benching and as an
+	// operational escape hatch.
+	DisableFastPath bool
 	// JobWorkers bounds how many async jobs execute concurrently (each
 	// job's chunks still share the engine-wide Workers semaphore, so this
 	// bounds job-level parallelism, not CPU use); <=0 selects 2.
@@ -193,8 +199,9 @@ type Engine struct {
 	jobs        *jobs.Manager
 	workers     int
 	pvOnly      bool
-	maxDocBytes int // per-document cap on the NDJSON stream routes
-	streamBuf   int // CheckReader sliding-window size; 0 = xmltext default
+	noFastPath  bool // Config.DisableFastPath: compile every schema slow-tier only
+	maxDocBytes int  // per-document cap on the NDJSON stream routes
+	streamBuf   int  // CheckReader sliding-window size; 0 = xmltext default
 	// recovery holds the replay outcome when the engine recovered jobs
 	// from a persistent store at Open (recovered reports whether it did).
 	recovery  jobs.RecoveryStats
@@ -220,6 +227,12 @@ type Engine struct {
 	inserted  atomic.Int64
 	bytes     atomic.Int64
 	busyNanos atomic.Int64 // wall-clock spent inside CheckBatch calls
+
+	// fastHits / fastFallbacks count elements settled entirely on the DFA
+	// fast path vs elements that fell back to a PV recognizer, across all
+	// checking paths.
+	fastHits      atomic.Int64
+	fastFallbacks atomic.Int64
 
 	receiptsBuilt    atomic.Int64
 	receiptsAnchored atomic.Int64
@@ -287,6 +300,7 @@ func Open(cfg Config) (*Engine, error) {
 		}),
 		workers:     w,
 		pvOnly:      cfg.PVOnly,
+		noFastPath:  cfg.DisableFastPath,
 		maxDocBytes: cfg.MaxDocBytes,
 		streamBuf:   cfg.StreamBufBytes,
 		sem:         make(chan struct{}, w),
@@ -363,8 +377,12 @@ func (e *Engine) Registry() *Registry { return e.reg }
 func (e *Engine) Workers() int { return e.workers }
 
 // Compile resolves a schema through the store (compile-once, sharded LRU,
-// optional disk tier).
+// optional disk tier). An engine opened with Config.DisableFastPath
+// forces the slow tier onto every compilation.
 func (e *Engine) Compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, error) {
+	if e.noFastPath {
+		opts.DisableFastPath = true
+	}
 	return e.store.Compile(kind, src, root, opts)
 }
 
@@ -381,6 +399,7 @@ func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
 	} else {
 		err = c.Run(d.Content)
 	}
+	e.harvestFastPath(c)
 	if err != nil {
 		if core.IsViolation(err) {
 			res.Detail = err.Error()
@@ -391,6 +410,16 @@ func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
 	}
 	res.PotentiallyValid = true
 	if !e.pvOnly {
+		if c.StrictlyValid() {
+			// Every element closed in an accepting DFA state: the content
+			// is a complete word of its model everywhere, so the document
+			// is fully valid and the tree parse has nothing left to
+			// decide. This is the fast path's big win on valid-heavy
+			// traffic — the whole DOM pass disappears (X15 prices it, the
+			// engine differential test pins verdict equality).
+			res.Valid = true
+			return res
+		}
 		var doc *dom.Document
 		var perr error
 		if d.Bytes != nil {
@@ -410,6 +439,18 @@ func (e *Engine) check(s *Schema, c *core.StreamChecker, d Doc) Result {
 		res.Valid = s.Valid.Validate(doc.Root) == nil
 	}
 	return res
+}
+
+// harvestFastPath folds one finished run's fast-path counters into the
+// engine's lifetime totals.
+func (e *Engine) harvestFastPath(c *core.StreamChecker) {
+	hits, fallbacks := c.FastPathStats()
+	if hits != 0 {
+		e.fastHits.Add(hits)
+	}
+	if fallbacks != 0 {
+		e.fastFallbacks.Add(fallbacks)
+	}
 }
 
 // RoutingError marks a failure to route a document to a schema (an
@@ -542,6 +583,7 @@ func (e *Engine) CheckReader(s *Schema, id string, r io.Reader) Result {
 	c := s.checkers.Get().(*core.StreamChecker)
 	cr := &countReader{r: r}
 	err := c.RunReaderBuffer(cr, e.streamBuf)
+	e.harvestFastPath(c)
 	s.checkers.Put(c)
 	res := Result{ID: id, Bytes: int(cr.n)}
 	switch {
@@ -704,21 +746,31 @@ type Stats struct {
 	// and anchor-log records written.
 	ReceiptsBuilt    int64 `json:"receiptsBuilt"`
 	ReceiptsAnchored int64 `json:"receiptsAnchored"`
+	// FastPathHits counts elements settled entirely on the content-model
+	// DFA fast path; FastPathFallbacks counts elements that fell back to
+	// the PV recognizer. DFAStates gauges the compiled DFA states resident
+	// across the schema store.
+	FastPathHits      int64 `json:"fastPathHits"`
+	FastPathFallbacks int64 `json:"fastPathFallbacks"`
+	DFAStates         int64 `json:"dfaStates"`
 }
 
 // Stats returns the engine's lifetime counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Workers:          e.workers,
-		Docs:             e.docs.Load(),
-		PotentiallyValid: e.pv.Load(),
-		Valid:            e.valid.Load(),
-		Malformed:        e.malformed.Load(),
-		RoutingErrors:    e.routing.Load(),
-		Inserted:         e.inserted.Load(),
-		Bytes:            e.bytes.Load(),
-		BusyNanos:        e.busyNanos.Load(),
-		ReceiptsBuilt:    e.receiptsBuilt.Load(),
-		ReceiptsAnchored: e.receiptsAnchored.Load(),
+		Workers:           e.workers,
+		Docs:              e.docs.Load(),
+		PotentiallyValid:  e.pv.Load(),
+		Valid:             e.valid.Load(),
+		Malformed:         e.malformed.Load(),
+		RoutingErrors:     e.routing.Load(),
+		Inserted:          e.inserted.Load(),
+		Bytes:             e.bytes.Load(),
+		BusyNanos:         e.busyNanos.Load(),
+		ReceiptsBuilt:     e.receiptsBuilt.Load(),
+		ReceiptsAnchored:  e.receiptsAnchored.Load(),
+		FastPathHits:      e.fastHits.Load(),
+		FastPathFallbacks: e.fastFallbacks.Load(),
+		DFAStates:         e.store.Stats().DFAStates,
 	}
 }

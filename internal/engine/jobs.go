@@ -40,8 +40,8 @@ func (e *Engine) Jobs() *jobs.Manager { return e.jobs }
 // inline (Bytes base64-encoded by encoding/json); schemas travel as
 // registry refs, never as compiled artifacts.
 type jobPayload struct {
-	Op     string       `json:"op"`               // "check" or "complete"
-	Schema string       `json:"schema,omitempty"` // default schema's registry ref
+	Op     string `json:"op"`               // "check" or "complete"
+	Schema string `json:"schema,omitempty"` // default schema's registry ref
 	// HasDefault distinguishes "submitted without a default schema" (docs
 	// route themselves; errors reproduce faithfully) from "the default
 	// schema had no registry ref to persist" (unrecoverable).

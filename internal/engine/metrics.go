@@ -27,6 +27,9 @@ func (e *Engine) WriteMetrics(out io.Writer) error {
 	w.Counter("pv_engine_busy_seconds_total", "Wall-clock seconds spent inside batch checking.", float64(es.BusyNanos)/1e9)
 	w.Counter("pv_engine_receipts_built_total", "Verdict receipts committed.", float64(es.ReceiptsBuilt))
 	w.Counter("pv_engine_receipts_anchored_total", "Receipt roots appended to the anchor log.", float64(es.ReceiptsAnchored))
+	w.Counter("pv_engine_fast_path_hits_total", "Elements settled entirely on the content-model DFA fast path.", float64(es.FastPathHits))
+	w.Counter("pv_engine_fast_path_fallbacks_total", "Elements that fell back from the DFA fast path to a PV recognizer.", float64(es.FastPathFallbacks))
+	w.Gauge("pv_engine_dfa_states", "Compiled content-model DFA states resident across the schema store.", float64(es.DFAStates))
 
 	rs := e.Store().Stats()
 	w.Gauge("pv_schema_store_size", "Compiled schemas resident in the registry.", float64(rs.Size))

@@ -52,6 +52,9 @@ func encodeEnvelope(k *key, srcLen int, s *Schema) ([]byte, error) {
 	if k.opts.AllowAnyRoot {
 		flags |= 2
 	}
+	if k.opts.DisableFastPath {
+		flags |= 4
+	}
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, uint64(k.opts.MaxDepth))
 	buf = binary.AppendUvarint(buf, uint64(srcLen))
@@ -112,6 +115,7 @@ func decodeEnvelope(data []byte) (*envelope, error) {
 	pos++
 	env.key.opts.IgnoreWhitespaceText = flags&1 != 0
 	env.key.opts.AllowAnyRoot = flags&2 != 0
+	env.key.opts.DisableFastPath = flags&4 != 0
 	maxDepth, err := next()
 	if err != nil {
 		return nil, err

@@ -332,6 +332,9 @@ func scrapeParity(t *testing.T, h http.Handler, instance string) {
 		"pv_engine_bytes_total":               float64(stats.Engine.Bytes),
 		"pv_engine_receipts_built_total":      float64(stats.Engine.ReceiptsBuilt),
 		"pv_engine_receipts_anchored_total":   float64(stats.Engine.ReceiptsAnchored),
+		"pv_engine_fast_path_hits_total":      float64(stats.Engine.FastPathHits),
+		"pv_engine_fast_path_fallbacks_total": float64(stats.Engine.FastPathFallbacks),
+		"pv_engine_dfa_states":                float64(stats.Engine.DFAStates),
 		"pv_schema_store_size":                float64(stats.Registry.Size),
 		"pv_schema_store_capacity":            float64(stats.Registry.Capacity),
 		"pv_schema_store_shards":              float64(stats.Registry.Shards),

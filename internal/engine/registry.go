@@ -61,6 +61,11 @@ type CompileOptions struct {
 	MaxDepth             int
 	IgnoreWhitespaceText bool
 	AllowAnyRoot         bool
+	// DisableFastPath compiles the schema without content-model DFA
+	// tables, forcing every check onto the PV recognizer (core.Options.
+	// DisableFastPath). Part of the key: the fast and slow artifacts of
+	// one source are distinct cache entries with distinct refs.
+	DisableFastPath bool
 }
 
 // key identifies one compiled artifact: source hash + root + options +
@@ -144,8 +149,9 @@ type Registry struct {
 
 // RegistryStats is a snapshot of store counters. DiskLoads counts schemas
 // rehydrated from the disk tier without compiling; DiskDiscards counts
-// cache blobs discarded as corrupt or version-mismatched; Disk carries the
-// disk tier's own I/O counters and is nil when no cache directory is
+// cache blobs discarded as corrupt or version-mismatched; DFAStates sums
+// the compiled fast-path DFA states across resident schemas; Disk carries
+// the disk tier's own I/O counters and is nil when no cache directory is
 // configured.
 type RegistryStats struct {
 	Size         int                `json:"size"`
@@ -157,6 +163,7 @@ type RegistryStats struct {
 	Compiles     int64              `json:"compiles"`
 	DiskLoads    int64              `json:"diskLoads,omitempty"`
 	DiskDiscards int64              `json:"diskDiscards,omitempty"`
+	DFAStates    int64              `json:"dfaStates"`
 	Disk         *schemastore.Stats `json:"disk,omitempty"`
 }
 
@@ -413,6 +420,7 @@ func compile(kind SourceKind, src, root string, opts CompileOptions) (*Schema, e
 		MaxDepth:             opts.MaxDepth,
 		IgnoreWhitespaceText: opts.IgnoreWhitespaceText,
 		AllowAnyRoot:         opts.AllowAnyRoot,
+		DisableFastPath:      opts.DisableFastPath,
 	})
 	if err != nil {
 		return nil, err
@@ -440,6 +448,12 @@ func (r *Registry) Stats() RegistryStats {
 		st.Hits += sh.hits
 		st.Misses += sh.misses
 		st.Evictions += sh.evictions
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if e.done.Load() && e.schema != nil { // schema is immutable once done
+				st.DFAStates += int64(e.schema.Core.FastPathStates())
+			}
+		}
 		sh.mu.Unlock()
 	}
 	if r.disk != nil {

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -183,6 +186,81 @@ func TestDiskTierCorruptionFallsBack(t *testing.T) {
 	}
 	if _, statErr := os.Stat(blobPath); !os.IsNotExist(statErr) {
 		t.Errorf("corrupt blob should have been deleted")
+	}
+}
+
+// TestDiskTierStaleVersionRecompiles pins the codec version-bump
+// discipline: a disk blob whose core payload carries an older
+// BinaryVersion (here: a pre-fast-path version 1 blob, crafted by patching
+// a good blob's version varint and re-sealing its CRC) is discarded on
+// load and the schema recompiled from source — stale schemastore caches
+// can never smuggle in DFA-less artifacts under the current version.
+func TestDiskTierStaleVersionRecompiles(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e1.Compile(DTDSource, dtd.Play, "play", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobPath := filepath.Join(dir, s.Ref[:2], s.Ref+".pvsc")
+	blob, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The core payload starts at the "PVSC" magic inside the engine
+	// envelope; its version uvarint is the byte after the magic (small
+	// versions are single-byte uvarints), and the payload ends in a CRC32
+	// of everything before the checksum.
+	idx := bytes.Index(blob, []byte("PVSC"))
+	if idx < 0 {
+		t.Fatal("no core payload magic in the disk blob")
+	}
+	payload := blob[idx:]
+	if payload[4] != 2 {
+		t.Fatalf("payload version byte = %d, want 2 (update this test alongside BinaryVersion)", payload[4])
+	}
+	payload[4] = 1
+	binary.LittleEndian.PutUint32(payload[len(payload)-4:], crc32.ChecksumIEEE(payload[:len(payload)-4]))
+	if err := os.WriteFile(blobPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e2.Compile(DTDSource, dtd.Play, "play", CompileOptions{})
+	if err != nil {
+		t.Fatalf("stale-version blob must fall back to compile: %v", err)
+	}
+	if s2.Ref != s.Ref {
+		t.Fatalf("ref changed across the version fallback")
+	}
+	if !s2.Core.FastPathEnabled() {
+		t.Fatal("recompiled schema lost its DFA fast path")
+	}
+	st := e2.Store().Stats()
+	if st.Compiles != 1 || st.DiskDiscards != 1 || st.DiskLoads != 0 {
+		t.Fatalf("stale-version fallback stats = %+v", st)
+	}
+	res := e2.Check(nil, Doc{ID: "d", Content: `<play><title>t</title></play>`, SchemaRef: s.Ref})
+	if res.Err != nil || !res.PotentiallyValid {
+		t.Fatalf("check after version fallback: %+v", res)
+	}
+	// The recompile re-persisted a current-version blob; a fresh engine
+	// loads it clean.
+	e3, err := Open(Config{Workers: 2, CacheDir: dir, VolatileJobs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e3.Compile(DTDSource, dtd.Play, "play", CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e3.Store().Stats(); st.Compiles != 0 || st.DiskLoads != 1 {
+		t.Fatalf("post-reseal stats = %+v", st)
 	}
 }
 

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+// TestEngineTwoTierDifferential pins that the DFA fast path — including
+// the strict-validity shortcut that skips the tree pass — is invisible in
+// engine verdicts: a fast engine and a DisableFastPath engine produce
+// identical PotentiallyValid, Valid and Detail for 1000+ generated
+// documents (valid, stripped, corrupted) across the fixture and random
+// DTDs, plus the shortcut's corner cases (whitespace inside EMPTY
+// elements, AllowAnyRoot with a non-schema root).
+func TestEngineTwoTierDifferential(t *testing.T) {
+	fast, err := Open(Config{Workers: 4, VolatileJobs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	slow, err := Open(Config{Workers: 4, VolatileJobs: true, DisableFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+
+	type workload struct {
+		src  string
+		root string
+		opts CompileOptions
+		docs []Doc
+	}
+	rng := rand.New(rand.NewSource(406))
+	var workloads []workload
+
+	// Fixture DTDs plus random ones of every recursion class.
+	type schemaCase struct {
+		src  string
+		root string
+		opts CompileOptions
+	}
+	cases := []schemaCase{
+		{dtd.Figure1, "r", CompileOptions{}},
+		{dtd.Figure1, "r", CompileOptions{IgnoreWhitespaceText: true}},
+		{dtd.Figure1, "r", CompileOptions{AllowAnyRoot: true}},
+		{dtd.Play, "play", CompileOptions{}},
+		{dtd.WeakRecursive, "p", CompileOptions{}},
+		{dtd.T2, "a", CompileOptions{}},
+	}
+	for _, class := range []gen.DTDClass{gen.ClassNonRecursive, gen.ClassWeak, gen.ClassStrong} {
+		d := gen.RandDTD(rng, gen.DTDOptions{Elements: 8 + rng.Intn(8), Class: class})
+		cases = append(cases, schemaCase{d.String(), "e0", CompileOptions{}})
+	}
+	for _, sc := range cases {
+		d, err := dtd.Parse(sc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := workload{src: sc.src, root: sc.root, opts: sc.opts}
+		for i := 0; i < 120; i++ {
+			doc := gen.GenValid(rng, d, sc.root, gen.DocOptions{MaxDepth: 6, MaxRepeat: 3})
+			switch i % 4 {
+			case 1:
+				gen.Strip(rng, doc, 0.3)
+			case 2:
+				gen.Corrupt(rng, d, doc)
+			case 3:
+				gen.StripAll(doc)
+			}
+			w.docs = append(w.docs, Doc{ID: fmt.Sprintf("%s-%d", sc.root, i), Content: doc.String()})
+		}
+		workloads = append(workloads, w)
+	}
+	// Hand-written corners the generator cannot hit: checker-invisible
+	// text inside EMPTY elements (the validator rejects it, the stream
+	// checker never sees it) and a non-schema root under AllowAnyRoot.
+	workloads = append(workloads,
+		workload{src: dtd.Figure1, root: "r", opts: CompileOptions{IgnoreWhitespaceText: true}, docs: []Doc{
+			{ID: "ws-in-empty", Content: "<r><a><b><d>t</d></b><c>y</c><d><e> </e></d></a></r>"},
+			{ID: "valid", Content: "<r><a><b><d>t</d></b><c>y</c><d><e></e></d></a></r>"},
+		}},
+		workload{src: dtd.Figure1, root: "r", opts: CompileOptions{}, docs: []Doc{
+			{ID: "cdata-in-empty", Content: "<r><a><b><d>t</d></b><c>y</c><d><e><![CDATA[]]></e></d></a></r>"},
+		}},
+		workload{src: dtd.Figure1, root: "r", opts: CompileOptions{AllowAnyRoot: true}, docs: []Doc{
+			{ID: "anyroot-d", Content: "<d><e></e>t</d>"},
+			{ID: "anyroot-r", Content: "<r><a><b><d>t</d></b><c>y</c><d><e></e></d></a></r>"},
+		}},
+	)
+
+	total := 0
+	for _, w := range workloads {
+		fs, err := fast.Compile(DTDSource, w.src, w.root, w.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := slow.Compile(DTDSource, w.src, w.root, w.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, _ := fast.CheckBatch(fs, w.docs)
+		sr, _ := slow.CheckBatch(ss, w.docs)
+		for i := range w.docs {
+			if fr[i].PotentiallyValid != sr[i].PotentiallyValid ||
+				fr[i].Valid != sr[i].Valid ||
+				fr[i].Detail != sr[i].Detail ||
+				(fr[i].Err != nil) != (sr[i].Err != nil) {
+				t.Fatalf("doc %s (root %s, opts %+v): fast %+v vs slow %+v\n%s",
+					w.docs[i].ID, w.root, w.opts, fr[i], sr[i], w.docs[i].Content)
+			}
+			total++
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("differential corpus too small: %d documents, want >= 1000", total)
+	}
+
+	// The workload above is valid-heavy, so the fast engine must have
+	// settled elements on the DFA lane (and the slow engine must never
+	// have touched it).
+	if st := fast.Stats(); st.FastPathHits == 0 {
+		t.Fatal("fast engine recorded no fast-path hits over a valid-heavy corpus")
+	} else if st.DFAStates == 0 {
+		t.Fatal("fast engine reports no resident DFA states")
+	}
+	if st := slow.Stats(); st.FastPathHits != 0 || st.FastPathFallbacks != 0 || st.DFAStates != 0 {
+		t.Fatalf("slow engine touched the fast path: %+v", st)
+	}
+}

@@ -66,6 +66,11 @@ type Options struct {
 	IgnoreWhitespaceText bool
 	// AllowAnyRoot accepts any declared element as document root.
 	AllowAnyRoot bool
+	// DisableFastPath skips compiling the per-element content-model DFA
+	// tables, so streaming checks run on the PV recognizer alone. Verdicts
+	// are identical either way; the knob exists for apples-to-apples
+	// benchmarking and as an operational escape hatch.
+	DisableFastPath bool
 }
 
 // Class is the paper's DTD classification (Definitions 6-8).
@@ -129,6 +134,7 @@ func (d *DTD) Compile(root string, opts Options) (*Schema, error) {
 		MaxDepth:             opts.MaxDepth,
 		IgnoreWhitespaceText: opts.IgnoreWhitespaceText,
 		AllowAnyRoot:         opts.AllowAnyRoot,
+		DisableFastPath:      opts.DisableFastPath,
 	})
 	if err != nil {
 		return nil, err
@@ -566,6 +572,7 @@ func engineOptions(opts Options) engine.CompileOptions {
 		MaxDepth:             opts.MaxDepth,
 		IgnoreWhitespaceText: opts.IgnoreWhitespaceText,
 		AllowAnyRoot:         opts.AllowAnyRoot,
+		DisableFastPath:      opts.DisableFastPath,
 	}
 }
 
