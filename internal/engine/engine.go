@@ -17,6 +17,7 @@ import (
 	"repro/internal/complete"
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/faultfs"
 	"repro/internal/jobs"
 	"repro/internal/jobs/jobstore"
 	"repro/internal/jobs/walstore"
@@ -180,6 +181,11 @@ type Config struct {
 	// path (CheckReader, /check/raw); <=0 selects xmltext.DefaultChunkSize
 	// (256KB). X13 (bench.StreamingMemory) prices this knob.
 	StreamBufBytes int
+	// FS is the filesystem seam under the engine's durable tier — the
+	// compiled-schema disk cache, the job WAL, and the receipt anchor log
+	// all perform their I/O through it. Nil selects the real filesystem;
+	// crash-consistency tests inject a fault-injecting implementation.
+	FS faultfs.FS
 	// JobStore overrides the job-event store entirely (a custom
 	// jobstore.Store implementation — e.g. a shared store in tests, or a
 	// future database backend). When set, CacheDir/VolatileJobs do not
@@ -212,8 +218,10 @@ type Engine struct {
 	sem chan struct{}
 
 	// cacheDir is Config.CacheDir; the receipt anchor log lives under it
-	// (lazily opened on the first receipt build).
+	// (lazily opened on the first receipt build). fsys is the filesystem
+	// seam (Config.FS) every durable component was built over.
 	cacheDir    string
+	fsys        faultfs.FS
 	instanceID  string
 	anchorsOnce sync.Once
 	anchors     *receipt.AnchorLog
@@ -263,10 +271,13 @@ func Open(cfg Config) (*Engine, error) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS
+	}
 	var disk *schemastore.Cache
 	if cfg.CacheDir != "" {
 		var err error
-		if disk, err = schemastore.Open(cfg.CacheDir); err != nil {
+		if disk, err = schemastore.OpenFS(cfg.CacheDir, cfg.FS); err != nil {
 			return nil, err
 		}
 	}
@@ -282,7 +293,7 @@ func Open(cfg Config) (*Engine, error) {
 	// and a memory-only engine keeps the in-process default.
 	store := cfg.JobStore
 	if store == nil && cfg.CacheDir != "" && !cfg.VolatileJobs {
-		ws, err := walstore.Open(spill, walstore.Options{NoSync: cfg.JobWALNoSync})
+		ws, err := walstore.Open(spill, walstore.Options{NoSync: cfg.JobWALNoSync, FS: cfg.FS})
 		if err != nil {
 			return nil, fmt.Errorf("engine: opening job WAL: %w", err)
 		}
@@ -305,6 +316,7 @@ func Open(cfg Config) (*Engine, error) {
 		streamBuf:   cfg.StreamBufBytes,
 		sem:         make(chan struct{}, w),
 		cacheDir:    cfg.CacheDir,
+		fsys:        cfg.FS,
 		instanceID:  newInstanceID(),
 	}
 	if e.maxDocBytes <= 0 {

@@ -150,7 +150,7 @@ func (e *Engine) anchorLog() (*receipt.AnchorLog, error) {
 		return nil, nil
 	}
 	e.anchorsOnce.Do(func() {
-		e.anchors, e.anchorsErr = receipt.OpenAnchorLog(filepath.Join(e.cacheDir, "receipts"))
+		e.anchors, e.anchorsErr = receipt.OpenAnchorLogFS(filepath.Join(e.cacheDir, "receipts"), e.fsys)
 	})
 	return e.anchors, e.anchorsErr
 }

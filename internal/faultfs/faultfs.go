@@ -1,0 +1,123 @@
+// Package faultfs is the filesystem seam under the engine's durable tier
+// (the job WAL, the compiled-schema disk cache, the receipt anchor log):
+// a small FS interface with a passthrough OS implementation for
+// production and a fault-injecting simulator for crash-consistency
+// testing.
+//
+// The durable packages take an FS at construction and default to OS, so
+// production behavior is byte-for-byte the standard library's. Tests swap
+// in a FaultFS, which models exactly the failure surface a local
+// filesystem exposes to an append-heavy store:
+//
+//   - process/power loss at an arbitrary operation: only bytes explicitly
+//     fsynced survive, the unsynced suffix of a file is torn at byte
+//     granularity, and directory entries (creates, renames, removes) that
+//     were never made durable by a directory fsync may be lost;
+//   - ENOSPC and short writes mid-record;
+//   - one-shot or persistent Sync/Rename failures.
+//
+// Every operation is counted and traced, and every nondeterministic
+// choice (torn-tail length, which unsynced directory entries survive)
+// derives from a caller-provided seed, so any failing crash point replays
+// deterministically from a one-line (seed, op-index) repro. The
+// crash-matrix driver that enumerates every op index of a workload lives
+// in the harness subpackage.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+)
+
+// FS is the filesystem surface the durable tier uses. It is deliberately
+// small: exactly the operations the job WAL, schema cache and anchor log
+// perform, no more. All implementations are safe for concurrent use.
+type FS interface {
+	// Open opens the named file for reading. Opening a directory returns a
+	// handle whose Sync makes the directory's entries durable (the
+	// fsync-the-parent-after-rename idiom).
+	Open(name string) (File, error)
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// OpenFile is the generalized open; it honors the os.O_* flags the
+	// durable tier uses (CREATE, RDWR, WRONLY, APPEND, TRUNC, EXCL).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates a new unique file in dir whose name is built from
+	// pattern (a single '*' is replaced, or a suffix appended), opened for
+	// writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames oldpath to newpath. Durability of the new
+	// entry requires a subsequent parent-directory sync (see SyncDir).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file or empty directory.
+	Remove(name string) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists the named directory, sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// TryLock takes the single-writer advisory lock on the named lock file
+	// (creating it if needed), failing with ErrLocked while another live
+	// holder exists. Closing the returned handle — or the holder's death —
+	// releases it.
+	TryLock(name string) (io.Closer, error)
+}
+
+// File is the open-file surface the durable tier uses: sequential reads
+// and writes, explicit durability, truncation for torn-tail repair.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened as.
+	Name() string
+	// Sync flushes the file's bytes to durable storage. On a directory
+	// handle it makes the entry set durable instead.
+	Sync() error
+	// Truncate changes the file's size (the torn-tail repair path).
+	Truncate(size int64) error
+}
+
+// ErrCrashed is returned by every operation of a FaultFS whose simulated
+// process has crashed (at its planned op index or via Crash). It marks
+// the point past which the workload under test is "dead"; Recover turns
+// the filesystem into the durable post-crash image a fresh process would
+// see.
+var ErrCrashed = errors.New("faultfs: simulated process crash")
+
+// ErrLocked reports that TryLock found another live holder.
+var ErrLocked = errors.New("faultfs: lock is held by another process")
+
+// SyncDir fsyncs the named directory, making its entries (file creates,
+// renames, removes) durable. This is the half of the atomic
+// write-tmp-then-rename idiom that is easy to forget: without it a crash
+// can lose the rename itself even though the file's bytes were synced.
+func SyncDir(fsys FS, dir string) error {
+	d, err := fsys.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// SyncDirs fsyncs each named directory in order, stopping at the first
+// failure. Creating a directory tree durably requires syncing every
+// parent whose entry set changed — callers list them innermost-last.
+func SyncDirs(fsys FS, dirs ...string) error {
+	for _, dir := range dirs {
+		if err := SyncDir(fsys, dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeFile(t *testing.T, fsys FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fsys.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fsys FS, name string) []byte {
+	t.Helper()
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDurableRoundtrip: fully synced bytes and dir entries survive a
+// crash byte-for-byte.
+func TestDurableRoundtrip(t *testing.T) {
+	f := New(NoFaults(1))
+	if err := f.MkdirAll("store/wal", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, f, "store/wal/seg-1", []byte("hello\nworld\n"), true)
+	if err := SyncDirs(f, "store", "store/wal"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Recover()
+	if got := readAll(t, f, "store/wal/seg-1"); !bytes.Equal(got, []byte("hello\nworld\n")) {
+		t.Fatalf("synced content lost: %q", got)
+	}
+}
+
+// TestTornTail: the unsynced suffix of an append is torn at a byte
+// length deterministic in (seed, crash op).
+func TestTornTail(t *testing.T) {
+	lengths := map[int]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		f := New(NoFaults(seed))
+		f.plan.DropUnsyncedDirs = false
+		h, err := f.Create("log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte("durable|")); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := SyncDir(f, "."); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		f.Crash()
+		f.Recover()
+		got := readAll(t, f, "log")
+		if !bytes.HasPrefix(got, []byte("durable|")) {
+			t.Fatalf("seed %d: durable prefix lost: %q", seed, got)
+		}
+		tail := got[len("durable|"):]
+		if !bytes.HasPrefix([]byte("0123456789"), tail) {
+			t.Fatalf("seed %d: torn tail is not a prefix of the unsynced suffix: %q", seed, tail)
+		}
+		lengths[len(tail)] = true
+
+		// Determinism: the same seed reproduces the same image.
+		g := New(NoFaults(seed))
+		h2, _ := g.Create("log")
+		h2.Write([]byte("durable|"))
+		h2.Sync()
+		SyncDir(g, ".")
+		h2.Write([]byte("0123456789"))
+		g.Crash()
+		g.Recover()
+		if got2 := readAll(t, g, "log"); !bytes.Equal(got, got2) {
+			t.Fatalf("seed %d: crash image not deterministic: %q vs %q", seed, got, got2)
+		}
+	}
+	if len(lengths) < 3 {
+		t.Fatalf("torn-tail lengths show no byte-granularity variety: %v", lengths)
+	}
+}
+
+// TestUnsyncedDirEntriesDrop: a synced file whose directory entry was
+// never synced vanishes under DropUnsyncedDirs; SyncDir pins it.
+func TestUnsyncedDirEntriesDrop(t *testing.T) {
+	plan := NoFaults(7)
+	plan.DropUnsyncedDirs = true
+	f := New(plan)
+	if err := f.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(f, "."); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, f, "d/kept", []byte("kept"), true)
+	writeFile(t, f, "d/lost", []byte("lost"), true)
+	if err := SyncDir(f, "d"); err != nil { // pins "kept" and "lost"
+		t.Fatal(err)
+	}
+	writeFile(t, f, "d/unsynced-entry", []byte("x"), true) // file synced, entry not
+	if err := f.Remove("d/lost"); err != nil {             // removal not synced either
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Recover()
+	if _, err := f.ReadFile("d/unsynced-entry"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced dir entry survived the crash: %v", err)
+	}
+	if got := readAll(t, f, "d/kept"); !bytes.Equal(got, []byte("kept")) {
+		t.Fatalf("synced entry lost: %q", got)
+	}
+	// The unsynced removal is rolled back: the file reappears.
+	if got := readAll(t, f, "d/lost"); !bytes.Equal(got, []byte("lost")) {
+		t.Fatalf("unsynced removal persisted under DropUnsyncedDirs: %q", got)
+	}
+}
+
+// TestRenameDurability: an unsynced rename can be lost; after SyncDir it
+// survives.
+func TestRenameDurability(t *testing.T) {
+	plan := NoFaults(3)
+	plan.DropUnsyncedDirs = true
+	f := New(plan)
+	if err := f.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	SyncDir(f, ".")
+	writeFile(t, f, "d/blob.tmp", []byte("payload"), true)
+	SyncDir(f, "d")
+	if err := f.Rename("d/blob.tmp", "d/blob"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Recover()
+	if _, err := f.ReadFile("d/blob"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced rename survived DropUnsyncedDirs: %v", err)
+	}
+	if got := readAll(t, f, "d/blob.tmp"); !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("rename rollback lost the source: %q", got)
+	}
+	// Same sequence with the parent fsync: the rename is durable.
+	if err := f.Rename("d/blob.tmp", "d/blob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(f, "d"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Recover()
+	if got := readAll(t, f, "d/blob"); !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("synced rename lost: %q", got)
+	}
+}
+
+// TestCrashAtOp: the planned op fails with ErrCrashed and so does
+// everything after it until Recover.
+func TestCrashAtOp(t *testing.T) {
+	plan := NoFaults(1)
+	plan.CrashAtOp = 2
+	f := New(plan)
+	if err := f.MkdirAll("d", 0o755); err != nil { // op 0
+		t.Fatal(err)
+	}
+	h, err := f.Create("d/x") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrCrashed) { // op 2: crash
+		t.Fatalf("write at crash op = %v, want ErrCrashed", err)
+	}
+	if _, err := f.Stat("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after crash = %v, want ErrCrashed", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() = false after planned crash")
+	}
+	f.Recover()
+	if _, err := f.Stat("d"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("op after Recover = %v", err)
+	}
+	// The dead process's handle stays dead.
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write = %v, want ErrCrashed", err)
+	}
+}
+
+// TestENOSPC: the planned write fails with ENOSPC; with ShortWrites a
+// prefix lands; sticky keeps the disk full until ClearFaults.
+func TestENOSPC(t *testing.T) {
+	plan := NoFaults(11)
+	plan.ENOSPCAtOp = 0
+	plan.ShortWrites = true
+	plan.ENOSPCSticky = true
+	f := New(plan)
+	h, err := f.Create("x") // ENOSPCAtOp=0 only fires on writes
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write = %v, want ENOSPC", err)
+	}
+	if n < 0 || n >= 10 {
+		t.Fatalf("short write landed %d bytes, want 0..9", n)
+	}
+	if got := readAll(t, f, "x"); len(got) != n {
+		t.Fatalf("file holds %d bytes after short write of %d", len(got), n)
+	}
+	if _, err := h.Write([]byte("more")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sticky ENOSPC did not persist: %v", err)
+	}
+	f.ClearFaults()
+	if _, err := h.Write([]byte("more")); err != nil {
+		t.Fatalf("write after ClearFaults = %v", err)
+	}
+}
+
+// TestSyncAndRenameFaults: one-shot failures fire once; durability is
+// untouched by a failed sync.
+func TestSyncAndRenameFaults(t *testing.T) {
+	plan := NoFaults(5)
+	plan.FailSyncAtOp = 0
+	plan.FailRenameAtOp = 0
+	f := New(plan)
+	h, err := f.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("planned sync failure = %v, want EIO", err)
+	}
+	if err := h.Sync(); err != nil { // one-shot: second sync succeeds
+		t.Fatalf("second sync = %v", err)
+	}
+	if err := f.Rename("x", "y"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("planned rename failure = %v, want EIO", err)
+	}
+	if err := f.Rename("x", "y"); err != nil {
+		t.Fatalf("second rename = %v", err)
+	}
+}
+
+// TestTryLock: a held lock refuses a second holder; crash (epoch bump)
+// releases it, like process death dropping a flock.
+func TestTryLock(t *testing.T) {
+	f := New(NoFaults(1))
+	l, err := f.TryLock("LOCK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.TryLock("LOCK"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second TryLock = %v, want ErrLocked", err)
+	}
+	f.Crash()
+	f.Recover()
+	l2, err := f.TryLock("LOCK")
+	if err != nil {
+		t.Fatalf("TryLock after crash = %v (crash must release locks)", err)
+	}
+	_ = l.Close() // the dead holder's close is a no-op against the new epoch
+	if _, err := f.TryLock("LOCK"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("stale Close released the successor's lock")
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := f.TryLock("LOCK")
+	if err != nil {
+		t.Fatalf("TryLock after Close = %v", err)
+	}
+	l3.Close()
+}
+
+// TestTraceDeterminism: the same workload over the same plan yields the
+// same op trace.
+func TestTraceDeterminism(t *testing.T) {
+	run := func() []Op {
+		f := New(NoFaults(9))
+		f.MkdirAll("a/b", 0o755)
+		writeFile(t, f, "a/b/f1", []byte("one"), true)
+		tmp, err := f.CreateTemp("a/b", "blob.tmp*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmp.Write([]byte("two"))
+		tmp.Sync()
+		tmp.Close()
+		f.Rename(tmp.Name(), "a/b/f2")
+		f.ReadDir("a/b")
+		return f.Trace()
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+	if t1[0].String() == "" {
+		t.Fatal("empty op rendering")
+	}
+}
+
+// TestSeekTruncateReadback: the handle surface used by the anchor log
+// (read-modify-truncate-seek-append) behaves like an os.File.
+func TestSeekTruncateReadback(t *testing.T) {
+	f := New(NoFaults(2))
+	h, err := f.OpenFile("log", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write([]byte("0123456789"))
+	if _, err := h.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(h)
+	if err != nil || !bytes.Equal(all, []byte("0123456789")) {
+		t.Fatalf("ReadAll = %q, %v", all, err)
+	}
+	if err := h.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Seek(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, f, "log"); !bytes.Equal(got, []byte("0123XY")) {
+		t.Fatalf("after truncate+append: %q", got)
+	}
+}
+
+// TestOsFSPassthrough: the production FS round-trips through the real
+// filesystem, including TryLock and SyncDir.
+func TestOsFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	h, err := OS.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(OS, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(name)
+	if err != nil || !bytes.Equal(data, []byte("data")) {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	l, err := OS.TryLock(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := OS.TryLock(filepath.Join(dir, "LOCK")); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second flock = %v, want ErrLocked", err)
+	}
+}

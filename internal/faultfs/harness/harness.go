@@ -1,0 +1,160 @@
+// Package harness is the crash-matrix driver over faultfs: it runs a
+// workload once to count its filesystem operations, then re-runs it from
+// scratch once per operation index with a simulated crash planted there,
+// recovers the durable image, and asserts the caller's invariants against
+// it. Every failure prints a one-line repro command carrying the seed and
+// op index, and the -faultfs.seed / -faultfs.crash test flags replay
+// exactly that point.
+//
+// The matrix is exhaustive by construction — every fsync boundary, every
+// rename, every directory-entry update of the workload gets its own crash
+// point — which is what turns "we fsync in the right places" from a
+// belief into a checked property. CI runs the bounded default matrices on
+// every push; the nightly job sets -faultfs.full (or FAULTFS_FULL=1) for
+// the multi-seed deep run.
+package harness
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+var (
+	seedFlag  = flag.Int64("faultfs.seed", 1, "base seed for faultfs crash matrices")
+	crashFlag = flag.Int64("faultfs.crash", -1, "replay a single faultfs crash point instead of the full matrix")
+	fullFlag  = flag.Bool("faultfs.full", false, "run the deep multi-seed crash matrices (nightly scale)")
+)
+
+// Full reports whether the deep (nightly) matrix was requested, via the
+// -faultfs.full flag or FAULTFS_FULL=1 in the environment.
+func Full() bool {
+	return *fullFlag || os.Getenv("FAULTFS_FULL") == "1"
+}
+
+// Seeds returns the seed set for a matrix: the base seed alone by
+// default, n consecutive seeds under Full.
+func Seeds(n int) []int64 {
+	base := *seedFlag
+	if !Full() || n < 1 {
+		return []int64{base}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Round is one crash-matrix subject: a workload (the simulated process's
+// whole life — open, mutate, close) and a verifier that asserts the
+// package's invariants over whatever the crash left durable. A fresh
+// Round is built per crash point, so closures start from clean state.
+type Round struct {
+	// Workload runs the process under test against fsys. Once the planted
+	// crash fires, every filesystem call fails with faultfs.ErrCrashed;
+	// the workload just propagates errors and the harness ignores them.
+	Workload func(fsys *faultfs.FaultFS) error
+	// Verify runs after the crash and recovery against the durable image
+	// (fault injection is over by then). It must re-open the store the way
+	// a restarted process would and check the package invariants.
+	Verify func(fsys *faultfs.FaultFS) error
+}
+
+// Options configures a Matrix run.
+type Options struct {
+	// Package is the package path printed in repro commands
+	// (e.g. "./internal/jobs/walstore").
+	Package string
+	// DropUnsyncedDirs makes every crash drop all unsynced directory
+	// entries (the maximally adversarial image) instead of flipping a
+	// seed-derived coin per entry.
+	DropUnsyncedDirs bool
+	// Stride subsamples the matrix, testing every Stride-th op index
+	// (Full runs always test every index); <=1 tests all of them.
+	Stride int
+	// ExtraSeeds is how many consecutive seeds the deep (Full) run uses;
+	// <=0 selects 5.
+	ExtraSeeds int
+}
+
+// Matrix enumerates the workload's crash points and verifies each one,
+// returning how many distinct (seed, op) crash points were exercised.
+// With -faultfs.crash=N it replays only op index N under -faultfs.seed.
+func Matrix(t *testing.T, opts Options, factory func() Round) int {
+	t.Helper()
+	if opts.ExtraSeeds <= 0 {
+		opts.ExtraSeeds = 5
+	}
+	stride := opts.Stride
+	if stride <= 1 || Full() {
+		stride = 1
+	}
+	points := 0
+	for _, seed := range Seeds(opts.ExtraSeeds) {
+		// Golden run: no faults, count the ops and require success.
+		golden := faultfs.New(faultfs.NoFaults(seed))
+		r := factory()
+		if err := r.Workload(golden); err != nil {
+			t.Fatalf("golden workload failed (seed %d): %v", seed, err)
+		}
+		// The matrix bound is the workload's op count, captured before the
+		// verifier adds its own operations.
+		n := golden.OpCount()
+		if err := r.Verify(golden); err != nil {
+			t.Fatalf("golden verify failed (seed %d): %v", seed, err)
+		}
+		if n == 0 {
+			t.Fatalf("workload performed no filesystem operations")
+		}
+		lo, hi := int64(0), n
+		if *crashFlag >= 0 {
+			lo, hi, stride = *crashFlag, *crashFlag+1, 1
+		}
+		for op := lo; op < hi; op += int64(stride) {
+			points++
+			if !runPoint(t, opts, factory, seed, op) {
+				return points
+			}
+		}
+		if *crashFlag >= 0 {
+			break // single-point replay: one seed is the point
+		}
+	}
+	return points
+}
+
+// runPoint runs one (seed, op) crash point; it reports false when the
+// failure budget is blown and the matrix should stop.
+func runPoint(t *testing.T, opts Options, factory func() Round, seed, op int64) bool {
+	t.Helper()
+	plan := faultfs.CrashPlan(seed, op)
+	plan.DropUnsyncedDirs = opts.DropUnsyncedDirs
+	fsys := faultfs.New(plan)
+	r := factory()
+	err := r.Workload(fsys)
+	if !fsys.Crashed() && err != nil {
+		t.Errorf("workload failed without a crash (seed %d, op %d): %v", seed, op, err)
+		return false
+	}
+	fsys.Recover()
+	if err := r.Verify(fsys); err != nil {
+		t.Errorf("crash-matrix invariant violated at op %d (seed %d): %v\n  repro: go test -run '%s' %s -faultfs.seed=%d -faultfs.crash=%d",
+			op, seed, err, t.Name(), opts.Package, seed, op)
+		for _, o := range tail(fsys.Trace(), 8) {
+			t.Logf("  trace %s", o)
+		}
+		return false
+	}
+	return true
+}
+
+// tail returns the last n ops of a trace.
+func tail(ops []faultfs.Op, n int) []faultfs.Op {
+	if len(ops) <= n {
+		return ops
+	}
+	return ops[len(ops)-n:]
+}

@@ -1,0 +1,371 @@
+package faultfs
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Plan configures a FaultFS's fault injection. The zero value injects
+// nothing (a plain in-memory filesystem with durability tracking); every
+// "AtOp" field is compared against the global operation counter, so a
+// golden run's OpCount bounds the interesting values. All random choices
+// (torn-tail lengths, which unsynced directory entries survive a crash,
+// short-write lengths) derive from Seed plus the op index, so a failure
+// replays deterministically from (Seed, the AtOp value).
+type Plan struct {
+	// Seed drives every random choice the filesystem makes.
+	Seed int64
+
+	// CrashAtOp simulates a crash at the operation with this index (the
+	// op fails with ErrCrashed, as does everything after it, until
+	// Recover). Negative disables.
+	CrashAtOp int64
+
+	// ENOSPCAtOp makes the first Write at or after this op index fail
+	// with ENOSPC; negative disables. With ShortWrites, a seed-derived
+	// prefix of the buffer lands before the failure (a short write);
+	// otherwise nothing lands. ENOSPCSticky keeps every later Write
+	// failing too — a full disk stays full — until ClearFaults.
+	ENOSPCAtOp   int64
+	ShortWrites  bool
+	ENOSPCSticky bool
+
+	// FailSyncAtOp makes the first Sync at or after this op index fail
+	// with EIO (negative disables); FailSyncSticky keeps later Syncs
+	// failing until ClearFaults. A failed sync leaves durability exactly
+	// where it was.
+	FailSyncAtOp   int64
+	FailSyncSticky bool
+
+	// FailRenameAtOp makes the first Rename at or after this op index
+	// fail with EIO (negative disables); FailRenameSticky keeps later
+	// Renames failing until ClearFaults.
+	FailRenameAtOp   int64
+	FailRenameSticky bool
+
+	// DropUnsyncedDirs makes Recover always discard directory mutations
+	// (creates, renames, removes) that were not made durable by a
+	// directory sync — the maximally adversarial legal outcome, and the
+	// one that exposes missing fsync-the-parent calls. When false, each
+	// unsynced entry change independently survives or not by coin flip.
+	DropUnsyncedDirs bool
+}
+
+// NoFaults is the Plan disabling every injector: a golden run for
+// counting ops.
+func NoFaults(seed int64) Plan {
+	return Plan{Seed: seed, CrashAtOp: -1, ENOSPCAtOp: -1, FailSyncAtOp: -1, FailRenameAtOp: -1}
+}
+
+// CrashPlan is the Plan for one crash-matrix point: crash at op, no other
+// faults.
+func CrashPlan(seed, op int64) Plan {
+	p := NoFaults(seed)
+	p.CrashAtOp = op
+	return p
+}
+
+// Op is one traced filesystem operation.
+type Op struct {
+	// Index is the operation's position in the global order, from 0.
+	Index int64
+	// Kind names the operation ("write", "sync", "rename", ...).
+	Kind string
+	// Path is the file the operation touched (the source, for renames).
+	Path string
+	// N is the byte count of a read or write.
+	N int
+	// Err is the operation's error, if any ("" on success).
+	Err string
+}
+
+// String renders the op as one trace line.
+func (o Op) String() string {
+	s := fmt.Sprintf("#%d %s %s", o.Index, o.Kind, o.Path)
+	if o.N > 0 {
+		s += fmt.Sprintf(" (%dB)", o.N)
+	}
+	if o.Err != "" {
+		s += " ! " + o.Err
+	}
+	return s
+}
+
+// memFile is one simulated file: the page-cache view plus the durable
+// image as of its last successful sync.
+type memFile struct {
+	data    []byte
+	durable []byte
+}
+
+// memDir is one simulated directory: the live entry set plus the durable
+// entry set as of its last successful directory sync.
+type memDir struct {
+	entries map[string]any // name -> *memFile | *memDir
+	durable map[string]any
+}
+
+func newMemDir() *memDir {
+	return &memDir{entries: map[string]any{}, durable: map[string]any{}}
+}
+
+// FaultFS is the fault-injecting in-memory filesystem. All methods are
+// safe for concurrent use; every operation draws a global index used for
+// fault triggering, tracing and deterministic randomness.
+type FaultFS struct {
+	mu      sync.Mutex
+	plan    Plan
+	root    *memDir
+	ops     int64
+	epoch   int // bumped by Recover; stale handles and locks die with their epoch
+	crashed bool
+	crashOp int64 // the op index the crash fired at (for Recover's rng)
+	trace   []Op
+	locks   map[string]int // lock path -> holder epoch
+	tmpSeq  int64
+	// consumed one-shot injectors
+	crashDone, enospcDone, syncFailDone, renameFailDone bool
+}
+
+// New builds a FaultFS executing the given plan over an initially empty
+// tree.
+func New(plan Plan) *FaultFS {
+	return &FaultFS{plan: plan, root: newMemDir(), locks: map[string]int{}}
+}
+
+// OpCount returns how many operations have executed (including failed
+// ones) — run a workload over New(NoFaults(seed)) and the result bounds
+// the crash matrix.
+func (f *FaultFS) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the simulated process has crashed.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Trace snapshots the operation trace.
+func (f *FaultFS) Trace() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Op, len(f.trace))
+	copy(out, f.trace)
+	return out
+}
+
+// Crash crashes the simulated process now: every in-flight handle and
+// all future operations fail with ErrCrashed until Recover.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.crashed {
+		f.crashed = true
+		f.crashOp = f.ops
+	}
+}
+
+// ClearFaults disables the sticky ENOSPC/sync/rename injectors — the
+// disk "got space back" — without touching crash state.
+func (f *FaultFS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan.ENOSPCAtOp = -1
+	f.plan.FailSyncAtOp = -1
+	f.plan.FailRenameAtOp = -1
+}
+
+// Recover applies the crash semantics and hands the durable image to a
+// "fresh process": unsynced file suffixes are torn at a seed-derived byte
+// length, directory mutations never made durable by a directory sync are
+// dropped (always with DropUnsyncedDirs, else by per-entry coin flip),
+// every open handle and advisory lock dies, and subsequent operations
+// succeed again. Calling it without a crash first just invalidates
+// handles and locks (a clean restart).
+func (f *FaultFS) Recover() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rng := rand.New(rand.NewSource(mix(f.plan.Seed, f.crashOp)))
+	f.recoverDir(f.root, rng)
+	f.crashed = false
+	// The planted crash is spent: whether or not it fired, the recovered
+	// process must not crash again (a plan whose CrashAtOp lies past the
+	// workload's end would otherwise fire mid-verification).
+	f.crashDone = true
+	f.epoch++
+	f.locks = map[string]int{}
+}
+
+// recoverDir applies crash semantics to one directory subtree. Called
+// with f.mu held; deterministic because the entry names are visited in
+// sorted order.
+func (f *FaultFS) recoverDir(d *memDir, rng *rand.Rand) {
+	names := map[string]struct{}{}
+	for name := range d.entries {
+		names[name] = struct{}{}
+	}
+	for name := range d.durable {
+		names[name] = struct{}{}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	surviving := map[string]any{}
+	for _, name := range sorted {
+		cur, inCur := d.entries[name]
+		dur, inDur := d.durable[name]
+		switch {
+		case inCur && inDur && cur == dur:
+			surviving[name] = cur
+		case inCur && !inDur: // created (or renamed in) since the last dir sync
+			if !f.plan.DropUnsyncedDirs && rng.Intn(2) == 0 {
+				surviving[name] = cur
+			}
+		case !inCur && inDur: // removed (or renamed away) since the last dir sync
+			if f.plan.DropUnsyncedDirs || rng.Intn(2) == 1 {
+				surviving[name] = dur // the removal never hit the disk
+			}
+		default: // replaced: rename over an existing entry
+			if !f.plan.DropUnsyncedDirs && rng.Intn(2) == 0 {
+				surviving[name] = cur
+			} else {
+				surviving[name] = dur
+			}
+		}
+	}
+	d.entries = surviving
+	d.durable = cloneEntries(surviving)
+	for _, node := range surviving {
+		switch n := node.(type) {
+		case *memDir:
+			f.recoverDir(n, rng)
+		case *memFile:
+			recoverFile(n, rng)
+		}
+	}
+}
+
+// recoverFile applies the torn-tail rule to one file: the durable image
+// survives; a purely appended suffix is torn at a random byte length; any
+// diverging overwrite or truncation that was never synced is lost.
+func recoverFile(n *memFile, rng *rand.Rand) {
+	d, p := n.durable, n.data
+	switch {
+	case bytes.Equal(p, d):
+		// fully durable
+	case len(p) > len(d) && bytes.Equal(p[:len(d)], d):
+		keep := rng.Intn(len(p) - len(d) + 1)
+		n.data = append(cloneBytes(d), p[len(d):len(d)+keep]...)
+	case len(p) < len(d) && bytes.Equal(d[:len(p)], p):
+		// unsynced truncate: persisted or not, by coin
+		if rng.Intn(2) == 0 {
+			n.data = cloneBytes(d)
+		}
+	default:
+		n.data = cloneBytes(d)
+	}
+	n.durable = cloneBytes(n.data)
+}
+
+func cloneBytes(b []byte) []byte { return append([]byte(nil), b...) }
+
+func cloneEntries(m map[string]any) map[string]any {
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mix folds a seed and an op index into one rng source.
+func mix(seed, op int64) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(op)*0xbf58476d1ce4e5b9 + 1
+	x ^= x >> 31
+	return int64(x)
+}
+
+// beginOp draws the next op index, records the trace entry, and fires the
+// planned crash. Called with f.mu held; the returned record is already in
+// the trace and may be amended (N, Err) before the lock is released.
+func (f *FaultFS) beginOp(kind, p string) (*Op, error) {
+	idx := f.ops
+	f.ops++
+	f.trace = append(f.trace, Op{Index: idx, Kind: kind, Path: p})
+	rec := &f.trace[len(f.trace)-1]
+	if f.crashed {
+		rec.Err = ErrCrashed.Error()
+		return rec, ErrCrashed
+	}
+	if f.plan.CrashAtOp >= 0 && idx >= f.plan.CrashAtOp && !f.crashDone {
+		f.crashed = true
+		f.crashDone = true
+		f.crashOp = idx
+		rec.Err = ErrCrashed.Error()
+		return rec, ErrCrashed
+	}
+	return rec, nil
+}
+
+// ---- path resolution (f.mu held) ----
+
+// split normalizes a path into its element list; both absolute and
+// relative paths resolve against the filesystem root.
+func split(name string) []string {
+	cleaned := path.Clean(strings.ReplaceAll(name, "\\", "/"))
+	cleaned = strings.TrimPrefix(cleaned, "/")
+	if cleaned == "" || cleaned == "." {
+		return nil
+	}
+	return strings.Split(cleaned, "/")
+}
+
+// lookupDir resolves the directory holding name's last element.
+func (f *FaultFS) lookupDir(name string) (*memDir, string, error) {
+	elems := split(name)
+	if len(elems) == 0 {
+		return nil, "", &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	d := f.root
+	for _, e := range elems[:len(elems)-1] {
+		next, ok := d.entries[e]
+		if !ok {
+			return nil, "", &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		nd, ok := next.(*memDir)
+		if !ok {
+			return nil, "", &fs.PathError{Op: "open", Path: name, Err: syscall.ENOTDIR}
+		}
+		d = nd
+	}
+	return d, elems[len(elems)-1], nil
+}
+
+// lookup resolves name to its node (file or directory).
+func (f *FaultFS) lookup(name string) (any, error) {
+	elems := split(name)
+	node := any(f.root)
+	for _, e := range elems {
+		d, ok := node.(*memDir)
+		if !ok {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: syscall.ENOTDIR}
+		}
+		node, ok = d.entries[e]
+		if !ok {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+	}
+	return node, nil
+}

@@ -1,0 +1,638 @@
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// This file implements the FS and File surfaces of FaultFS. Every method
+// draws one op index under f.mu (beginOp), which is where the planned
+// crash and the op trace live; injector checks (ENOSPC, sync/rename
+// failures) follow per method.
+
+// Open opens a file for reading, or a directory for ReadDir-less syncing
+// (the fsync-the-parent idiom).
+func (f *FaultFS) Open(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("open", name)
+	if err != nil {
+		return nil, err
+	}
+	node, err := f.lookup(name)
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	switch n := node.(type) {
+	case *memDir:
+		return &memHandle{f: f, dir: n, name: name, epoch: f.epoch, readable: true}, nil
+	case *memFile:
+		return &memHandle{f: f, file: n, name: name, epoch: f.epoch, readable: true}, nil
+	}
+	panic("faultfs: unknown node type")
+}
+
+// Create creates or truncates the named file for writing.
+func (f *FaultFS) Create(name string) (File, error) {
+	return f.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// OpenFile is the generalized open; the parent directory must exist.
+func (f *FaultFS) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("openfile", name)
+	if err != nil {
+		return nil, err
+	}
+	file, err := f.openFileLocked(name, flag)
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	h := &memHandle{f: f, file: file, name: name, epoch: f.epoch,
+		appendMode: flag&os.O_APPEND != 0,
+		readable:   flag&os.O_WRONLY == 0,
+		writable:   flag&(os.O_WRONLY|os.O_RDWR) != 0,
+	}
+	return h, nil
+}
+
+// openFileLocked resolves or creates the file node for OpenFile.
+func (f *FaultFS) openFileLocked(name string, flag int) (*memFile, error) {
+	parent, base, err := f.lookupDir(name)
+	if err != nil {
+		return nil, err
+	}
+	node, ok := parent.entries[base]
+	if ok {
+		if flag&(os.O_CREATE|os.O_EXCL) == os.O_CREATE|os.O_EXCL {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+		}
+		file, isFile := node.(*memFile)
+		if !isFile {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: syscall.EISDIR}
+		}
+		if flag&os.O_TRUNC != 0 {
+			file.data = nil
+		}
+		return file, nil
+	}
+	if flag&os.O_CREATE == 0 {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	// A new file is a directory mutation: the entry is volatile until the
+	// parent directory is synced.
+	file := &memFile{}
+	parent.entries[base] = file
+	return file, nil
+}
+
+// CreateTemp creates a uniquely named file in dir from pattern, opened
+// read-write. Names derive from a deterministic sequence, not the clock.
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("createtemp", path.Join(dir, pattern))
+	if err != nil {
+		return nil, err
+	}
+	parent, err := f.lookup(dir)
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	d, ok := parent.(*memDir)
+	if !ok {
+		err := &fs.PathError{Op: "createtemp", Path: dir, Err: syscall.ENOTDIR}
+		rec.Err = err.Error()
+		return nil, err
+	}
+	prefix, suffix, hasStar := strings.Cut(pattern, "*")
+	for {
+		f.tmpSeq++
+		name := prefix + itoa(f.tmpSeq)
+		if hasStar {
+			name += suffix
+		}
+		if _, exists := d.entries[name]; exists {
+			continue
+		}
+		file := &memFile{}
+		d.entries[name] = file
+		full := path.Join(dir, name)
+		rec.Path = full
+		return &memHandle{f: f, file: file, name: full, epoch: f.epoch, readable: true, writable: true}, nil
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Rename moves oldpath to newpath, replacing any existing file. The new
+// entry (and the old one's absence) is volatile until the parent
+// directories are synced.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("rename", oldpath)
+	if err != nil {
+		return err
+	}
+	if err := f.checkRenameFault(rec.Index); err != nil {
+		rec.Err = err.Error()
+		return err
+	}
+	oldParent, oldBase, err := f.lookupDir(oldpath)
+	if err != nil {
+		rec.Err = err.Error()
+		return err
+	}
+	node, ok := oldParent.entries[oldBase]
+	if !ok {
+		err := &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+		rec.Err = err.Error()
+		return err
+	}
+	newParent, newBase, err := f.lookupDir(newpath)
+	if err != nil {
+		rec.Err = err.Error()
+		return err
+	}
+	newParent.entries[newBase] = node
+	delete(oldParent.entries, oldBase)
+	return nil
+}
+
+// checkRenameFault applies the planned rename failure. Called with f.mu
+// held.
+func (f *FaultFS) checkRenameFault(idx int64) error {
+	if f.plan.FailRenameAtOp < 0 || idx < f.plan.FailRenameAtOp || f.renameFailDone {
+		return nil
+	}
+	if !f.plan.FailRenameSticky {
+		f.renameFailDone = true
+	}
+	return &fs.PathError{Op: "rename", Path: "", Err: syscall.EIO}
+}
+
+// Remove deletes the named file or empty directory; the disappearance is
+// volatile until the parent directory is synced.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("remove", name)
+	if err != nil {
+		return err
+	}
+	parent, base, err := f.lookupDir(name)
+	if err != nil {
+		rec.Err = err.Error()
+		return err
+	}
+	node, ok := parent.entries[base]
+	if !ok {
+		err := &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+		rec.Err = err.Error()
+		return err
+	}
+	if d, isDir := node.(*memDir); isDir && len(d.entries) > 0 {
+		err := &fs.PathError{Op: "remove", Path: name, Err: syscall.ENOTEMPTY}
+		rec.Err = err.Error()
+		return err
+	}
+	delete(parent.entries, base)
+	return nil
+}
+
+// MkdirAll creates the named directory and missing parents; each created
+// entry is volatile until its parent is synced.
+func (f *FaultFS) MkdirAll(p string, _ fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("mkdirall", p)
+	if err != nil {
+		return err
+	}
+	d := f.root
+	for _, e := range split(p) {
+		node, ok := d.entries[e]
+		if !ok {
+			nd := newMemDir()
+			d.entries[e] = nd
+			d = nd
+			continue
+		}
+		nd, isDir := node.(*memDir)
+		if !isDir {
+			err := &fs.PathError{Op: "mkdir", Path: p, Err: syscall.ENOTDIR}
+			rec.Err = err.Error()
+			return err
+		}
+		d = nd
+	}
+	return nil
+}
+
+// ReadDir lists the named directory sorted by name.
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("readdir", name)
+	if err != nil {
+		return nil, err
+	}
+	node, err := f.lookup(name)
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	d, ok := node.(*memDir)
+	if !ok {
+		err := &fs.PathError{Op: "readdir", Path: name, Err: syscall.ENOTDIR}
+		rec.Err = err.Error()
+		return nil, err
+	}
+	names := make([]string, 0, len(d.entries))
+	for n := range d.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, 0, len(names))
+	for _, n := range names {
+		out = append(out, dirEntry{name: n, node: d.entries[n]})
+	}
+	return out, nil
+}
+
+// Stat describes the named file or directory.
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("stat", name)
+	if err != nil {
+		return nil, err
+	}
+	node, err := f.lookup(name)
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	return infoFor(path.Base(name), node), nil
+}
+
+// ReadFile reads the whole named file (counted as a single op).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("readfile", name)
+	if err != nil {
+		return nil, err
+	}
+	node, err := f.lookup(name)
+	if err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	file, ok := node.(*memFile)
+	if !ok {
+		err := &fs.PathError{Op: "read", Path: name, Err: syscall.EISDIR}
+		rec.Err = err.Error()
+		return nil, err
+	}
+	rec.N = len(file.data)
+	return cloneBytes(file.data), nil
+}
+
+// TryLock takes the simulated single-writer lock on name. Locks die with
+// the epoch: a crash releases them exactly as process death drops flocks.
+func (f *FaultFS) TryLock(name string) (io.Closer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, err := f.beginOp("lock", name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.openFileLocked(name, os.O_CREATE|os.O_RDWR); err != nil {
+		rec.Err = err.Error()
+		return nil, err
+	}
+	if epoch, held := f.locks[name]; held && epoch == f.epoch {
+		rec.Err = ErrLocked.Error()
+		return nil, ErrLocked
+	}
+	f.locks[name] = f.epoch
+	return &memLock{f: f, name: name, epoch: f.epoch}, nil
+}
+
+// memLock is a held TryLock; Close releases it if its holder is still the
+// current epoch.
+type memLock struct {
+	f     *FaultFS
+	name  string
+	epoch int
+}
+
+// Close releases the lock.
+func (l *memLock) Close() error {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	if epoch, held := l.f.locks[l.name]; held && epoch == l.epoch {
+		delete(l.f.locks, l.name)
+	}
+	return nil
+}
+
+// ---- the File handle ----
+
+// memHandle is one open file or directory handle. Handles belong to an
+// epoch; Recover bumps the epoch, so a handle held across a simulated
+// crash fails every operation (the process that owned it is dead).
+type memHandle struct {
+	f          *FaultFS
+	file       *memFile // nil for directory handles
+	dir        *memDir  // nil for file handles
+	name       string
+	off        int64
+	epoch      int
+	closed     bool
+	appendMode bool
+	readable   bool
+	writable   bool
+}
+
+// Name returns the path the handle was opened as.
+func (h *memHandle) Name() string { return h.name }
+
+// checkLocked validates the handle under f.mu.
+func (h *memHandle) checkLocked() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.epoch != h.f.epoch {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Write appends or overwrites at the handle offset; the bytes land in the
+// page-cache view only (durability requires Sync). The planned ENOSPC
+// injector fires here, optionally landing a short prefix first.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	rec, err := h.f.beginOp("write", h.name)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.checkLocked(); err != nil {
+		rec.Err = err.Error()
+		return 0, err
+	}
+	if !h.writable {
+		err := &fs.PathError{Op: "write", Path: h.name, Err: syscall.EBADF}
+		rec.Err = err.Error()
+		return 0, err
+	}
+	n := len(p)
+	var werr error
+	if h.f.enospcTriggered(rec.Index) {
+		n = 0
+		if h.f.plan.ShortWrites && len(p) > 0 {
+			n = rand.New(rand.NewSource(mix(h.f.plan.Seed, rec.Index))).Intn(len(p))
+		}
+		werr = &fs.PathError{Op: "write", Path: h.name, Err: syscall.ENOSPC}
+		rec.Err = werr.Error()
+	}
+	if h.appendMode {
+		h.off = int64(len(h.file.data))
+	}
+	end := h.off + int64(n)
+	if int64(len(h.file.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.file.data)
+		h.file.data = grown
+	}
+	copy(h.file.data[h.off:end], p[:n])
+	h.off = end
+	rec.N = n
+	return n, werr
+}
+
+// enospcTriggered applies the planned ENOSPC injector. Called with f.mu
+// held.
+func (f *FaultFS) enospcTriggered(idx int64) bool {
+	if f.plan.ENOSPCAtOp < 0 || idx < f.plan.ENOSPCAtOp || f.enospcDone {
+		return false
+	}
+	if !f.plan.ENOSPCSticky {
+		f.enospcDone = true
+	}
+	return true
+}
+
+// Read reads from the handle offset.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	rec, err := h.f.beginOp("read", h.name)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.checkLocked(); err != nil {
+		rec.Err = err.Error()
+		return 0, err
+	}
+	if h.file == nil {
+		err := &fs.PathError{Op: "read", Path: h.name, Err: syscall.EISDIR}
+		rec.Err = err.Error()
+		return 0, err
+	}
+	if h.off >= int64(len(h.file.data)) {
+		rec.Err = io.EOF.Error()
+		return 0, io.EOF
+	}
+	n := copy(p, h.file.data[h.off:])
+	h.off += int64(n)
+	rec.N = n
+	return n, nil
+}
+
+// Seek repositions the handle offset.
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	rec, err := h.f.beginOp("seek", h.name)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.checkLocked(); err != nil {
+		rec.Err = err.Error()
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.off
+	case io.SeekEnd:
+		base = int64(len(h.file.data))
+	default:
+		return 0, &fs.PathError{Op: "seek", Path: h.name, Err: fs.ErrInvalid}
+	}
+	if base+offset < 0 {
+		return 0, &fs.PathError{Op: "seek", Path: h.name, Err: fs.ErrInvalid}
+	}
+	h.off = base + offset
+	return h.off, nil
+}
+
+// Sync makes the file's bytes (or a directory's entry set) durable. The
+// planned sync-failure injector fires here; a failed sync leaves
+// durability untouched.
+func (h *memHandle) Sync() error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	rec, err := h.f.beginOp("sync", h.name)
+	if err != nil {
+		return err
+	}
+	if err := h.checkLocked(); err != nil {
+		rec.Err = err.Error()
+		return err
+	}
+	if f := h.f; f.plan.FailSyncAtOp >= 0 && rec.Index >= f.plan.FailSyncAtOp && !f.syncFailDone {
+		if !f.plan.FailSyncSticky {
+			f.syncFailDone = true
+		}
+		err := &fs.PathError{Op: "sync", Path: h.name, Err: syscall.EIO}
+		rec.Err = err.Error()
+		return err
+	}
+	if h.dir != nil {
+		h.dir.durable = cloneEntries(h.dir.entries)
+	} else {
+		h.file.durable = cloneBytes(h.file.data)
+	}
+	return nil
+}
+
+// Truncate resizes the file; like writes, the change is volatile until
+// the next Sync.
+func (h *memHandle) Truncate(size int64) error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	rec, err := h.f.beginOp("truncate", h.name)
+	if err != nil {
+		return err
+	}
+	if err := h.checkLocked(); err != nil {
+		rec.Err = err.Error()
+		return err
+	}
+	if h.file == nil {
+		err := &fs.PathError{Op: "truncate", Path: h.name, Err: syscall.EISDIR}
+		rec.Err = err.Error()
+		return err
+	}
+	switch {
+	case size < 0:
+		return &fs.PathError{Op: "truncate", Path: h.name, Err: fs.ErrInvalid}
+	case size <= int64(len(h.file.data)):
+		h.file.data = cloneBytes(h.file.data[:size])
+	default:
+		grown := make([]byte, size)
+		copy(grown, h.file.data)
+		h.file.data = grown
+	}
+	return nil
+}
+
+// Close releases the handle. A crash between a write and its sync is the
+// torn-tail case — Close alone never makes bytes durable.
+func (h *memHandle) Close() error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	rec, err := h.f.beginOp("close", h.name)
+	if err != nil {
+		return err
+	}
+	if h.closed {
+		rec.Err = fs.ErrClosed.Error()
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// ---- fs.DirEntry / fs.FileInfo ----
+
+// dirEntry adapts one directory entry to fs.DirEntry.
+type dirEntry struct {
+	name string
+	node any
+}
+
+func (e dirEntry) Name() string { return e.name }
+
+func (e dirEntry) IsDir() bool { _, ok := e.node.(*memDir); return ok }
+
+func (e dirEntry) Type() fs.FileMode {
+	if e.IsDir() {
+		return fs.ModeDir
+	}
+	return 0
+}
+
+func (e dirEntry) Info() (fs.FileInfo, error) { return infoFor(e.name, e.node), nil }
+
+// fileInfo is the minimal fs.FileInfo for simulated nodes; mod times are
+// not modeled (the simulator has no clock, by design — determinism).
+type fileInfo struct {
+	name  string
+	size  int64
+	isDir bool
+}
+
+func infoFor(name string, node any) fileInfo {
+	fi := fileInfo{name: name}
+	switch n := node.(type) {
+	case *memDir:
+		fi.isDir = true
+	case *memFile:
+		fi.size = int64(len(n.data))
+	}
+	return fi
+}
+
+func (i fileInfo) Name() string { return i.name }
+func (i fileInfo) Size() int64  { return i.size }
+func (i fileInfo) Mode() fs.FileMode {
+	if i.isDir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i fileInfo) ModTime() time.Time { return time.Time{} }
+func (i fileInfo) IsDir() bool        { return i.isDir }
+func (i fileInfo) Sys() any           { return nil }

@@ -1,0 +1,398 @@
+package walstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/faultfs/harness"
+	"repro/internal/jobs/jobstore"
+)
+
+// The crash matrix for the WAL itself: a full multi-job lifecycle —
+// submissions with payloads, progress, terminal records, removal,
+// compaction, segment rotation — is crashed at every filesystem
+// operation, recovered, and reopened. The invariants checked at every
+// point:
+//
+//   - Reopen never fails and never wedges: the store accepts appends again.
+//   - Per job, the replayed events are a prefix of the appended sequence —
+//     the log can lose an unsynced suffix, never reorder or fabricate.
+//   - Events the store acknowledged *synced* (Submitted, Finished) are
+//     never lost; a removed job either stays gone or comes back whole.
+//   - A replayed submission's payload is byte-equal to what was stored,
+//     or absent (the manager then fails that one job) — never torn.
+
+// attempt is one Append the workload issued: the event plus whether the
+// store acknowledged it.
+type attempt struct {
+	ev    jobstore.Event
+	acked bool
+}
+
+// lifecycleWorkload drives the multi-job lifecycle against a store over
+// fsys, recording every attempted append. Tiny segments force rotations
+// and removal-driven prefix compaction mid-run.
+func lifecycleWorkload(fsys *faultfs.FaultFS, attempts *[]attempt) error {
+	s, err := Open("store", Options{FS: fsys, SegmentBytes: 200})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	events := []jobstore.Event{
+		{Type: jobstore.Submitted, Job: "a", Kind: "check", Total: 8, Chunk: 4, Payload: []byte("payload-alpha")},
+		{Type: jobstore.Started, Job: "a"},
+		{Type: jobstore.Progress, Job: "a", Done: 4, ResultBytes: 40},
+		{Type: jobstore.Submitted, Job: "b", Kind: "complete", Total: 4, Chunk: 4, Payload: []byte("payload-beta")},
+		{Type: jobstore.Progress, Job: "a", Done: 8, ResultBytes: 80},
+		{Type: jobstore.Finished, Job: "a", Done: 8, ResultBytes: 80, State: "done"},
+		{Type: jobstore.Started, Job: "b"},
+		{Type: jobstore.Removed, Job: "a"},
+		{Type: jobstore.Progress, Job: "b", Done: 4, ResultBytes: 44},
+		{Type: jobstore.Finished, Job: "b", Done: 4, ResultBytes: 44, State: "done"},
+		{Type: jobstore.Submitted, Job: "c", Kind: "check", Total: 2, Chunk: 2, Payload: []byte("payload-gamma")},
+		{Type: jobstore.Removed, Job: "b"},
+		{Type: jobstore.Started, Job: "c"},
+		{Type: jobstore.Progress, Job: "c", Done: 2, ResultBytes: 20},
+	}
+	for i := range events {
+		ev := events[i]
+		err := s.Append(&ev)
+		*attempts = append(*attempts, attempt{ev: events[i], acked: err == nil})
+		if err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}
+
+// payloads is the byte content each job's submission carried.
+var payloads = map[string][]byte{
+	"a": []byte("payload-alpha"),
+	"b": []byte("payload-beta"),
+	"c": []byte("payload-gamma"),
+}
+
+// sameEvent compares the replay-visible fields of two events.
+func sameEvent(got jobstore.Event, want jobstore.Event) bool {
+	return got.Type == want.Type && got.Job == want.Job && got.Kind == want.Kind &&
+		got.Total == want.Total && got.Chunk == want.Chunk && got.Done == want.Done &&
+		got.ResultBytes == want.ResultBytes && got.State == want.State
+}
+
+// verifyLifecycle reopens the recovered image and checks the invariants
+// against the recorded attempts.
+func verifyLifecycle(fsys *faultfs.FaultFS, attempts []attempt) error {
+	s, err := Open("store", Options{FS: fsys})
+	if err != nil {
+		return fmt.Errorf("reopen after crash: %w", err)
+	}
+	defer s.Close()
+	replayed := map[string][]jobstore.Event{}
+	if err := s.Replay(func(ev *jobstore.Event) error {
+		replayed[ev.Job] = append(replayed[ev.Job], *ev)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("replay after crash: %w", err)
+	}
+	// Per-job attempted history (Removed markers never replay) plus the
+	// index of the last event whose ack implied an fsync.
+	attempted := map[string][]jobstore.Event{}
+	removalAttempted := map[string]bool{}
+	lastSynced := map[string]int{}
+	for _, a := range attempts {
+		if a.ev.Type == jobstore.Removed {
+			removalAttempted[a.ev.Job] = true
+			continue
+		}
+		attempted[a.ev.Job] = append(attempted[a.ev.Job], a.ev)
+		if a.acked && (a.ev.Type == jobstore.Submitted || a.ev.Type == jobstore.Finished) {
+			lastSynced[a.ev.Job] = len(attempted[a.ev.Job])
+		}
+	}
+	for job, got := range replayed {
+		want := attempted[job]
+		if len(got) > len(want) {
+			return fmt.Errorf("job %s replayed %d events, only %d were ever attempted", job, len(got), len(want))
+		}
+		for i := range got {
+			if !sameEvent(got[i], want[i]) {
+				return fmt.Errorf("job %s event %d = %+v, want %+v (replay reordered or fabricated)", job, i, got[i], want[i])
+			}
+			if got[i].Type == jobstore.Submitted && len(got[i].Payload) > 0 &&
+				!bytes.Equal(got[i].Payload, payloads[job]) {
+				return fmt.Errorf("job %s replayed a torn payload: %q", job, got[i].Payload)
+			}
+		}
+	}
+	for job, n := range lastSynced {
+		if removalAttempted[job] {
+			continue // removal may or may not have persisted; absence is legal
+		}
+		if len(replayed[job]) < n {
+			return fmt.Errorf("job %s lost synced events: replayed %d, synced through %d", job, len(replayed[job]), n)
+		}
+	}
+	// The reopened store must accept and persist new work: the one
+	// invariant every crash point shares is "the WAL never wedges".
+	probe := jobstore.Event{Type: jobstore.Submitted, Job: "probe", Total: 1, Payload: []byte("probe-payload")}
+	if err := s.Append(&probe); err != nil {
+		return fmt.Errorf("append after recovery: %w", err)
+	}
+	return nil
+}
+
+// lifecycleRound builds one fresh crash-matrix round.
+func lifecycleRound() harness.Round {
+	var attempts []attempt
+	return harness.Round{
+		Workload: func(fsys *faultfs.FaultFS) error { return lifecycleWorkload(fsys, &attempts) },
+		Verify:   func(fsys *faultfs.FaultFS) error { return verifyLifecycle(fsys, attempts) },
+	}
+}
+
+// TestCrashMatrixLifecycle crashes the lifecycle workload at every
+// filesystem operation under per-entry coin-flip directory recovery.
+func TestCrashMatrixLifecycle(t *testing.T) {
+	points := harness.Matrix(t, harness.Options{Package: "./internal/jobs/walstore"}, lifecycleRound)
+	t.Logf("crash points exercised: %d", points)
+	if points < 100 {
+		t.Errorf("crash matrix too small: %d points", points)
+	}
+}
+
+// TestCrashMatrixDropUnsyncedDirs is the maximally adversarial variant:
+// every directory entry not pinned by an explicit parent-directory fsync
+// is dropped at recovery. This is the regression test for the
+// fsync-the-parent calls on payload blobs, fresh segments and compaction
+// deletes — remove any of them and this matrix fails.
+func TestCrashMatrixDropUnsyncedDirs(t *testing.T) {
+	points := harness.Matrix(t, harness.Options{
+		Package:          "./internal/jobs/walstore",
+		DropUnsyncedDirs: true,
+	}, lifecycleRound)
+	t.Logf("crash points exercised: %d", points)
+	if points < 100 {
+		t.Errorf("crash matrix too small: %d points", points)
+	}
+}
+
+// TestENOSPCMatrix sweeps a write-failure injector across every operation
+// index of the lifecycle: plain ENOSPC, short writes (a prefix of the
+// buffer lands before the failure), and sticky full-disk. After the disk
+// "gets space back" (ClearFaults) the store must accept appends again,
+// and a clean reopen must replay exactly the acknowledged events — failed
+// appends heal away (in place or by sealing the segment), surfacing as at
+// most BadLines, never as replayed records.
+func TestENOSPCMatrix(t *testing.T) {
+	variants := []struct {
+		name   string
+		short  bool
+		sticky bool
+	}{
+		{"enospc", false, false},
+		{"short-write", true, false},
+		{"sticky", false, true},
+	}
+	// Golden run bounds the op range.
+	golden := faultfs.New(faultfs.NoFaults(1))
+	var goldenAttempts []attempt
+	if err := lifecycleWorkload(golden, &goldenAttempts); err != nil {
+		t.Fatalf("golden workload: %v", err)
+	}
+	n := golden.OpCount()
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			stride := int64(1)
+			if !harness.Full() {
+				stride = 3 // bounded sweep on push CI; nightly runs every index
+			}
+			for op := int64(0); op < n; op += stride {
+				plan := faultfs.NoFaults(1)
+				plan.ENOSPCAtOp = op
+				plan.ShortWrites = v.short
+				plan.ENOSPCSticky = v.sticky
+				fsys := faultfs.New(plan)
+				var attempts []attempt
+				failedAt := -1
+				werr := lifecycleWorkload(fsys, &attempts)
+				for i, a := range attempts {
+					if !a.acked {
+						failedAt = i
+						break
+					}
+				}
+				if werr != nil && failedAt < 0 {
+					t.Fatalf("op %d: workload failed outside Append: %v", op, werr)
+				}
+				// Space comes back; the store (reopened fresh, as the same
+				// process would retry) must work again.
+				fsys.ClearFaults()
+				s, err := Open("store", Options{FS: fsys, NoLock: true})
+				if err != nil {
+					t.Fatalf("op %d (%s): reopen after ENOSPC: %v", op, v.name, err)
+				}
+				acked := map[string][]jobstore.Event{}
+				removedAcked := map[string]bool{}
+				for _, a := range attempts {
+					if !a.acked {
+						continue
+					}
+					if a.ev.Type == jobstore.Removed {
+						removedAcked[a.ev.Job] = true
+						continue
+					}
+					acked[a.ev.Job] = append(acked[a.ev.Job], a.ev)
+				}
+				replayed := map[string][]jobstore.Event{}
+				if err := s.Replay(func(ev *jobstore.Event) error {
+					replayed[ev.Job] = append(replayed[ev.Job], *ev)
+					return nil
+				}); err != nil {
+					t.Fatalf("op %d (%s): replay: %v", op, v.name, err)
+				}
+				for job, want := range acked {
+					if removedAcked[job] {
+						want = nil // removal acked with no crash: the job is gone
+					}
+					got := replayed[job]
+					if len(got) != len(want) {
+						t.Fatalf("op %d (%s): job %s replayed %d events, want %d\nrepro: go test -run TestENOSPCMatrix/%s ./internal/jobs/walstore (ENOSPCAtOp=%d)",
+							op, v.name, job, len(got), len(want), v.name, op)
+					}
+					for i := range got {
+						if !sameEvent(got[i], want[i]) {
+							t.Fatalf("op %d (%s): job %s event %d = %+v, want %+v", op, v.name, job, i, got[i], want[i])
+						}
+					}
+				}
+				probe := jobstore.Event{Type: jobstore.Submitted, Job: "probe", Total: 1}
+				if err := s.Append(&probe); err != nil {
+					t.Fatalf("op %d (%s): store wedged after ENOSPC recovery: %v", op, v.name, err)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("op %d (%s): close: %v", op, v.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSyncFailureRollsBackSubmission sweeps an fsync-failure injector
+// across the op range: a Submitted append whose sync fails must be
+// rolled back — reported to the caller AND absent from replay — so a
+// submission rejected upstream can never resurrect as a ghost job.
+func TestSyncFailureRollsBackSubmission(t *testing.T) {
+	golden := faultfs.New(faultfs.NoFaults(1))
+	var goldenAttempts []attempt
+	if err := lifecycleWorkload(golden, &goldenAttempts); err != nil {
+		t.Fatalf("golden workload: %v", err)
+	}
+	n := golden.OpCount()
+	stride := int64(1)
+	if !harness.Full() {
+		stride = 3
+	}
+	for op := int64(0); op < n; op += stride {
+		plan := faultfs.NoFaults(1)
+		plan.FailSyncAtOp = op
+		fsys := faultfs.New(plan)
+		var attempts []attempt
+		_ = lifecycleWorkload(fsys, &attempts) // a failed sync fails one append (or Open)
+		fsys.ClearFaults()
+		s, err := Open("store", Options{FS: fsys, NoLock: true})
+		if err != nil {
+			t.Fatalf("op %d: reopen after sync failure: %v", op, err)
+		}
+		nacked := map[string]bool{}
+		for _, a := range attempts {
+			if !a.acked && a.ev.Type == jobstore.Submitted {
+				nacked[a.ev.Job] = true
+			}
+		}
+		if err := s.Replay(func(ev *jobstore.Event) error {
+			if ev.Type == jobstore.Submitted && nacked[ev.Job] {
+				return fmt.Errorf("ghost job: rejected submission %s replayed", ev.Job)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("op %d: close: %v", op, err)
+		}
+	}
+}
+
+// TestConcurrentAppendersCrash is the concurrent-writer harness mode:
+// several goroutines drive independent job lifecycles through one store
+// while a crash is planted mid-stream. After recovery, per-job histories
+// must still be intact prefixes — concurrency must not let one writer's
+// torn bytes corrupt another's records. The -race CI pass runs this.
+func TestConcurrentAppendersCrash(t *testing.T) {
+	const writers, perWriter = 4, 6
+	for _, seed := range harness.Seeds(3) {
+		for _, crashOp := range []int64{25, 60, 110, 180, 260} {
+			fsys := faultfs.New(faultfs.CrashPlan(seed, crashOp))
+			s, err := Open("store", Options{FS: fsys, SegmentBytes: 300})
+			if err != nil {
+				if fsys.Crashed() {
+					continue // crashed inside Open; nothing further to check
+				}
+				t.Fatalf("seed %d crash %d: open: %v", seed, crashOp, err)
+			}
+			var wg sync.WaitGroup
+			acked := make([]map[string]int, writers) // job -> events acked
+			for w := 0; w < writers; w++ {
+				w := w
+				acked[w] = map[string]int{}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						job := fmt.Sprintf("w%d-j%d", w, i)
+						seqs := []jobstore.Event{
+							{Type: jobstore.Submitted, Job: job, Total: 4, Chunk: 2, Payload: []byte("pay-" + job)},
+							{Type: jobstore.Progress, Job: job, Done: 2, ResultBytes: 20},
+							{Type: jobstore.Finished, Job: job, Done: 4, ResultBytes: 40, State: "done"},
+						}
+						for k := range seqs {
+							ev := seqs[k]
+							if err := s.Append(&ev); err != nil {
+								return // crashed (or healing failed under crash): stop this writer
+							}
+							acked[w][job]++
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			_ = s.Close()
+			fsys.Recover()
+			r, err := Open("store", Options{FS: fsys})
+			if err != nil {
+				t.Fatalf("seed %d crash %d: reopen: %v", seed, crashOp, err)
+			}
+			counts := map[string]int{}
+			if err := r.Replay(func(ev *jobstore.Event) error {
+				counts[ev.Job]++
+				if ev.Type == jobstore.Submitted && len(ev.Payload) > 0 &&
+					!bytes.Equal(ev.Payload, []byte("pay-"+ev.Job)) {
+					return fmt.Errorf("job %s replayed torn payload %q", ev.Job, ev.Payload)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("seed %d crash %d: %v", seed, crashOp, err)
+			}
+			for job, n := range counts {
+				if n > 3 {
+					t.Fatalf("seed %d crash %d: job %s replayed %d events, max 3 ever appended", seed, crashOp, job, n)
+				}
+			}
+			_ = r.Close()
+		}
+	}
+}

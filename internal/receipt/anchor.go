@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // The anchor log makes receipt roots outlive the process that issued
@@ -54,25 +56,41 @@ type Anchor struct {
 // Append and List are safe for concurrent use within one process.
 type AnchorLog struct {
 	mu   sync.Mutex
-	f    *os.File
+	fsys faultfs.FS
+	f    faultfs.File
 	path string
 	seq  int64
 	n    int
 }
 
-// OpenAnchorLog opens (creating if needed) the root log under dir,
-// replays it to find the next sequence number, and truncates any torn
-// tail left by a crash mid-append.
-func OpenAnchorLog(dir string) (*AnchorLog, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// OpenAnchorLog opens (creating if needed) the root log under dir over
+// the real filesystem, replays it to find the next sequence number, and
+// truncates any torn tail left by a crash mid-append.
+func OpenAnchorLog(dir string) (*AnchorLog, error) { return OpenAnchorLogFS(dir, nil) }
+
+// OpenAnchorLogFS is OpenAnchorLog over an explicit filesystem seam (nil
+// selects the real filesystem); crash-consistency tests inject a
+// faultfs.FaultFS.
+func OpenAnchorLogFS(dir string, fsys faultfs.FS) (*AnchorLog, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("receipt: %w", err)
 	}
 	path := filepath.Join(dir, anchorFile)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("receipt: %w", err)
 	}
-	l := &AnchorLog{f: f, path: path}
+	// Pin the directory chain and the log's own entry: without these a
+	// crash could drop the just-created (or just-rotated) log file even
+	// after its bytes were flushed.
+	if err := faultfs.SyncDirs(fsys, filepath.Dir(dir), dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("receipt: syncing receipts dir: %w", err)
+	}
+	l := &AnchorLog{fsys: fsys, f: f, path: path}
 	data, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
@@ -166,7 +184,7 @@ func (l *AnchorLog) Append(a Anchor) (Anchor, error) {
 func (l *AnchorLog) List() ([]Anchor, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	data, err := os.ReadFile(l.path)
+	data, err := l.fsys.ReadFile(l.path)
 	if err != nil {
 		return nil, fmt.Errorf("receipt: %w", err)
 	}

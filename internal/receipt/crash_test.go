@@ -1,0 +1,163 @@
+package receipt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/faultfs/harness"
+)
+
+// The anchor log's crash matrix. The log is append-only and deliberately
+// never fsyncs its records (the comment on Append is the contract), so
+// the invariant after a crash anywhere is purely structural: the log
+// reopens, List yields a record-prefix of what was appended — contiguous
+// Seq from 1, every surviving record byte-intact (the CRC frame already
+// rejected torn tails at open) — and the next Append continues the
+// sequence where the prefix left off.
+
+// anchorAt builds the deterministic record appended at sequence seq; the
+// verifier reconstructs it to check surviving records are unmangled.
+func anchorAt(seq int64) Anchor {
+	return Anchor{
+		Time:   time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC),
+		Kind:   "check",
+		Batch:  fmt.Sprintf("job-%02d", seq),
+		Leaves: int(seq) * 3,
+		Root:   fmt.Sprintf("pvr1:%064x", seq),
+	}
+}
+
+// anchorWorkload is two anchor-writing process lifetimes back to back:
+// open, append a batch of roots, close, then a restart that replays and
+// appends more. The restart inside the workload means the matrix also
+// crashes the replay-and-truncate path itself.
+func anchorWorkload(fsys *faultfs.FaultFS) error {
+	l, err := OpenAnchorLogFS("receipts", fsys)
+	if err != nil {
+		return err
+	}
+	for seq := int64(1); seq <= 6; seq++ {
+		if _, err := l.Append(anchorAt(seq)); err != nil {
+			return err
+		}
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+	l, err = OpenAnchorLogFS("receipts", fsys)
+	if err != nil {
+		return err
+	}
+	for seq := int64(7); seq <= 12; seq++ {
+		if _, err := l.Append(anchorAt(seq)); err != nil {
+			return err
+		}
+	}
+	if _, err := l.List(); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+// verifyAnchors reopens the recovered log and checks the prefix
+// invariant.
+func verifyAnchors(fsys *faultfs.FaultFS) error {
+	l, err := OpenAnchorLogFS("receipts", fsys)
+	if err != nil {
+		return fmt.Errorf("reopen after crash: %w", err)
+	}
+	defer l.Close()
+	anchors, err := l.List()
+	if err != nil {
+		return fmt.Errorf("List after crash: %w", err)
+	}
+	if len(anchors) > 12 {
+		return fmt.Errorf("log replayed %d records, only 12 were appended", len(anchors))
+	}
+	for i, a := range anchors {
+		want := anchorAt(int64(i) + 1)
+		if a.Seq != int64(i)+1 {
+			return fmt.Errorf("record %d has Seq %d: surviving records are not a contiguous prefix", i, a.Seq)
+		}
+		if a.Kind != want.Kind || a.Batch != want.Batch || a.Leaves != want.Leaves || a.Root != want.Root {
+			return fmt.Errorf("record %d survived mangled: %+v", i, a)
+		}
+	}
+	// The restarted engine keeps anchoring: the next root must extend the
+	// surviving prefix, and List must serve it back.
+	next, err := l.Append(anchorAt(int64(len(anchors)) + 1))
+	if err != nil {
+		return fmt.Errorf("Append after crash: %w", err)
+	}
+	if next.Seq != int64(len(anchors))+1 {
+		return fmt.Errorf("post-crash Append got Seq %d, want %d", next.Seq, len(anchors)+1)
+	}
+	again, err := l.List()
+	if err != nil {
+		return err
+	}
+	if len(again) != len(anchors)+1 {
+		return fmt.Errorf("List after post-crash Append: %d records, want %d", len(again), len(anchors)+1)
+	}
+	return nil
+}
+
+func anchorRound() harness.Round {
+	return harness.Round{Workload: anchorWorkload, Verify: verifyAnchors}
+}
+
+// TestCrashMatrixAnchorLog crashes the two-lifetime anchor workload at
+// every filesystem operation.
+func TestCrashMatrixAnchorLog(t *testing.T) {
+	points := harness.Matrix(t, harness.Options{Package: "./internal/receipt"}, anchorRound)
+	t.Logf("crash points exercised: %d", points)
+	if points < 35 {
+		t.Errorf("crash matrix too small: %d points", points)
+	}
+}
+
+// TestCrashMatrixAnchorLogDropUnsyncedDirs is the adversarial directory
+// recovery: the receipts dir entry itself may be dropped (the log file
+// vanishes wholesale), which is exactly what the SyncDirs call at open
+// exists to bound. Any surviving file must still replay as a clean
+// prefix.
+func TestCrashMatrixAnchorLogDropUnsyncedDirs(t *testing.T) {
+	points := harness.Matrix(t, harness.Options{
+		Package:          "./internal/receipt",
+		DropUnsyncedDirs: true,
+	}, anchorRound)
+	t.Logf("crash points exercised: %d", points)
+	if points < 35 {
+		t.Errorf("crash matrix too small: %d points", points)
+	}
+}
+
+// TestAnchorLogENOSPC drives the log into a sticky ENOSPC with short
+// writes mid-append and then clears it: failed appends must not corrupt
+// the tail (the CRC frame seals each record), and once space returns the
+// log resumes from an intact prefix.
+func TestAnchorLogENOSPC(t *testing.T) {
+	golden := faultfs.New(faultfs.NoFaults(1))
+	if err := anchorWorkload(golden); err != nil {
+		t.Fatalf("golden workload: %v", err)
+	}
+	n := golden.OpCount()
+	stride := int64(1)
+	if !harness.Full() {
+		stride = 3
+	}
+	for op := int64(0); op < n; op += stride {
+		plan := faultfs.NoFaults(1)
+		plan.ENOSPCAtOp = op
+		plan.ShortWrites = true
+		plan.ENOSPCSticky = true
+		fsys := faultfs.New(plan)
+		_ = anchorWorkload(fsys) // ENOSPC-era appends may fail; that is the point
+		fsys.ClearFaults()
+		if err := verifyAnchors(fsys); err != nil {
+			t.Fatalf("op %d: log unusable after ENOSPC cleared: %v", op, err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package schemastore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/faultfs"
+	"repro/internal/faultfs/harness"
+)
+
+// The cache's crash matrix: a Put/Get/Delete/re-Put workload over real
+// compiled-schema blobs is crashed at every filesystem operation. The
+// invariant — the one the atomic tmp+fsync+rename+dir-fsync commit
+// protocol exists for — is intact-or-absent: after any crash, Get serves
+// either the complete blob (byte-equal, and decodable by the binary
+// codec) or ErrNotFound (the caller recompiles). A torn blob at the final
+// path is never observable, and the reopened cache always accepts new
+// Puts.
+
+// Two refs sharing a fanout directory plus one in its own, so the matrix
+// crosses single- and multi-entry fanout states.
+const (
+	crashRefA = "ab11bb22cc33dd44ee55ff6600112233445566778899aabbccddeeff00112233"
+	crashRefB = "ab99bb22cc33dd44ee55ff6600112233445566778899aabbccddeeff00112233"
+	crashRefC = "cd11bb22cc33dd44ee55ff6600112233445566778899aabbccddeeff00112233"
+)
+
+// compiledBlobs builds real compiled-schema blobs (binary codec framing,
+// trailing CRC) for the matrix, once.
+var compiledBlobs = sync.OnceValue(func() map[string][]byte {
+	out := map[string][]byte{}
+	for ref, fx := range map[string]struct{ src, root string }{
+		crashRefA: {dtd.Figure1, "r"},
+		crashRefB: {dtd.T1, "a"},
+		crashRefC: {dtd.Play, "play"},
+	} {
+		d, err := dtd.Parse(fx.src)
+		if err != nil {
+			panic(err)
+		}
+		s, err := core.Compile(d, fx.root, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		out[ref] = blob
+	}
+	return out
+})
+
+// cacheWorkload is the simulated process's life: open, fill, read,
+// delete, refill.
+func cacheWorkload(fsys *faultfs.FaultFS) error {
+	blobs := compiledBlobs()
+	c, err := OpenFS("cache", fsys)
+	if err != nil {
+		return err
+	}
+	for _, ref := range []string{crashRefA, crashRefB, crashRefC} {
+		if err := c.Put(ref, blobs[ref]); err != nil {
+			return err
+		}
+	}
+	if _, err := c.Get(crashRefA); err != nil {
+		return err
+	}
+	if _, _, err := c.FindByPrefix(crashRefC[:10]); err != nil {
+		return err
+	}
+	if err := c.Delete(crashRefB); err != nil {
+		return err
+	}
+	if err := c.Put(crashRefB, blobs[crashRefB]); err != nil {
+		return err
+	}
+	// Churn the single-entry fanout too: delete, confirm the miss, re-Put.
+	if err := c.Delete(crashRefC); err != nil {
+		return err
+	}
+	if _, err := c.Get(crashRefC); !errors.Is(err, ErrNotFound) {
+		return fmt.Errorf("Get after Delete: %v", err)
+	}
+	if err := c.Put(crashRefC, blobs[crashRefC]); err != nil {
+		return err
+	}
+	_, err = c.Get(crashRefB)
+	return err
+}
+
+// verifyCache reopens the recovered image and checks intact-or-absent for
+// every ref, then that the cache still accepts writes.
+func verifyCache(fsys *faultfs.FaultFS) error {
+	blobs := compiledBlobs()
+	c, err := OpenFS("cache", fsys)
+	if err != nil {
+		return fmt.Errorf("reopen after crash: %w", err)
+	}
+	for _, ref := range []string{crashRefA, crashRefB, crashRefC} {
+		data, err := c.Get(ref)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			continue // recompile path: a legal outcome at every crash point
+		case err != nil:
+			return fmt.Errorf("Get(%s) after crash: %w", ref, err)
+		}
+		if !bytes.Equal(data, blobs[ref]) {
+			return fmt.Errorf("Get(%s) served a torn blob: %d bytes, want %d", ref, len(data), len(blobs[ref]))
+		}
+		// The CRC catch, pinned end to end: whatever Get serves must pass
+		// the codec's checksum and decode.
+		if _, err := core.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("Get(%s) served an undecodable blob: %w", ref, err)
+		}
+	}
+	// The recovered cache must accept the recompile path's re-Put.
+	if err := c.Put(crashRefA, blobs[crashRefA]); err != nil {
+		return fmt.Errorf("Put after crash: %w", err)
+	}
+	data, err := c.Get(crashRefA)
+	if err != nil || !bytes.Equal(data, blobs[crashRefA]) {
+		return fmt.Errorf("re-Put after crash not served back: %v", err)
+	}
+	return nil
+}
+
+func cacheRound() harness.Round {
+	return harness.Round{Workload: cacheWorkload, Verify: verifyCache}
+}
+
+// TestCrashMatrixPut crashes the cache workload at every filesystem
+// operation under per-entry coin-flip directory recovery.
+func TestCrashMatrixPut(t *testing.T) {
+	points := harness.Matrix(t, harness.Options{Package: "./internal/schemastore"}, cacheRound)
+	t.Logf("crash points exercised: %d", points)
+	if points < 60 {
+		t.Errorf("crash matrix too small: %d points", points)
+	}
+}
+
+// TestCrashMatrixPutDropUnsyncedDirs is the adversarial variant: every
+// unsynced directory entry is dropped. This is the regression test for
+// the fanout-directory fsync after the rename — without it, a crash can
+// silently undo a committed Put, and with DropUnsyncedDirs the matrix
+// distinguishes "undone wholesale" (legal: ErrNotFound) from "torn"
+// (never legal).
+func TestCrashMatrixPutDropUnsyncedDirs(t *testing.T) {
+	points := harness.Matrix(t, harness.Options{
+		Package:          "./internal/schemastore",
+		DropUnsyncedDirs: true,
+	}, cacheRound)
+	t.Logf("crash points exercised: %d", points)
+	if points < 60 {
+		t.Errorf("crash matrix too small: %d points", points)
+	}
+}
+
+// TestRenameFailureLeavesCacheUsable sweeps a rename-failure injector
+// across the op range: a Put whose commit rename fails must report the
+// error, leave no observable torn state, and succeed when retried.
+func TestRenameFailureLeavesCacheUsable(t *testing.T) {
+	blobs := compiledBlobs()
+	golden := faultfs.New(faultfs.NoFaults(1))
+	if err := cacheWorkload(golden); err != nil {
+		t.Fatalf("golden workload: %v", err)
+	}
+	n := golden.OpCount()
+	stride := int64(1)
+	if !harness.Full() {
+		stride = 2
+	}
+	for op := int64(0); op < n; op += stride {
+		plan := faultfs.NoFaults(1)
+		plan.FailRenameAtOp = op
+		fsys := faultfs.New(plan)
+		werr := cacheWorkload(fsys)
+		fsys.ClearFaults()
+		c, err := OpenFS("cache", fsys)
+		if err != nil {
+			t.Fatalf("op %d: reopen after rename failure: %v", op, err)
+		}
+		for _, ref := range []string{crashRefA, crashRefB, crashRefC} {
+			data, err := c.Get(ref)
+			if errors.Is(err, ErrNotFound) {
+				// The failed Put's ref: retry must succeed (werr told the
+				// caller to).
+				if werr == nil {
+					t.Fatalf("op %d: ref %s missing but the workload saw no error", op, ref)
+				}
+				if err := c.Put(ref, blobs[ref]); err != nil {
+					t.Fatalf("op %d: retry Put(%s): %v", op, ref, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: Get(%s): %v", op, ref, err)
+			}
+			if !bytes.Equal(data, blobs[ref]) {
+				t.Fatalf("op %d: Get(%s) served torn bytes after rename failure", op, ref)
+			}
+		}
+	}
+}
+
+// TestCorruptBlobCaughtByCodec pins the trust-nothing contract the matrix
+// relies on: a blob torn below the store's atomic-commit radar (simulated
+// by truncating the stored file in place) fails the codec's checksum, and
+// the Delete+recompile+re-Put path restores service.
+func TestCorruptBlobCaughtByCodec(t *testing.T) {
+	blobs := compiledBlobs()
+	fsys := faultfs.New(faultfs.NoFaults(1))
+	c, err := OpenFS("cache", fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(crashRefA, blobs[crashRefA]); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the stored blob behind the cache's back.
+	path := c.path(crashRefA)
+	f, err := fsys.OpenFile(path, 0x2 /* os.O_RDWR */, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(len(blobs[crashRefA]) - 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := c.Get(crashRefA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.UnmarshalBinary(torn); err == nil {
+		t.Fatal("codec decoded a truncated blob — the CRC catch is gone")
+	}
+	// The documented recovery: treat as a miss, delete, recompile, re-Put.
+	if err := c.Delete(crashRefA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(crashRefA, blobs[crashRefA]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(crashRefA)
+	if err != nil || !bytes.Equal(got, blobs[crashRefA]) {
+		t.Fatalf("recovered Get = %d bytes, %v", len(got), err)
+	}
+	if _, err := core.UnmarshalBinary(got); err != nil {
+		t.Fatalf("recovered blob undecodable: %v", err)
+	}
+}
+
+// TestConcurrentPutGetWithFaults is the concurrent-writer harness mode
+// for the cache: goroutines race Puts and Gets of the same refs while a
+// sticky ENOSPC (with short writes) fires mid-stream and then clears.
+// Reads must never observe torn bytes, before, during or after the
+// outage; the -race CI pass runs this.
+func TestConcurrentPutGetWithFaults(t *testing.T) {
+	blobs := compiledBlobs()
+	plan := faultfs.NoFaults(1)
+	plan.ENOSPCAtOp = 40
+	plan.ShortWrites = true
+	plan.ENOSPCSticky = true
+	fsys := faultfs.New(plan)
+	c, err := OpenFS("cache", fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []string{crashRefA, crashRefB, crashRefC}
+	var wg sync.WaitGroup
+	var cleared sync.Once
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ref := refs[g%len(refs)]
+			for i := 0; i < 25; i++ {
+				if i == 12 {
+					cleared.Do(fsys.ClearFaults) // the disk gets space back
+				}
+				_ = c.Put(ref, blobs[ref]) // ENOSPC-era Puts may fail; that's the point
+				data, err := c.Get(ref)
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get(%s): %v", ref, err)
+					return
+				}
+				if err == nil && !bytes.Equal(data, blobs[ref]) {
+					t.Errorf("Get(%s) observed torn bytes under concurrent faults", ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// After the outage every ref must be servable again.
+	for _, ref := range refs {
+		if err := c.Put(ref, blobs[ref]); err != nil {
+			t.Fatalf("post-outage Put(%s): %v", ref, err)
+		}
+		data, err := c.Get(ref)
+		if err != nil || !bytes.Equal(data, blobs[ref]) {
+			t.Fatalf("post-outage Get(%s): %d bytes, %v", ref, len(data), err)
+		}
+	}
+}

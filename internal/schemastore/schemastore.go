@@ -15,17 +15,26 @@
 //
 // The cache trusts nothing it reads back: blobs carry their own checksums
 // (see internal/core's binary codec), and callers treat any load or decode
-// failure as a miss, recompile, and Delete the damaged file.
+// failure as a miss, recompile, and Delete the damaged file. The
+// commit protocol makes the atomic claim real across power loss: the temp
+// file is fsynced before the rename and the fanout directory is fsynced
+// after it — without the directory sync a crash can silently undo the
+// rename itself. Filesystem access goes through the faultfs seam
+// (OpenFS), and the package's crash-matrix tests enumerate every
+// filesystem operation of a Put/Get workload to pin the
+// intact-or-recompile invariant.
 package schemastore
 
 import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultfs"
 )
 
 // Ext is the compiled-schema blob file extension.
@@ -41,7 +50,12 @@ var ErrAmbiguous = errors.New("schemastore: ref prefix matches several compiled 
 // methods are safe for concurrent use (by goroutines and by cooperating
 // processes sharing the directory).
 type Cache struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
+	// syncedDirs remembers fanout directories already made durable, so
+	// steady-state Puts into a warm fanout pay one directory fsync (for
+	// the new entry), not two.
+	syncedDirs sync.Map // fanout dir path -> struct{}
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -59,15 +73,26 @@ type Stats struct {
 	Errors int64 `json:"errors"`
 }
 
-// Open returns a cache rooted at dir, creating the directory if needed.
-func Open(dir string) (*Cache, error) {
+// Open returns a cache rooted at dir, creating the directory if needed,
+// over the real filesystem.
+func Open(dir string) (*Cache, error) { return OpenFS(dir, nil) }
+
+// OpenFS is Open over an explicit filesystem seam (nil selects the real
+// filesystem); crash-consistency tests inject a faultfs.FaultFS.
+func OpenFS(dir string, fsys faultfs.FS) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("schemastore: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("schemastore: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	if err := faultfs.SyncDirs(fsys, filepath.Dir(dir), dir); err != nil {
+		return nil, fmt.Errorf("schemastore: syncing cache root: %w", err)
+	}
+	return &Cache{dir: dir, fsys: fsys}, nil
 }
 
 // Dir returns the cache's root directory.
@@ -100,7 +125,7 @@ func (c *Cache) Get(ref string) ([]byte, error) {
 	if !validRef(ref) {
 		return nil, fmt.Errorf("schemastore: malformed ref %q", ref)
 	}
-	data, err := os.ReadFile(c.path(ref))
+	data, err := c.fsys.ReadFile(c.path(ref))
 	switch {
 	case err == nil:
 		c.hits.Add(1)
@@ -122,7 +147,7 @@ func (c *Cache) FindByPrefix(prefix string) (string, []byte, error) {
 	if !validRef(prefix) {
 		return "", nil, fmt.Errorf("schemastore: malformed ref prefix %q", prefix)
 	}
-	entries, err := os.ReadDir(filepath.Join(c.dir, prefix[:2]))
+	entries, err := c.fsys.ReadDir(filepath.Join(c.dir, prefix[:2]))
 	if errors.Is(err, fs.ErrNotExist) {
 		c.misses.Add(1)
 		return "", nil, ErrNotFound
@@ -150,37 +175,61 @@ func (c *Cache) FindByPrefix(prefix string) (string, []byte, error) {
 	return found, data, err
 }
 
-// Put stores the blob for ref atomically (temp file + rename). Concurrent
-// Puts for the same ref are safe: content addressing makes their payloads
-// identical.
+// Put stores the blob for ref atomically and durably: the temp file's
+// bytes are fsynced before the rename, and the fanout directory is
+// fsynced after it (a rename whose directory entry was never synced can
+// be undone wholesale by a crash). Concurrent Puts for the same ref are
+// safe: content addressing makes their payloads identical.
 func (c *Cache) Put(ref string, data []byte) error {
 	if !validRef(ref) {
 		return fmt.Errorf("schemastore: malformed ref %q", ref)
 	}
 	dst := c.path(ref)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := c.ensureFanout(filepath.Dir(dst)); err != nil {
 		c.errs.Add(1)
 		return fmt.Errorf("schemastore: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ref+".tmp*")
+	tmp, err := c.fsys.CreateTemp(filepath.Dir(dst), ref+".tmp*")
 	if err != nil {
 		c.errs.Add(1)
 		return fmt.Errorf("schemastore: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp.Name(), dst)
+		werr = c.fsys.Rename(tmp.Name(), dst)
+	}
+	if werr == nil {
+		werr = faultfs.SyncDir(c.fsys, filepath.Dir(dst))
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		c.fsys.Remove(tmp.Name())
 		c.errs.Add(1)
 		return fmt.Errorf("schemastore: %w", werr)
 	}
 	c.writes.Add(1)
+	return nil
+}
+
+// ensureFanout creates one fanout directory durably, once: later Puts
+// into the same fanout skip straight to the blob write.
+func (c *Cache) ensureFanout(dir string) error {
+	if _, ok := c.syncedDirs.Load(dir); ok {
+		return nil
+	}
+	if err := c.fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := faultfs.SyncDir(c.fsys, c.dir); err != nil {
+		return err
+	}
+	c.syncedDirs.Store(dir, struct{}{})
 	return nil
 }
 
@@ -190,7 +239,7 @@ func (c *Cache) Delete(ref string) error {
 	if !validRef(ref) {
 		return fmt.Errorf("schemastore: malformed ref %q", ref)
 	}
-	err := os.Remove(c.path(ref))
+	err := c.fsys.Remove(c.path(ref))
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		c.errs.Add(1)
 		return fmt.Errorf("schemastore: %w", err)
@@ -202,16 +251,25 @@ func (c *Cache) Delete(ref string) error {
 // not hot paths).
 func (c *Cache) Len() (int, error) {
 	n := 0
-	err := filepath.WalkDir(c.dir, func(_ string, d fs.DirEntry, err error) error {
+	ents, err := c.fsys.ReadDir(c.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		sub, err := c.fsys.ReadDir(filepath.Join(c.dir, ent.Name()))
 		if err != nil {
-			return err
+			return 0, err
 		}
-		if !d.IsDir() && strings.HasSuffix(d.Name(), Ext) {
-			n++
+		for _, e := range sub {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), Ext) {
+				n++
+			}
 		}
-		return nil
-	})
-	return n, err
+	}
+	return n, nil
 }
 
 // Stats returns a snapshot of the cache counters.
